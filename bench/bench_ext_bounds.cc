@@ -1,0 +1,105 @@
+// Extension experiment (paper Section 6 future work): empirical error
+// bounds. CalibratedEstimator learns per-size multiplicative error
+// quantiles on a calibration workload and widens each estimate into an
+// interval; this bench reports the interval width and the *coverage* —
+// the fraction of fresh queries whose true count falls inside — which
+// should track the requested confidence.
+//
+// Flags: --scale=<n>, --seed=<n>, --confidence=<c> (default 0.9),
+//        --queries=<n>.
+
+#include <cstdio>
+
+#include "core/calibrated_estimator.h"
+#include "core/recursive_estimator.h"
+#include "harness/experiment.h"
+#include "harness/flags.h"
+#include "util/string_util.h"
+#include "workload/workload.h"
+
+namespace treelattice {
+namespace {
+
+int Run(const Flags& flags) {
+  const double confidence = flags.GetDouble("confidence", 0.9);
+  std::printf(
+      "=== Extension: Calibrated Error Bounds (confidence %.0f%%) ===\n\n",
+      confidence * 100);
+  for (const std::string& name : DatasetNames()) {
+    ExperimentOptions options;
+    options.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+    options.scale = static_cast<int>(flags.GetInt("scale", 0));
+    Result<DatasetBundle> bundle =
+        PrepareDataset(name, options, /*build_sketch=*/false);
+    if (!bundle.ok()) {
+      std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                   bundle.status().ToString().c_str());
+      return 1;
+    }
+    RecursiveDecompositionEstimator inner(&bundle->summary);
+    CalibratedEstimator::Options calibration;
+    calibration.confidence = confidence;
+    calibration.queries_per_size =
+        static_cast<size_t>(flags.GetInt("queries", 60));
+    calibration.seed = options.seed + 1;
+    Result<CalibratedEstimator> calibrated =
+        CalibratedEstimator::Calibrate(bundle->doc, &inner, calibration);
+    if (!calibrated.ok()) {
+      std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                   calibrated.status().ToString().c_str());
+      return 1;
+    }
+
+    MatchCounter counter(bundle->doc);
+    TextTable table;
+    table.SetHeader({"QuerySize", "bound factor", "coverage(%)",
+                     "#fresh queries"});
+    for (int size = 5; size <= 8; ++size) {
+      WorkloadOptions workload;
+      workload.seed = options.seed + 7777 + static_cast<uint64_t>(size);
+      workload.query_size = size;
+      workload.num_queries =
+          static_cast<size_t>(flags.GetInt("queries", 60));
+      Result<std::vector<Twig>> queries =
+          GeneratePositiveWorkload(bundle->doc, workload);
+      if (!queries.ok()) {
+        std::fprintf(stderr, "%s\n", queries.status().ToString().c_str());
+        return 1;
+      }
+      size_t covered = 0;
+      for (const Twig& q : *queries) {
+        double truth = static_cast<double>(counter.Count(q));
+        Result<BoundedEstimate> bounded = calibrated->EstimateWithBound(q);
+        if (!bounded.ok()) {
+          std::fprintf(stderr, "%s\n", bounded.status().ToString().c_str());
+          return 1;
+        }
+        if (truth >= bounded->lower - 1e-9 &&
+            truth <= bounded->upper + 1e-9) {
+          ++covered;
+        }
+      }
+      table.AddRow({std::to_string(size),
+                    FormatDouble(calibrated->FactorForSize(size), 2),
+                    FormatDouble(100.0 * double(covered) /
+                                     double(queries->size()),
+                                 1),
+                    std::to_string(queries->size())});
+    }
+    std::printf("--- %s ---\n%s\n", name.c_str(), table.Render().c_str());
+  }
+  std::printf(
+      "Shape to expect: coverage tracks the requested confidence; bound\n"
+      "factors widen with query size (error compounds per decomposition\n"
+      "level) and are wider on correlated datasets (imdb) than on\n"
+      "near-independent ones (psd).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace treelattice
+
+int main(int argc, char** argv) {
+  treelattice::Flags flags(argc, argv);
+  return treelattice::Run(flags);
+}

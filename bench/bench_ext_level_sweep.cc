@@ -1,0 +1,96 @@
+// Extension ablation: the lattice level K. The paper fixes K=4 for its
+// experiments and reaches for K=5 only in Fig. 10(b); this bench makes the
+// underlying design choice visible by sweeping K in {2,3,4,5} and
+// reporting summary size, construction time, and estimation accuracy per
+// query size. K=2 degenerates to the Markov edge model; each additional
+// level buys accuracy at exponential pattern-count cost.
+//
+// Flags: --dataset=<name> (default nasa), --scale=<n>, --seed=<n>,
+//        --queries=<n>, --min_size, --max_size.
+
+#include <cstdio>
+
+#include "core/recursive_estimator.h"
+#include "harness/experiment.h"
+#include "harness/flags.h"
+#include "mining/lattice_builder.h"
+#include "util/string_util.h"
+
+namespace treelattice {
+namespace {
+
+int Run(const Flags& flags) {
+  const std::string dataset = flags.GetString("dataset", "nasa");
+  const int min_size = static_cast<int>(flags.GetInt("min_size", 5));
+  const int max_size = static_cast<int>(flags.GetInt("max_size", 8));
+  std::printf("=== Extension: Lattice Level Sweep (%s, recursive) ===\n\n",
+              dataset.c_str());
+
+  DatasetOptions generate;
+  generate.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  generate.scale = static_cast<int>(flags.GetInt("scale", 0));
+  if (generate.scale == 0) generate.scale = DefaultScale(dataset);
+  Result<Document> doc = GenerateDataset(dataset, generate);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "%s\n", doc.status().ToString().c_str());
+    return 1;
+  }
+  MatchCounter counter(*doc);
+
+  ExperimentOptions options;
+  options.seed = generate.seed;
+  options.queries_per_size = static_cast<size_t>(flags.GetInt("queries", 60));
+
+  TextTable table;
+  std::vector<std::string> header = {"K", "Patterns", "Size(KB)",
+                                     "Build(s)"};
+  for (int size = min_size; size <= max_size; ++size) {
+    header.push_back("err@" + std::to_string(size) + "(%)");
+  }
+  table.SetHeader(header);
+
+  for (int level = 2; level <= 5; ++level) {
+    LatticeBuildOptions build;
+    build.max_level = level;
+    LatticeBuildStats stats;
+    Result<LatticeSummary> summary = BuildLattice(*doc, build, &stats);
+    if (!summary.ok()) {
+      std::fprintf(stderr, "%s\n", summary.status().ToString().c_str());
+      return 1;
+    }
+    RecursiveDecompositionEstimator estimator(&*summary);
+    std::vector<std::string> row = {
+        std::to_string(level), std::to_string(summary->NumPatterns()),
+        FormatDouble(double(summary->MemoryBytes()) / 1024, 1),
+        FormatDouble(stats.build_seconds, 2)};
+    for (int size = min_size; size <= max_size; ++size) {
+      Result<WorkloadEval> workload =
+          PrepareWorkload(*doc, counter, size, options);
+      if (!workload.ok()) {
+        std::fprintf(stderr, "%s\n", workload.status().ToString().c_str());
+        return 1;
+      }
+      Result<EstimatorRun> run = RunEstimator(estimator, *workload);
+      if (!run.ok()) {
+        std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
+        return 1;
+      }
+      row.push_back(FormatDouble(run->avg_error_pct, 1));
+    }
+    table.AddRow(row);
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Shape to expect: accuracy improves monotonically with K while\n"
+      "pattern count and build time grow sharply — K=4 is the sweet spot\n"
+      "the paper operates at.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace treelattice
+
+int main(int argc, char** argv) {
+  treelattice::Flags flags(argc, argv);
+  return treelattice::Run(flags);
+}

@@ -1,0 +1,161 @@
+// Extension experiment (paper Section 6 future work #1): twig queries
+// with value predicates. Text values are hashed into B buckets and become
+// synthetic leaves (xml/value_buckets.h), so the unchanged estimation
+// machinery prices value predicates. This bench measures (a) estimation
+// error for value-predicate workloads and (b) the bucket-count trade-off:
+// fewer buckets shrink the summary but inflate counts through collisions.
+//
+// Flags: --movies=<n> (default 4000), --seed=<n>.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/recursive_estimator.h"
+#include "harness/experiment.h"
+#include "harness/flags.h"
+#include "match/matcher.h"
+#include "mining/lattice_builder.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "xml/parser.h"
+#include "xpath/xpath.h"
+
+namespace treelattice {
+namespace {
+
+/// Movie catalog with correlated values: genre and decade depend on a
+/// latent style; studio is independent.
+std::string MakeCatalogXml(int movies, uint64_t seed) {
+  static constexpr const char* kGenres[] = {"action", "drama", "comedy",
+                                            "horror", "scifi", "noir"};
+  static constexpr const char* kDecades[] = {"1970s", "1980s", "1990s",
+                                             "2000s", "2010s"};
+  static constexpr const char* kStudios[] = {"alpha", "beta", "gamma",
+                                             "delta"};
+  Rng rng(seed);
+  std::string xml = "<imdb>";
+  for (int i = 0; i < movies; ++i) {
+    // Latent style couples genre and decade (old noirs, modern scifi...).
+    size_t style = rng.Zipf(6, 0.8);
+    size_t genre = style;
+    size_t decade = rng.Bernoulli(0.8) ? (style * 5 / 6) : rng.Uniform(5);
+    size_t studio = rng.Uniform(4);
+    xml += "<movie><genre>";
+    xml += kGenres[genre];
+    xml += "</genre><decade>";
+    xml += kDecades[decade];
+    xml += "</decade><studio>";
+    xml += kStudios[studio];
+    xml += "</studio></movie>";
+  }
+  xml += "</imdb>";
+  return xml;
+}
+
+int Run(const Flags& flags) {
+  const int movies = static_cast<int>(flags.GetInt("movies", 4000));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  std::printf(
+      "=== Extension: Value Predicates via Bucketed Values ===\n\n");
+  std::string xml = MakeCatalogXml(movies, seed);
+
+  const char* queries[] = {
+      "movie[genre=\"action\"]",
+      "movie[genre=\"noir\"][decade=\"1970s\"]",
+      "movie[genre=\"scifi\"][decade=\"2010s\"]",
+      "movie[genre=\"drama\"][studio=\"alpha\"]",
+      "movie[genre=\"action\"][decade=\"1970s\"]",  // anti-correlated pair
+  };
+
+  // Collision-free reference: value-exact selectivities computed with a
+  // bucket space far larger than the distinct-value count.
+  std::vector<double> truths;
+  {
+    XmlParseOptions parse;
+    parse.model_values = true;
+    parse.value_buckets = 1 << 20;
+    Result<Document> reference = ParseXmlString(xml, parse);
+    if (!reference.ok()) {
+      std::fprintf(stderr, "%s\n", reference.status().ToString().c_str());
+      return 1;
+    }
+    MatchCounter counter(*reference);
+    XPathOptions xpath;
+    xpath.value_buckets = 1 << 20;
+    for (const char* text : queries) {
+      Result<Twig> query =
+          CompileXPath(text, reference->shared_dict().get(), xpath);
+      if (!query.ok()) {
+        std::fprintf(stderr, "%s\n", query.status().ToString().c_str());
+        return 1;
+      }
+      truths.push_back(static_cast<double>(counter.Count(*query)));
+    }
+  }
+
+  for (int buckets : {2, 8, 64}) {
+    XmlParseOptions parse;
+    parse.model_values = true;
+    parse.value_buckets = buckets;
+    Result<Document> doc = ParseXmlString(xml, parse);
+    if (!doc.ok()) {
+      std::fprintf(stderr, "%s\n", doc.status().ToString().c_str());
+      return 1;
+    }
+    // A 5-lattice holds the correlated (genre value, decade value) joints
+    // in the summary, isolating bucket collisions as the error source.
+    LatticeBuildOptions build;
+    build.max_level = 5;
+    Result<LatticeSummary> summary = BuildLattice(*doc, build);
+    if (!summary.ok()) {
+      std::fprintf(stderr, "%s\n", summary.status().ToString().c_str());
+      return 1;
+    }
+    RecursiveDecompositionEstimator estimator(&*summary);
+
+    std::printf("--- %d value buckets (summary %.1f KB, %zu patterns) ---\n",
+                buckets, double(summary->MemoryBytes()) / 1024.0,
+                summary->NumPatterns());
+    TextTable table;
+    table.SetHeader({"Query", "True(value-exact)", "Estimate", "err(%)"});
+    XPathOptions xpath;
+    xpath.value_buckets = buckets;
+    for (size_t i = 0; i < std::size(queries); ++i) {
+      Result<Twig> query =
+          CompileXPath(queries[i], doc->shared_dict().get(), xpath);
+      if (!query.ok()) {
+        std::fprintf(stderr, "%s: %s\n", queries[i],
+                     query.status().ToString().c_str());
+        return 1;
+      }
+      double truth = truths[i];
+      Result<double> estimate = estimator.Estimate(*query);
+      if (!estimate.ok()) {
+        std::fprintf(stderr, "%s\n", estimate.status().ToString().c_str());
+        return 1;
+      }
+      double denominator = truth > 10 ? truth : 10;
+      table.AddRow({queries[i], FormatDouble(truth, 0),
+                    FormatDouble(*estimate, 1),
+                    FormatDouble(100.0 * std::abs(*estimate - truth) /
+                                     denominator,
+                                 1)});
+    }
+    std::printf("%s\n", table.Render().c_str());
+  }
+  std::printf(
+      "Shape to expect: with enough buckets (64) value predicates are\n"
+      "priced near-exactly (correlated value joints sit inside the\n"
+      "5-lattice); few buckets inflate estimates through hash collisions —\n"
+      "the classic space/accuracy knob of value synopses.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace treelattice
+
+int main(int argc, char** argv) {
+  treelattice::Flags flags(argc, argv);
+  return treelattice::Run(flags);
+}

@@ -1,0 +1,99 @@
+// Reproduces Figure 10 (d): IMDB estimation quality (recursive+voting) when
+// using summaries pruned at δ in {0, 10, 20, 30}%.
+//
+// Shape to match: δ=0 is indistinguishable from the full summary (Lemma 5);
+// accuracy degrades gradually and remains tolerable through δ=10%.
+//
+// Flags: --scale=<n>, --seed=<n>, --queries=<n>, --min_size, --max_size,
+//        --dataset=<name> (default imdb).
+
+#include <cstdio>
+#include <memory>
+
+#include "core/pruning.h"
+#include "core/recursive_estimator.h"
+#include "harness/experiment.h"
+#include "harness/flags.h"
+#include "util/string_util.h"
+
+namespace treelattice {
+namespace {
+
+int Run(const Flags& flags) {
+  const std::string dataset = flags.GetString("dataset", "imdb");
+  const int min_size = static_cast<int>(flags.GetInt("min_size", 4));
+  const int max_size = static_cast<int>(flags.GetInt("max_size", 8));
+  std::printf(
+      "=== Figure 10(d): Estimation Quality vs delta (%s, "
+      "recursive+voting) ===\n\n",
+      dataset.c_str());
+  ExperimentOptions options;
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  options.scale = static_cast<int>(flags.GetInt("scale", 0));
+  options.queries_per_size = static_cast<size_t>(flags.GetInt("queries", 60));
+  Result<DatasetBundle> bundle =
+      PrepareDataset(dataset, options, /*build_sketch=*/false);
+  if (!bundle.ok()) {
+    std::fprintf(stderr, "%s\n", bundle.status().ToString().c_str());
+    return 1;
+  }
+
+  const double deltas[] = {0.0, 0.10, 0.20, 0.30};
+  std::vector<LatticeSummary> summaries;
+  for (double delta : deltas) {
+    PruneOptions prune;
+    prune.delta = delta;
+    prune.estimator.voting = true;  // match the query-time estimator
+    Result<LatticeSummary> pruned =
+        PruneDerivablePatterns(bundle->summary, prune);
+    if (!pruned.ok()) {
+      std::fprintf(stderr, "%s\n", pruned.status().ToString().c_str());
+      return 1;
+    }
+    summaries.push_back(std::move(pruned).value());
+  }
+
+  RecursiveDecompositionEstimator::Options voting{true, 0};
+  std::vector<std::unique_ptr<RecursiveDecompositionEstimator>> estimators;
+  for (const LatticeSummary& summary : summaries) {
+    estimators.push_back(
+        std::make_unique<RecursiveDecompositionEstimator>(&summary, voting));
+  }
+
+  MatchCounter counter(bundle->doc);
+  TextTable table;
+  std::vector<std::string> header = {"QuerySize"};
+  for (double delta : deltas) {
+    header.push_back("delta=" + FormatDouble(delta * 100, 0) + "%");
+  }
+  table.SetHeader(header);
+  for (int size = min_size; size <= max_size; ++size) {
+    Result<WorkloadEval> workload =
+        PrepareWorkload(bundle->doc, counter, size, options);
+    if (!workload.ok()) {
+      std::fprintf(stderr, "size %d: %s\n", size,
+                   workload.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<std::string> row = {std::to_string(size)};
+    for (auto& estimator : estimators) {
+      Result<EstimatorRun> run = RunEstimator(*estimator, *workload);
+      if (!run.ok()) {
+        std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
+        return 1;
+      }
+      row.push_back(FormatDouble(run->avg_error_pct, 1));
+    }
+    table.AddRow(row);
+  }
+  std::printf("%s\n", table.Render().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace treelattice
+
+int main(int argc, char** argv) {
+  treelattice::Flags flags(argc, argv);
+  return treelattice::Run(flags);
+}

@@ -1,0 +1,102 @@
+// Reproduces the Figure 11 / Section 5.3 case study: a concise document
+// with high child-count variance on which the TreeSketches multiplicative
+// estimate errs badly while TreeLattice, whose 3-lattice stores the exact
+// counts of the relevant subtrees, stays (near-)exact.
+//
+// Document (Fig. 11a, abstracted): three 'a' nodes with four 'b' children
+// each and one 'a' node with two 'b' children; only the poor a's b's carry
+// a 'c'. TreeSketches at label granularity sees a->b weight 3.5 and
+// multiplies averages; TreeLattice reads the stored twig counts.
+
+#include <cstdio>
+#include <string>
+
+#include "core/recursive_estimator.h"
+#include "harness/experiment.h"
+#include "harness/flags.h"
+#include "match/matcher.h"
+#include "mining/lattice_builder.h"
+#include "treesketch/tree_sketch.h"
+#include "util/string_util.h"
+#include "xml/parser.h"
+
+namespace treelattice {
+namespace {
+
+int Run(const Flags&) {
+  std::string xml = "<r>";
+  for (int i = 0; i < 3; ++i) {
+    xml += "<a><b/><b/><b/><b/></a>";  // rich a: 4 b's, no c
+  }
+  xml += "<a><b><c/></b><b><c/></b></a>";  // poor a: 2 b's, each with a c
+  xml += "</r>";
+  Result<Document> doc = ParseXmlString(xml);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "%s\n", doc.status().ToString().c_str());
+    return 1;
+  }
+  LabelDict* dict = &doc->mutable_dict();
+
+  LatticeBuildOptions build;
+  build.max_level = 3;
+  Result<LatticeSummary> summary = BuildLattice(*doc, build);
+  if (!summary.ok()) {
+    std::fprintf(stderr, "%s\n", summary.status().ToString().c_str());
+    return 1;
+  }
+  TreeSketchOptions sketch_options;
+  sketch_options.memory_budget_bytes = 64;  // forces label granularity
+  Result<TreeSketch> sketch = TreeSketch::Build(*doc, sketch_options);
+  if (!sketch.ok()) {
+    std::fprintf(stderr, "%s\n", sketch.status().ToString().c_str());
+    return 1;
+  }
+
+  MatchCounter counter(*doc);
+  RecursiveDecompositionEstimator lattice(&*summary);
+
+  std::printf("=== Figure 11 Case Study: error compounding under fanout "
+              "variance ===\n\n");
+  std::printf("document: 3x a(b,b,b,b), 1x a(b(c),b(c)); synopsis edge "
+              "a->b carries avg weight 3.5\n\n");
+  TextTable table;
+  table.SetHeader({"Query", "True", "TreeLattice", "TL err(%)",
+                   "TreeSketches", "TS err(%)"});
+  for (const char* text :
+       {"a(b)", "a(b,b)", "a(b(c))", "a(b(c),b)", "a(b(c),b(c))",
+        "r(a(b,b))"}) {
+    Result<Twig> query = Twig::Parse(text, dict);
+    if (!query.ok()) {
+      std::fprintf(stderr, "%s\n", query.status().ToString().c_str());
+      return 1;
+    }
+    double truth = static_cast<double>(counter.Count(*query));
+    Result<double> tl = lattice.Estimate(*query);
+    Result<double> ts = sketch->EstimateCount(*query);
+    if (!tl.ok() || !ts.ok()) {
+      std::fprintf(stderr, "estimation failed for %s\n", text);
+      return 1;
+    }
+    auto err = [&](double est) {
+      double denom = truth > 0 ? truth : 1.0;
+      return 100.0 * std::abs(est - truth) / denom;
+    };
+    table.AddRow({text, FormatDouble(truth, 0), FormatDouble(*tl, 2),
+                  FormatDouble(err(*tl), 1), FormatDouble(*ts, 2),
+                  FormatDouble(err(*ts), 1)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Shape to match (Section 5.3): TreeSketches errs >100%% on variance-\n"
+      "sensitive twigs; TreeLattice answers in-lattice twigs exactly and\n"
+      "decomposed ones from exact piece counts.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace treelattice
+
+int main(int argc, char** argv) {
+  treelattice::Flags flags(argc, argv);
+  return treelattice::Run(flags);
+}

@@ -1,0 +1,74 @@
+// Reproduces Figure 9 (a-d): average estimation response time (ms) versus
+// query size for the four estimators on each dataset.
+//
+// Shape to match: recursive and fixed-size run orders of magnitude faster
+// than TreeSketches; fixed-size is a constant factor faster than recursive;
+// voting degrades with query size (combinatorial decompositions) but stays
+// ahead of TreeSketches.
+//
+// Flags: --scale=<n>, --seed=<n>, --queries=<n>, --min_size, --max_size,
+//        --exhaustive_sketch.
+
+#include <cstdio>
+
+#include "harness/experiment.h"
+#include "harness/flags.h"
+#include "util/string_util.h"
+
+namespace treelattice {
+namespace {
+
+int Run(const Flags& flags) {
+  const int min_size = static_cast<int>(flags.GetInt("min_size", 4));
+  const int max_size = static_cast<int>(flags.GetInt("max_size", 8));
+  std::printf(
+      "=== Figure 9: Average Response Time (ms) vs Query Size ===\n\n");
+  for (const std::string& name : DatasetNames()) {
+    ExperimentOptions options;
+    options.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+    options.scale = static_cast<int>(flags.GetInt("scale", 0));
+    options.queries_per_size =
+        static_cast<size_t>(flags.GetInt("queries", 60));
+    if (flags.GetBool("exhaustive_sketch", false)) {
+      options.sketch_merge_candidates = 0;
+    }
+    Result<DatasetBundle> bundle = PrepareDataset(name, options);
+    if (!bundle.ok()) {
+      std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                   bundle.status().ToString().c_str());
+      return 1;
+    }
+    Result<AccuracySweep> sweep =
+        RunAccuracySweep(*bundle, options, min_size, max_size);
+    if (!sweep.ok()) {
+      std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                   sweep.status().ToString().c_str());
+      return 1;
+    }
+
+    std::printf("--- Fig 9 (%s) ---\n", name.c_str());
+    TextTable table;
+    std::vector<std::string> header = {"QuerySize"};
+    for (const std::string& estimator : sweep->estimator_names) {
+      header.push_back(estimator);
+    }
+    table.SetHeader(header);
+    for (size_t i = 0; i < sweep->sizes.size(); ++i) {
+      std::vector<std::string> row = {std::to_string(sweep->sizes[i])};
+      for (const EstimatorRun& run : sweep->runs[i]) {
+        row.push_back(FormatDouble(run.avg_time_ms, 4));
+      }
+      table.AddRow(row);
+    }
+    std::printf("%s\n", table.Render().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace treelattice
+
+int main(int argc, char** argv) {
+  treelattice::Flags flags(argc, argv);
+  return treelattice::Run(flags);
+}

@@ -1,0 +1,200 @@
+// google-benchmark microbenchmarks for the library's hot paths: canonical
+// coding, match counting, lattice mining levels (the ablation DESIGN.md
+// calls out), decomposition, and the estimators.
+
+#include <benchmark/benchmark.h>
+
+#include "core/fixed_size_estimator.h"
+#include "core/recursive_estimator.h"
+#include "datagen/datasets.h"
+#include "match/matcher.h"
+#include "mining/freqt_builder.h"
+#include "mining/lattice_builder.h"
+#include "summary/lattice_summary.h"
+#include "twig/decompose.h"
+#include "workload/workload.h"
+
+namespace treelattice {
+namespace {
+
+const Document& SharedDoc() {
+  static const Document* doc = [] {
+    DatasetOptions options;
+    options.scale = 400;
+    return new Document(GenerateXmark(options));
+  }();
+  return *doc;
+}
+
+const LatticeSummary& SharedSummary() {
+  static const LatticeSummary* summary = [] {
+    LatticeBuildOptions options;
+    options.max_level = 4;
+    auto result = BuildLattice(SharedDoc(), options);
+    return new LatticeSummary(std::move(result).value());
+  }();
+  return *summary;
+}
+
+std::vector<Twig> SharedQueries(int size) {
+  WorkloadOptions options;
+  options.seed = 1234 + static_cast<uint64_t>(size);
+  options.query_size = size;
+  options.num_queries = 32;
+  auto result = GeneratePositiveWorkload(SharedDoc(), options);
+  return std::move(result).value();
+}
+
+void BM_CanonicalCode(benchmark::State& state) {
+  std::vector<Twig> queries = SharedQueries(static_cast<int>(state.range(0)));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(queries[i % queries.size()].CanonicalCode());
+    ++i;
+  }
+}
+BENCHMARK(BM_CanonicalCode)->Arg(4)->Arg(8);
+
+void BM_MatchCount(benchmark::State& state) {
+  MatchCounter counter(SharedDoc());
+  std::vector<Twig> queries = SharedQueries(static_cast<int>(state.range(0)));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(counter.Count(queries[i % queries.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_MatchCount)->Arg(2)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_LatticeBuild(benchmark::State& state) {
+  DatasetOptions generate;
+  generate.scale = 100;
+  Document doc = GenerateXmark(generate);
+  LatticeBuildOptions options;
+  options.max_level = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto summary = BuildLattice(doc, options);
+    benchmark::DoNotOptimize(summary.ok());
+  }
+}
+BENCHMARK(BM_LatticeBuild)->Arg(2)->Arg(3)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_LatticeBuildNoApriori(benchmark::State& state) {
+  DatasetOptions generate;
+  generate.scale = 100;
+  Document doc = GenerateXmark(generate);
+  LatticeBuildOptions options;
+  options.max_level = 4;
+  options.apriori_prune = false;
+  for (auto _ : state) {
+    auto summary = BuildLattice(doc, options);
+    benchmark::DoNotOptimize(summary.ok());
+  }
+}
+BENCHMARK(BM_LatticeBuildNoApriori)->Unit(benchmark::kMillisecond);
+
+void BM_LatticeBuildFreqt(benchmark::State& state) {
+  // Same workload as BM_LatticeBuild/4 for a direct generate-and-count vs
+  // rightmost-extension (occurrence lists) comparison.
+  DatasetOptions generate;
+  generate.scale = 100;
+  Document doc = GenerateXmark(generate);
+  LatticeBuildOptions options;
+  options.max_level = 4;
+  for (auto _ : state) {
+    auto summary = BuildLatticeFreqt(doc, options);
+    benchmark::DoNotOptimize(summary.ok());
+  }
+}
+BENCHMARK(BM_LatticeBuildFreqt)->Unit(benchmark::kMillisecond);
+
+void BM_LatticeBuildParallel(benchmark::State& state) {
+  DatasetOptions generate;
+  generate.scale = 400;
+  Document doc = GenerateXmark(generate);
+  LatticeBuildOptions options;
+  options.max_level = 4;
+  options.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto summary = BuildLattice(doc, options);
+    benchmark::DoNotOptimize(summary.ok());
+  }
+}
+BENCHMARK(BM_LatticeBuildParallel)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RecursiveDecomposition(benchmark::State& state) {
+  std::vector<Twig> queries = SharedQueries(static_cast<int>(state.range(0)));
+  size_t i = 0;
+  for (auto _ : state) {
+    const Twig& q = queries[i % queries.size()];
+    auto pairs = ValidLeafPairs(q);
+    benchmark::DoNotOptimize(
+        SplitByLeafPair(q, pairs[0].first, pairs[0].second).ok());
+    ++i;
+  }
+}
+BENCHMARK(BM_RecursiveDecomposition)->Arg(4)->Arg(8);
+
+void BM_FixedSizeCover(benchmark::State& state) {
+  std::vector<Twig> queries = SharedQueries(static_cast<int>(state.range(0)));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        FixedSizeCover(queries[i % queries.size()], 4).ok());
+    ++i;
+  }
+}
+BENCHMARK(BM_FixedSizeCover)->Arg(5)->Arg(8);
+
+void BM_EstimateRecursive(benchmark::State& state) {
+  RecursiveDecompositionEstimator estimator(&SharedSummary());
+  std::vector<Twig> queries = SharedQueries(static_cast<int>(state.range(0)));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.Estimate(queries[i % queries.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_EstimateRecursive)->Arg(5)->Arg(6)->Arg(8);
+
+void BM_EstimateRecursiveVoting(benchmark::State& state) {
+  RecursiveDecompositionEstimator estimator(
+      &SharedSummary(), RecursiveDecompositionEstimator::Options{true, 0});
+  std::vector<Twig> queries = SharedQueries(static_cast<int>(state.range(0)));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.Estimate(queries[i % queries.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_EstimateRecursiveVoting)->Arg(5)->Arg(6)->Arg(8);
+
+void BM_EstimateFixedSize(benchmark::State& state) {
+  FixedSizeDecompositionEstimator estimator(&SharedSummary());
+  std::vector<Twig> queries = SharedQueries(static_cast<int>(state.range(0)));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.Estimate(queries[i % queries.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_EstimateFixedSize)->Arg(5)->Arg(6)->Arg(8);
+
+void BM_SummaryLookup(benchmark::State& state) {
+  const LatticeSummary& summary = SharedSummary();
+  std::vector<Twig> queries = SharedQueries(4);
+  std::vector<std::string> codes;
+  for (const Twig& q : queries) codes.push_back(q.CanonicalCode());
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(summary.LookupCode(codes[i % codes.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_SummaryLookup);
+
+}  // namespace
+}  // namespace treelattice
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// Query-plan selection with selectivity estimates — the paper's primary
+// motivation. Given a complex twig query over an auction-site document,
+// the optimizer decomposes it into candidate sub-twig "access paths",
+// estimates each one's cardinality with TreeLattice, and orders evaluation
+// from the most selective anchor outward (smallest intermediate results
+// first), mirroring how a relational optimizer orders joins by estimated
+// cardinality.
+//
+// Run: ./build/examples/query_optimizer
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/recursive_estimator.h"
+#include "datagen/datasets.h"
+#include "match/matcher.h"
+#include "mining/lattice_builder.h"
+#include "twig/twig.h"
+
+using namespace treelattice;
+
+namespace {
+
+struct AccessPath {
+  std::string description;
+  Twig twig;
+  double estimated_cardinality = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  // Generate the XMark-like auction document and summarize it.
+  DatasetOptions generate;
+  generate.scale = 2000;
+  Document doc = GenerateXmark(generate);
+  std::printf("document: %zu elements\n", doc.NumNodes());
+
+  LatticeBuildOptions options;
+  options.max_level = 4;
+  Result<LatticeSummary> summary = BuildLattice(doc, options);
+  if (!summary.ok()) {
+    std::fprintf(stderr, "%s\n", summary.status().ToString().c_str());
+    return 1;
+  }
+  RecursiveDecompositionEstimator estimator(&*summary);
+  LabelDict* dict = &doc.mutable_dict();
+
+  // The user's query: open auctions that have a bidder with a recorded
+  // time, a seller, and an annotation with a description.
+  const char* query_text =
+      "open_auction(bidder(date,time),seller,annotation(description))";
+  Result<Twig> query = Twig::Parse(query_text, dict);
+  if (!query.ok()) {
+    std::fprintf(stderr, "%s\n", query.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("query: %s\n\n", query_text);
+
+  // Candidate access paths: each branch of the query evaluated first.
+  std::vector<AccessPath> paths;
+  auto add_path = [&](const char* what, const char* text) {
+    Result<Twig> twig = Twig::Parse(text, dict);
+    if (!twig.ok()) return;
+    Result<double> estimate = estimator.Estimate(*twig);
+    if (!estimate.ok()) return;
+    paths.push_back({what, std::move(twig).value(), *estimate});
+  };
+  add_path("scan bidders with date+time", "bidder(date,time)");
+  add_path("scan auction/seller edges", "open_auction(seller)");
+  add_path("scan annotated auctions",
+           "open_auction(annotation(description))");
+  add_path("scan timed bidders under auctions",
+           "open_auction(bidder(time))");
+
+  std::sort(paths.begin(), paths.end(),
+            [](const AccessPath& a, const AccessPath& b) {
+              return a.estimated_cardinality < b.estimated_cardinality;
+            });
+
+  std::printf("candidate access paths (most selective first):\n");
+  for (size_t i = 0; i < paths.size(); ++i) {
+    std::printf("  %zu. %-40s est. cardinality %10.1f\n", i + 1,
+                paths[i].description.c_str(),
+                paths[i].estimated_cardinality);
+  }
+
+  Result<double> full_estimate = estimator.Estimate(*query);
+  MatchCounter exact(doc);
+  std::printf(
+      "\nchosen plan: anchor on \"%s\", then join the remaining "
+      "branches.\n",
+      paths.front().description.c_str());
+  std::printf("estimated result size: %.1f (true: %llu)\n",
+              full_estimate.ok() ? *full_estimate : -1.0,
+              static_cast<unsigned long long>(exact.Count(*query)));
+  return 0;
+}

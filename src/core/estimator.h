@@ -1,0 +1,29 @@
+#ifndef TREELATTICE_CORE_ESTIMATOR_H_
+#define TREELATTICE_CORE_ESTIMATOR_H_
+
+#include <string>
+
+#include "twig/twig.h"
+#include "util/result.h"
+
+namespace treelattice {
+
+/// Interface for twig-query selectivity estimators.
+///
+/// Estimates are real-valued expected counts (Theorem 1 gives an
+/// expectation, not an integer). Implementations must be deterministic for
+/// a fixed summary and query.
+class SelectivityEstimator {
+ public:
+  virtual ~SelectivityEstimator() = default;
+
+  /// Estimated number of matches of `query` in the summarized document.
+  virtual Result<double> Estimate(const Twig& query) = 0;
+
+  /// Short stable name used in experiment reports.
+  virtual std::string name() const = 0;
+};
+
+}  // namespace treelattice
+
+#endif  // TREELATTICE_CORE_ESTIMATOR_H_

@@ -1,0 +1,86 @@
+#include "core/explain.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "twig/decompose.h"
+
+namespace treelattice {
+
+namespace {
+
+Result<std::unique_ptr<ExplainNode>> Trace(const LatticeSummary& summary,
+                                           const Twig& twig,
+                                           const LabelDict& dict) {
+  auto node = std::make_unique<ExplainNode>();
+  node->twig_text = twig.ToString(dict);
+
+  if (auto count = summary.LookupCode(twig.CanonicalCode())) {
+    node->estimate = static_cast<double>(*count);
+    node->from_summary = true;
+    return node;
+  }
+  if (twig.size() <= summary.complete_through_level() || twig.size() < 3) {
+    node->estimate = 0.0;
+    node->from_summary = true;  // a definitive answer from the summary
+    return node;
+  }
+
+  std::vector<std::pair<int, int>> pairs = ValidLeafPairs(twig);
+  if (pairs.empty()) {
+    return Status::Internal("no valid leaf pair for twig of size " +
+                            std::to_string(twig.size()));
+  }
+  RecursiveSplit split;
+  TL_ASSIGN_OR_RETURN(split,
+                      SplitByLeafPair(twig, pairs[0].first, pairs[0].second));
+  std::unique_ptr<ExplainNode> t1, t2, overlap;
+  TL_ASSIGN_OR_RETURN(t1, Trace(summary, split.t1, dict));
+  TL_ASSIGN_OR_RETURN(t2, Trace(summary, split.t2, dict));
+  TL_ASSIGN_OR_RETURN(overlap, Trace(summary, split.overlap, dict));
+  if (t1->estimate > 0.0 && t2->estimate > 0.0 && overlap->estimate > 0.0) {
+    node->estimate = t1->estimate * t2->estimate / overlap->estimate;
+  } else {
+    node->estimate = 0.0;
+  }
+  node->children.push_back(std::move(t1));
+  node->children.push_back(std::move(t2));
+  node->children.push_back(std::move(overlap));
+  return node;
+}
+
+void Render(const ExplainNode& node, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(node.twig_text);
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), " %s %.6g",
+                node.from_summary ? "=" : "~=", node.estimate);
+  out->append(buffer);
+  if (node.from_summary) {
+    out->append("   [summary]");
+  } else {
+    out->append("   [T1 * T2 / overlap]");
+  }
+  out->push_back('\n');
+  for (const auto& child : node.children) {
+    Render(*child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ExplainNode>> ExplainEstimate(
+    const LatticeSummary& summary, const Twig& query, const LabelDict& dict) {
+  if (query.empty()) {
+    return Status::InvalidArgument("ExplainEstimate: empty query");
+  }
+  return Trace(summary, query, dict);
+}
+
+std::string RenderExplain(const ExplainNode& node) {
+  std::string out;
+  Render(node, 0, &out);
+  return out;
+}
+
+}  // namespace treelattice

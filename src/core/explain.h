@@ -1,0 +1,43 @@
+#ifndef TREELATTICE_CORE_EXPLAIN_H_
+#define TREELATTICE_CORE_EXPLAIN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "summary/lattice_summary.h"
+#include "twig/twig.h"
+#include "util/result.h"
+#include "xml/label_dict.h"
+
+namespace treelattice {
+
+/// One node of a decomposition trace: either a summary hit (leaf) or a
+/// Lemma 1 split into two sub-twigs and their overlap.
+struct ExplainNode {
+  std::string twig_text;   ///< the (sub-)twig in textual form
+  double estimate = 0.0;   ///< estimate produced for this sub-twig
+  bool from_summary = false;  ///< true when read directly from the lattice
+  /// For decomposed nodes: children[0] = T1, children[1] = T2,
+  /// children[2] = overlap; empty for summary hits / zeros.
+  std::vector<std::unique_ptr<ExplainNode>> children;
+};
+
+/// Traces the (non-voting) recursive decomposition of `query` against
+/// `summary`, recording every Lemma 1 split and summary lookup. The root
+/// estimate equals RecursiveDecompositionEstimator's (default options)
+/// answer exactly — asserted by tests — so the trace is a faithful
+/// explanation of the production estimate, suitable for optimizer
+/// debugging ("why was this cardinality predicted?").
+Result<std::unique_ptr<ExplainNode>> ExplainEstimate(
+    const LatticeSummary& summary, const Twig& query, const LabelDict& dict);
+
+/// Renders a trace as an indented text tree:
+///   a(b,c(d)) ~= 12.5   [T1 * T2 / overlap]
+///     a(b,c) = 20       [summary]
+///     ...
+std::string RenderExplain(const ExplainNode& node);
+
+}  // namespace treelattice
+
+#endif  // TREELATTICE_CORE_EXPLAIN_H_

@@ -1,0 +1,61 @@
+#include "core/fixed_size_estimator.h"
+
+#include "twig/decompose.h"
+
+namespace treelattice {
+
+FixedSizeDecompositionEstimator::FixedSizeDecompositionEstimator(
+    const LatticeSummary* summary)
+    : FixedSizeDecompositionEstimator(summary, Options()) {}
+
+FixedSizeDecompositionEstimator::FixedSizeDecompositionEstimator(
+    const LatticeSummary* summary, Options options)
+    : summary_(summary), options_(options), fallback_(summary) {
+  if (options_.k <= 0) options_.k = summary->max_level();
+  if (options_.k < 2) options_.k = 2;
+}
+
+Result<double> FixedSizeDecompositionEstimator::LookupOrEstimate(
+    const Twig& twig) {
+  if (auto count = summary_->LookupCode(twig.CanonicalCode())) {
+    return static_cast<double>(*count);
+  }
+  if (twig.size() <= summary_->complete_through_level() || twig.size() < 3) {
+    return 0.0;
+  }
+  return fallback_.Estimate(twig);
+}
+
+Result<double> FixedSizeDecompositionEstimator::Estimate(const Twig& query) {
+  if (query.empty()) {
+    return Status::InvalidArgument("Estimate: empty query");
+  }
+  // Directly answerable (or provably absent) queries short-circuit.
+  if (auto count = summary_->LookupCode(query.CanonicalCode())) {
+    return static_cast<double>(*count);
+  }
+  if (query.size() <= summary_->complete_through_level()) return 0.0;
+  if (query.size() <= options_.k) {
+    // Too small to cover with k-subtrees (a pruned pattern): recursive
+    // fallback from strictly smaller pieces.
+    return LookupOrEstimate(query);
+  }
+
+  std::vector<CoverStep> steps;
+  TL_ASSIGN_OR_RETURN(steps, FixedSizeCover(query, options_.k));
+
+  double estimate;
+  TL_ASSIGN_OR_RETURN(estimate, LookupOrEstimate(steps[0].subtree));
+  if (estimate <= 0.0) return 0.0;
+  for (size_t i = 1; i < steps.size(); ++i) {
+    double numer, denom;
+    TL_ASSIGN_OR_RETURN(numer, LookupOrEstimate(steps[i].subtree));
+    if (numer <= 0.0) return 0.0;
+    TL_ASSIGN_OR_RETURN(denom, LookupOrEstimate(steps[i].overlap));
+    if (denom <= 0.0) return 0.0;  // overlap ⊆ subtree, cannot be rarer
+    estimate *= numer / denom;
+  }
+  return estimate;
+}
+
+}  // namespace treelattice

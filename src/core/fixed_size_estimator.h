@@ -1,0 +1,47 @@
+#ifndef TREELATTICE_CORE_FIXED_SIZE_ESTIMATOR_H_
+#define TREELATTICE_CORE_FIXED_SIZE_ESTIMATOR_H_
+
+#include <string>
+
+#include "core/estimator.h"
+#include "core/recursive_estimator.h"
+#include "summary/lattice_summary.h"
+
+namespace treelattice {
+
+/// The fixed-size decomposition estimator (Section 3.3, Fig. 5).
+///
+/// The query is covered by n-k+1 k-subtrees along a preorder sweep
+/// (Lemma 2); by Lemma 3
+///   ŝ(Q) = s(T1) * Π_{i>=2} s(Tᵢ) / s(Tᵢ ∩ covered_{i-1}),
+/// where every factor is a summary lookup. On a pruned summary a missing
+/// basic twig falls back to recursive decomposition from smaller patterns
+/// (Lemma 5 keeps this lossless at δ = 0).
+class FixedSizeDecompositionEstimator : public SelectivityEstimator {
+ public:
+  struct Options {
+    /// Cover subtree size; 0 means the summary's max level.
+    int k = 0;
+  };
+
+  explicit FixedSizeDecompositionEstimator(const LatticeSummary* summary);
+  FixedSizeDecompositionEstimator(const LatticeSummary* summary,
+                                  Options options);
+
+  Result<double> Estimate(const Twig& query) override;
+
+  std::string name() const override { return "fixed-size"; }
+
+ private:
+  /// Summary lookup for a basic twig, falling back to recursive
+  /// decomposition when the pattern was pruned.
+  Result<double> LookupOrEstimate(const Twig& twig);
+
+  const LatticeSummary* summary_;
+  Options options_;
+  RecursiveDecompositionEstimator fallback_;
+};
+
+}  // namespace treelattice
+
+#endif  // TREELATTICE_CORE_FIXED_SIZE_ESTIMATOR_H_

@@ -1,0 +1,47 @@
+#ifndef TREELATTICE_CORE_MARKOV_PATH_ESTIMATOR_H_
+#define TREELATTICE_CORE_MARKOV_PATH_ESTIMATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+#include "summary/lattice_summary.h"
+
+namespace treelattice {
+
+/// The classic Markov-model path selectivity estimator (Lore / Markov
+/// tables / XPathLearner), expressed over the lattice summary.
+///
+/// For a path l1/l2/.../ln and summary order m (the lattice level),
+///   ŝ = f(l1..lm) * Π_{i=2}^{n-m+1} f(lᵢ..lᵢ₊ₘ₋₁) / f(lᵢ..lᵢ₊ₘ₋₂),
+/// where f() is the stored count of the corresponding path pattern. Lemma 4
+/// proves both decomposition estimators reduce to exactly this formula on
+/// path queries; this class exists as the explicit special case (and as the
+/// path-only baseline) so the equivalence is testable.
+class MarkovPathEstimator : public SelectivityEstimator {
+ public:
+  struct Options {
+    /// Markov order (window size); 0 means the summary's max level.
+    int order = 0;
+  };
+
+  explicit MarkovPathEstimator(const LatticeSummary* summary);
+  MarkovPathEstimator(const LatticeSummary* summary, Options options);
+
+  /// Fails with InvalidArgument on non-path queries.
+  Result<double> Estimate(const Twig& query) override;
+
+  std::string name() const override { return "markov-path"; }
+
+ private:
+  /// Count of the path window labels[begin, begin+len).
+  double WindowCount(const std::vector<LabelId>& labels, size_t begin,
+                     size_t len) const;
+
+  const LatticeSummary* summary_;
+  Options options_;
+};
+
+}  // namespace treelattice
+
+#endif  // TREELATTICE_CORE_MARKOV_PATH_ESTIMATOR_H_

@@ -1,0 +1,60 @@
+#include "core/pruning.h"
+
+#include <cmath>
+
+namespace treelattice {
+
+Result<LatticeSummary> PruneDerivablePatterns(const LatticeSummary& summary,
+                                              const PruneOptions& options,
+                                              PruneStats* stats) {
+  if (options.delta < 0.0) {
+    return Status::InvalidArgument("PruneDerivablePatterns: delta < 0");
+  }
+  LatticeSummary pruned(summary.max_level());
+
+  // Levels 1 and 2 are copied verbatim.
+  for (int level = 1; level <= 2 && level <= summary.max_level(); ++level) {
+    for (const std::string& code : summary.PatternsAtLevel(level)) {
+      Twig twig;
+      TL_ASSIGN_OR_RETURN(twig, Twig::FromCanonicalCode(code));
+      TL_RETURN_IF_ERROR(pruned.Insert(twig, *summary.LookupCode(code)));
+    }
+  }
+  // Estimation during the sweep must see only already-kept patterns, which
+  // is exactly what `pruned` holds: decomposing a level-k pattern touches
+  // only smaller patterns, and levels are processed in order.
+  pruned.set_complete_through_level(2);
+  RecursiveDecompositionEstimator estimator(&pruned, options.estimator);
+
+  bool any_pruned = false;
+  for (int level = 3; level <= summary.max_level(); ++level) {
+    for (const std::string& code : summary.PatternsAtLevel(level)) {
+      uint64_t true_count = *summary.LookupCode(code);
+      Twig twig;
+      TL_ASSIGN_OR_RETURN(twig, Twig::FromCanonicalCode(code));
+      double estimate;
+      TL_ASSIGN_OR_RETURN(estimate, estimator.Estimate(twig));
+      double error = std::abs(static_cast<double>(true_count) - estimate) /
+                     static_cast<double>(true_count);
+      // A small absolute slack absorbs double rounding so exactly-derivable
+      // patterns are recognized at delta = 0.
+      if (error <= options.delta + 1e-9) {
+        any_pruned = true;  // derivable: drop
+      } else {
+        TL_RETURN_IF_ERROR(pruned.Insert(twig, true_count));
+      }
+    }
+  }
+  pruned.set_complete_through_level(any_pruned
+                                        ? 2
+                                        : summary.complete_through_level());
+  if (stats) {
+    stats->patterns_before = summary.NumPatterns();
+    stats->patterns_after = pruned.NumPatterns();
+    stats->bytes_before = summary.MemoryBytes();
+    stats->bytes_after = pruned.MemoryBytes();
+  }
+  return pruned;
+}
+
+}  // namespace treelattice

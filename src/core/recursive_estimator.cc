@@ -1,0 +1,87 @@
+#include "core/recursive_estimator.h"
+
+#include <algorithm>
+
+#include "twig/decompose.h"
+
+namespace treelattice {
+
+RecursiveDecompositionEstimator::RecursiveDecompositionEstimator(
+    const LatticeSummary* summary)
+    : RecursiveDecompositionEstimator(summary, Options()) {}
+
+RecursiveDecompositionEstimator::RecursiveDecompositionEstimator(
+    const LatticeSummary* summary, Options options)
+    : summary_(summary), options_(options) {}
+
+Result<double> RecursiveDecompositionEstimator::Estimate(const Twig& query) {
+  if (query.empty()) {
+    return Status::InvalidArgument("Estimate: empty query");
+  }
+  std::unordered_map<std::string, double> memo;
+  return EstimateImpl(query, &memo);
+}
+
+Result<double> RecursiveDecompositionEstimator::EstimateImpl(
+    const Twig& twig, std::unordered_map<std::string, double>* memo) {
+  const std::string code = twig.CanonicalCode();
+  if (auto it = memo->find(code); it != memo->end()) return it->second;
+
+  double value = 0.0;
+  if (auto count = summary_->LookupCode(code)) {
+    value = static_cast<double>(*count);
+  } else if (twig.size() <= summary_->complete_through_level()) {
+    // The summary is exhaustive at this size: the pattern does not occur.
+    value = 0.0;
+  } else if (twig.size() < 3) {
+    // Sizes 1-2 are always retained by construction and pruning; a miss
+    // means zero occurrences even in a pruned summary.
+    value = 0.0;
+  } else {
+    std::vector<std::pair<int, int>> pairs = ValidLeafPairs(twig);
+    if (pairs.empty()) {
+      return Status::Internal("no valid leaf pair for twig of size " +
+                              std::to_string(twig.size()));
+    }
+    size_t limit = 1;
+    if (options_.voting) {
+      limit = pairs.size();
+      if (options_.max_votes_per_level > 0) {
+        limit = std::min(limit,
+                         static_cast<size_t>(options_.max_votes_per_level));
+      }
+    }
+    std::vector<double> votes;
+    votes.reserve(limit);
+    for (size_t i = 0; i < limit; ++i) {
+      RecursiveSplit split;
+      TL_ASSIGN_OR_RETURN(split, SplitByLeafPair(twig, pairs[i].first,
+                                                 pairs[i].second));
+      double e1, e2, eo;
+      TL_ASSIGN_OR_RETURN(e1, EstimateImpl(split.t1, memo));
+      TL_ASSIGN_OR_RETURN(e2, EstimateImpl(split.t2, memo));
+      TL_ASSIGN_OR_RETURN(eo, EstimateImpl(split.overlap, memo));
+      double est = 0.0;
+      if (e1 > 0.0 && e2 > 0.0 && eo > 0.0) est = e1 * e2 / eo;
+      votes.push_back(est);
+    }
+    if (votes.empty()) {
+      value = 0.0;
+    } else if (options_.aggregation == VoteAggregation::kMedian &&
+               options_.voting) {
+      std::sort(votes.begin(), votes.end());
+      size_t mid = votes.size() / 2;
+      value = (votes.size() % 2 == 1)
+                  ? votes[mid]
+                  : 0.5 * (votes[mid - 1] + votes[mid]);
+    } else {
+      double sum = 0.0;
+      for (double v : votes) sum += v;
+      value = sum / static_cast<double>(votes.size());
+    }
+  }
+  memo->emplace(code, value);
+  return value;
+}
+
+}  // namespace treelattice

@@ -1,0 +1,62 @@
+#ifndef TREELATTICE_DATAGEN_DATASETS_H_
+#define TREELATTICE_DATAGEN_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+#include "xml/document.h"
+
+namespace treelattice {
+
+/// Common knobs for the four paper-dataset emulators. `scale` is the number
+/// of top-level records (items+people+auctions for XMark, datasets for
+/// NASA, movies for IMDB, protein entries for PSD); node counts grow
+/// roughly linearly with it. All generators are deterministic given the
+/// options.
+struct DatasetOptions {
+  uint64_t seed = 42;
+  int scale = 1000;
+};
+
+/// XMark-like synthetic auction-site document (site/regions/people/
+/// open_auctions/closed_auctions/categories). Plants *high variance* in
+/// per-node child counts (bidders per auction, mails per mailbox, items per
+/// region) — the trait that makes multiplicative synopsis estimates explode
+/// on XMark in the paper (Fig. 7d, Fig. 11).
+Document GenerateXmark(const DatasetOptions& options);
+
+/// NASA-like astronomy dataset emulator (datasets/dataset/reference/
+/// history/author...). Deep-ish paths, moderate alphabet, mild
+/// correlations; conditional independence holds well (strong δ-pruning).
+Document GenerateNasa(const DatasetOptions& options);
+
+/// IMDB-like movie database emulator. A latent per-movie "production type"
+/// jointly drives several branches (cast size, ratings, business, awards),
+/// planting *cross-branch correlations* that violate the conditional
+/// independence assumption — the trait the paper blames for TreeLattice's
+/// weaker accuracy on IMDB.
+Document GenerateImdb(const DatasetOptions& options);
+
+/// PSD-like protein sequence database emulator. Wide, shallow entries whose
+/// optional branches are chosen independently; conditional independence
+/// holds almost perfectly (the paper's striking PSD pruning savings).
+Document GeneratePsd(const DatasetOptions& options);
+
+/// Name-based registry: "xmark", "nasa", "imdb", "psd".
+Result<Document> GenerateDataset(std::string_view name,
+                                 const DatasetOptions& options);
+
+/// Names accepted by GenerateDataset, in the paper's reporting order.
+std::vector<std::string> DatasetNames();
+
+/// Default per-dataset scales giving document sizes whose ratios mirror
+/// Table 1 (Nasa largest, PSD smallest) while keeping experiment runtimes
+/// laptop-friendly.
+int DefaultScale(std::string_view name);
+
+}  // namespace treelattice
+
+#endif  // TREELATTICE_DATAGEN_DATASETS_H_

@@ -1,0 +1,100 @@
+#include <algorithm>
+
+#include "datagen/datasets.h"
+#include "util/rng.h"
+
+namespace treelattice {
+
+Document GenerateImdb(const DatasetOptions& options) {
+  Document doc;
+  Rng rng(options.seed + 2);
+
+  NodeId imdb = doc.AddNode("imdb", kInvalidNode);
+  for (int i = 0; i < options.scale; ++i) {
+    NodeId movie = doc.AddNode("movie", imdb);
+    doc.AddNode("title", movie);
+    doc.AddNode("year", movie);
+
+    // Latent production type drives *several* branches jointly. Branch
+    // presence is a per-type Bernoulli mixture: strongly separated but
+    // noisy, so the joint distribution of 3+ branches is NOT the product
+    // of pairwise joints — the conditional-independence violation the
+    // paper blames for TreeLattice's weaker IMDB accuracy. Child counts
+    // within a type are kept low-variance so the TreeSketches clustering
+    // captures the types well (its winning case).
+    //   0 = obscure (most common), 1 = indie, 2 = blockbuster.
+    const uint64_t type = rng.Zipf(3, 0.7);
+    const bool blockbuster = (type == 2);
+    const bool indie = (type == 1);
+
+    NodeId genres = doc.AddNode("genres", movie);
+    int n_genres = blockbuster ? 3 : 1;
+    for (int j = 0; j < n_genres; ++j) doc.AddNode("genre", genres);
+
+    NodeId cast = doc.AddNode("cast", movie);
+    // Counts are deterministic per type: the count-stable partition stays
+    // compact (a few hundred clusters), so even a small TreeSketches
+    // budget separates the movie types — its winning case on IMDB.
+    int n_actors = blockbuster ? 10 : indie ? 4 : 1;
+    for (int j = 0; j < n_actors; ++j) {
+      NodeId actor = doc.AddNode("actor", cast);
+      doc.AddNode("name", actor);
+      if (blockbuster) doc.AddNode("role", actor);
+      // Type-neutral noise: diversifies cast signatures (so the synopsis
+      // construction has real clustering work to do, as with the real
+      // IMDB) without correlating with the movie type.
+      if (rng.Bernoulli(0.3)) doc.AddNode("birthname", actor);
+      if (rng.Bernoulli(0.2)) doc.AddNode("bio", actor);
+    }
+
+    NodeId directors = doc.AddNode("directors", movie);
+    int n_directors = blockbuster ? 2 : 1;
+    for (int j = 0; j < n_directors; ++j) {
+      NodeId director = doc.AddNode("director", directors);
+      doc.AddNode("name", director);
+    }
+
+    // Correlated optional branches (probabilities per type
+    // blockbuster/indie/obscure):
+    double p_ratings = blockbuster ? 0.95 : indie ? 0.75 : 0.15;
+    double p_business = blockbuster ? 0.85 : indie ? 0.30 : 0.05;
+    double p_awards = blockbuster ? 0.70 : indie ? 0.20 : 0.02;
+    double p_trivia = blockbuster ? 0.60 : indie ? 0.25 : 0.05;
+    double p_keywords = blockbuster ? 0.80 : indie ? 0.50 : 0.10;
+
+    if (rng.Bernoulli(p_ratings)) {
+      NodeId ratings = doc.AddNode("ratings", movie);
+      doc.AddNode("rating", ratings);
+      doc.AddNode("votes", ratings);
+    }
+    if (rng.Bernoulli(p_business)) {
+      NodeId business = doc.AddNode("business", movie);
+      doc.AddNode("budget", business);
+      doc.AddNode("gross", business);
+      if (blockbuster) doc.AddNode("opening", business);
+    }
+    if (rng.Bernoulli(p_awards)) {
+      NodeId awards = doc.AddNode("awards", movie);
+      for (int j = 0; j < 2; ++j) {
+        NodeId award = doc.AddNode("award", awards);
+        doc.AddNode("category", award);
+        doc.AddNode("result", award);
+      }
+    }
+    if (rng.Bernoulli(p_trivia)) {
+      NodeId trivia = doc.AddNode("trivia", movie);
+      for (int j = 0; j < 2; ++j) doc.AddNode("item", trivia);
+    }
+    if (rng.Bernoulli(p_keywords)) {
+      NodeId keywords = doc.AddNode("keywords", movie);
+      for (int j = 0; j < 3; ++j) doc.AddNode("keyword", keywords);
+    }
+    if (indie && rng.Bernoulli(0.5)) {
+      NodeId festivals = doc.AddNode("festivals", movie);
+      for (int j = 0; j < 2; ++j) doc.AddNode("festival", festivals);
+    }
+  }
+  return doc;
+}
+
+}  // namespace treelattice

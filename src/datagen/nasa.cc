@@ -1,0 +1,122 @@
+#include <algorithm>
+
+#include "datagen/datasets.h"
+#include "util/rng.h"
+
+namespace treelattice {
+
+Document GenerateNasa(const DatasetOptions& options) {
+  Document doc;
+  Rng rng(options.seed + 1);  // decorrelate from other generators
+
+  NodeId datasets = doc.AddNode("datasets", kInvalidNode);
+  for (int i = 0; i < options.scale; ++i) {
+    NodeId dataset = doc.AddNode("dataset", datasets);
+    // Latent curation level: well-curated datasets carry keywords,
+    // revision history, table metadata and journal references together;
+    // legacy entries are sparse. This plants mild cross-branch correlation
+    // (conditional independence approximately but not exactly holds) and
+    // diversifies node signatures so the TreeSketches budget forces lossy
+    // merges.
+    const bool curated = rng.Bernoulli(0.4);
+
+    if (curated ? rng.Bernoulli(0.7) : rng.Bernoulli(0.2)) {
+      int altnames = 1 + static_cast<int>(rng.Uniform(3));
+      for (int j = 0; j < altnames; ++j) doc.AddNode("altname", dataset);
+    }
+    doc.AddNode("title", dataset);
+
+    int references = curated ? 2 + static_cast<int>(rng.Uniform(3))
+                             : 1 + static_cast<int>(rng.Uniform(2));
+    for (int j = 0; j < references; ++j) {
+      NodeId reference = doc.AddNode("reference", dataset);
+      NodeId source = doc.AddNode("source", reference);
+      if (curated ? rng.Bernoulli(0.85) : rng.Bernoulli(0.35)) {
+        NodeId journal = doc.AddNode("journal", source);
+        doc.AddNode("title", journal);
+        int authors = 1 + static_cast<int>(rng.Uniform(6));
+        for (int k = 0; k < authors; ++k) {
+          NodeId author = doc.AddNode("author", journal);
+          doc.AddNode("lastName", author);
+          doc.AddNode("initial", author);
+        }
+        doc.AddNode("name", journal);
+        if (rng.Bernoulli(0.8)) {
+          NodeId date = doc.AddNode("date", journal);
+          doc.AddNode("year", date);
+          if (rng.Bernoulli(0.5)) doc.AddNode("month", date);
+        }
+      } else {
+        NodeId other = doc.AddNode("other", source);
+        doc.AddNode("title", other);
+        if (rng.Bernoulli(0.5)) doc.AddNode("name", other);
+        int authors = 1 + static_cast<int>(rng.Uniform(3));
+        for (int k = 0; k < authors; ++k) {
+          NodeId author = doc.AddNode("author", other);
+          doc.AddNode("lastName", author);
+          if (rng.Bernoulli(0.6)) doc.AddNode("firstName", author);
+        }
+      }
+    }
+
+    if (curated ? rng.Bernoulli(0.9) : rng.Bernoulli(0.25)) {
+      NodeId keywords = doc.AddNode("keywords", dataset);
+      int n = 1 + static_cast<int>(rng.Uniform(6));
+      for (int j = 0; j < n; ++j) doc.AddNode("keyword", keywords);
+    }
+
+    NodeId descriptions = doc.AddNode("descriptions", dataset);
+    NodeId description = doc.AddNode("description", descriptions);
+    int paras = 1 + static_cast<int>(rng.Uniform(curated ? 5 : 2));
+    for (int j = 0; j < paras; ++j) doc.AddNode("para", description);
+
+    if (curated ? rng.Bernoulli(0.8) : rng.Bernoulli(0.15)) {
+      NodeId table_head = doc.AddNode("tableHead", dataset);
+      NodeId table_links = doc.AddNode("tableLinks", table_head);
+      int links = 1 + static_cast<int>(rng.Uniform(3));
+      for (int j = 0; j < links; ++j) {
+        NodeId link = doc.AddNode("tableLink", table_links);
+        doc.AddNode("title", link);
+      }
+      if (rng.Bernoulli(0.6)) {
+        NodeId fields = doc.AddNode("fields", table_head);
+        int nf = 2 + static_cast<int>(rng.Uniform(6));
+        for (int j = 0; j < nf; ++j) {
+          NodeId field = doc.AddNode("field", fields);
+          doc.AddNode("name", field);
+          if (rng.Bernoulli(0.7)) doc.AddNode("definition", field);
+        }
+      }
+    }
+
+    NodeId history = doc.AddNode("history", dataset);
+    doc.AddNode("creationDate", history);
+    if (curated || rng.Bernoulli(0.3)) {
+      doc.AddNode("lastModificationDate", history);
+    }
+    if (curated ? rng.Bernoulli(0.85) : rng.Bernoulli(0.1)) {
+      NodeId revisions = doc.AddNode("revisions", history);
+      int n = 1 + static_cast<int>(rng.Uniform(5));
+      for (int j = 0; j < n; ++j) {
+        NodeId revision = doc.AddNode("revision", revisions);
+        doc.AddNode("date", revision);
+        doc.AddNode("author", revision);
+        if (rng.Bernoulli(0.5)) doc.AddNode("description", revision);
+      }
+    }
+
+    doc.AddNode("identifier", dataset);
+    int authors = 1 + static_cast<int>(rng.Uniform(4));
+    for (int j = 0; j < authors; ++j) {
+      NodeId author = doc.AddNode("author", dataset);
+      doc.AddNode("lastName", author);
+      doc.AddNode("firstName", author);
+      if (curated ? rng.Bernoulli(0.6) : rng.Bernoulli(0.1)) {
+        doc.AddNode("affiliation", author);
+      }
+    }
+  }
+  return doc;
+}
+
+}  // namespace treelattice

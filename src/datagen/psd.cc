@@ -1,0 +1,84 @@
+#include <algorithm>
+
+#include "datagen/datasets.h"
+#include "util/rng.h"
+
+namespace treelattice {
+
+Document GeneratePsd(const DatasetOptions& options) {
+  Document doc;
+  Rng rng(options.seed + 3);
+
+  NodeId database = doc.AddNode("ProteinDatabase", kInvalidNode);
+  for (int i = 0; i < options.scale; ++i) {
+    NodeId entry = doc.AddNode("ProteinEntry", database);
+
+    // Branches are chosen near-independently (conditional independence
+    // approximately holds, which is what makes most PSD patterns
+    // derivable), with one *mild* curation mixture: well-annotated entries
+    // tend to carry classification, summary, keywords and features
+    // together. Mild enough that TreeLattice stays accurate, strong enough
+    // that a merged-average synopsis drifts.
+    const bool annotated = rng.Bernoulli(0.35);
+
+    NodeId header = doc.AddNode("header", entry);
+    doc.AddNode("uid", header);
+    int accessions = 1 + static_cast<int>(rng.Uniform(3));
+    for (int j = 0; j < accessions; ++j) doc.AddNode("accession", header);
+
+    NodeId protein = doc.AddNode("protein", entry);
+    doc.AddNode("name", protein);
+    if (rng.Bernoulli(annotated ? 0.6 : 0.2)) {
+      doc.AddNode("classification", protein);
+    }
+
+    NodeId organism = doc.AddNode("organism", entry);
+    doc.AddNode("source", organism);
+    if (rng.Bernoulli(0.5)) doc.AddNode("common", organism);
+    if (rng.Bernoulli(0.4)) doc.AddNode("formal", organism);
+
+    // Heavy-ish reference tail: diversifies entry signatures so the
+    // TreeSketches budget bites, without introducing correlation.
+    int references = 1 + static_cast<int>(rng.Uniform(3)) +
+                     (rng.Bernoulli(0.15)
+                          ? static_cast<int>(rng.Uniform(4))
+                          : 0);
+    for (int j = 0; j < references; ++j) {
+      NodeId reference = doc.AddNode("reference", entry);
+      NodeId refinfo = doc.AddNode("refinfo", reference);
+      NodeId authors = doc.AddNode("authors", refinfo);
+      int n_authors = 1 + static_cast<int>(rng.Uniform(4));
+      for (int k = 0; k < n_authors; ++k) doc.AddNode("author", authors);
+      doc.AddNode("citation", refinfo);
+      doc.AddNode("year", refinfo);
+      if (rng.Bernoulli(0.5)) {
+        NodeId accinfo = doc.AddNode("accinfo", reference);
+        doc.AddNode("mol-type", accinfo);
+        if (rng.Bernoulli(0.5)) doc.AddNode("seq-spec", accinfo);
+      }
+    }
+
+    if (rng.Bernoulli(annotated ? 0.85 : 0.45)) {
+      NodeId summary = doc.AddNode("summary", entry);
+      doc.AddNode("length", summary);
+      doc.AddNode("type", summary);
+    }
+    if (rng.Bernoulli(0.7)) doc.AddNode("sequence", entry);
+    if (rng.Bernoulli(annotated ? 0.8 : 0.35)) {
+      NodeId keywords = doc.AddNode("keywords", entry);
+      int n = 1 + static_cast<int>(rng.Uniform(4));
+      for (int j = 0; j < n; ++j) doc.AddNode("keyword", keywords);
+    }
+    if (rng.Bernoulli(annotated ? 0.7 : 0.25)) {
+      int features = 1 + static_cast<int>(rng.Uniform(3));
+      for (int j = 0; j < features; ++j) {
+        NodeId feature = doc.AddNode("feature", entry);
+        doc.AddNode("feature-type", feature);
+        doc.AddNode("description", feature);
+      }
+    }
+  }
+  return doc;
+}
+
+}  // namespace treelattice

@@ -1,0 +1,54 @@
+#include "datagen/random_tree.h"
+
+#include <string>
+#include <vector>
+
+namespace treelattice {
+
+Document GenerateRandomTree(const RandomTreeOptions& options) {
+  Document doc;
+  Rng rng(options.seed);
+
+  // Pre-intern labels "l0".."lN-1".
+  std::vector<LabelId> labels;
+  labels.reserve(static_cast<size_t>(options.num_labels));
+  for (int i = 0; i < options.num_labels; ++i) {
+    labels.push_back(doc.mutable_dict().Intern("l" + std::to_string(i)));
+  }
+  auto pick_label = [&]() {
+    return labels[rng.Zipf(labels.size(), options.label_skew)];
+  };
+
+  NodeId root = doc.AddNode(pick_label(), kInvalidNode);
+  struct Pending {
+    NodeId node;
+    int depth;
+  };
+  std::vector<Pending> queue = {{root, 0}};
+  std::vector<Pending> expandable = {{root, 0}};  // nodes below max_depth
+  size_t head = 0;
+  if (options.max_fanout < 1 || options.max_depth < 1) return doc;
+  while (doc.NumNodes() < options.num_nodes) {
+    if (head == queue.size()) {
+      // Fanout draws went subcritical and the frontier died out; re-seed
+      // growth from a random interior node so the node budget is honored.
+      if (expandable.empty()) break;
+      size_t pick = rng.Uniform(expandable.size());
+      queue.push_back(expandable[pick]);
+    }
+    Pending cur = queue[head++];
+    if (cur.depth >= options.max_depth) continue;
+    int fanout = static_cast<int>(
+        rng.Uniform(static_cast<uint64_t>(options.max_fanout) + 1));
+    for (int i = 0; i < fanout && doc.NumNodes() < options.num_nodes; ++i) {
+      NodeId child = doc.AddNode(pick_label(), cur.node);
+      queue.push_back({child, cur.depth + 1});
+      if (cur.depth + 1 < options.max_depth) {
+        expandable.push_back({child, cur.depth + 1});
+      }
+    }
+  }
+  return doc;
+}
+
+}  // namespace treelattice

@@ -1,0 +1,33 @@
+#ifndef TREELATTICE_DATAGEN_RANDOM_TREE_H_
+#define TREELATTICE_DATAGEN_RANDOM_TREE_H_
+
+#include <cstdint>
+
+#include "util/rng.h"
+#include "xml/document.h"
+
+namespace treelattice {
+
+/// Options for the generic random labeled-tree generator used by tests and
+/// ablation benchmarks.
+struct RandomTreeOptions {
+  uint64_t seed = 42;
+  /// Total node budget (the tree stops growing when reached).
+  size_t num_nodes = 1000;
+  /// Distinct labels drawn per node.
+  int num_labels = 8;
+  /// Zipf skew over labels (0 = uniform).
+  double label_skew = 0.5;
+  /// Maximum children per node; actual fanout is uniform in [0, max_fanout]
+  /// biased by depth so the tree terminates.
+  int max_fanout = 4;
+  /// Maximum depth of any node.
+  int max_depth = 8;
+};
+
+/// Generates a random rooted labeled tree. Deterministic given the options.
+Document GenerateRandomTree(const RandomTreeOptions& options);
+
+}  // namespace treelattice
+
+#endif  // TREELATTICE_DATAGEN_RANDOM_TREE_H_

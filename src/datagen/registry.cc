@@ -1,0 +1,31 @@
+#include <string>
+
+#include "datagen/datasets.h"
+
+namespace treelattice {
+
+Result<Document> GenerateDataset(std::string_view name,
+                                 const DatasetOptions& options) {
+  if (name == "xmark") return GenerateXmark(options);
+  if (name == "nasa") return GenerateNasa(options);
+  if (name == "imdb") return GenerateImdb(options);
+  if (name == "psd") return GeneratePsd(options);
+  return Status::NotFound("unknown dataset '" + std::string(name) +
+                          "' (expected nasa|imdb|psd|xmark)");
+}
+
+std::vector<std::string> DatasetNames() {
+  return {"nasa", "imdb", "psd", "xmark"};
+}
+
+int DefaultScale(std::string_view name) {
+  // Chosen so node-count ratios roughly track Table 1 (Nasa 477k : IMDB
+  // 156k : XMark 566k : PSD 242k) at ~1/8 scale for fast experiments.
+  if (name == "nasa") return 1400;    // ~97k nodes
+  if (name == "imdb") return 1100;    // ~56k nodes
+  if (name == "psd") return 1300;     // ~44k nodes
+  if (name == "xmark") return 7000;   // ~107k nodes (largest, as in Table 1)
+  return 1000;
+}
+
+}  // namespace treelattice

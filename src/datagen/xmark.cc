@@ -1,0 +1,192 @@
+#include <algorithm>
+#include <vector>
+
+#include "datagen/datasets.h"
+#include "util/rng.h"
+
+namespace treelattice {
+
+namespace {
+
+/// Geometric-ish heavy-tailed count in [lo, hi]: most draws are small but a
+/// fat tail reaches hi, producing the high child-count variance XMark is
+/// known for (and forcing the TreeSketches clustering to merge very
+/// differently-shaped nodes under a byte budget).
+int HeavyTail(Rng& rng, int lo, int hi) {
+  int value = lo;
+  while (value < hi && rng.Bernoulli(0.55)) ++value;
+  if (rng.Bernoulli(0.05)) {
+    value = lo + static_cast<int>(rng.Uniform(
+                     static_cast<uint64_t>(hi - lo + 1)));
+    value = std::max(value, (lo + hi) / 2);
+  }
+  return value;
+}
+
+}  // namespace
+
+Document GenerateXmark(const DatasetOptions& options) {
+  Document doc;
+  Rng rng(options.seed);
+
+  const int n_items = options.scale / 2;
+  const int n_people = options.scale / 4;
+  const int n_open = options.scale / 8;
+  const int n_closed = options.scale / 8;
+  const int n_categories = std::max(4, options.scale / 40);
+
+  NodeId site = doc.AddNode("site", kInvalidNode);
+
+  // --- regions/items. -----------------------------------------------------
+  // Items are *bimodal* with negative correlations inside small windows:
+  //   commercial: parlist description, several incategory refs, idle
+  //               mailbox;
+  //   personal:   text description, single incategory, busy mailbox.
+  // A twig like item(description(parlist), mailbox(mail)) is therefore
+  // rare; an avg-weight synopsis that merged the two populations grossly
+  // overestimates it, while the 4-lattice stores the joint exactly.
+  NodeId regions = doc.AddNode("regions", site);
+  static constexpr const char* kRegions[] = {"africa",    "asia",
+                                             "australia", "europe",
+                                             "namerica",  "samerica"};
+  std::vector<NodeId> region_nodes;
+  for (const char* r : kRegions) region_nodes.push_back(doc.AddNode(r, regions));
+  for (int i = 0; i < n_items; ++i) {
+    NodeId region = region_nodes[rng.Zipf(region_nodes.size(), 1.0)];
+    NodeId item = doc.AddNode("item", region);
+    const bool commercial = rng.Bernoulli(0.45);
+    doc.AddNode("location", item);
+    if (rng.Bernoulli(0.7)) doc.AddNode("quantity", item);
+    doc.AddNode("name", item);
+    if (commercial || rng.Bernoulli(0.03)) doc.AddNode("payment", item);
+    NodeId description = doc.AddNode("description", item);
+    if (commercial ? rng.Bernoulli(0.97) : rng.Bernoulli(0.02)) {
+      NodeId parlist = doc.AddNode("parlist", description);
+      int listitems = HeavyTail(rng, 1, 8);
+      for (int j = 0; j < listitems; ++j) doc.AddNode("listitem", parlist);
+    } else {
+      doc.AddNode("text", description);
+    }
+    if (commercial) doc.AddNode("shipping", item);
+    int categories = commercial ? HeavyTail(rng, 2, 6) : 1;
+    for (int j = 0; j < categories; ++j) doc.AddNode("incategory", item);
+    NodeId mailbox = doc.AddNode("mailbox", item);
+    int mails = commercial ? (rng.Bernoulli(0.97) ? 0 : 1)
+                           : HeavyTail(rng, 1, 20);
+    for (int j = 0; j < mails; ++j) {
+      // Two mail kinds with correlated field sets: personal mail carries
+      // date+text together, notifications carry neither. A label-granular
+      // synopsis multiplies the marginals and overestimates their joint.
+      NodeId mail = doc.AddNode("mail", mailbox);
+      const bool personal = rng.Bernoulli(0.5);
+      doc.AddNode("from", mail);
+      doc.AddNode("to", mail);
+      if (personal ? rng.Bernoulli(0.95) : rng.Bernoulli(0.1)) {
+        doc.AddNode("date", mail);
+      }
+      if (personal ? rng.Bernoulli(0.95) : rng.Bernoulli(0.1)) {
+        doc.AddNode("text", mail);
+      }
+    }
+  }
+
+  // --- categories. ----------------------------------------------------------
+  NodeId categories = doc.AddNode("categories", site);
+  for (int i = 0; i < n_categories; ++i) {
+    NodeId category = doc.AddNode("category", categories);
+    doc.AddNode("name", category);
+    NodeId description = doc.AddNode("description", category);
+    doc.AddNode("text", description);
+  }
+
+  // --- people: engaged users vs drive-by accounts. ---------------------------
+  NodeId people = doc.AddNode("people", site);
+  for (int i = 0; i < n_people; ++i) {
+    NodeId person = doc.AddNode("person", people);
+    const bool engaged = rng.Bernoulli(0.35);
+    doc.AddNode("name", person);
+    doc.AddNode("emailaddress", person);
+    if (engaged || rng.Bernoulli(0.15)) doc.AddNode("phone", person);
+    if (engaged ? rng.Bernoulli(0.9) : rng.Bernoulli(0.1)) {
+      NodeId address = doc.AddNode("address", person);
+      doc.AddNode("street", address);
+      doc.AddNode("city", address);
+      doc.AddNode("country", address);
+      doc.AddNode("zipcode", address);
+    }
+    if (engaged && rng.Bernoulli(0.6)) doc.AddNode("homepage", person);
+    if (engaged ? rng.Bernoulli(0.85) : rng.Bernoulli(0.05)) {
+      doc.AddNode("creditcard", person);
+    }
+    if (engaged) {
+      NodeId profile = doc.AddNode("profile", person);
+      int interests = HeavyTail(rng, 1, 6);
+      for (int j = 0; j < interests; ++j) doc.AddNode("interest", profile);
+      if (rng.Bernoulli(0.5)) doc.AddNode("education", profile);
+      doc.AddNode("gender", profile);
+      doc.AddNode("business", profile);
+      if (rng.Bernoulli(0.6)) doc.AddNode("age", profile);
+      NodeId watches = doc.AddNode("watches", person);
+      int n = HeavyTail(rng, 1, 10);
+      for (int j = 0; j < n; ++j) doc.AddNode("watch", watches);
+    }
+  }
+
+  // --- open auctions: hot auctions draw bidders but never set privacy;
+  // sleepy auctions are private. Heavy-tailed bidder volume is the Fig. 11
+  // variance hot spot. -------------------------------------------------------
+  NodeId open_auctions = doc.AddNode("open_auctions", site);
+  for (int i = 0; i < n_open; ++i) {
+    NodeId auction = doc.AddNode("open_auction", open_auctions);
+    const bool hot = rng.Bernoulli(0.3);
+    doc.AddNode("initial", auction);
+    int bidders = hot ? 8 + HeavyTail(rng, 0, 17) : HeavyTail(rng, 0, 2);
+    for (int j = 0; j < bidders; ++j) {
+      // Serious bidders log date+time+increase together; sniping bots log
+      // only the increase — correlated fields inside a 4-node window.
+      NodeId bidder = doc.AddNode("bidder", auction);
+      const bool serious = rng.Bernoulli(hot ? 0.4 : 0.8);
+      if (serious) {
+        doc.AddNode("date", bidder);
+        if (rng.Bernoulli(0.9)) doc.AddNode("time", bidder);
+      } else if (rng.Bernoulli(0.1)) {
+        doc.AddNode("date", bidder);
+      }
+      doc.AddNode("increase", bidder);
+    }
+    doc.AddNode("current", auction);
+    if (!hot && rng.Bernoulli(0.6)) doc.AddNode("privacy", auction);
+    doc.AddNode("itemref", auction);
+    doc.AddNode("seller", auction);
+    NodeId annotation = doc.AddNode("annotation", auction);
+    doc.AddNode("author", annotation);
+    NodeId description = doc.AddNode("description", annotation);
+    doc.AddNode("text", description);
+    doc.AddNode("quantity", auction);
+    doc.AddNode("type", auction);
+    NodeId interval = doc.AddNode("interval", auction);
+    doc.AddNode("start", interval);
+    doc.AddNode("end", interval);
+  }
+
+  // --- closed auctions. -------------------------------------------------------
+  NodeId closed_auctions = doc.AddNode("closed_auctions", site);
+  for (int i = 0; i < n_closed; ++i) {
+    NodeId auction = doc.AddNode("closed_auction", closed_auctions);
+    doc.AddNode("seller", auction);
+    doc.AddNode("buyer", auction);
+    doc.AddNode("itemref", auction);
+    doc.AddNode("price", auction);
+    doc.AddNode("date", auction);
+    doc.AddNode("quantity", auction);
+    doc.AddNode("type", auction);
+    NodeId annotation = doc.AddNode("annotation", auction);
+    doc.AddNode("author", annotation);
+    NodeId description = doc.AddNode("description", annotation);
+    doc.AddNode("text", description);
+  }
+
+  return doc;
+}
+
+}  // namespace treelattice

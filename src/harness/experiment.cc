@@ -1,0 +1,157 @@
+#include "harness/experiment.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/fixed_size_estimator.h"
+#include "core/recursive_estimator.h"
+#include "util/timer.h"
+
+namespace treelattice {
+
+Result<DatasetBundle> PrepareDataset(const std::string& name,
+                                     const ExperimentOptions& options,
+                                     bool build_sketch) {
+  DatasetBundle bundle;
+  bundle.name = name;
+  DatasetOptions gen;
+  gen.seed = options.seed;
+  gen.scale = options.scale > 0 ? options.scale : DefaultScale(name);
+  TL_ASSIGN_OR_RETURN(bundle.doc, GenerateDataset(name, gen));
+
+  LatticeBuildOptions build;
+  build.max_level = options.lattice_level;
+  TL_ASSIGN_OR_RETURN(
+      bundle.summary,
+      BuildLattice(bundle.doc, build, &bundle.build_stats));
+
+  if (build_sketch) {
+    TreeSketchOptions sketch_options;
+    sketch_options.memory_budget_bytes = options.treesketch_budget_bytes;
+    sketch_options.merge_candidates_per_step = options.sketch_merge_candidates;
+    sketch_options.seed = options.seed;
+    TL_ASSIGN_OR_RETURN(
+        bundle.sketch,
+        TreeSketch::Build(bundle.doc, sketch_options, &bundle.sketch_stats));
+  }
+  return bundle;
+}
+
+Result<WorkloadEval> PrepareWorkload(const Document& doc,
+                                     const MatchCounter& counter,
+                                     int query_size,
+                                     const ExperimentOptions& options) {
+  WorkloadEval eval;
+  eval.query_size = query_size;
+  WorkloadOptions workload;
+  workload.seed = options.seed + static_cast<uint64_t>(query_size) * 1013;
+  workload.query_size = query_size;
+  workload.num_queries = options.queries_per_size;
+  TL_ASSIGN_OR_RETURN(eval.queries, GeneratePositiveWorkload(doc, workload));
+  if (eval.queries.empty()) {
+    return Status::Internal("no positive queries of size " +
+                            std::to_string(query_size));
+  }
+  eval.true_counts.reserve(eval.queries.size());
+  for (const Twig& q : eval.queries) {
+    eval.true_counts.push_back(static_cast<double>(counter.Count(q)));
+  }
+  eval.sanity = SanityBound(eval.true_counts);
+  return eval;
+}
+
+Result<EstimatorRun> RunEstimator(SelectivityEstimator& estimator,
+                                  const WorkloadEval& workload) {
+  EstimatorRun run;
+  run.estimator = estimator.name();
+  run.errors.reserve(workload.queries.size());
+  WallTimer timer;
+  double total_ms = 0.0;
+  for (size_t i = 0; i < workload.queries.size(); ++i) {
+    timer.Restart();
+    double estimate;
+    TL_ASSIGN_OR_RETURN(estimate, estimator.Estimate(workload.queries[i]));
+    total_ms += timer.ElapsedMillis();
+    run.errors.push_back(RelativeErrorPct(workload.true_counts[i], estimate,
+                                          workload.sanity));
+  }
+  run.avg_error_pct = Mean(run.errors);
+  run.avg_time_ms = total_ms / static_cast<double>(workload.queries.size());
+  return run;
+}
+
+Result<AccuracySweep> RunAccuracySweep(const DatasetBundle& bundle,
+                                       const ExperimentOptions& options,
+                                       int min_size, int max_size) {
+  AccuracySweep sweep;
+  MatchCounter counter(bundle.doc);
+
+  RecursiveDecompositionEstimator recursive(&bundle.summary);
+  RecursiveDecompositionEstimator voting(
+      &bundle.summary, RecursiveDecompositionEstimator::Options{true, 0});
+  FixedSizeDecompositionEstimator fixed(&bundle.summary);
+  TreeSketchEstimator sketches(&bundle.sketch);
+  std::vector<SelectivityEstimator*> estimators = {&recursive, &voting,
+                                                   &fixed, &sketches};
+  for (SelectivityEstimator* estimator : estimators) {
+    sweep.estimator_names.push_back(estimator->name());
+  }
+
+  for (int size = min_size; size <= max_size; ++size) {
+    WorkloadEval workload;
+    TL_ASSIGN_OR_RETURN(workload,
+                        PrepareWorkload(bundle.doc, counter, size, options));
+    std::vector<EstimatorRun> runs;
+    for (SelectivityEstimator* estimator : estimators) {
+      EstimatorRun run;
+      TL_ASSIGN_OR_RETURN(run, RunEstimator(*estimator, workload));
+      runs.push_back(std::move(run));
+    }
+    sweep.sizes.push_back(size);
+    sweep.runs.push_back(std::move(runs));
+    sweep.workloads.push_back(std::move(workload));
+  }
+  return sweep;
+}
+
+void TextTable::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::Render() const {
+  // Column widths across header and body.
+  std::vector<size_t> widths;
+  auto widen = [&](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      out << row[i];
+      if (i + 1 < row.size()) {
+        out << std::string(widths[i] - row[i].size() + 2, ' ');
+      }
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    size_t total = 0;
+    for (size_t w : widths) total += w + 2;
+    out << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  }
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+}  // namespace treelattice

@@ -1,0 +1,118 @@
+#ifndef TREELATTICE_HARNESS_EXPERIMENT_H_
+#define TREELATTICE_HARNESS_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+#include "datagen/datasets.h"
+#include "harness/metrics.h"
+#include "match/matcher.h"
+#include "mining/lattice_builder.h"
+#include "summary/lattice_summary.h"
+#include "treesketch/tree_sketch.h"
+#include "util/result.h"
+#include "workload/workload.h"
+#include "xml/document.h"
+
+namespace treelattice {
+
+/// Options shared by the per-table/per-figure experiment drivers.
+struct ExperimentOptions {
+  uint64_t seed = 42;
+  /// 0 = the dataset's DefaultScale().
+  int scale = 0;
+  int lattice_level = 4;
+  /// TreeSketches synopsis budget. The paper uses 50 KB against documents
+  /// of 4.5-23 MB (~0.2-1% of the data); our emulators run at ~1/5-1/8
+  /// scale, so 3 KB preserves the paper's compression ratio. Pass
+  /// --budget_kb to the benches to override.
+  size_t treesketch_budget_bytes = 3 * 1024;
+  /// 0 = exhaustive greedy merging (the faithful, slow original); a
+  /// positive value samples that many candidate pairs per merge step.
+  /// Accuracy-focused figures default to a fast sampled build; Table 3
+  /// (construction cost) uses the exhaustive one.
+  size_t sketch_merge_candidates = 512;
+  size_t queries_per_size = 60;
+};
+
+/// A dataset with everything the experiments need: the document, its
+/// K-lattice (with build stats), and the TreeSketch baseline synopsis (with
+/// build stats). Heavy to construct; build once per bench binary.
+struct DatasetBundle {
+  std::string name;
+  Document doc;
+  LatticeSummary summary{2};
+  LatticeBuildStats build_stats;
+  TreeSketch sketch;
+  TreeSketchStats sketch_stats;
+};
+
+/// Generates the named dataset and builds both summaries.
+Result<DatasetBundle> PrepareDataset(const std::string& name,
+                                     const ExperimentOptions& options,
+                                     bool build_sketch = true);
+
+/// A positive workload of fixed query size annotated with ground truth.
+struct WorkloadEval {
+  int query_size = 0;
+  std::vector<Twig> queries;
+  std::vector<double> true_counts;
+  double sanity = 10.0;
+};
+
+/// Samples `options.queries_per_size` positive queries of `query_size` and
+/// computes their true selectivities and the sanity bound.
+Result<WorkloadEval> PrepareWorkload(const Document& doc,
+                                     const MatchCounter& counter,
+                                     int query_size,
+                                     const ExperimentOptions& options);
+
+/// Result of running one estimator over one workload.
+struct EstimatorRun {
+  std::string estimator;
+  double avg_error_pct = 0.0;
+  double avg_time_ms = 0.0;
+  std::vector<double> errors;  // per query, in workload order
+};
+
+/// Evaluates the estimator on every workload query, recording the paper's
+/// error metric and per-query response time.
+Result<EstimatorRun> RunEstimator(SelectivityEstimator& estimator,
+                                  const WorkloadEval& workload);
+
+/// Per-size, per-estimator results of the Fig. 7/8/9 accuracy sweep: the
+/// four estimators (recursive, recursive+voting, fixed-size, treesketches)
+/// run over positive workloads of sizes [min_size, max_size].
+struct AccuracySweep {
+  std::vector<int> sizes;
+  std::vector<std::string> estimator_names;
+  /// runs[size_index][estimator_index]
+  std::vector<std::vector<EstimatorRun>> runs;
+  /// Workloads per size (queries + ground truth), parallel to `sizes`.
+  std::vector<WorkloadEval> workloads;
+};
+
+/// Runs the standard four-estimator sweep used by Figures 7, 8 and 9.
+Result<AccuracySweep> RunAccuracySweep(const DatasetBundle& bundle,
+                                       const ExperimentOptions& options,
+                                       int min_size, int max_size);
+
+/// Fixed-width text table used to render every reproduced table/figure as
+/// aligned rows on stdout.
+class TextTable {
+ public:
+  void SetHeader(std::vector<std::string> header);
+  void AddRow(std::vector<std::string> row);
+  /// Renders with columns padded to their widest cell.
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace treelattice
+
+#endif  // TREELATTICE_HARNESS_EXPERIMENT_H_

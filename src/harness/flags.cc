@@ -1,0 +1,51 @@
+#include "harness/flags.h"
+
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace treelattice {
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!StartsWith(arg, "--")) continue;
+    arg.remove_prefix(2);
+    size_t eq = arg.find('=');
+    if (eq == std::string_view::npos) {
+      values_.emplace(std::string(arg), "");
+    } else {
+      values_.emplace(std::string(arg.substr(0, eq)),
+                      std::string(arg.substr(eq + 1)));
+    }
+  }
+}
+
+int64_t Flags::GetInt(const std::string& key, int64_t fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Flags::GetDouble(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Flags::GetBool(const std::string& key, bool fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  if (it->second.empty() || it->second == "true" || it->second == "1") {
+    return true;
+  }
+  return false;
+}
+
+std::string Flags::GetString(const std::string& key,
+                             const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+}  // namespace treelattice

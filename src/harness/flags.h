@@ -1,0 +1,35 @@
+#ifndef TREELATTICE_HARNESS_FLAGS_H_
+#define TREELATTICE_HARNESS_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace treelattice {
+
+/// Minimal "--key=value" command-line parser for the bench binaries.
+/// Unrecognized arguments are ignored (google-benchmark flags pass through).
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  /// Integer flag with default.
+  int64_t GetInt(const std::string& key, int64_t fallback) const;
+
+  /// Floating-point flag with default.
+  double GetDouble(const std::string& key, double fallback) const;
+
+  /// Boolean flag: present without value or "=true"/"=1" means true.
+  bool GetBool(const std::string& key, bool fallback) const;
+
+  /// String flag with default.
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+
+ private:
+  std::unordered_map<std::string, std::string> values_;
+};
+
+}  // namespace treelattice
+
+#endif  // TREELATTICE_HARNESS_FLAGS_H_

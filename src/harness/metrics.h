@@ -1,0 +1,33 @@
+#ifndef TREELATTICE_HARNESS_METRICS_H_
+#define TREELATTICE_HARNESS_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace treelattice {
+
+/// Sanity bound for the paper's error metric (Section 5.1): the 10th
+/// percentile of the true query counts in the workload, floored at 10.
+double SanityBound(const std::vector<double>& true_counts);
+
+/// The paper's error for one query: |s - ŝ| / max(sanity, s), reported as a
+/// percentage.
+double RelativeErrorPct(double true_count, double estimate, double sanity);
+
+/// Mean of a vector (0 for empty).
+double Mean(const std::vector<double>& values);
+
+/// Percentile (0..100) by nearest-rank on a copy; 0 for empty input.
+double Percentile(std::vector<double> values, double pct);
+
+/// Points of the cumulative distribution of `errors`: for each sorted error
+/// value e, the fraction (in percent) of queries with error <= e.
+struct CdfPoint {
+  double error_pct;
+  double cumulative_pct;
+};
+std::vector<CdfPoint> ErrorCdf(std::vector<double> errors);
+
+}  // namespace treelattice
+
+#endif  // TREELATTICE_HARNESS_METRICS_H_

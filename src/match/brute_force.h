@@ -1,0 +1,18 @@
+#ifndef TREELATTICE_MATCH_BRUTE_FORCE_H_
+#define TREELATTICE_MATCH_BRUTE_FORCE_H_
+
+#include <cstdint>
+
+#include "twig/twig.h"
+#include "xml/document.h"
+
+namespace treelattice {
+
+/// Reference twig-match counter by explicit enumeration of all 1-1
+/// mappings (Definition 1). Exponential in the worst case — intended only
+/// for validating MatchCounter in tests on small documents.
+uint64_t BruteForceCount(const Document& doc, const Twig& query);
+
+}  // namespace treelattice
+
+#endif  // TREELATTICE_MATCH_BRUTE_FORCE_H_

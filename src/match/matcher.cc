@@ -1,0 +1,98 @@
+#include "match/matcher.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace treelattice {
+
+MatchCounter::MatchCounter(const Document& doc) : doc_(&doc), index_(doc) {}
+
+uint64_t MatchCounter::CountAt(const Twig& query, int q, NodeId v,
+                               const std::vector<CountMap>& tables) const {
+  const std::vector<int>& q_children = query.children(q);
+  if (q_children.empty()) return 1;
+
+  // Detect duplicate labels among q's children.
+  bool duplicate_labels = false;
+  for (size_t i = 0; i + 1 < q_children.size() && !duplicate_labels; ++i) {
+    for (size_t j = i + 1; j < q_children.size(); ++j) {
+      if (query.label(q_children[i]) == query.label(q_children[j])) {
+        duplicate_labels = true;
+        break;
+      }
+    }
+  }
+
+  if (!duplicate_labels) {
+    // Distinct sibling labels: two query children can never map to the same
+    // document child, so injectivity is automatic and the count is a
+    // product of per-child sums.
+    uint64_t product = 1;
+    for (int qc : q_children) {
+      const CountMap& table = tables[static_cast<size_t>(qc)];
+      uint64_t sum = 0;
+      for (NodeId w = doc_->FirstChild(v); w != kInvalidNode;
+           w = doc_->NextSibling(w)) {
+        auto it = table.find(w);
+        if (it != table.end()) sum = SaturatingAdd(sum, it->second);
+      }
+      if (sum == 0) return 0;
+      product = SaturatingMul(product, sum);
+    }
+    return product;
+  }
+
+  // Duplicate sibling labels: count injective assignments with a bitmask DP
+  // over q's children (a weighted permanent). Query fanout is small.
+  const size_t m = q_children.size();
+  if (m > 30) return 0;  // beyond any realistic twig; avoid 2^m blow-up
+  const size_t full = (size_t{1} << m);
+  std::vector<uint64_t> dp(full, 0);
+  dp[0] = 1;
+  for (NodeId w = doc_->FirstChild(v); w != kInvalidNode;
+       w = doc_->NextSibling(w)) {
+    // Iterate masks descending so each document child w is used at most
+    // once (0/1 knapsack over assignments).
+    for (size_t mask = full; mask-- > 0;) {
+      if (dp[mask] == 0) continue;
+      for (size_t bit = 0; bit < m; ++bit) {
+        if (mask & (size_t{1} << bit)) continue;
+        const CountMap& table = tables[static_cast<size_t>(q_children[bit])];
+        auto it = table.find(w);
+        if (it == table.end()) continue;
+        size_t next = mask | (size_t{1} << bit);
+        dp[next] =
+            SaturatingAdd(dp[next], SaturatingMul(dp[mask], it->second));
+      }
+    }
+  }
+  return dp[full - 1];
+}
+
+uint64_t MatchCounter::Count(const Twig& query) const {
+  if (query.empty() || doc_->empty()) return 0;
+
+  // Postorder over the query: children before parents.
+  std::vector<int> preorder = query.PreorderNodes();
+  std::vector<CountMap> tables(static_cast<size_t>(query.size()));
+
+  for (auto it = preorder.rbegin(); it != preorder.rend(); ++it) {
+    int q = *it;
+    const std::vector<NodeId>& candidates = index_.Nodes(query.label(q));
+    CountMap& table = tables[static_cast<size_t>(q)];
+    table.reserve(candidates.size());
+    for (NodeId v : candidates) {
+      uint64_t c = CountAt(query, q, v, tables);
+      if (c > 0) table.emplace(v, c);
+    }
+  }
+
+  uint64_t total = 0;
+  for (const auto& [node, count] : tables[static_cast<size_t>(query.root())]) {
+    (void)node;
+    total = SaturatingAdd(total, count);
+  }
+  return total;
+}
+
+}  // namespace treelattice

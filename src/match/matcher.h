@@ -1,0 +1,58 @@
+#ifndef TREELATTICE_MATCH_MATCHER_H_
+#define TREELATTICE_MATCH_MATCHER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "twig/twig.h"
+#include "util/saturating.h"
+#include "xml/document.h"
+
+namespace treelattice {
+
+/// Exact twig-match counter over a document.
+///
+/// Implements Definition 1: a match is a 1-1 mapping from query nodes to
+/// document nodes preserving labels and parent-child edges, with no sibling
+/// order constraint. Counting runs a bottom-up dynamic program: for each
+/// query node q (postorder) and each document node v with the same label,
+/// cnt(q, v) is the number of ways to injectively assign q's children to
+/// distinct children of v, multiplying the sub-counts. When q's children
+/// carry pairwise distinct labels (the paper's standing assumption for
+/// queries) the injective assignment collapses to a product of sums; with
+/// duplicate sibling labels a bitmask assignment DP is used, so counts stay
+/// exact in the general case.
+///
+/// The label index restricts work to nodes whose label occurs in the query,
+/// so counting a size-m twig touches O(sum over q of |nodes(label(q))| *
+/// fanout) document nodes.
+class MatchCounter {
+ public:
+  /// Builds the counter (and its label index) for `doc`. The document must
+  /// outlive the counter.
+  explicit MatchCounter(const Document& doc);
+
+  /// Number of matches of `query` in the document. Zero for an empty query.
+  /// Counts saturate at UINT64_MAX on (pathological) overflow.
+  uint64_t Count(const Twig& query) const;
+
+  const Document& doc() const { return *doc_; }
+  const LabelIndex& label_index() const { return index_; }
+
+ private:
+  /// Per-query-node table: document node -> match count of the query
+  /// subtree rooted at that query node, keyed only where nonzero.
+  using CountMap = std::unordered_map<NodeId, uint64_t>;
+
+  /// Computes cnt(q, v) given the children tables.
+  uint64_t CountAt(const Twig& query, int q, NodeId v,
+                   const std::vector<CountMap>& tables) const;
+
+  const Document* doc_;
+  LabelIndex index_;
+};
+
+}  // namespace treelattice
+
+#endif  // TREELATTICE_MATCH_MATCHER_H_

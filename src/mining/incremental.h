@@ -1,0 +1,54 @@
+#ifndef TREELATTICE_MINING_INCREMENTAL_H_
+#define TREELATTICE_MINING_INCREMENTAL_H_
+
+#include <vector>
+
+#include "summary/lattice_summary.h"
+#include "util/result.h"
+#include "xml/document.h"
+
+namespace treelattice {
+
+/// Online maintenance of a lattice summary under document growth —
+/// the incremental capability Section 6 of the paper claims for
+/// TreeLattice (in the spirit of XPathLearner) but does not evaluate.
+///
+/// The maintainer owns a document and its K-lattice. When a subtree is
+/// appended, pattern deltas are computed *locally*: any new match must map
+/// at least one query node into the inserted subtree, so its root image
+/// lies inside the new subtree or among the at most K-1 nearest ancestors
+/// of the insertion point. Counting with the root restricted to that small
+/// anchor set, before and after the splice, yields the exact delta without
+/// rescanning the document.
+///
+/// New patterns enabled by the insertion (labels or shapes never seen
+/// before) are discovered by mining the anchor neighbourhood, so the
+/// summary stays exactly equal to a from-scratch rebuild (property-tested).
+class IncrementalLattice {
+ public:
+  /// Builds the initial summary for `doc` (which is copied and owned).
+  static Result<IncrementalLattice> Create(Document doc, int max_level);
+
+  /// Appends `subtree` (a label-structure described as a Twig over the
+  /// document's dictionary) under node `parent`, updating both the owned
+  /// document and the summary. Returns the number of pattern entries whose
+  /// count changed.
+  Result<size_t> InsertSubtree(NodeId parent, const Twig& subtree);
+
+  const Document& doc() const { return doc_; }
+  const LatticeSummary& summary() const { return summary_; }
+
+ private:
+  IncrementalLattice(Document doc, LatticeSummary summary, int max_level)
+      : doc_(std::move(doc)),
+        summary_(std::move(summary)),
+        max_level_(max_level) {}
+
+  Document doc_;
+  LatticeSummary summary_;
+  int max_level_;
+};
+
+}  // namespace treelattice
+
+#endif  // TREELATTICE_MINING_INCREMENTAL_H_

@@ -1,0 +1,54 @@
+#ifndef TREELATTICE_MINING_LATTICE_BUILDER_H_
+#define TREELATTICE_MINING_LATTICE_BUILDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "summary/lattice_summary.h"
+#include "util/result.h"
+#include "xml/document.h"
+
+namespace treelattice {
+
+/// Options for level-wise lattice construction (Section 4.1).
+struct LatticeBuildOptions {
+  /// Maximum pattern size K; the result is the K-lattice. The paper's
+  /// experiments use K = 4 by default.
+  int max_level = 4;
+
+  /// Candidate-pruning Apriori check: a (k+1)-candidate is counted only if
+  /// all of its k-node sub-twigs obtained by removing a degree-1 node
+  /// occurred. Always sound (a match of the candidate restricts to a match
+  /// of every such sub-twig, so occurrence is monotone); disabling is
+  /// useful only for ablation.
+  bool apriori_prune = true;
+
+  /// Hard cap on patterns enumerated per level (0 = unbounded). A safety
+  /// valve against label alphabets whose pattern space explodes; when the
+  /// cap triggers, completeness is capped to the last full level.
+  size_t max_patterns_per_level = 0;
+
+  /// Worker threads for candidate counting (the dominant cost). 1 =
+  /// sequential; counting is read-only over the document so results are
+  /// identical for any thread count.
+  int num_threads = 1;
+};
+
+/// Statistics reported by BuildLattice.
+struct LatticeBuildStats {
+  double build_seconds = 0.0;
+  std::vector<size_t> patterns_per_level;  // [0] unused; [k] = count
+  size_t candidates_generated = 0;
+  size_t candidates_counted = 0;  // candidates surviving Apriori
+};
+
+/// Enumerates all occurring twig patterns of size <= options.max_level in
+/// `doc` (Freqt/TreeMiner-style level-wise extension with canonical-form
+/// deduplication) and returns the lattice summary with exact match counts.
+Result<LatticeSummary> BuildLattice(const Document& doc,
+                                    const LatticeBuildOptions& options = {},
+                                    LatticeBuildStats* stats = nullptr);
+
+}  // namespace treelattice
+
+#endif  // TREELATTICE_MINING_LATTICE_BUILDER_H_

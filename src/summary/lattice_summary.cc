@@ -1,0 +1,128 @@
+#include "summary/lattice_summary.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace treelattice {
+
+namespace {
+// Per-entry bookkeeping overhead charged by MemoryBytes().
+constexpr size_t kEntryOverhead = sizeof(uint64_t);
+}  // namespace
+
+LatticeSummary::LatticeSummary(int max_level)
+    : max_level_(max_level < 2 ? 2 : max_level),
+      complete_through_level_(0),
+      level_codes_(static_cast<size_t>(max_level_) + 1) {}
+
+int LatticeSummary::LevelOfCode(const std::string& code) {
+  // A node in the canonical code is one run of decimal digits.
+  int nodes = 0;
+  bool in_digits = false;
+  for (char c : code) {
+    bool digit = (c >= '0' && c <= '9');
+    if (digit && !in_digits) ++nodes;
+    in_digits = digit;
+  }
+  return nodes;
+}
+
+Status LatticeSummary::Insert(const Twig& twig, uint64_t count) {
+  if (twig.empty() || twig.size() > max_level_) {
+    return Status::InvalidArgument("Insert: pattern size out of range");
+  }
+  if (count == 0) {
+    return Status::InvalidArgument("Insert: zero-count patterns not stored");
+  }
+  std::string code = twig.CanonicalCode();
+  auto [it, inserted] = counts_.emplace(code, count);
+  if (inserted) {
+    level_codes_[static_cast<size_t>(twig.size())].push_back(code);
+    memory_bytes_ += code.size() + sizeof(uint64_t) + kEntryOverhead;
+  } else {
+    it->second = count;
+  }
+  return Status::OK();
+}
+
+std::optional<uint64_t> LatticeSummary::LookupCode(
+    const std::string& code) const {
+  auto it = counts_.find(code);
+  if (it == counts_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::vector<std::string>& LatticeSummary::PatternsAtLevel(
+    int level) const {
+  static const std::vector<std::string> kEmpty;
+  if (level < 1 || level > max_level_) return kEmpty;
+  return level_codes_[static_cast<size_t>(level)];
+}
+
+size_t LatticeSummary::NumPatterns(int level) const {
+  if (level == 0) return counts_.size();
+  return PatternsAtLevel(level).size();
+}
+
+Status LatticeSummary::Erase(const std::string& code) {
+  auto it = counts_.find(code);
+  if (it == counts_.end()) return Status::NotFound("pattern not in summary");
+  int level = LevelOfCode(code);
+  if (level < 3) {
+    return Status::InvalidArgument(
+        "Erase: level 1-2 patterns anchor estimation and cannot be pruned");
+  }
+  counts_.erase(it);
+  auto& codes = level_codes_[static_cast<size_t>(level)];
+  codes.erase(std::remove(codes.begin(), codes.end(), code), codes.end());
+  memory_bytes_ -= code.size() + sizeof(uint64_t) + kEntryOverhead;
+  if (complete_through_level_ >= level) complete_through_level_ = level - 1;
+  return Status::OK();
+}
+
+Status LatticeSummary::SaveToFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << "TLSUMMARY v1\n"
+      << max_level_ << ' ' << complete_through_level_ << '\n'
+      << counts_.size() << '\n';
+  for (int level = 1; level <= max_level_; ++level) {
+    for (const std::string& code : level_codes_[static_cast<size_t>(level)]) {
+      out << counts_.at(code) << ' ' << code << '\n';
+    }
+  }
+  if (!out) return Status::IOError("write failure on " + path);
+  return Status::OK();
+}
+
+Result<LatticeSummary> LatticeSummary::LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::string magic;
+  std::getline(in, magic);
+  if (magic != "TLSUMMARY v1") {
+    return Status::Corruption("bad summary header in " + path);
+  }
+  int max_level = 0;
+  int complete = 0;
+  size_t n = 0;
+  in >> max_level >> complete >> n;
+  if (!in || max_level < 2) {
+    return Status::Corruption("bad summary metadata in " + path);
+  }
+  LatticeSummary summary(max_level);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t count = 0;
+    std::string code;
+    in >> count >> code;
+    if (!in) return Status::Corruption("truncated summary in " + path);
+    Result<Twig> twig = Twig::FromCanonicalCode(code);
+    if (!twig.ok()) return twig.status();
+    TL_RETURN_IF_ERROR(summary.Insert(*twig, count));
+  }
+  summary.set_complete_through_level(complete);
+  return summary;
+}
+
+}  // namespace treelattice

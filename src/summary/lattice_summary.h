@@ -1,0 +1,80 @@
+#ifndef TREELATTICE_SUMMARY_LATTICE_SUMMARY_H_
+#define TREELATTICE_SUMMARY_LATTICE_SUMMARY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "twig/twig.h"
+#include "util/result.h"
+
+namespace treelattice {
+
+/// The lattice summary: occurrence counts of all basic twigs ("patterns")
+/// of size <= max_level, keyed by canonical twig code (Section 4).
+///
+/// `complete_through_level` records up to which level the summary is
+/// guaranteed to contain *every* occurring pattern: a fresh K-lattice is
+/// complete through K, so a missed lookup at size <= K means selectivity 0;
+/// after δ-derivable pruning only levels 1-2 stay complete, and a missed
+/// lookup must fall through to decomposition (Lemma 5 guarantees this is
+/// lossless at δ = 0).
+class LatticeSummary {
+ public:
+  /// Creates an empty summary for patterns of size up to `max_level` >= 2.
+  explicit LatticeSummary(int max_level);
+
+  int max_level() const { return max_level_; }
+
+  int complete_through_level() const { return complete_through_level_; }
+  void set_complete_through_level(int level) {
+    complete_through_level_ = level;
+  }
+
+  /// Inserts (or overwrites) a pattern with its occurrence count. `twig`
+  /// must have size in [1, max_level] and count > 0.
+  Status Insert(const Twig& twig, uint64_t count);
+
+  /// Looks up an exact pattern; nullopt when absent.
+  std::optional<uint64_t> Lookup(const Twig& twig) const {
+    return LookupCode(twig.CanonicalCode());
+  }
+  std::optional<uint64_t> LookupCode(const std::string& code) const;
+
+  bool Contains(const Twig& twig) const { return Lookup(twig).has_value(); }
+
+  /// Canonical codes stored at `level` (1-based), in insertion order.
+  const std::vector<std::string>& PatternsAtLevel(int level) const;
+
+  /// Number of patterns at `level`, or total with level == 0.
+  size_t NumPatterns(int level = 0) const;
+
+  /// Estimated storage footprint: per pattern, the canonical code bytes plus
+  /// the 8-byte count plus 8 bytes of table overhead. This is the figure
+  /// reported as "summary size" in the experiments (Table 3, Fig. 10).
+  size_t MemoryBytes() const { return memory_bytes_; }
+
+  /// Removes a pattern at levels >= 3 (levels 1-2 anchor every estimate and
+  /// are never prunable). Returns NotFound if absent.
+  Status Erase(const std::string& code);
+
+  /// Serializes to a small text format ("TLSUMMARY v1"). Stable across
+  /// platforms since canonical codes are label-id text.
+  Status SaveToFile(const std::string& path) const;
+  static Result<LatticeSummary> LoadFromFile(const std::string& path);
+
+ private:
+  static int LevelOfCode(const std::string& code);
+
+  int max_level_;
+  int complete_through_level_;
+  std::unordered_map<std::string, uint64_t> counts_;
+  std::vector<std::vector<std::string>> level_codes_;  // [level] -> codes
+  size_t memory_bytes_ = 0;
+};
+
+}  // namespace treelattice
+
+#endif  // TREELATTICE_SUMMARY_LATTICE_SUMMARY_H_

@@ -1,0 +1,371 @@
+#include "treesketch/tree_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/timer.h"
+
+namespace treelattice {
+
+namespace {
+
+/// Disjoint-set over cluster ids used during greedy merging.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    for (size_t i = 0; i < n; ++i) parent_[i] = static_cast<uint32_t>(i);
+  }
+
+  uint32_t Find(uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merges b into a (a becomes the representative).
+  void Union(uint32_t a, uint32_t b) { parent_[b] = a; }
+
+ private:
+  std::vector<uint32_t> parent_;
+};
+
+/// Aggregated cluster state during construction.
+struct ClusterAgg {
+  LabelId label = kInvalidLabel;
+  uint64_t size = 0;
+  bool alive = false;
+  /// Total number of children falling in each child cluster (keys may be
+  /// stale; canonicalize through UnionFind before use).
+  std::unordered_map<uint32_t, uint64_t> child_totals;
+};
+
+/// Canonicalizes the keys of `agg.child_totals` in place.
+void CanonicalizeKeys(ClusterAgg& agg, UnionFind& uf) {
+  bool stale = false;
+  for (const auto& [key, value] : agg.child_totals) {
+    (void)value;
+    if (uf.Find(key) != key) {
+      stale = true;
+      break;
+    }
+  }
+  if (!stale) return;
+  std::unordered_map<uint32_t, uint64_t> fresh;
+  fresh.reserve(agg.child_totals.size());
+  for (const auto& [key, value] : agg.child_totals) {
+    fresh[uf.Find(key)] += value;
+  }
+  agg.child_totals = std::move(fresh);
+}
+
+/// Weighted L2 distance between the average-child-count vectors of two
+/// same-label clusters, scaled by the node mass a merge would perturb.
+double MergeCost(const ClusterAgg& a, const ClusterAgg& b) {
+  double sum_sq = 0.0;
+  auto avg = [](const ClusterAgg& c, uint32_t key) {
+    auto it = c.child_totals.find(key);
+    if (it == c.child_totals.end()) return 0.0;
+    return static_cast<double>(it->second) / static_cast<double>(c.size);
+  };
+  for (const auto& [key, value] : a.child_totals) {
+    (void)value;
+    double d = avg(a, key) - avg(b, key);
+    sum_sq += d * d;
+  }
+  for (const auto& [key, value] : b.child_totals) {
+    (void)value;
+    if (a.child_totals.count(key)) continue;  // already accounted
+    double d = avg(b, key);
+    sum_sq += d * d;
+  }
+  return std::sqrt(sum_sq) * static_cast<double>(a.size + b.size);
+}
+
+}  // namespace
+
+Result<TreeSketch> TreeSketch::Build(const Document& doc,
+                                     const TreeSketchOptions& options,
+                                     TreeSketchStats* stats) {
+  if (doc.empty()) {
+    return Status::InvalidArgument("TreeSketch::Build: empty document");
+  }
+  WallTimer timer;
+  const size_t n = doc.NumNodes();
+
+  // ---- Phase 1: count-stable partition refinement. -----------------------
+  // Start from the label partition and refine by the per-child-cluster
+  // child-count signature until a fixpoint (a perfect, lossless synopsis).
+  std::vector<uint32_t> cluster(n);
+  for (size_t i = 0; i < n; ++i) {
+    cluster[i] = static_cast<uint32_t>(doc.Label(static_cast<NodeId>(i)));
+  }
+  size_t num_clusters = doc.dict().size();
+
+  while (true) {
+    // Signature: (old cluster, sorted (child cluster, count) pairs).
+    std::unordered_map<std::string, uint32_t> sig_ids;
+    std::vector<uint32_t> next(n);
+    std::vector<std::pair<uint32_t, uint32_t>> kid_counts;
+    for (size_t i = 0; i < n; ++i) {
+      kid_counts.clear();
+      for (NodeId c = doc.FirstChild(static_cast<NodeId>(i));
+           c != kInvalidNode; c = doc.NextSibling(c)) {
+        kid_counts.emplace_back(cluster[static_cast<size_t>(c)], 1);
+      }
+      std::sort(kid_counts.begin(), kid_counts.end());
+      // Collapse duplicates into counts.
+      std::string sig;
+      sig.reserve(8 + kid_counts.size() * 8);
+      sig.append(reinterpret_cast<const char*>(&cluster[i]), 4);
+      for (size_t j = 0; j < kid_counts.size();) {
+        size_t k = j;
+        while (k < kid_counts.size() &&
+               kid_counts[k].first == kid_counts[j].first) {
+          ++k;
+        }
+        uint32_t child_cluster = kid_counts[j].first;
+        uint32_t count = static_cast<uint32_t>(k - j);
+        sig.append(reinterpret_cast<const char*>(&child_cluster), 4);
+        sig.append(reinterpret_cast<const char*>(&count), 4);
+        j = k;
+      }
+      auto [it, inserted] =
+          sig_ids.emplace(sig, static_cast<uint32_t>(sig_ids.size()));
+      (void)inserted;
+      next[i] = it->second;
+    }
+    if (sig_ids.size() == num_clusters) break;
+    num_clusters = sig_ids.size();
+    cluster = std::move(next);
+  }
+
+  // ---- Phase 2: aggregate cluster state. ----------------------------------
+  std::vector<ClusterAgg> aggs(num_clusters);
+  for (size_t i = 0; i < n; ++i) {
+    ClusterAgg& agg = aggs[cluster[i]];
+    agg.alive = true;
+    agg.label = doc.Label(static_cast<NodeId>(i));
+    agg.size += 1;
+    for (NodeId c = doc.FirstChild(static_cast<NodeId>(i)); c != kInvalidNode;
+         c = doc.NextSibling(c)) {
+      agg.child_totals[cluster[static_cast<size_t>(c)]] += 1;
+    }
+  }
+
+  // ---- Phase 3: greedy same-label merging down to the byte budget. -------
+  UnionFind uf(num_clusters);
+  std::unordered_map<LabelId, std::vector<uint32_t>> by_label;
+  for (uint32_t i = 0; i < num_clusters; ++i) {
+    by_label[aggs[i].label].push_back(i);
+  }
+  std::vector<LabelId> mergeable_labels;
+  for (const auto& [label, ids] : by_label) {
+    if (ids.size() >= 2) mergeable_labels.push_back(label);
+  }
+  std::sort(mergeable_labels.begin(), mergeable_labels.end());
+
+  auto memory_bytes = [&]() {
+    size_t clusters = 0;
+    size_t edges = 0;
+    for (uint32_t i = 0; i < num_clusters; ++i) {
+      if (!aggs[i].alive || uf.Find(i) != i) continue;
+      ++clusters;
+      CanonicalizeKeys(aggs[i], uf);
+      edges += aggs[i].child_totals.size();
+    }
+    return clusters * 12 + edges * 16;
+  };
+
+  Rng rng(options.seed);
+  size_t merges = 0;
+  const size_t initial_clusters = num_clusters;
+  size_t current_bytes = memory_bytes();
+  size_t merges_since_recount = 0;
+
+  while (current_bytes > options.memory_budget_bytes &&
+         !mergeable_labels.empty()) {
+    // Pick the cheapest same-label merge: exhaustively over all pairs (the
+    // original algorithm's bottom-up greedy) or over a random sample.
+    double best_cost = 0.0;
+    uint32_t best_a = 0, best_b = 0;
+    bool found = false;
+    if (options.merge_candidates_per_step == 0) {
+      for (LabelId label : mergeable_labels) {
+        std::vector<uint32_t>& group = by_label[label];
+        // Canonicalize and dedupe the group in place.
+        for (uint32_t& id : group) id = uf.Find(id);
+        std::sort(group.begin(), group.end());
+        group.erase(std::unique(group.begin(), group.end()), group.end());
+        for (size_t i = 0; i < group.size(); ++i) {
+          CanonicalizeKeys(aggs[group[i]], uf);
+          for (size_t j = i + 1; j < group.size(); ++j) {
+            CanonicalizeKeys(aggs[group[j]], uf);
+            double cost = MergeCost(aggs[group[i]], aggs[group[j]]);
+            if (!found || cost < best_cost) {
+              best_cost = cost;
+              best_a = group[i];
+              best_b = group[j];
+              found = true;
+            }
+          }
+        }
+      }
+    }
+    for (size_t attempt = 0; attempt < options.merge_candidates_per_step;
+         ++attempt) {
+      LabelId label =
+          mergeable_labels[rng.Uniform(mergeable_labels.size())];
+      std::vector<uint32_t>& group = by_label[label];
+      if (group.size() < 2) continue;
+      uint32_t a = group[rng.Uniform(group.size())];
+      uint32_t b = group[rng.Uniform(group.size())];
+      a = uf.Find(a);
+      b = uf.Find(b);
+      if (a == b) continue;
+      CanonicalizeKeys(aggs[a], uf);
+      CanonicalizeKeys(aggs[b], uf);
+      double cost = MergeCost(aggs[a], aggs[b]);
+      if (!found || cost < best_cost) {
+        best_cost = cost;
+        best_a = a;
+        best_b = b;
+        found = true;
+      }
+    }
+    if (!found) {
+      // Dedupe group vectors; if every label has a single cluster left, the
+      // budget is unreachable and we stop at the smallest synopsis.
+      bool any_pair = false;
+      for (auto& label : mergeable_labels) {
+        std::vector<uint32_t>& group = by_label[label];
+        std::vector<uint32_t> canon;
+        for (uint32_t id : group) canon.push_back(uf.Find(id));
+        std::sort(canon.begin(), canon.end());
+        canon.erase(std::unique(canon.begin(), canon.end()), canon.end());
+        group = std::move(canon);
+        if (group.size() >= 2) any_pair = true;
+      }
+      mergeable_labels.erase(
+          std::remove_if(mergeable_labels.begin(), mergeable_labels.end(),
+                         [&](LabelId l) { return by_label[l].size() < 2; }),
+          mergeable_labels.end());
+      if (!any_pair) break;
+      continue;
+    }
+
+    // Merge best_b into best_a.
+    CanonicalizeKeys(aggs[best_a], uf);
+    CanonicalizeKeys(aggs[best_b], uf);
+    uf.Union(best_a, best_b);
+    aggs[best_a].size += aggs[best_b].size;
+    for (const auto& [key, value] : aggs[best_b].child_totals) {
+      aggs[best_a].child_totals[uf.Find(key)] += value;
+    }
+    aggs[best_b].alive = false;
+    aggs[best_b].child_totals.clear();
+    ++merges;
+    ++merges_since_recount;
+    // Exact byte accounting is O(clusters); amortize it, but recount often
+    // enough that we stop close to (not far below) the budget.
+    if (merges_since_recount >= 8) {
+      current_bytes = memory_bytes();
+      merges_since_recount = 0;
+    } else {
+      current_bytes -= 12;  // lower bound on savings (one cluster gone)
+    }
+  }
+  current_bytes = memory_bytes();
+
+  // ---- Phase 4: compact into the final synopsis. --------------------------
+  TreeSketch sketch;
+  std::unordered_map<uint32_t, uint32_t> dense;
+  for (uint32_t i = 0; i < num_clusters; ++i) {
+    if (!aggs[i].alive || uf.Find(i) != i) continue;
+    dense.emplace(i, static_cast<uint32_t>(sketch.cluster_label_.size()));
+    sketch.cluster_label_.push_back(aggs[i].label);
+    sketch.cluster_size_.push_back(aggs[i].size);
+  }
+  sketch.out_edges_.resize(sketch.cluster_label_.size());
+  for (uint32_t i = 0; i < num_clusters; ++i) {
+    if (!aggs[i].alive || uf.Find(i) != i) continue;
+    CanonicalizeKeys(aggs[i], uf);
+    uint32_t src = dense.at(i);
+    for (const auto& [key, total] : aggs[i].child_totals) {
+      uint32_t dst = dense.at(uf.Find(key));
+      sketch.out_edges_[src][dst] = static_cast<double>(total) /
+                                    static_cast<double>(aggs[i].size);
+    }
+  }
+  for (uint32_t c = 0; c < sketch.cluster_label_.size(); ++c) {
+    sketch.clusters_by_label_[sketch.cluster_label_[c]].push_back(c);
+  }
+
+  if (stats) {
+    stats->build_seconds = timer.ElapsedSeconds();
+    stats->initial_stable_clusters = initial_clusters;
+    stats->clusters = sketch.NumClusters();
+    stats->edges = sketch.NumEdges();
+    stats->bytes = sketch.MemoryBytes();
+    stats->merges_performed = merges;
+  }
+  return sketch;
+}
+
+size_t TreeSketch::NumEdges() const {
+  size_t edges = 0;
+  for (const auto& adjacency : out_edges_) edges += adjacency.size();
+  return edges;
+}
+
+size_t TreeSketch::MemoryBytes() const {
+  return NumClusters() * 12 + NumEdges() * 16;
+}
+
+Result<double> TreeSketch::EstimateCount(const Twig& query) const {
+  if (query.empty()) {
+    return Status::InvalidArgument("EstimateCount: empty query");
+  }
+  // Bottom-up DP over (query node, cluster): value[q][u] is the expected
+  // number of matches of the query subtree at q per document node of
+  // cluster u (with q mapped into u).
+  const size_t clusters = NumClusters();
+  std::vector<std::vector<double>> value(static_cast<size_t>(query.size()),
+                                         std::vector<double>(clusters, 0.0));
+  std::vector<int> preorder = query.PreorderNodes();
+  for (auto it = preorder.rbegin(); it != preorder.rend(); ++it) {
+    int q = *it;
+    auto group = clusters_by_label_.find(query.label(q));
+    if (group == clusters_by_label_.end()) return 0.0;
+    for (uint32_t u : group->second) {
+      double product = 1.0;
+      const auto& adjacency = out_edges_[u];
+      for (int qc : query.children(q)) {
+        auto child_group = clusters_by_label_.find(query.label(qc));
+        if (child_group == clusters_by_label_.end()) return 0.0;
+        double sum = 0.0;
+        for (uint32_t w : child_group->second) {
+          auto edge = adjacency.find(w);
+          if (edge == adjacency.end()) continue;
+          sum += edge->second * value[static_cast<size_t>(qc)][w];
+        }
+        if (sum == 0.0) {
+          product = 0.0;
+          break;
+        }
+        product *= sum;
+      }
+      value[static_cast<size_t>(q)][u] = product;
+    }
+  }
+  auto root_group = clusters_by_label_.find(query.label(query.root()));
+  double total = 0.0;
+  for (uint32_t u : root_group->second) {
+    total += static_cast<double>(cluster_size_[u]) *
+             value[static_cast<size_t>(query.root())][u];
+  }
+  return total;
+}
+
+}  // namespace treelattice

@@ -1,0 +1,284 @@
+#include "twig/twig.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/hash.h"
+#include "util/string_util.h"
+
+namespace treelattice {
+
+int Twig::AddNode(LabelId label, int parent) {
+  assert((parent == -1) == labels_.empty());
+  int id = size();
+  labels_.push_back(label);
+  parents_.push_back(parent);
+  children_.emplace_back();
+  if (parent >= 0) children_[static_cast<size_t>(parent)].push_back(id);
+  return id;
+}
+
+std::vector<int> Twig::RemovableNodes() const {
+  std::vector<int> out;
+  if (size() <= 1) return out;  // a single node cannot be removed
+  for (int i = 0; i < size(); ++i) {
+    if (IsLeaf(i)) {
+      out.push_back(i);
+    } else if (i == root() && children(i).size() == 1) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+Result<Twig> Twig::RemoveNode(int i, std::vector<int>* old_to_new) const {
+  if (i < 0 || i >= size()) {
+    return Status::InvalidArgument("RemoveNode: index out of range");
+  }
+  if (size() <= 1) {
+    return Status::InvalidArgument("RemoveNode: twig too small");
+  }
+  const bool is_root = (i == root());
+  if (is_root) {
+    if (children(i).size() != 1) {
+      return Status::InvalidArgument(
+          "RemoveNode: root with more than one child is not removable");
+    }
+  } else if (!IsLeaf(i)) {
+    return Status::InvalidArgument("RemoveNode: interior node not removable");
+  }
+
+  std::vector<int> keep;
+  keep.reserve(static_cast<size_t>(size()) - 1);
+  for (int n : PreorderNodes()) {
+    if (n != i) keep.push_back(n);
+  }
+  std::vector<int> map(static_cast<size_t>(size()), -1);
+  Twig out;
+  for (int n : keep) {
+    int p = parent(n);
+    int new_parent = (p == -1 || p == i) ? -1 : map[static_cast<size_t>(p)];
+    map[static_cast<size_t>(n)] = out.AddNode(label(n), new_parent);
+  }
+  if (old_to_new) *old_to_new = std::move(map);
+  return out;
+}
+
+std::vector<int> Twig::PreorderNodes() const {
+  std::vector<int> order;
+  if (empty()) return order;
+  order.reserve(static_cast<size_t>(size()));
+  std::vector<int> stack = {root()};
+  while (!stack.empty()) {
+    int n = stack.back();
+    stack.pop_back();
+    order.push_back(n);
+    const std::vector<int>& kids = children(n);
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) stack.push_back(*it);
+  }
+  return order;
+}
+
+Result<Twig> Twig::InducedSubtree(const std::vector<int>& nodes) const {
+  if (nodes.empty()) {
+    return Status::InvalidArgument("InducedSubtree: empty node set");
+  }
+  std::vector<bool> in_set(static_cast<size_t>(size()), false);
+  for (int n : nodes) {
+    if (n < 0 || n >= size()) {
+      return Status::InvalidArgument("InducedSubtree: index out of range");
+    }
+    in_set[static_cast<size_t>(n)] = true;
+  }
+  std::vector<int> map(static_cast<size_t>(size()), -1);
+  Twig out;
+  int top_count = 0;
+  for (int n : PreorderNodes()) {
+    if (!in_set[static_cast<size_t>(n)]) continue;
+    int p = parent(n);
+    int new_parent = -1;
+    if (p != -1 && in_set[static_cast<size_t>(p)]) {
+      new_parent = map[static_cast<size_t>(p)];
+    } else {
+      ++top_count;
+      if (top_count > 1) {
+        return Status::InvalidArgument("InducedSubtree: node set not connected");
+      }
+    }
+    map[static_cast<size_t>(n)] = out.AddNode(label(n), new_parent);
+  }
+  return out;
+}
+
+int Twig::Depth(int i) const {
+  int d = 0;
+  for (int n = i; parent(n) != -1; n = parent(n)) ++d;
+  return d;
+}
+
+bool Twig::IsPath() const {
+  for (int i = 0; i < size(); ++i) {
+    if (children(i).size() > 1) return false;
+  }
+  return true;
+}
+
+std::string Twig::SubtreeCode(int i) const {
+  std::string code = std::to_string(label(i));
+  const std::vector<int>& kids = children(i);
+  if (kids.empty()) return code;
+  std::vector<std::string> child_codes;
+  child_codes.reserve(kids.size());
+  for (int c : kids) child_codes.push_back(SubtreeCode(c));
+  std::sort(child_codes.begin(), child_codes.end());
+  code.push_back('(');
+  for (size_t k = 0; k < child_codes.size(); ++k) {
+    if (k > 0) code.push_back(',');
+    code += child_codes[k];
+  }
+  code.push_back(')');
+  return code;
+}
+
+std::string Twig::CanonicalCode() const {
+  if (empty()) return std::string();
+  return SubtreeCode(root());
+}
+
+uint64_t Twig::CanonicalHash() const { return HashBytes(CanonicalCode()); }
+
+namespace {
+
+/// Shared recursive-descent parser over "label(child,child,...)" where a
+/// label is either an identifier (ParseText) or a decimal id (ParseCode).
+struct TwigTextParser {
+  std::string_view text;
+  size_t pos = 0;
+  LabelDict* dict;  // null => labels are decimal ids
+
+  bool AtEnd() const { return pos >= text.size(); }
+  char Peek() const { return text[pos]; }
+
+  void SkipSpace() {
+    while (!AtEnd() && (Peek() == ' ' || Peek() == '\t')) ++pos;
+  }
+
+  Result<LabelId> ParseLabel() {
+    SkipSpace();
+    size_t start = pos;
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c == '(' || c == ')' || c == ',' || c == ' ' || c == '\t') break;
+      ++pos;
+    }
+    if (pos == start) {
+      return Status::ParseError("expected label at offset " +
+                                std::to_string(start));
+    }
+    std::string_view name = text.substr(start, pos - start);
+    if (dict != nullptr) return dict->Intern(name);
+    // Decimal label id (canonical-code mode).
+    LabelId id = 0;
+    for (char c : name) {
+      if (c < '0' || c > '9') {
+        return Status::ParseError("expected numeric label id, got '" +
+                                  std::string(name) + "'");
+      }
+      id = id * 10 + (c - '0');
+    }
+    return id;
+  }
+
+  Status ParseNode(Twig* twig, int parent) {
+    LabelId label;
+    TL_ASSIGN_OR_RETURN(label, ParseLabel());
+    int node = twig->AddNode(label, parent);
+    SkipSpace();
+    if (!AtEnd() && Peek() == '(') {
+      ++pos;  // consume '('
+      while (true) {
+        TL_RETURN_IF_ERROR(ParseNode(twig, node));
+        SkipSpace();
+        if (AtEnd()) return Status::ParseError("unterminated '('");
+        if (Peek() == ',') {
+          ++pos;
+          continue;
+        }
+        if (Peek() == ')') {
+          ++pos;
+          break;
+        }
+        return Status::ParseError("expected ',' or ')' at offset " +
+                                  std::to_string(pos));
+      }
+    }
+    return Status::OK();
+  }
+
+  Result<Twig> Run() {
+    Twig twig;
+    TL_RETURN_IF_ERROR(ParseNode(&twig, -1));
+    SkipSpace();
+    if (!AtEnd()) {
+      return Status::ParseError("trailing characters at offset " +
+                                std::to_string(pos));
+    }
+    return twig;
+  }
+};
+
+}  // namespace
+
+Result<Twig> Twig::Parse(std::string_view text, LabelDict* dict) {
+  if (dict == nullptr) {
+    return Status::InvalidArgument("Twig::Parse: dict must not be null");
+  }
+  std::string_view trimmed = TrimWhitespace(text);
+  if (trimmed.empty()) return Status::ParseError("empty twig text");
+  TwigTextParser parser{trimmed, 0, dict};
+  return parser.Run();
+}
+
+Result<Twig> Twig::FromCanonicalCode(std::string_view code) {
+  if (code.empty()) return Status::ParseError("empty canonical code");
+  TwigTextParser parser{code, 0, nullptr};
+  return parser.Run();
+}
+
+Twig Twig::Canonicalized() const {
+  if (empty()) return Twig();
+  // Reconstruct from the canonical code: guaranteed canonical preorder.
+  Result<Twig> result = FromCanonicalCode(CanonicalCode());
+  assert(result.ok());
+  return std::move(result).value();
+}
+
+std::string Twig::ToString(const LabelDict& dict) const {
+  if (empty()) return "()";
+  std::string out;
+  // Iterative rendering in stored child order (not canonicalized).
+  struct Frame {
+    int node;
+    size_t next_child;
+  };
+  std::vector<Frame> stack = {{root(), 0}};
+  out.append(dict.Name(label(root())));
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    const std::vector<int>& kids = children(top.node);
+    if (top.next_child < kids.size()) {
+      out.push_back(top.next_child == 0 ? '(' : ',');
+      int child = kids[top.next_child++];
+      out.append(dict.Name(label(child)));
+      stack.push_back({child, 0});
+    } else {
+      if (!kids.empty()) out.push_back(')');
+      stack.pop_back();
+    }
+  }
+  return out;
+}
+
+std::string Twig::ToDebugString() const { return CanonicalCode(); }
+
+}  // namespace treelattice

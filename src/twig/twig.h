@@ -1,0 +1,116 @@
+#ifndef TREELATTICE_TWIG_TWIG_H_
+#define TREELATTICE_TWIG_TWIG_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+#include "xml/label_dict.h"
+
+namespace treelattice {
+
+/// A twig: a small rooted node-labeled tree, used both as a query and as a
+/// pattern in the lattice summary.
+///
+/// Nodes are addressed by dense indices; node 0 is always the root for a
+/// non-empty twig. Child order is preserved as inserted, but twig identity
+/// (equality, hashing, summary lookup) is *unordered*: two twigs are equal
+/// iff their canonical codes are equal, and the canonical code sorts each
+/// node's children by their recursive codes. This matches Definition 1 of
+/// the paper, which places no ordering constraint on sibling matches.
+class Twig {
+ public:
+  Twig() = default;
+
+  /// Adds a node labeled `label` under `parent` (-1 for the root, allowed
+  /// only for the first node). Returns the new node index.
+  int AddNode(LabelId label, int parent);
+
+  int size() const { return static_cast<int>(labels_.size()); }
+  bool empty() const { return labels_.empty(); }
+
+  LabelId label(int i) const { return labels_[static_cast<size_t>(i)]; }
+  int parent(int i) const { return parents_[static_cast<size_t>(i)]; }
+  const std::vector<int>& children(int i) const {
+    return children_[static_cast<size_t>(i)];
+  }
+  bool IsLeaf(int i) const { return children(i).empty(); }
+  int root() const { return 0; }
+
+  /// Nodes of tree-degree one: leaves, plus the root when it has exactly one
+  /// child. These are the nodes the recursive decomposition may remove
+  /// (Section 3.2: a degree-1 root "can also be considered a leaf").
+  std::vector<int> RemovableNodes() const;
+
+  /// Returns a copy with node `i` removed (i must be a removable node). If
+  /// the root is removed its single child becomes the root. Remaining nodes
+  /// are renumbered in preorder; if `old_to_new` is non-null it receives the
+  /// index mapping (removed node maps to -1).
+  Result<Twig> RemoveNode(int i, std::vector<int>* old_to_new = nullptr) const;
+
+  /// Nodes in preorder (root first, children in stored order).
+  std::vector<int> PreorderNodes() const;
+
+  /// Extracts the sub-twig induced by `nodes`, which must be non-empty and
+  /// connected (every node except the topmost has its parent in the set).
+  /// Node order in the result is preorder of the original.
+  Result<Twig> InducedSubtree(const std::vector<int>& nodes) const;
+
+  /// Depth (edge count from root) of node `i`.
+  int Depth(int i) const;
+
+  /// True if the twig is a pure path (every node has at most one child).
+  bool IsPath() const;
+
+  /// Canonical byte string identifying this twig up to sibling reordering.
+  /// Stable across processes; usable as a hash-table key and for on-disk
+  /// summaries.
+  std::string CanonicalCode() const;
+
+  /// 64-bit hash of the canonical code.
+  uint64_t CanonicalHash() const;
+
+  /// Returns an equivalent twig whose node numbering is the canonical
+  /// preorder (children sorted by canonical code). Deterministic for equal
+  /// twigs regardless of construction order.
+  Twig Canonicalized() const;
+
+  /// Parses the textual twig format, e.g. "a(b,c(d,e))". Labels are
+  /// interned into `dict`.
+  static Result<Twig> Parse(std::string_view text, LabelDict* dict);
+
+  /// Reconstructs a twig from a canonical code previously produced by
+  /// CanonicalCode(). Used by summary deserialization.
+  static Result<Twig> FromCanonicalCode(std::string_view code);
+
+  /// Renders the twig in the parseable textual format.
+  std::string ToString(const LabelDict& dict) const;
+
+  /// Renders with raw label ids (debugging aid when no dict is at hand).
+  std::string ToDebugString() const;
+
+  friend bool operator==(const Twig& a, const Twig& b) {
+    return a.CanonicalCode() == b.CanonicalCode();
+  }
+
+ private:
+  /// Recursive canonical code of the subtree rooted at `i`.
+  std::string SubtreeCode(int i) const;
+
+  std::vector<LabelId> labels_;
+  std::vector<int> parents_;
+  std::vector<std::vector<int>> children_;
+};
+
+/// Hash functor so Twig can key unordered containers.
+struct TwigHash {
+  size_t operator()(const Twig& t) const {
+    return static_cast<size_t>(t.CanonicalHash());
+  }
+};
+
+}  // namespace treelattice
+
+#endif  // TREELATTICE_TWIG_TWIG_H_

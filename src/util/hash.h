@@ -1,0 +1,38 @@
+#ifndef TREELATTICE_UTIL_HASH_H_
+#define TREELATTICE_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace treelattice {
+
+/// 64-bit finalizer from SplitMix64; good avalanche behaviour for integer
+/// keys used in pattern-code hash tables.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combines a hash value with the hash of another, boost-style but with a
+/// 64-bit constant.
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (Mix64(value) + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                 (seed >> 2));
+}
+
+/// FNV-1a over a byte string. Used for canonical twig encodings.
+inline uint64_t HashBytes(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace treelattice
+
+#endif  // TREELATTICE_UTIL_HASH_H_

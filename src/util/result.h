@@ -1,0 +1,67 @@
+#ifndef TREELATTICE_UTIL_RESULT_H_
+#define TREELATTICE_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace treelattice {
+
+/// A value-or-error holder, analogous to arrow::Result / absl::StatusOr.
+///
+/// A Result is either OK and holds a T, or holds a non-OK Status. Accessing
+/// the value of an errored Result is a programmer error and asserts.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common return path).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Implicit construction from a non-OK status (the error return path).
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the held value or `fallback` if this Result is an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace treelattice
+
+/// Evaluates a Result<T> expression; on error returns its Status, otherwise
+/// assigns the unwrapped value to `lhs` (declared by the caller).
+#define TL_ASSIGN_OR_RETURN(lhs, expr)               \
+  do {                                               \
+    auto _tl_result = (expr);                        \
+    if (!_tl_result.ok()) return _tl_result.status(); \
+    lhs = std::move(_tl_result).value();             \
+  } while (0)
+
+#endif  // TREELATTICE_UTIL_RESULT_H_

@@ -1,0 +1,85 @@
+#ifndef TREELATTICE_UTIL_RNG_H_
+#define TREELATTICE_UTIL_RNG_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace treelattice {
+
+/// Deterministic pseudo-random number generator (xoshiro256**).
+///
+/// Every stochastic component in the library (data generators, workload
+/// sampling, voting-sample selection) takes an explicit Rng so experiments
+/// are reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed5eed5eedULL) { Reseed(seed); }
+
+  /// Re-initializes the state from a seed via SplitMix64 expansion.
+  void Reseed(uint64_t seed) {
+    for (auto& word : state_) {
+      seed += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    uint64_t& s0 = state_[0];
+    uint64_t& s1 = state_[1];
+    uint64_t& s2 = state_[2];
+    uint64_t& s3 = state_[3];
+    const uint64_t result = Rotl(s1 * 5, 7) * 9;
+    const uint64_t t = s1 << 17;
+    s2 ^= s0;
+    s3 ^= s1;
+    s1 ^= s2;
+    s0 ^= s3;
+    s2 ^= t;
+    s3 = Rotl(s3, 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) {
+    assert(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = -bound % bound;
+    for (;;) {
+      uint64_t r = Next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Zipf-distributed integer in [0, n) with exponent `theta` (theta == 0 is
+  /// uniform). Uses inverse-CDF over precomputable weights; intended for
+  /// modest n (label alphabets, fanout choices).
+  uint64_t Zipf(uint64_t n, double theta);
+
+  /// Samples an index from an explicit (unnormalized) weight vector.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace treelattice
+
+#endif  // TREELATTICE_UTIL_RNG_H_

@@ -1,0 +1,29 @@
+#ifndef TREELATTICE_UTIL_SATURATING_H_
+#define TREELATTICE_UTIL_SATURATING_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace treelattice {
+
+/// Multiplies saturating at UINT64_MAX. Match and embedding counts can
+/// overflow on pathological patterns; saturation keeps them ordered.
+inline uint64_t SaturatingMul(uint64_t a, uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > std::numeric_limits<uint64_t>::max() / b) {
+    return std::numeric_limits<uint64_t>::max();
+  }
+  return a * b;
+}
+
+/// Adds saturating at UINT64_MAX.
+inline uint64_t SaturatingAdd(uint64_t a, uint64_t b) {
+  if (a > std::numeric_limits<uint64_t>::max() - b) {
+    return std::numeric_limits<uint64_t>::max();
+  }
+  return a + b;
+}
+
+}  // namespace treelattice
+
+#endif  // TREELATTICE_UTIL_SATURATING_H_

@@ -1,0 +1,88 @@
+#ifndef TREELATTICE_UTIL_STATUS_H_
+#define TREELATTICE_UTIL_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace treelattice {
+
+/// Error categories used across the library. Mirrors the RocksDB/Arrow
+/// convention of a lightweight status object instead of exceptions.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kParseError,
+  kOutOfRange,
+  kIOError,
+  kCorruption,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a status code ("Ok",
+/// "InvalidArgument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A success-or-error result for operations that do not return a value.
+///
+/// Statuses are cheap to copy in the common OK case (no message allocation)
+/// and carry a code plus a free-form message otherwise. All fallible public
+/// APIs in this library return Status or Result<T>; exceptions are not used.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "Ok" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace treelattice
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define TL_RETURN_IF_ERROR(expr)                 \
+  do {                                           \
+    ::treelattice::Status _tl_status = (expr);   \
+    if (!_tl_status.ok()) return _tl_status;     \
+  } while (0)
+
+#endif  // TREELATTICE_UTIL_STATUS_H_

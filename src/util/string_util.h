@@ -1,0 +1,27 @@
+#ifndef TREELATTICE_UTIL_STRING_UTIL_H_
+#define TREELATTICE_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace treelattice {
+
+/// Splits `input` on `sep`, keeping empty pieces.
+std::vector<std::string_view> SplitString(std::string_view input, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view input);
+
+/// True if `input` starts with `prefix`.
+bool StartsWith(std::string_view input, std::string_view prefix);
+
+/// Formats a byte count as "12.3 KB" / "4.0 MB" for report tables.
+std::string HumanBytes(size_t bytes);
+
+/// Formats a double with `digits` digits after the decimal point.
+std::string FormatDouble(double value, int digits);
+
+}  // namespace treelattice
+
+#endif  // TREELATTICE_UTIL_STRING_UTIL_H_

@@ -1,0 +1,186 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/rng.h"
+
+namespace treelattice {
+
+namespace {
+
+/// True if any node has two same-labeled children.
+bool HasDuplicateSiblings(const Twig& twig) {
+  for (int node = 0; node < twig.size(); ++node) {
+    const std::vector<int>& kids = twig.children(node);
+    for (size_t a = 0; a < kids.size(); ++a) {
+      for (size_t b = a + 1; b < kids.size(); ++b) {
+        if (twig.label(kids[a]) == twig.label(kids[b])) return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<Twig> TwigFromDocumentNodes(const Document& doc,
+                                   const std::vector<NodeId>& nodes) {
+  if (nodes.empty()) {
+    return Status::InvalidArgument("TwigFromDocumentNodes: empty node set");
+  }
+  std::vector<NodeId> sorted = nodes;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  std::unordered_map<NodeId, int> to_twig;
+  to_twig.reserve(sorted.size());
+  Twig twig;
+  int roots = 0;
+  // Document node ids are preorder, so parents precede children in
+  // `sorted`.
+  for (NodeId n : sorted) {
+    NodeId p = doc.Parent(n);
+    auto it = (p == kInvalidNode) ? to_twig.end() : to_twig.find(p);
+    int parent_idx = -1;
+    if (it != to_twig.end()) {
+      parent_idx = it->second;
+    } else {
+      ++roots;
+      if (roots > 1) {
+        return Status::InvalidArgument(
+            "TwigFromDocumentNodes: node set not connected");
+      }
+    }
+    to_twig.emplace(n, twig.AddNode(doc.Label(n), parent_idx));
+  }
+  return twig;
+}
+
+Result<std::vector<Twig>> GeneratePositiveWorkload(
+    const Document& doc, const WorkloadOptions& options) {
+  if (options.query_size < 1) {
+    return Status::InvalidArgument("query_size must be >= 1");
+  }
+  if (doc.NumNodes() < static_cast<size_t>(options.query_size)) {
+    return Status::InvalidArgument("document smaller than query size");
+  }
+  Rng rng(options.seed);
+  std::vector<Twig> queries;
+  std::unordered_set<std::string> seen;
+
+  // Collect substantially more distinct patterns than requested, then
+  // sample uniformly among them. Plain rejection sampling would bias the
+  // workload toward patterns with many embeddings; the paper's methodology
+  // (enumerate the occurring patterns per level, then sample) weights
+  // *patterns*, not occurrences, so rare patterns must be reachable too.
+  const size_t target_pool = options.num_queries * 8;
+
+  for (size_t attempt = 0;
+       attempt < options.max_attempts && queries.size() < target_pool;
+       ++attempt) {
+    // Grow a random connected node set from a random start node.
+    NodeId start = static_cast<NodeId>(rng.Uniform(doc.NumNodes()));
+    std::vector<NodeId> selected = {start};
+    std::unordered_set<NodeId> in_set = {start};
+    std::vector<NodeId> frontier;
+    auto push_neighbors = [&](NodeId n) {
+      NodeId p = doc.Parent(n);
+      if (p != kInvalidNode && !in_set.count(p)) frontier.push_back(p);
+      for (NodeId c = doc.FirstChild(n); c != kInvalidNode;
+           c = doc.NextSibling(c)) {
+        if (!in_set.count(c)) frontier.push_back(c);
+      }
+    };
+    push_neighbors(start);
+    while (static_cast<int>(selected.size()) < options.query_size &&
+           !frontier.empty()) {
+      size_t pick = rng.Uniform(frontier.size());
+      NodeId next = frontier[pick];
+      frontier[pick] = frontier.back();
+      frontier.pop_back();
+      if (in_set.count(next)) continue;
+      in_set.insert(next);
+      selected.push_back(next);
+      push_neighbors(next);
+    }
+    if (static_cast<int>(selected.size()) != options.query_size) continue;
+
+    Result<Twig> twig = TwigFromDocumentNodes(doc, selected);
+    if (!twig.ok()) return twig.status();
+    if (!options.allow_duplicate_siblings && HasDuplicateSiblings(*twig)) {
+      continue;
+    }
+    std::string code = twig->CanonicalCode();
+    if (seen.insert(code).second) {
+      queries.push_back(twig->Canonicalized());
+    }
+  }
+
+  if (queries.size() > options.num_queries) {
+    // Uniform sample without replacement (partial Fisher-Yates).
+    for (size_t i = 0; i < options.num_queries; ++i) {
+      size_t j = i + rng.Uniform(queries.size() - i);
+      std::swap(queries[i], queries[j]);
+    }
+    queries.resize(options.num_queries);
+  }
+  return queries;
+}
+
+Result<std::vector<Twig>> GenerateNegativeWorkload(
+    const Document& doc, const WorkloadOptions& options) {
+  std::vector<Twig> positives;
+  {
+    WorkloadOptions pos = options;
+    pos.seed = options.seed ^ 0x9e3779b97f4a7c15ULL;
+    TL_ASSIGN_OR_RETURN(positives, GeneratePositiveWorkload(doc, pos));
+  }
+  if (positives.empty()) {
+    return Status::Internal("no positive queries to perturb");
+  }
+  MatchCounter counter(doc);
+  Rng rng(options.seed + 17);
+
+  // Replacement labels weighted by document frequency: frequent labels are
+  // substituted more often, maximizing the chance an estimator is fooled.
+  std::vector<double> weights(doc.dict().size(), 0.0);
+  for (LabelId l = 0; l < static_cast<LabelId>(doc.dict().size()); ++l) {
+    weights[static_cast<size_t>(l)] =
+        static_cast<double>(counter.label_index().Count(l));
+  }
+
+  std::vector<Twig> negatives;
+  std::unordered_set<std::string> seen;
+  for (size_t attempt = 0; attempt < options.max_attempts &&
+                           negatives.size() < options.num_queries;
+       ++attempt) {
+    const Twig& base = positives[rng.Uniform(positives.size())];
+    // Rebuild with one or two random labels swapped.
+    Twig mutated = base;
+    int swaps = 1 + static_cast<int>(rng.Uniform(2));
+    Twig rebuilt;
+    std::vector<LabelId> new_labels(static_cast<size_t>(base.size()));
+    for (int i = 0; i < base.size(); ++i) new_labels[i] = base.label(i);
+    for (int s = 0; s < swaps; ++s) {
+      int pos = static_cast<int>(rng.Uniform(base.size()));
+      new_labels[static_cast<size_t>(pos)] =
+          static_cast<LabelId>(rng.WeightedIndex(weights));
+    }
+    for (int i = 0; i < base.size(); ++i) {
+      rebuilt.AddNode(new_labels[static_cast<size_t>(i)], base.parent(i));
+    }
+    mutated = rebuilt;
+    if (!options.allow_duplicate_siblings && HasDuplicateSiblings(mutated)) {
+      continue;
+    }
+    if (counter.Count(mutated) != 0) continue;  // must be zero-selectivity
+    std::string code = mutated.CanonicalCode();
+    if (seen.insert(code).second) {
+      negatives.push_back(mutated.Canonicalized());
+    }
+  }
+  return negatives;
+}
+
+}  // namespace treelattice

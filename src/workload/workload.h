@@ -1,0 +1,52 @@
+#ifndef TREELATTICE_WORKLOAD_WORKLOAD_H_
+#define TREELATTICE_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "match/matcher.h"
+#include "twig/twig.h"
+#include "util/result.h"
+#include "xml/document.h"
+
+namespace treelattice {
+
+/// Options for workload generation.
+struct WorkloadOptions {
+  uint64_t seed = 7;
+  /// Number of nodes per query twig.
+  int query_size = 5;
+  /// Queries to produce (distinct up to canonical form).
+  size_t num_queries = 100;
+  /// Sampling attempts before giving up (guards degenerate documents).
+  size_t max_attempts = 200000;
+
+  /// Whether queries may contain two same-labeled children under one
+  /// parent. The paper's queries keep children distinct per parent
+  /// (Section 3.1's standing assumption), so this defaults to false.
+  bool allow_duplicate_siblings = false;
+};
+
+/// Samples distinct positive twig queries (selectivity > 0) of the given
+/// size by growing random connected node sets of the document and reading
+/// off their label structure — the paper's "enumerate occurring subtrees,
+/// sample per level" strategy. May return fewer than requested when the
+/// document has fewer distinct patterns of that size.
+Result<std::vector<Twig>> GeneratePositiveWorkload(
+    const Document& doc, const WorkloadOptions& options);
+
+/// Derives zero-selectivity queries from positive ones by replacing twig
+/// node labels with labels drawn by document frequency (frequent labels
+/// replace more often, per Section 5.1), keeping only perturbations whose
+/// true selectivity is zero.
+Result<std::vector<Twig>> GenerateNegativeWorkload(
+    const Document& doc, const WorkloadOptions& options);
+
+/// Extracts the twig induced by a connected set of document nodes (rooted
+/// at the topmost). Exposed for tests and custom workloads.
+Result<Twig> TwigFromDocumentNodes(const Document& doc,
+                                   const std::vector<NodeId>& nodes);
+
+}  // namespace treelattice
+
+#endif  // TREELATTICE_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,88 @@
+#include "xml/document.h"
+
+#include <string>
+
+namespace treelattice {
+
+NodeId Document::AddNode(LabelId label, NodeId parent) {
+  NodeId id = static_cast<NodeId>(labels_.size());
+  labels_.push_back(label);
+  parents_.push_back(parent);
+  first_child_.push_back(kInvalidNode);
+  last_child_.push_back(kInvalidNode);
+  next_sibling_.push_back(kInvalidNode);
+  num_children_.push_back(0);
+  if (parent != kInvalidNode) {
+    size_t p = static_cast<size_t>(parent);
+    if (first_child_[p] == kInvalidNode) {
+      first_child_[p] = id;
+    } else {
+      next_sibling_[static_cast<size_t>(last_child_[p])] = id;
+    }
+    last_child_[p] = id;
+    ++num_children_[p];
+  }
+  return id;
+}
+
+std::vector<NodeId> Document::Children(NodeId n) const {
+  std::vector<NodeId> out;
+  out.reserve(static_cast<size_t>(NumChildren(n)));
+  for (NodeId c = FirstChild(n); c != kInvalidNode; c = NextSibling(c)) {
+    out.push_back(c);
+  }
+  return out;
+}
+
+Status Document::Validate() const {
+  if (empty()) return Status::OK();
+  if (parents_[0] != kInvalidNode) {
+    return Status::Corruption("node 0 is not a root");
+  }
+  for (size_t i = 1; i < parents_.size(); ++i) {
+    NodeId p = parents_[i];
+    if (p == kInvalidNode) {
+      return Status::Corruption("multiple roots: node " + std::to_string(i));
+    }
+    if (p < 0 || static_cast<size_t>(p) >= i) {
+      return Status::Corruption("parent of node " + std::to_string(i) +
+                                " does not precede it (not preorder)");
+    }
+  }
+  // Check child links and counts agree.
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    int32_t seen = 0;
+    for (NodeId c = first_child_[i]; c != kInvalidNode;
+         c = next_sibling_[static_cast<size_t>(c)]) {
+      if (parents_[static_cast<size_t>(c)] != static_cast<NodeId>(i)) {
+        return Status::Corruption("child link/parent mismatch at node " +
+                                  std::to_string(i));
+      }
+      ++seen;
+      if (seen > static_cast<int32_t>(labels_.size())) {
+        return Status::Corruption("sibling cycle under node " +
+                                  std::to_string(i));
+      }
+    }
+    if (seen != num_children_[i]) {
+      return Status::Corruption("child count mismatch at node " +
+                                std::to_string(i));
+    }
+  }
+  return Status::OK();
+}
+
+LabelIndex::LabelIndex(const Document& doc) {
+  nodes_by_label_.resize(doc.dict().size());
+  for (NodeId n = 0; n < static_cast<NodeId>(doc.NumNodes()); ++n) {
+    LabelId l = doc.Label(n);
+    if (l >= 0) {
+      if (static_cast<size_t>(l) >= nodes_by_label_.size()) {
+        nodes_by_label_.resize(static_cast<size_t>(l) + 1);
+      }
+      nodes_by_label_[static_cast<size_t>(l)].push_back(n);
+    }
+  }
+}
+
+}  // namespace treelattice

@@ -1,0 +1,117 @@
+#ifndef TREELATTICE_XML_DOCUMENT_H_
+#define TREELATTICE_XML_DOCUMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/status.h"
+#include "xml/label_dict.h"
+
+namespace treelattice {
+
+/// Index of a node within a Document. Nodes are stored in preorder.
+using NodeId = int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+
+/// A rooted node-labeled tree modeling an XML document's structure.
+///
+/// Per the paper (Section 2.1) text values are not modeled; only the element
+/// (and optionally attribute-name) structure is kept. Nodes are appended in
+/// preorder: a node's parent must already exist when the node is added.
+/// Child order is preserved as insertion order via first-child/next-sibling
+/// links, although twig matching (Definition 1) is order-insensitive.
+class Document {
+ public:
+  /// Creates an empty document owning a fresh label dictionary.
+  Document() : dict_(std::make_shared<LabelDict>()) {}
+
+  /// Creates an empty document sharing an existing dictionary (so queries
+  /// and documents agree on LabelIds).
+  explicit Document(std::shared_ptr<LabelDict> dict)
+      : dict_(std::move(dict)) {}
+
+  /// Appends a node with the given label under `parent` (kInvalidNode for
+  /// the root; only one root is allowed). Returns the new node's id.
+  NodeId AddNode(LabelId label, NodeId parent);
+
+  /// Convenience overload interning the label string.
+  NodeId AddNode(std::string_view label, NodeId parent) {
+    return AddNode(dict_->Intern(label), parent);
+  }
+
+  size_t NumNodes() const { return labels_.size(); }
+  bool empty() const { return labels_.empty(); }
+  NodeId root() const { return empty() ? kInvalidNode : 0; }
+
+  LabelId Label(NodeId n) const { return labels_[static_cast<size_t>(n)]; }
+  NodeId Parent(NodeId n) const { return parents_[static_cast<size_t>(n)]; }
+  NodeId FirstChild(NodeId n) const {
+    return first_child_[static_cast<size_t>(n)];
+  }
+  NodeId NextSibling(NodeId n) const {
+    return next_sibling_[static_cast<size_t>(n)];
+  }
+
+  /// Number of children of `n` (O(1); maintained incrementally).
+  int32_t NumChildren(NodeId n) const {
+    return num_children_[static_cast<size_t>(n)];
+  }
+
+  /// Collects the children of `n` in document order.
+  std::vector<NodeId> Children(NodeId n) const;
+
+  const LabelDict& dict() const { return *dict_; }
+  LabelDict& mutable_dict() { return *dict_; }
+  std::shared_ptr<LabelDict> shared_dict() const { return dict_; }
+
+  /// Approximate in-memory footprint of the tree structure in bytes.
+  size_t MemoryBytes() const {
+    return labels_.size() *
+           (sizeof(LabelId) + 3 * sizeof(NodeId) + sizeof(int32_t));
+  }
+
+  /// Checks structural invariants (preorder parents, single root, link
+  /// consistency). Intended for tests and post-parse validation.
+  Status Validate() const;
+
+ private:
+  std::shared_ptr<LabelDict> dict_;
+  std::vector<LabelId> labels_;
+  std::vector<NodeId> parents_;
+  std::vector<NodeId> first_child_;
+  std::vector<NodeId> last_child_;
+  std::vector<NodeId> next_sibling_;
+  std::vector<int32_t> num_children_;
+};
+
+/// Inverted index from label to the document nodes carrying it, used by the
+/// match counter and the miner to avoid full-tree scans.
+class LabelIndex {
+ public:
+  explicit LabelIndex(const Document& doc);
+
+  /// Nodes labeled `label` in preorder; empty if the label does not occur.
+  const std::vector<NodeId>& Nodes(LabelId label) const {
+    static const std::vector<NodeId> kEmpty;
+    if (label < 0 || static_cast<size_t>(label) >= nodes_by_label_.size()) {
+      return kEmpty;
+    }
+    return nodes_by_label_[static_cast<size_t>(label)];
+  }
+
+  /// Number of nodes with the given label.
+  size_t Count(LabelId label) const { return Nodes(label).size(); }
+
+  /// One past the largest label id occurring in the document (may exceed
+  /// the dictionary size if labels were added with raw ids).
+  size_t NumLabels() const { return nodes_by_label_.size(); }
+
+ private:
+  std::vector<std::vector<NodeId>> nodes_by_label_;
+};
+
+}  // namespace treelattice
+
+#endif  // TREELATTICE_XML_DOCUMENT_H_

@@ -1,0 +1,58 @@
+#ifndef TREELATTICE_XML_LABEL_DICT_H_
+#define TREELATTICE_XML_LABEL_DICT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace treelattice {
+
+/// Interned label identifier. Labels are element-tag (or attribute-name)
+/// strings; all tree structures in the library store LabelIds, never strings.
+using LabelId = int32_t;
+
+/// Sentinel for "no label" / invalid.
+inline constexpr LabelId kInvalidLabel = -1;
+
+/// Bidirectional mapping between label strings and dense LabelIds.
+///
+/// The dictionary is shared between a Document and the twig queries posed
+/// against it so that label comparison is an integer compare.
+class LabelDict {
+ public:
+  LabelDict() = default;
+
+  /// Returns the id for `name`, interning it if unseen.
+  LabelId Intern(std::string_view name) {
+    auto it = ids_.find(std::string(name));
+    if (it != ids_.end()) return it->second;
+    LabelId id = static_cast<LabelId>(names_.size());
+    names_.emplace_back(name);
+    ids_.emplace(names_.back(), id);
+    return id;
+  }
+
+  /// Returns the id for `name`, or kInvalidLabel if never interned.
+  LabelId Find(std::string_view name) const {
+    auto it = ids_.find(std::string(name));
+    return it == ids_.end() ? kInvalidLabel : it->second;
+  }
+
+  /// Returns the string for a valid id.
+  std::string_view Name(LabelId id) const {
+    return names_[static_cast<size_t>(id)];
+  }
+
+  /// Number of distinct labels interned.
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, LabelId> ids_;
+};
+
+}  // namespace treelattice
+
+#endif  // TREELATTICE_XML_LABEL_DICT_H_

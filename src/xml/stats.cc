@@ -1,0 +1,56 @@
+#include "xml/stats.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace treelattice {
+
+DocumentStats ComputeDocumentStats(const Document& doc) {
+  DocumentStats stats;
+  stats.num_nodes = doc.NumNodes();
+  if (doc.empty()) return stats;
+
+  std::unordered_set<LabelId> labels;
+  std::vector<int> depth(doc.NumNodes(), 0);
+  double depth_sum = 0.0;
+  double fanout_sum = 0.0;
+  double fanout_sum_sq = 0.0;
+  size_t interior = 0;
+
+  for (NodeId n = 0; n < static_cast<NodeId>(doc.NumNodes()); ++n) {
+    labels.insert(doc.Label(n));
+    if (n != doc.root()) {
+      depth[static_cast<size_t>(n)] =
+          depth[static_cast<size_t>(doc.Parent(n))] + 1;
+    }
+    int d = depth[static_cast<size_t>(n)];
+    stats.max_depth = std::max(stats.max_depth, d);
+    depth_sum += d;
+    if (static_cast<size_t>(d) >= stats.depth_histogram.size()) {
+      stats.depth_histogram.resize(static_cast<size_t>(d) + 1, 0);
+    }
+    ++stats.depth_histogram[static_cast<size_t>(d)];
+
+    int fanout = doc.NumChildren(n);
+    if (fanout == 0) {
+      ++stats.num_leaves;
+    } else {
+      ++interior;
+      fanout_sum += fanout;
+      fanout_sum_sq += static_cast<double>(fanout) * fanout;
+      stats.max_fanout = std::max(stats.max_fanout, fanout);
+    }
+  }
+
+  stats.num_labels = labels.size();
+  stats.avg_depth = depth_sum / static_cast<double>(doc.NumNodes());
+  if (interior > 0) {
+    stats.avg_fanout = fanout_sum / static_cast<double>(interior);
+    stats.fanout_variance =
+        fanout_sum_sq / static_cast<double>(interior) -
+        stats.avg_fanout * stats.avg_fanout;
+  }
+  return stats;
+}
+
+}  // namespace treelattice

@@ -1,0 +1,31 @@
+#ifndef TREELATTICE_XML_STATS_H_
+#define TREELATTICE_XML_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "xml/document.h"
+
+namespace treelattice {
+
+/// Structural statistics of a document, as reported in dataset
+/// characterizations (Table 1) and useful when choosing a lattice level.
+struct DocumentStats {
+  size_t num_nodes = 0;
+  size_t num_labels = 0;  ///< distinct labels that actually occur
+  int max_depth = 0;      ///< edges from root to the deepest node
+  double avg_depth = 0.0;
+  int max_fanout = 0;
+  double avg_fanout = 0.0;      ///< over interior nodes
+  double fanout_variance = 0.0; ///< over interior nodes
+  size_t num_leaves = 0;
+  /// depth_histogram[d] = number of nodes at depth d.
+  std::vector<size_t> depth_histogram;
+};
+
+/// Computes the statistics in one pass over the document.
+DocumentStats ComputeDocumentStats(const Document& doc);
+
+}  // namespace treelattice
+
+#endif  // TREELATTICE_XML_STATS_H_

@@ -1,0 +1,40 @@
+#ifndef TREELATTICE_XML_VALUE_BUCKETS_H_
+#define TREELATTICE_XML_VALUE_BUCKETS_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/hash.h"
+
+namespace treelattice {
+
+/// Default number of value buckets used when text values are modeled.
+inline constexpr int kDefaultValueBuckets = 64;
+
+/// Support for twig queries with value predicates — the paper's Section 6
+/// future-work item #1 ("extend the TreeLattice approach to work on the
+/// selectivity estimation for the twig queries with value predicates").
+///
+/// The paper's structural model deliberately omits values (Section 2.1).
+/// This extension folds them back in without touching the estimation
+/// machinery: each text value is hashed into one of B buckets and becomes
+/// a synthetic leaf child labeled "=<bucket>" of its enclosing element.
+/// A value predicate in a query compiles to the same synthetic label, so
+/// lattice mining, decomposition and even TreeSketches handle value
+/// correlations exactly as structural ones (an XSketches-lite treatment of
+/// values). Distinct values colliding in a bucket inflate estimates by at
+/// most the bucket's value multiplicity — the classic hash-bucket
+/// trade-off, measured in bench_ext_values.
+inline std::string ValueBucketLabel(std::string_view value, int buckets) {
+  uint64_t bucket = HashBytes(value) % static_cast<uint64_t>(buckets);
+  return "=" + std::to_string(bucket);
+}
+
+/// True if `label` is a synthetic value-bucket label.
+inline bool IsValueBucketLabel(std::string_view label) {
+  return !label.empty() && label[0] == '=';
+}
+
+}  // namespace treelattice
+
+#endif  // TREELATTICE_XML_VALUE_BUCKETS_H_

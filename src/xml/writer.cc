@@ -1,0 +1,73 @@
+#include "xml/writer.h"
+
+#include <fstream>
+
+namespace treelattice {
+
+namespace {
+
+void WriteNode(const Document& doc, NodeId n, bool pretty, int depth,
+               std::string* out) {
+  const std::string_view tag = doc.dict().Name(doc.Label(n));
+  if (pretty) out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->push_back('<');
+  out->append(tag);
+
+  // Emit attribute-modeled children first, as attributes. Synthetic
+  // value-bucket leaves ("=<k>") carry no recoverable text and are
+  // dropped — writing a value-modeled document is lossy by design.
+  std::vector<NodeId> element_children;
+  for (NodeId c = doc.FirstChild(n); c != kInvalidNode; c = doc.NextSibling(c)) {
+    std::string_view child_label = doc.dict().Name(doc.Label(c));
+    if (!child_label.empty() && child_label[0] == '@' &&
+        doc.NumChildren(c) == 0) {
+      out->push_back(' ');
+      out->append(child_label.substr(1));
+      out->append("=\"\"");
+    } else if (!child_label.empty() && child_label[0] == '=' &&
+               doc.NumChildren(c) == 0) {
+      continue;
+    } else {
+      element_children.push_back(c);
+    }
+  }
+
+  if (element_children.empty()) {
+    out->append("/>");
+    if (pretty) out->push_back('\n');
+    return;
+  }
+  out->push_back('>');
+  if (pretty) out->push_back('\n');
+  for (NodeId c : element_children) {
+    WriteNode(doc, c, pretty, depth + 1, out);
+  }
+  if (pretty) out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append("</");
+  out->append(tag);
+  out->push_back('>');
+  if (pretty) out->push_back('\n');
+}
+
+}  // namespace
+
+std::string WriteXmlString(const Document& doc, bool pretty) {
+  std::string out;
+  if (doc.empty()) return out;
+  // Iterative emission would avoid deep recursion; document depth in our
+  // datasets is bounded (< 20), so recursion is fine here.
+  WriteNode(doc, doc.root(), pretty, 0, &out);
+  return out;
+}
+
+Status WriteXmlFile(const Document& doc, const std::string& path,
+                    bool pretty) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  std::string text = WriteXmlString(doc, pretty);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!out) return Status::IOError("write failure on " + path);
+  return Status::OK();
+}
+
+}  // namespace treelattice

@@ -1,0 +1,22 @@
+#ifndef TREELATTICE_XML_WRITER_H_
+#define TREELATTICE_XML_WRITER_H_
+
+#include <string>
+
+#include "util/status.h"
+#include "xml/document.h"
+
+namespace treelattice {
+
+/// Serializes a Document back to XML text (structure only; there are no
+/// values to emit). Attribute-modeled children ("@name") are written back as
+/// attributes with empty values so a parse/write/parse round-trip is stable.
+std::string WriteXmlString(const Document& doc, bool pretty = false);
+
+/// Writes the serialized document to a file.
+Status WriteXmlFile(const Document& doc, const std::string& path,
+                    bool pretty = false);
+
+}  // namespace treelattice
+
+#endif  // TREELATTICE_XML_WRITER_H_

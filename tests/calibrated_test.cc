@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "core/calibrated_estimator.h"
+#include "core/recursive_estimator.h"
+#include "datagen/datasets.h"
+#include "match/matcher.h"
+#include "mining/lattice_builder.h"
+#include "workload/workload.h"
+
+namespace treelattice {
+namespace {
+
+struct Fixture {
+  Document doc;
+  LatticeSummary summary{4};
+};
+
+Fixture MakeSetup() {
+  DatasetOptions generate;
+  generate.scale = 150;
+  Fixture setup{GeneratePsd(generate), LatticeSummary(4)};
+  LatticeBuildOptions options;
+  options.max_level = 4;
+  auto summary = BuildLattice(setup.doc, options);
+  EXPECT_TRUE(summary.ok());
+  setup.summary = std::move(summary).value();
+  return setup;
+}
+
+TEST(CalibratedEstimatorTest, RejectsBadArguments) {
+  Fixture setup = MakeSetup();
+  RecursiveDecompositionEstimator inner(&setup.summary);
+  EXPECT_FALSE(CalibratedEstimator::Calibrate(setup.doc, nullptr).ok());
+  CalibratedEstimator::Options options;
+  options.confidence = 1.5;
+  EXPECT_FALSE(
+      CalibratedEstimator::Calibrate(setup.doc, &inner, options).ok());
+}
+
+TEST(CalibratedEstimatorTest, PointEstimateMatchesInner) {
+  Fixture setup = MakeSetup();
+  RecursiveDecompositionEstimator inner(&setup.summary);
+  CalibratedEstimator::Options options;
+  options.max_calibrated_size = 6;
+  options.queries_per_size = 20;
+  auto calibrated =
+      CalibratedEstimator::Calibrate(setup.doc, &inner, options);
+  ASSERT_TRUE(calibrated.ok()) << calibrated.status().ToString();
+
+  WorkloadOptions workload;
+  workload.query_size = 5;
+  workload.num_queries = 10;
+  workload.seed = 5;
+  auto queries = GeneratePositiveWorkload(setup.doc, workload);
+  ASSERT_TRUE(queries.ok());
+  for (const Twig& q : *queries) {
+    auto a = inner.Estimate(q);
+    auto b = calibrated->Estimate(q);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_DOUBLE_EQ(*a, *b);
+  }
+  EXPECT_EQ(calibrated->name(), "calibrated(recursive)");
+}
+
+TEST(CalibratedEstimatorTest, FactorsAreMonotoneAndAtLeastOne) {
+  Fixture setup = MakeSetup();
+  RecursiveDecompositionEstimator inner(&setup.summary);
+  CalibratedEstimator::Options options;
+  options.max_calibrated_size = 7;
+  options.queries_per_size = 30;
+  auto calibrated =
+      CalibratedEstimator::Calibrate(setup.doc, &inner, options);
+  ASSERT_TRUE(calibrated.ok());
+  double previous = 1.0;
+  for (int size = 2; size <= 10; ++size) {
+    double factor = calibrated->FactorForSize(size);
+    EXPECT_GE(factor, 1.0);
+    EXPECT_GE(factor, previous - 1e-12) << "size " << size;
+    previous = factor;
+  }
+  EXPECT_DOUBLE_EQ(calibrated->FactorForSize(1), 1.0);
+}
+
+TEST(CalibratedEstimatorTest, BoundsBracketTheEstimate) {
+  Fixture setup = MakeSetup();
+  RecursiveDecompositionEstimator inner(&setup.summary);
+  auto calibrated = CalibratedEstimator::Calibrate(setup.doc, &inner);
+  ASSERT_TRUE(calibrated.ok());
+
+  WorkloadOptions workload;
+  workload.query_size = 6;
+  workload.num_queries = 15;
+  workload.seed = 11;
+  auto queries = GeneratePositiveWorkload(setup.doc, workload);
+  ASSERT_TRUE(queries.ok());
+  for (const Twig& q : *queries) {
+    auto bounded = calibrated->EstimateWithBound(q);
+    ASSERT_TRUE(bounded.ok());
+    EXPECT_LE(bounded->lower, bounded->estimate);
+    EXPECT_GE(bounded->upper, bounded->estimate);
+    EXPECT_GE(bounded->factor, 1.0);
+  }
+}
+
+TEST(CalibratedEstimatorTest, EmpiricalCoverageNearConfidence) {
+  Fixture setup = MakeSetup();
+  RecursiveDecompositionEstimator inner(&setup.summary);
+  CalibratedEstimator::Options options;
+  options.confidence = 0.9;
+  options.max_calibrated_size = 7;
+  options.queries_per_size = 60;
+  options.seed = 99;
+  auto calibrated =
+      CalibratedEstimator::Calibrate(setup.doc, &inner, options);
+  ASSERT_TRUE(calibrated.ok());
+
+  // Fresh workload (different seed) — coverage should be near 90%.
+  MatchCounter counter(setup.doc);
+  size_t covered = 0, total = 0;
+  for (int size = 5; size <= 7; ++size) {
+    WorkloadOptions workload;
+    workload.query_size = size;
+    workload.num_queries = 40;
+    workload.seed = 123456 + static_cast<uint64_t>(size);
+    auto queries = GeneratePositiveWorkload(setup.doc, workload);
+    ASSERT_TRUE(queries.ok());
+    for (const Twig& q : *queries) {
+      double truth = static_cast<double>(counter.Count(q));
+      auto bounded = calibrated->EstimateWithBound(q);
+      ASSERT_TRUE(bounded.ok());
+      ++total;
+      if (truth >= bounded->lower - 1e-9 && truth <= bounded->upper + 1e-9) {
+        ++covered;
+      }
+    }
+  }
+  ASSERT_GT(total, 50u);
+  double coverage = static_cast<double>(covered) / static_cast<double>(total);
+  EXPECT_GE(coverage, 0.75) << covered << "/" << total;
+}
+
+}  // namespace
+}  // namespace treelattice

@@ -1,0 +1,65 @@
+#!/bin/sh
+# End-to-end smoke test of the treelattice CLI: build a summary from XML,
+# inspect it, estimate twig + XPath queries (with --explain), and compare
+# against exact counts. Invoked by ctest with the binary path as $1.
+set -e
+
+CLI="$1"
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+cat > "$WORKDIR/doc.xml" <<'EOF'
+<catalog>
+  <items>
+    <item><name/><price/></item>
+    <item><name/><price/></item>
+    <item><name/></item>
+  </items>
+  <vendors><vendor><name/></vendor></vendors>
+</catalog>
+EOF
+
+# build
+"$CLI" build "$WORKDIR/doc.xml" --out="$WORKDIR/doc.summary" --level=3 \
+    > "$WORKDIR/build.out"
+grep -q "parsed 13 elements" "$WORKDIR/build.out"
+test -f "$WORKDIR/doc.summary"
+test -f "$WORKDIR/doc.summary.dict"
+
+# stats
+"$CLI" stats "$WORKDIR/doc.summary" > "$WORKDIR/stats.out"
+grep -q "max level:        3" "$WORKDIR/stats.out"
+
+# estimate: twig syntax and XPath syntax, exact in-lattice values
+"$CLI" estimate "$WORKDIR/doc.summary" "item(name,price)" \
+    > "$WORKDIR/est1.out"
+grep -q "2.00" "$WORKDIR/est1.out"
+"$CLI" estimate "$WORKDIR/doc.summary" "item[name][price]" --explain \
+    > "$WORKDIR/est2.out"
+grep -q "2.00" "$WORKDIR/est2.out"
+grep -q "summary" "$WORKDIR/est2.out"
+
+# truth
+"$CLI" truth "$WORKDIR/doc.xml" "item(name,price)" > "$WORKDIR/truth.out"
+grep -q "2" "$WORKDIR/truth.out"
+
+# pruned build
+"$CLI" build "$WORKDIR/doc.xml" --out="$WORKDIR/pruned.summary" --level=3 \
+    --prune-delta=0 > "$WORKDIR/build2.out"
+grep -q "pruned" "$WORKDIR/build2.out"
+
+# error handling: bad inputs exit non-zero
+if "$CLI" estimate "$WORKDIR/doc.summary" "a//b" 2>/dev/null; then
+  echo "expected failure on descendant axis" >&2
+  exit 1
+fi
+if "$CLI" build /nonexistent.xml --out="$WORKDIR/x" 2>/dev/null; then
+  echo "expected failure on missing file" >&2
+  exit 1
+fi
+if "$CLI" bogus-command 2>/dev/null; then
+  echo "expected usage failure" >&2
+  exit 1
+fi
+
+echo "CLI smoke test passed"

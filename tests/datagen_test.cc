@@ -1,0 +1,186 @@
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "datagen/datasets.h"
+#include "datagen/random_tree.h"
+#include "xml/writer.h"
+
+namespace treelattice {
+namespace {
+
+TEST(RandomTreeTest, RespectsNodeBudget) {
+  RandomTreeOptions options;
+  options.num_nodes = 500;
+  Document doc = GenerateRandomTree(options);
+  EXPECT_LE(doc.NumNodes(), 500u);
+  EXPECT_GE(doc.NumNodes(), 1u);
+  EXPECT_TRUE(doc.Validate().ok());
+}
+
+TEST(RandomTreeTest, DeterministicForSeed) {
+  RandomTreeOptions options;
+  options.seed = 1234;
+  options.num_nodes = 300;
+  Document a = GenerateRandomTree(options);
+  Document b = GenerateRandomTree(options);
+  ASSERT_EQ(a.NumNodes(), b.NumNodes());
+  for (NodeId n = 0; n < static_cast<NodeId>(a.NumNodes()); ++n) {
+    EXPECT_EQ(a.Label(n), b.Label(n));
+    EXPECT_EQ(a.Parent(n), b.Parent(n));
+  }
+}
+
+TEST(RandomTreeTest, RespectsMaxDepth) {
+  RandomTreeOptions options;
+  options.num_nodes = 2000;
+  options.max_depth = 3;
+  Document doc = GenerateRandomTree(options);
+  for (NodeId n = 0; n < static_cast<NodeId>(doc.NumNodes()); ++n) {
+    int depth = 0;
+    for (NodeId p = n; doc.Parent(p) != kInvalidNode; p = doc.Parent(p)) {
+      ++depth;
+    }
+    EXPECT_LE(depth, 4);  // children of depth-3 nodes are never expanded
+  }
+}
+
+class DatasetGeneratorTest : public testing::TestWithParam<std::string> {};
+
+TEST_P(DatasetGeneratorTest, GeneratesValidDocument) {
+  DatasetOptions options;
+  options.scale = 50;
+  auto doc = GenerateDataset(GetParam(), options);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_TRUE(doc->Validate().ok());
+  EXPECT_GT(doc->NumNodes(), 100u);
+  // Label alphabets are modest, as in Table 2 (tens of labels).
+  EXPECT_LT(doc->dict().size(), 100u);
+  EXPECT_GT(doc->dict().size(), 10u);
+}
+
+TEST_P(DatasetGeneratorTest, DeterministicForSeed) {
+  DatasetOptions options;
+  options.scale = 20;
+  options.seed = 99;
+  auto a = GenerateDataset(GetParam(), options);
+  auto b = GenerateDataset(GetParam(), options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->NumNodes(), b->NumNodes());
+  for (NodeId n = 0; n < static_cast<NodeId>(a->NumNodes()); ++n) {
+    EXPECT_EQ(a->Label(n), b->Label(n));
+    EXPECT_EQ(a->Parent(n), b->Parent(n));
+  }
+}
+
+TEST_P(DatasetGeneratorTest, DifferentSeedsDiffer) {
+  DatasetOptions a_options;
+  a_options.scale = 50;
+  a_options.seed = 1;
+  DatasetOptions b_options = a_options;
+  b_options.seed = 2;
+  auto a = GenerateDataset(GetParam(), a_options);
+  auto b = GenerateDataset(GetParam(), b_options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a->NumNodes(), b->NumNodes());
+}
+
+TEST_P(DatasetGeneratorTest, ScaleGrowsDocument) {
+  DatasetOptions small;
+  small.scale = 20;
+  DatasetOptions large;
+  large.scale = 200;
+  auto a = GenerateDataset(GetParam(), small);
+  auto b = GenerateDataset(GetParam(), large);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_GT(b->NumNodes(), a->NumNodes() * 5);
+}
+
+TEST_P(DatasetGeneratorTest, SerializableAsXml) {
+  DatasetOptions options;
+  options.scale = 10;
+  auto doc = GenerateDataset(GetParam(), options);
+  ASSERT_TRUE(doc.ok());
+  std::string xml = WriteXmlString(*doc);
+  EXPECT_GT(xml.size(), 100u);
+  EXPECT_EQ(xml.front(), '<');
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetGeneratorTest,
+                         testing::Values("nasa", "imdb", "psd", "xmark"));
+
+TEST(DatasetRegistryTest, UnknownNameRejected) {
+  DatasetOptions options;
+  auto result = GenerateDataset("bogus", options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatasetRegistryTest, NamesAndScales) {
+  auto names = DatasetNames();
+  ASSERT_EQ(names.size(), 4u);
+  for (const std::string& name : names) {
+    EXPECT_GT(DefaultScale(name), 0);
+    DatasetOptions options;
+    options.scale = 1;
+    EXPECT_TRUE(GenerateDataset(name, options).ok());
+  }
+  EXPECT_EQ(DefaultScale("unknown"), 1000);
+}
+
+TEST(XmarkTraitTest, HasHighFanoutVariance) {
+  DatasetOptions options;
+  options.scale = 800;
+  Document doc = GenerateXmark(options);
+  // Find the label with the highest child-count variance among parents of
+  // 'bidder' nodes: open_auction children counts should vary wildly.
+  LabelId open_auction = doc.dict().Find("open_auction");
+  ASSERT_NE(open_auction, kInvalidLabel);
+  double sum = 0, sum_sq = 0, n = 0;
+  for (NodeId node = 0; node < static_cast<NodeId>(doc.NumNodes()); ++node) {
+    if (doc.Label(node) != open_auction) continue;
+    double c = doc.NumChildren(node);
+    sum += c;
+    sum_sq += c * c;
+    n += 1;
+  }
+  ASSERT_GT(n, 10);
+  double mean = sum / n;
+  double variance = sum_sq / n - mean * mean;
+  EXPECT_GT(variance, 4.0);  // far from count-stable
+}
+
+TEST(ImdbTraitTest, PlantsCrossBranchCorrelation) {
+  DatasetOptions options;
+  options.scale = 600;
+  Document doc = GenerateImdb(options);
+  LabelId movie = doc.dict().Find("movie");
+  LabelId business = doc.dict().Find("business");
+  LabelId awards = doc.dict().Find("awards");
+  ASSERT_NE(business, kInvalidLabel);
+  ASSERT_NE(awards, kInvalidLabel);
+  int movies = 0, with_business = 0, with_awards = 0, with_both = 0;
+  for (NodeId node = 0; node < static_cast<NodeId>(doc.NumNodes()); ++node) {
+    if (doc.Label(node) != movie) continue;
+    ++movies;
+    bool has_business = false, has_awards = false;
+    for (NodeId c = doc.FirstChild(node); c != kInvalidNode;
+         c = doc.NextSibling(c)) {
+      if (doc.Label(c) == business) has_business = true;
+      if (doc.Label(c) == awards) has_awards = true;
+    }
+    with_business += has_business;
+    with_awards += has_awards;
+    with_both += has_business && has_awards;
+  }
+  ASSERT_GT(movies, 100);
+  // P(both) should be far above P(business) * P(awards): positive
+  // correlation that violates conditional independence.
+  double p_business = double(with_business) / movies;
+  double p_awards = double(with_awards) / movies;
+  double p_both = double(with_both) / movies;
+  EXPECT_GT(p_both, 1.5 * p_business * p_awards);
+}
+
+}  // namespace
+}  // namespace treelattice

@@ -1,0 +1,382 @@
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/exact_estimator.h"
+#include "core/fixed_size_estimator.h"
+#include "core/markov_path_estimator.h"
+#include "core/recursive_estimator.h"
+#include "datagen/random_tree.h"
+#include "match/matcher.h"
+#include "mining/lattice_builder.h"
+#include "twig/decompose.h"
+#include "workload/workload.h"
+#include "xml/parser.h"
+
+namespace treelattice {
+namespace {
+
+Twig MustParse(const std::string& text, LabelDict* dict) {
+  Result<Twig> result = Twig::Parse(text, dict);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+LatticeSummary MustBuild(const Document& doc, int level) {
+  LatticeBuildOptions options;
+  options.max_level = level;
+  Result<LatticeSummary> summary = BuildLattice(doc, options);
+  EXPECT_TRUE(summary.ok()) << summary.status().ToString();
+  return std::move(summary).value();
+}
+
+TEST(RecursiveEstimatorTest, InLatticeQueriesAreExact) {
+  auto doc = ParseXmlString(
+      "<r><a><b/><c/></a><a><b/></a><a><b/><c/><c/></a></r>");
+  ASSERT_TRUE(doc.ok());
+  LabelDict* dict = &doc->mutable_dict();
+  LatticeSummary summary = MustBuild(*doc, 4);
+  MatchCounter counter(*doc);
+  RecursiveDecompositionEstimator estimator(&summary);
+
+  for (const char* q : {"a", "a(b)", "a(b,c)", "a(c,c)", "r(a,a)"}) {
+    Twig query = MustParse(q, dict);
+    auto estimate = estimator.Estimate(query);
+    ASSERT_TRUE(estimate.ok());
+    EXPECT_DOUBLE_EQ(*estimate, static_cast<double>(counter.Count(query)))
+        << q;
+  }
+}
+
+TEST(RecursiveEstimatorTest, MissingLabelGivesZero) {
+  auto doc = ParseXmlString("<r><a/></r>");
+  ASSERT_TRUE(doc.ok());
+  LabelDict* dict = &doc->mutable_dict();
+  LatticeSummary summary = MustBuild(*doc, 4);
+  RecursiveDecompositionEstimator estimator(&summary);
+  Twig query = MustParse("r(zzz)", dict);
+  auto estimate = estimator.Estimate(query);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_EQ(*estimate, 0.0);
+}
+
+TEST(RecursiveEstimatorTest, EmptyQueryRejected) {
+  Document doc;
+  doc.AddNode("r", kInvalidNode);
+  LatticeSummary summary = MustBuild(doc, 4);
+  RecursiveDecompositionEstimator estimator(&summary);
+  Twig empty;
+  EXPECT_FALSE(estimator.Estimate(empty).ok());
+}
+
+// Theorem 1 sanity: when the document satisfies conditional independence
+// exactly, the decomposition estimate of an out-of-lattice query equals the
+// true count. Construct: every x has exactly 1 y-child and 1 z-child; y has
+// 1 w-child. Query x(y(w),z) of size 4 against a 3-lattice.
+TEST(RecursiveEstimatorTest, ExactUnderConditionalIndependence) {
+  std::string xml = "<r>";
+  for (int i = 0; i < 5; ++i) xml += "<x><y><w/></y><z/></x>";
+  xml += "</r>";
+  auto doc = ParseXmlString(xml);
+  ASSERT_TRUE(doc.ok());
+  LabelDict* dict = &doc->mutable_dict();
+  LatticeSummary summary = MustBuild(*doc, 3);
+  MatchCounter counter(*doc);
+  RecursiveDecompositionEstimator estimator(&summary);
+
+  Twig query = MustParse("x(y(w),z)", dict);
+  ASSERT_FALSE(summary.Contains(query));  // size 4 > 3-lattice
+  auto estimate = estimator.Estimate(query);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_NEAR(*estimate, static_cast<double>(counter.Count(query)), 1e-9);
+}
+
+// Lemma 1 arithmetic check on the paper's formula: s(T1 u T2) =
+// s(T1) * s(T2) / s(T).
+TEST(RecursiveEstimatorTest, Lemma1Formula) {
+  // Document: 10 a's; 4 have a b child; 5 have a c child; independence does
+  // NOT hold (correlation planted), so the estimate differs from truth in a
+  // predictable way: est = s(a(b)) * s(a(c)) / s(a) = 4 * 5 / 10 = 2.
+  std::string xml = "<r>";
+  for (int i = 0; i < 4; ++i) xml += "<a><b/></a>";   // b only
+  for (int i = 0; i < 5; ++i) xml += "<a><c/></a>";   // c only
+  xml += "<a/>";
+  xml += "</r>";
+  auto doc = ParseXmlString(xml);
+  ASSERT_TRUE(doc.ok());
+  LabelDict* dict = &doc->mutable_dict();
+  LatticeSummary summary = MustBuild(*doc, 2);
+  RecursiveDecompositionEstimator estimator(&summary);
+
+  Twig query = MustParse("a(b,c)", dict);
+  auto estimate = estimator.Estimate(query);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_NEAR(*estimate, 2.0, 1e-9);  // true count is 0; formula gives 2
+}
+
+TEST(FixedSizeEstimatorTest, InLatticeQueriesAreExact) {
+  auto doc = ParseXmlString(
+      "<r><a><b/><c/></a><a><b/></a><a><b/><c/><c/></a></r>");
+  ASSERT_TRUE(doc.ok());
+  LabelDict* dict = &doc->mutable_dict();
+  LatticeSummary summary = MustBuild(*doc, 4);
+  MatchCounter counter(*doc);
+  FixedSizeDecompositionEstimator estimator(&summary);
+
+  for (const char* q : {"a", "a(b)", "a(b,c)", "r(a,a)"}) {
+    Twig query = MustParse(q, dict);
+    auto estimate = estimator.Estimate(query);
+    ASSERT_TRUE(estimate.ok());
+    EXPECT_DOUBLE_EQ(*estimate, static_cast<double>(counter.Count(query)))
+        << q;
+  }
+}
+
+TEST(FixedSizeEstimatorTest, ExactUnderConditionalIndependence) {
+  std::string xml = "<r>";
+  for (int i = 0; i < 7; ++i) xml += "<x><y><w/></y><z/></x>";
+  xml += "</r>";
+  auto doc = ParseXmlString(xml);
+  ASSERT_TRUE(doc.ok());
+  LabelDict* dict = &doc->mutable_dict();
+  LatticeSummary summary = MustBuild(*doc, 3);
+  MatchCounter counter(*doc);
+  FixedSizeDecompositionEstimator estimator(&summary);
+
+  Twig query = MustParse("x(y(w),z)", dict);
+  auto estimate = estimator.Estimate(query);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_NEAR(*estimate, static_cast<double>(counter.Count(query)), 1e-9);
+}
+
+TEST(FixedSizeEstimatorTest, ZeroWhenPieceMissing) {
+  auto doc = ParseXmlString("<r><a><b/></a><c/></r>");
+  ASSERT_TRUE(doc.ok());
+  LabelDict* dict = &doc->mutable_dict();
+  LatticeSummary summary = MustBuild(*doc, 2);
+  FixedSizeDecompositionEstimator estimator(&summary);
+  // a(c) never occurs, so r(a(c)) must estimate 0.
+  Twig query = MustParse("r(a(c))", dict);
+  auto estimate = estimator.Estimate(query);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_EQ(*estimate, 0.0);
+}
+
+// Lemma 4: on path queries, both decomposition estimators coincide with the
+// explicit Markov-model formula.
+class MarkovEquivalence : public testing::TestWithParam<int> {};
+
+TEST_P(MarkovEquivalence, PathEstimatesMatchMarkovFormula) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  RandomTreeOptions tree;
+  tree.seed = seed;
+  tree.num_nodes = 150;
+  tree.num_labels = 4;
+  tree.max_depth = 10;
+  Document doc = GenerateRandomTree(tree);
+  LatticeSummary summary = MustBuild(doc, 3);
+
+  RecursiveDecompositionEstimator recursive(&summary);
+  RecursiveDecompositionEstimator voting(
+      &summary, RecursiveDecompositionEstimator::Options{true, 0});
+  FixedSizeDecompositionEstimator fixed(&summary);
+  MarkovPathEstimator markov(&summary);
+
+  // Sample path queries of length 4..6 from the document.
+  WorkloadOptions wl;
+  wl.seed = seed + 1;
+  wl.num_queries = 30;
+  for (int size = 4; size <= 6; ++size) {
+    wl.query_size = size;
+    auto queries = GeneratePositiveWorkload(doc, wl);
+    ASSERT_TRUE(queries.ok());
+    for (const Twig& q : *queries) {
+      if (!q.IsPath()) continue;
+      auto m = markov.Estimate(q);
+      auto r = recursive.Estimate(q);
+      auto v = voting.Estimate(q);
+      auto f = fixed.Estimate(q);
+      ASSERT_TRUE(m.ok() && r.ok() && v.ok() && f.ok());
+      EXPECT_NEAR(*r, *m, 1e-6 * (1.0 + *m)) << q.ToDebugString();
+      EXPECT_NEAR(*v, *m, 1e-6 * (1.0 + *m)) << q.ToDebugString();
+      EXPECT_NEAR(*f, *m, 1e-6 * (1.0 + *m)) << q.ToDebugString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MarkovEquivalence, testing::Range(0, 10));
+
+TEST(MarkovPathEstimatorTest, RejectsBranchingQueries) {
+  Document doc;
+  NodeId r = doc.AddNode("r", kInvalidNode);
+  doc.AddNode("a", r);
+  LatticeSummary summary = MustBuild(doc, 2);
+  MarkovPathEstimator markov(&summary);
+  LabelDict dict = doc.dict();
+  Twig branching = MustParse("r(a,a)", &dict);
+  EXPECT_FALSE(markov.Estimate(branching).ok());
+}
+
+TEST(MarkovPathEstimatorTest, ShortPathIsDirectLookup) {
+  auto doc = ParseXmlString("<r><a><b/></a><a><b/></a></r>");
+  ASSERT_TRUE(doc.ok());
+  LabelDict* dict = &doc->mutable_dict();
+  LatticeSummary summary = MustBuild(*doc, 3);
+  MarkovPathEstimator markov(&summary);
+  auto estimate = markov.Estimate(MustParse("a(b)", dict));
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_DOUBLE_EQ(*estimate, 2.0);
+}
+
+// Voting: all leaf-pair estimates are averaged. Construct a case with two
+// distinct leaf pairs whose estimates differ, and verify the voting result
+// lies strictly between the individual ones.
+TEST(VotingTest, AveragesAcrossLeafPairs) {
+  std::string xml = "<r>";
+  for (int i = 0; i < 6; ++i) xml += "<a><b/><b/><c/></a>";
+  for (int i = 0; i < 3; ++i) xml += "<a><b/><d><c/></d></a>";
+  xml += "</r>";
+  auto doc = ParseXmlString(xml);
+  ASSERT_TRUE(doc.ok());
+  LabelDict* dict = &doc->mutable_dict();
+  LatticeSummary summary = MustBuild(*doc, 3);
+  MatchCounter counter(*doc);
+
+  RecursiveDecompositionEstimator plain(&summary);
+  RecursiveDecompositionEstimator voting(
+      &summary, RecursiveDecompositionEstimator::Options{true, 0});
+  RecursiveDecompositionEstimator capped(
+      &summary, RecursiveDecompositionEstimator::Options{true, 1});
+
+  Twig query = MustParse("a(b,b,d(c))", dict);
+  ASSERT_GT(ValidLeafPairs(query).size(), 1u);
+  auto p = plain.Estimate(query);
+  auto v = voting.Estimate(query);
+  auto c = capped.Estimate(query);
+  ASSERT_TRUE(p.ok() && v.ok() && c.ok());
+  // Capped at one vote == plain first-pair behaviour.
+  EXPECT_DOUBLE_EQ(*c, *p);
+  // All estimates are finite and non-negative.
+  EXPECT_GE(*v, 0.0);
+  EXPECT_TRUE(std::isfinite(*v));
+}
+
+TEST(VotingTest, MedianAggregationDiffersAndIsFinite) {
+  RandomTreeOptions tree;
+  tree.seed = 41;
+  tree.num_nodes = 150;
+  tree.num_labels = 4;
+  Document doc = GenerateRandomTree(tree);
+  LatticeSummary summary = MustBuild(doc, 3);
+  MatchCounter counter(doc);
+
+  using Options = RecursiveDecompositionEstimator::Options;
+  using Agg = RecursiveDecompositionEstimator::VoteAggregation;
+  RecursiveDecompositionEstimator mean(&summary,
+                                       Options{true, 0, Agg::kMean});
+  RecursiveDecompositionEstimator median(&summary,
+                                         Options{true, 0, Agg::kMedian});
+  EXPECT_EQ(mean.name(), "recursive+voting");
+  EXPECT_EQ(median.name(), "recursive+voting-median");
+
+  WorkloadOptions wl;
+  wl.seed = 17;
+  wl.query_size = 6;
+  wl.num_queries = 20;
+  auto queries = GeneratePositiveWorkload(doc, wl);
+  ASSERT_TRUE(queries.ok());
+  int different = 0;
+  for (const Twig& q : *queries) {
+    auto a = mean.Estimate(q);
+    auto b = median.Estimate(q);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_TRUE(std::isfinite(*b));
+    EXPECT_GE(*b, 0.0);
+    if (std::abs(*a - *b) > 1e-9) ++different;
+    // In-lattice sub-twigs anchor both, so on in-lattice queries they
+    // coincide exactly.
+    if (summary.Contains(q)) EXPECT_DOUBLE_EQ(*a, *b);
+  }
+  // The aggregation rule must actually matter somewhere in the workload.
+  EXPECT_GT(different, 0);
+}
+
+TEST(VotingTest, MedianWithSinglePairEqualsPlain) {
+  // A path has exactly one leaf pair: mean, median and no-voting coincide.
+  auto doc = ParseXmlString("<r><a><b><c/></b></a><a><b/></a></r>");
+  ASSERT_TRUE(doc.ok());
+  LabelDict* dict = &doc->mutable_dict();
+  LatticeSummary summary = MustBuild(*doc, 2);
+  using Options = RecursiveDecompositionEstimator::Options;
+  using Agg = RecursiveDecompositionEstimator::VoteAggregation;
+  RecursiveDecompositionEstimator plain(&summary);
+  RecursiveDecompositionEstimator median(&summary,
+                                         Options{true, 0, Agg::kMedian});
+  Twig query = MustParse("r(a(b(c)))", dict);
+  auto a = plain.Estimate(query);
+  auto b = median.Estimate(query);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(*a, *b);
+}
+
+// Property: on random documents, every estimator answers in-lattice
+// queries exactly, and out-of-lattice estimates are finite & non-negative.
+class EstimatorProperty : public testing::TestWithParam<int> {};
+
+TEST_P(EstimatorProperty, ExactInLatticeFiniteBeyond) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  RandomTreeOptions tree;
+  tree.seed = seed + 1000;
+  tree.num_nodes = 120;
+  tree.num_labels = 5;
+  Document doc = GenerateRandomTree(tree);
+  LatticeSummary summary = MustBuild(doc, 4);
+  MatchCounter counter(doc);
+
+  RecursiveDecompositionEstimator recursive(&summary);
+  RecursiveDecompositionEstimator voting(
+      &summary, RecursiveDecompositionEstimator::Options{true, 0});
+  FixedSizeDecompositionEstimator fixed(&summary);
+  SelectivityEstimator* estimators[] = {&recursive, &voting, &fixed};
+
+  WorkloadOptions wl;
+  wl.seed = seed;
+  wl.num_queries = 15;
+  for (int size = 2; size <= 7; ++size) {
+    wl.query_size = size;
+    auto queries = GeneratePositiveWorkload(doc, wl);
+    ASSERT_TRUE(queries.ok());
+    for (const Twig& q : *queries) {
+      double truth = static_cast<double>(counter.Count(q));
+      for (SelectivityEstimator* estimator : estimators) {
+        auto estimate = estimator->Estimate(q);
+        ASSERT_TRUE(estimate.ok()) << estimator->name();
+        EXPECT_GE(*estimate, 0.0);
+        EXPECT_TRUE(std::isfinite(*estimate));
+        if (size <= 4) {
+          EXPECT_NEAR(*estimate, truth, 1e-9)
+              << estimator->name() << " " << q.ToDebugString();
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EstimatorProperty, testing::Range(0, 12));
+
+TEST(ExactEstimatorTest, MatchesCounter) {
+  auto doc = ParseXmlString("<r><a><b/></a><a/></r>");
+  ASSERT_TRUE(doc.ok());
+  LabelDict* dict = &doc->mutable_dict();
+  ExactEstimator exact(*doc);
+  auto estimate = exact.Estimate(MustParse("a(b)", dict));
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_DOUBLE_EQ(*estimate, 1.0);
+  Twig empty;
+  EXPECT_FALSE(exact.Estimate(empty).ok());
+  EXPECT_EQ(exact.name(), "exact");
+}
+
+}  // namespace
+}  // namespace treelattice

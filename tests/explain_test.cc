@@ -1,0 +1,112 @@
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/explain.h"
+#include "core/recursive_estimator.h"
+#include "datagen/random_tree.h"
+#include "mining/lattice_builder.h"
+#include "workload/workload.h"
+#include "xml/parser.h"
+
+namespace treelattice {
+namespace {
+
+Twig MustParse(const std::string& text, LabelDict* dict) {
+  Result<Twig> result = Twig::Parse(text, dict);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+LatticeSummary MustBuild(const Document& doc, int level) {
+  LatticeBuildOptions options;
+  options.max_level = level;
+  Result<LatticeSummary> summary = BuildLattice(doc, options);
+  EXPECT_TRUE(summary.ok()) << summary.status().ToString();
+  return std::move(summary).value();
+}
+
+TEST(ExplainTest, SummaryHitIsLeafNode) {
+  auto doc = ParseXmlString("<r><a><b/></a><a/></r>");
+  ASSERT_TRUE(doc.ok());
+  LabelDict* dict = &doc->mutable_dict();
+  LatticeSummary summary = MustBuild(*doc, 3);
+  auto trace = ExplainEstimate(summary, MustParse("a(b)", dict), *dict);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_TRUE((*trace)->from_summary);
+  EXPECT_DOUBLE_EQ((*trace)->estimate, 1.0);
+  EXPECT_TRUE((*trace)->children.empty());
+  EXPECT_EQ((*trace)->twig_text, "a(b)");
+}
+
+TEST(ExplainTest, DecompositionHasThreeChildren) {
+  std::string xml = "<r>";
+  for (int i = 0; i < 4; ++i) xml += "<x><y><w/></y><z/></x>";
+  xml += "</r>";
+  auto doc = ParseXmlString(xml);
+  ASSERT_TRUE(doc.ok());
+  LabelDict* dict = &doc->mutable_dict();
+  LatticeSummary summary = MustBuild(*doc, 3);
+  Twig query = MustParse("x(y(w),z)", dict);
+  auto trace = ExplainEstimate(summary, query, *dict);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_FALSE((*trace)->from_summary);
+  ASSERT_EQ((*trace)->children.size(), 3u);
+  // T1 * T2 / overlap arithmetic holds at the root.
+  double t1 = (*trace)->children[0]->estimate;
+  double t2 = (*trace)->children[1]->estimate;
+  double ov = (*trace)->children[2]->estimate;
+  EXPECT_NEAR((*trace)->estimate, t1 * t2 / ov, 1e-9);
+}
+
+TEST(ExplainTest, RootEstimateMatchesEstimator) {
+  RandomTreeOptions tree;
+  tree.seed = 15;
+  tree.num_nodes = 150;
+  tree.num_labels = 4;
+  Document doc = GenerateRandomTree(tree);
+  LatticeSummary summary = MustBuild(doc, 3);
+  RecursiveDecompositionEstimator estimator(&summary);
+
+  WorkloadOptions wl;
+  wl.seed = 2;
+  wl.query_size = 6;
+  wl.num_queries = 20;
+  auto queries = GeneratePositiveWorkload(doc, wl);
+  ASSERT_TRUE(queries.ok());
+  for (const Twig& q : *queries) {
+    auto estimate = estimator.Estimate(q);
+    auto trace = ExplainEstimate(summary, q, doc.dict());
+    ASSERT_TRUE(estimate.ok() && trace.ok());
+    EXPECT_NEAR((*trace)->estimate, *estimate, 1e-9 * (1 + *estimate))
+        << q.ToDebugString();
+  }
+}
+
+TEST(ExplainTest, RenderIsIndentedAndComplete) {
+  std::string xml = "<r>";
+  for (int i = 0; i < 3; ++i) xml += "<x><y><w/></y><z/></x>";
+  xml += "</r>";
+  auto doc = ParseXmlString(xml);
+  ASSERT_TRUE(doc.ok());
+  LabelDict* dict = &doc->mutable_dict();
+  LatticeSummary summary = MustBuild(*doc, 3);
+  auto trace =
+      ExplainEstimate(summary, MustParse("x(y(w),z)", dict), *dict);
+  ASSERT_TRUE(trace.ok());
+  std::string text = RenderExplain(**trace);
+  EXPECT_NE(text.find("[T1 * T2 / overlap]"), std::string::npos);
+  EXPECT_NE(text.find("[summary]"), std::string::npos);
+  EXPECT_NE(text.find("\n  "), std::string::npos);  // indentation
+}
+
+TEST(ExplainTest, EmptyQueryRejected) {
+  Document doc;
+  doc.AddNode("r", kInvalidNode);
+  LatticeSummary summary = MustBuild(doc, 3);
+  Twig empty;
+  EXPECT_FALSE(ExplainEstimate(summary, empty, doc.dict()).ok());
+}
+
+}  // namespace
+}  // namespace treelattice

@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include "harness/flags.h"
+
+namespace treelattice {
+namespace {
+
+Flags MakeFlags(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Flags(static_cast<int>(args.size()),
+               const_cast<char**>(args.data()));
+}
+
+TEST(FlagsTest, ParsesKeyValue) {
+  Flags flags = MakeFlags({"--scale=500", "--name=xmark", "--ratio=0.25"});
+  EXPECT_EQ(flags.GetInt("scale", 0), 500);
+  EXPECT_EQ(flags.GetString("name", ""), "xmark");
+  EXPECT_DOUBLE_EQ(flags.GetDouble("ratio", 0.0), 0.25);
+}
+
+TEST(FlagsTest, FallbacksWhenAbsent) {
+  Flags flags = MakeFlags({});
+  EXPECT_EQ(flags.GetInt("scale", 42), 42);
+  EXPECT_EQ(flags.GetString("name", "psd"), "psd");
+  EXPECT_DOUBLE_EQ(flags.GetDouble("ratio", 1.5), 1.5);
+  EXPECT_FALSE(flags.GetBool("verbose", false));
+  EXPECT_TRUE(flags.GetBool("verbose", true));
+}
+
+TEST(FlagsTest, BooleanForms) {
+  Flags flags = MakeFlags({"--a", "--b=true", "--c=1", "--d=false", "--e=0"});
+  EXPECT_TRUE(flags.GetBool("a", false));
+  EXPECT_TRUE(flags.GetBool("b", false));
+  EXPECT_TRUE(flags.GetBool("c", false));
+  EXPECT_FALSE(flags.GetBool("d", true));
+  EXPECT_FALSE(flags.GetBool("e", true));
+}
+
+TEST(FlagsTest, IgnoresNonFlagArguments) {
+  Flags flags = MakeFlags({"positional", "-single", "--good=1"});
+  EXPECT_EQ(flags.GetInt("good", 0), 1);
+  EXPECT_EQ(flags.GetInt("positional", 7), 7);
+}
+
+TEST(FlagsTest, EmptyValueIntFallsBack) {
+  Flags flags = MakeFlags({"--scale="});
+  EXPECT_EQ(flags.GetInt("scale", 9), 9);
+}
+
+}  // namespace
+}  // namespace treelattice

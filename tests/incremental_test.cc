@@ -1,0 +1,181 @@
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "datagen/random_tree.h"
+#include "mining/incremental.h"
+#include "mining/lattice_builder.h"
+#include "util/rng.h"
+#include "xml/parser.h"
+
+namespace treelattice {
+namespace {
+
+Twig MustParse(const std::string& text, LabelDict* dict) {
+  Result<Twig> result = Twig::Parse(text, dict);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+/// Asserts the incrementally maintained summary equals a from-scratch
+/// rebuild of the (updated) document.
+void ExpectSummaryMatchesRebuild(const IncrementalLattice& lattice,
+                                 int max_level) {
+  LatticeBuildOptions options;
+  options.max_level = max_level;
+  Result<LatticeSummary> rebuilt = BuildLattice(lattice.doc(), options);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(lattice.summary().NumPatterns(), rebuilt->NumPatterns());
+  for (int level = 1; level <= max_level; ++level) {
+    for (const std::string& code : rebuilt->PatternsAtLevel(level)) {
+      auto incremental = lattice.summary().LookupCode(code);
+      ASSERT_TRUE(incremental.has_value()) << "missing " << code;
+      EXPECT_EQ(*incremental, *rebuilt->LookupCode(code)) << code;
+    }
+  }
+}
+
+TEST(IncrementalLatticeTest, SingleLeafInsert) {
+  auto doc = ParseXmlString("<r><a><b/></a><a/></r>");
+  ASSERT_TRUE(doc.ok());
+  LabelDict* dict = &doc->mutable_dict();
+  auto lattice = IncrementalLattice::Create(*doc, 3);
+  ASSERT_TRUE(lattice.ok()) << lattice.status().ToString();
+
+  // Insert a 'b' under the second 'a' (node id 3 in preorder).
+  Twig leaf = MustParse("b", dict);
+  Result<size_t> changed = lattice->InsertSubtree(3, leaf);
+  ASSERT_TRUE(changed.ok()) << changed.status().ToString();
+  EXPECT_GT(*changed, 0u);
+  EXPECT_EQ(lattice->doc().NumNodes(), 5u);
+  ExpectSummaryMatchesRebuild(*lattice, 3);
+
+  // a(b) count must now be 2.
+  EXPECT_EQ(*lattice->summary().Lookup(MustParse("a(b)", dict)), 2u);
+}
+
+TEST(IncrementalLatticeTest, NewLabelInsert) {
+  auto doc = ParseXmlString("<r><a/></r>");
+  ASSERT_TRUE(doc.ok());
+  LabelDict* dict = &doc->mutable_dict();
+  auto lattice = IncrementalLattice::Create(*doc, 3);
+  ASSERT_TRUE(lattice.ok());
+
+  // 'z' never occurred before: the pattern set itself must grow.
+  Twig subtree = MustParse("z(w)", dict);
+  Result<size_t> changed = lattice->InsertSubtree(1, subtree);
+  ASSERT_TRUE(changed.ok());
+  ExpectSummaryMatchesRebuild(*lattice, 3);
+  EXPECT_EQ(*lattice->summary().Lookup(MustParse("a(z(w))", dict)), 1u);
+}
+
+TEST(IncrementalLatticeTest, MultiNodeSubtreeInsert) {
+  auto doc = ParseXmlString("<r><x><y/></x></r>");
+  ASSERT_TRUE(doc.ok());
+  LabelDict* dict = &doc->mutable_dict();
+  auto lattice = IncrementalLattice::Create(*doc, 4);
+  ASSERT_TRUE(lattice.ok());
+
+  Twig subtree = MustParse("x(y,z(w))", dict);
+  Result<size_t> changed = lattice->InsertSubtree(0, subtree);  // under r
+  ASSERT_TRUE(changed.ok());
+  ExpectSummaryMatchesRebuild(*lattice, 4);
+}
+
+TEST(IncrementalLatticeTest, DuplicateSiblingCountsStayExact) {
+  // Inserting another 'b' under a node that already has b's exercises the
+  // injective-assignment delta path.
+  auto doc = ParseXmlString("<r><a><b/><b/></a></r>");
+  ASSERT_TRUE(doc.ok());
+  LabelDict* dict = &doc->mutable_dict();
+  auto lattice = IncrementalLattice::Create(*doc, 3);
+  ASSERT_TRUE(lattice.ok());
+
+  Twig leaf = MustParse("b", dict);
+  ASSERT_TRUE(lattice->InsertSubtree(1, leaf).ok());
+  ExpectSummaryMatchesRebuild(*lattice, 3);
+  // a(b,b): 3 * 2 = 6 ordered injective pairs.
+  EXPECT_EQ(*lattice->summary().Lookup(MustParse("a(b,b)", dict)), 6u);
+}
+
+TEST(IncrementalLatticeTest, MinimumLatticeLevel) {
+  auto doc = ParseXmlString("<r><a/></r>");
+  ASSERT_TRUE(doc.ok());
+  LabelDict* dict = &doc->mutable_dict();
+  auto lattice = IncrementalLattice::Create(*doc, 2);
+  ASSERT_TRUE(lattice.ok());
+  Twig leaf = MustParse("b", dict);
+  ASSERT_TRUE(lattice->InsertSubtree(1, leaf).ok());
+  ExpectSummaryMatchesRebuild(*lattice, 2);
+  EXPECT_EQ(*lattice->summary().Lookup(MustParse("a(b)", dict)), 1u);
+}
+
+TEST(IncrementalLatticeTest, RepeatedInsertsAtSameParent) {
+  auto doc = ParseXmlString("<r><a/></r>");
+  ASSERT_TRUE(doc.ok());
+  LabelDict* dict = &doc->mutable_dict();
+  auto lattice = IncrementalLattice::Create(*doc, 3);
+  ASSERT_TRUE(lattice.ok());
+  Twig leaf = MustParse("b", dict);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(lattice->InsertSubtree(1, leaf).ok());
+  }
+  ExpectSummaryMatchesRebuild(*lattice, 3);
+  // a(b,b): 4 * 3 injective ordered pairs.
+  EXPECT_EQ(*lattice->summary().Lookup(MustParse("a(b,b)", dict)), 12u);
+}
+
+TEST(IncrementalLatticeTest, RejectsBadArguments) {
+  auto doc = ParseXmlString("<r/>");
+  ASSERT_TRUE(doc.ok());
+  LabelDict* dict = &doc->mutable_dict();
+  auto lattice = IncrementalLattice::Create(*doc, 3);
+  ASSERT_TRUE(lattice.ok());
+  Twig empty;
+  EXPECT_FALSE(lattice->InsertSubtree(0, empty).ok());
+  Twig leaf = MustParse("x", dict);
+  EXPECT_FALSE(lattice->InsertSubtree(99, leaf).ok());
+  EXPECT_FALSE(lattice->InsertSubtree(-1, leaf).ok());
+}
+
+// Property: a random sequence of random-subtree insertions into a random
+// document keeps the incrementally maintained summary identical to a
+// from-scratch rebuild.
+class IncrementalProperty : public testing::TestWithParam<int> {};
+
+TEST_P(IncrementalProperty, MatchesRebuildAfterRandomInserts) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  RandomTreeOptions tree;
+  tree.seed = seed + 300;
+  tree.num_nodes = 50;
+  tree.num_labels = 4;
+  Document doc = GenerateRandomTree(tree);
+  const int max_level = 3;
+  auto lattice = IncrementalLattice::Create(doc, max_level);
+  ASSERT_TRUE(lattice.ok());
+
+  Rng rng(seed);
+  for (int step = 0; step < 5; ++step) {
+    // Random subtree of 1-4 nodes with labels from the same alphabet
+    // (occasionally a brand-new label).
+    Twig subtree;
+    int n = 1 + static_cast<int>(rng.Uniform(4));
+    for (int i = 0; i < n; ++i) {
+      LabelId label = static_cast<LabelId>(rng.Uniform(5));  // 4 old + new
+      int parent = (i == 0) ? -1
+                            : static_cast<int>(
+                                  rng.Uniform(static_cast<uint64_t>(i)));
+      subtree.AddNode(label, parent);
+    }
+    NodeId target =
+        static_cast<NodeId>(rng.Uniform(lattice->doc().NumNodes()));
+    Result<size_t> changed = lattice->InsertSubtree(target, subtree);
+    ASSERT_TRUE(changed.ok()) << changed.status().ToString();
+  }
+  ExpectSummaryMatchesRebuild(*lattice, max_level);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalProperty, testing::Range(0, 20));
+
+}  // namespace
+}  // namespace treelattice

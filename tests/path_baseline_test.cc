@@ -1,0 +1,121 @@
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/markov_path_estimator.h"
+#include "core/path_decomposition_estimator.h"
+#include "core/recursive_estimator.h"
+#include "datagen/random_tree.h"
+#include "match/matcher.h"
+#include "mining/lattice_builder.h"
+#include "workload/workload.h"
+#include "xml/parser.h"
+
+namespace treelattice {
+namespace {
+
+Twig MustParse(const std::string& text, LabelDict* dict) {
+  Result<Twig> result = Twig::Parse(text, dict);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+LatticeSummary MustBuild(const Document& doc, int level) {
+  LatticeBuildOptions options;
+  options.max_level = level;
+  Result<LatticeSummary> summary = BuildLattice(doc, options);
+  EXPECT_TRUE(summary.ok()) << summary.status().ToString();
+  return std::move(summary).value();
+}
+
+TEST(PathDecompositionTest, CoincidesWithMarkovOnPaths) {
+  RandomTreeOptions tree;
+  tree.seed = 5;
+  tree.num_nodes = 200;
+  tree.num_labels = 4;
+  tree.max_depth = 9;
+  Document doc = GenerateRandomTree(tree);
+  LatticeSummary summary = MustBuild(doc, 3);
+  PathDecompositionEstimator paths(&summary);
+  MarkovPathEstimator markov(&summary);
+
+  WorkloadOptions wl;
+  wl.seed = 3;
+  wl.query_size = 5;
+  wl.num_queries = 40;
+  auto queries = GeneratePositiveWorkload(doc, wl);
+  ASSERT_TRUE(queries.ok());
+  for (const Twig& q : *queries) {
+    if (!q.IsPath()) continue;
+    auto a = paths.Estimate(q);
+    auto b = markov.Estimate(q);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_NEAR(*a, *b, 1e-9 * (1 + *b)) << q.ToDebugString();
+  }
+}
+
+TEST(PathDecompositionTest, BranchFormulaOnSimpleTwig) {
+  // 10 a's; 4 with b, 5 with c, 2 with both (no correlation info in paths).
+  std::string xml = "<r>";
+  for (int i = 0; i < 2; ++i) xml += "<a><b/><c/></a>";
+  for (int i = 0; i < 2; ++i) xml += "<a><b/></a>";
+  for (int i = 0; i < 3; ++i) xml += "<a><c/></a>";
+  for (int i = 0; i < 3; ++i) xml += "<a/>";
+  xml += "</r>";
+  auto doc = ParseXmlString(xml);
+  ASSERT_TRUE(doc.ok());
+  LabelDict* dict = &doc->mutable_dict();
+  LatticeSummary summary = MustBuild(*doc, 2);
+  PathDecompositionEstimator paths(&summary);
+  // Leaf paths a/b (4) and a/c (5); branch node 'a' (10):
+  // est = 4 * 5 / 10 = 2 (here equal to the true count by construction).
+  Twig query = MustParse("a(b,c)", dict);
+  auto estimate = paths.Estimate(query);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_NEAR(*estimate, 2.0, 1e-9);
+}
+
+TEST(PathDecompositionTest, MissesCorrelationThatSubtreesCapture) {
+  // b and c co-occur perfectly under a, but the path view cannot see it:
+  // 5 a(b,c) and 5 bare a's.
+  std::string xml = "<r>";
+  for (int i = 0; i < 5; ++i) xml += "<a><b/><c/></a>";
+  for (int i = 0; i < 5; ++i) xml += "<a/>";
+  xml += "</r>";
+  auto doc = ParseXmlString(xml);
+  ASSERT_TRUE(doc.ok());
+  LabelDict* dict = &doc->mutable_dict();
+  MatchCounter counter(*doc);
+  // Size-4 query forces both estimators to decompose from the 3-lattice.
+  LatticeSummary summary = MustBuild(*doc, 3);
+  RecursiveDecompositionEstimator recursive(&summary);
+  PathDecompositionEstimator paths(&summary);
+
+  Twig query = MustParse("r(a(b,c))", dict);
+  double truth = static_cast<double>(counter.Count(query));
+  EXPECT_EQ(truth, 5.0);
+  auto subtree_est = recursive.Estimate(query);
+  auto path_est = paths.Estimate(query);
+  ASSERT_TRUE(subtree_est.ok() && path_est.ok());
+  // The subtree summary stores a(b,c) at level 3 and stays exact; the
+  // path decomposition multiplies marginals: 5 * 5 / 10 = 2.5.
+  EXPECT_NEAR(*subtree_est, 5.0, 1e-9);
+  EXPECT_NEAR(*path_est, 2.5, 1e-9);
+}
+
+TEST(PathDecompositionTest, ZeroWhenAnyPathMissing) {
+  auto doc = ParseXmlString("<r><a><b/></a></r>");
+  ASSERT_TRUE(doc.ok());
+  LabelDict* dict = &doc->mutable_dict();
+  LatticeSummary summary = MustBuild(*doc, 3);
+  PathDecompositionEstimator paths(&summary);
+  Twig query = MustParse("a(b,zzz)", dict);
+  auto estimate = paths.Estimate(query);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_EQ(*estimate, 0.0);
+  Twig empty;
+  EXPECT_FALSE(paths.Estimate(empty).ok());
+}
+
+}  // namespace
+}  // namespace treelattice

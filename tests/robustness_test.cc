@@ -1,0 +1,144 @@
+// Failure-injection and fuzz-ish robustness tests: random bytes and
+// adversarial structures must produce clean Status errors, never crashes
+// or hangs.
+
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "summary/lattice_summary.h"
+#include "twig/twig.h"
+#include "util/rng.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+#include "xpath/xpath.h"
+
+namespace treelattice {
+namespace {
+
+class XmlFuzzProperty : public testing::TestWithParam<int> {};
+
+TEST_P(XmlFuzzProperty, RandomBytesNeverCrash) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 1337 + 7);
+  // Byte soup biased toward XML-ish characters so the parser gets past the
+  // first branch often.
+  const char alphabet[] = "<>/=\"' abcdeXML?!-[]&;\t\n";
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string input;
+    size_t length = rng.Uniform(200);
+    for (size_t i = 0; i < length; ++i) {
+      if (rng.Bernoulli(0.9)) {
+        input.push_back(alphabet[rng.Uniform(sizeof(alphabet) - 1)]);
+      } else {
+        input.push_back(static_cast<char>(rng.Uniform(256)));
+      }
+    }
+    Result<Document> result = ParseXmlString(input);
+    if (result.ok()) {
+      // Whatever parsed must be a valid tree and round-trippable.
+      EXPECT_TRUE(result->Validate().ok());
+      EXPECT_TRUE(ParseXmlString(WriteXmlString(*result)).ok());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlFuzzProperty, testing::Range(0, 20));
+
+class TwigFuzzProperty : public testing::TestWithParam<int> {};
+
+TEST_P(TwigFuzzProperty, RandomTwigTextNeverCrashes) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 31 + 3);
+  const char alphabet[] = "ab(),x1 ";
+  LabelDict dict;
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string input;
+    size_t length = rng.Uniform(40);
+    for (size_t i = 0; i < length; ++i) {
+      input.push_back(alphabet[rng.Uniform(sizeof(alphabet) - 1)]);
+    }
+    Result<Twig> twig = Twig::Parse(input, &dict);
+    if (twig.ok()) {
+      // Parsed twigs must round-trip through their canonical code.
+      Result<Twig> again = Twig::FromCanonicalCode(twig->CanonicalCode());
+      ASSERT_TRUE(again.ok());
+      EXPECT_EQ(again->CanonicalCode(), twig->CanonicalCode());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TwigFuzzProperty, testing::Range(0, 20));
+
+class XPathFuzzProperty : public testing::TestWithParam<int> {};
+
+TEST_P(XPathFuzzProperty, RandomXPathTextNeverCrashes) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 101 + 13);
+  const char alphabet[] = "ab/[]@*12 .";
+  LabelDict dict;
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string input;
+    size_t length = rng.Uniform(40);
+    for (size_t i = 0; i < length; ++i) {
+      input.push_back(alphabet[rng.Uniform(sizeof(alphabet) - 1)]);
+    }
+    Result<Twig> twig = CompileXPath(input, &dict);
+    if (twig.ok()) {
+      EXPECT_GE(twig->size(), 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XPathFuzzProperty, testing::Range(0, 20));
+
+TEST(DeepNestingTest, ParserHandlesDeepDocuments) {
+  // 2000-deep chain: the parser is iterative, so this must parse cleanly.
+  const int depth = 2000;
+  std::string xml;
+  for (int i = 0; i < depth; ++i) xml += "<d>";
+  for (int i = 0; i < depth; ++i) xml += "</d>";
+  Result<Document> doc = ParseXmlString(xml);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->NumNodes(), static_cast<size_t>(depth));
+  EXPECT_TRUE(doc->Validate().ok());
+}
+
+TEST(DeepNestingTest, SummaryHandlesPathPatternsOfMaxLevel) {
+  const int depth = 500;
+  std::string xml;
+  for (int i = 0; i < depth; ++i) xml += "<d>";
+  for (int i = 0; i < depth; ++i) xml += "</d>";
+  Result<Document> doc = ParseXmlString(xml);
+  ASSERT_TRUE(doc.ok());
+  // A single-label chain: level-k pattern is the k-path, count depth-k+1.
+  LatticeSummary summary(3);
+  Twig path3;
+  int node = path3.AddNode(doc->Label(0), -1);
+  node = path3.AddNode(doc->Label(0), node);
+  path3.AddNode(doc->Label(0), node);
+  ASSERT_TRUE(summary.Insert(path3, depth - 2).ok());
+  EXPECT_EQ(*summary.Lookup(path3), static_cast<uint64_t>(depth - 2));
+}
+
+TEST(MalformedSummaryTest, TruncatedFileRejected) {
+  std::string path = testing::TempDir() + "/tl_truncated_summary.txt";
+  {
+    std::ofstream out(path);
+    out << "TLSUMMARY v1\n4 4\n5\n10 0\n";  // claims 5 entries, has 1
+  }
+  Result<LatticeSummary> result = LatticeSummary::LoadFromFile(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(MalformedSummaryTest, GarbageCodeRejected) {
+  std::string path = testing::TempDir() + "/tl_garbage_summary.txt";
+  {
+    std::ofstream out(path);
+    out << "TLSUMMARY v1\n4 4\n1\n10 not-a-code\n";
+  }
+  Result<LatticeSummary> result = LatticeSummary::LoadFromFile(path);
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace treelattice

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "datagen/datasets.h"
+#include "xml/parser.h"
+#include "xml/stats.h"
+
+namespace treelattice {
+namespace {
+
+TEST(DocumentStatsTest, EmptyDocument) {
+  Document doc;
+  DocumentStats stats = ComputeDocumentStats(doc);
+  EXPECT_EQ(stats.num_nodes, 0u);
+  EXPECT_EQ(stats.num_labels, 0u);
+  EXPECT_EQ(stats.max_depth, 0);
+}
+
+TEST(DocumentStatsTest, SingleNode) {
+  Document doc;
+  doc.AddNode("only", kInvalidNode);
+  DocumentStats stats = ComputeDocumentStats(doc);
+  EXPECT_EQ(stats.num_nodes, 1u);
+  EXPECT_EQ(stats.num_labels, 1u);
+  EXPECT_EQ(stats.max_depth, 0);
+  EXPECT_EQ(stats.num_leaves, 1u);
+  EXPECT_EQ(stats.max_fanout, 0);
+  EXPECT_DOUBLE_EQ(stats.avg_fanout, 0.0);
+}
+
+TEST(DocumentStatsTest, SmallTree) {
+  // r(a(b,c),a): depths 0,1,2,2,1; fanouts r=2, first a=2.
+  auto doc = ParseXmlString("<r><a><b/><c/></a><a/></r>");
+  ASSERT_TRUE(doc.ok());
+  DocumentStats stats = ComputeDocumentStats(*doc);
+  EXPECT_EQ(stats.num_nodes, 5u);
+  EXPECT_EQ(stats.num_labels, 4u);
+  EXPECT_EQ(stats.max_depth, 2);
+  EXPECT_EQ(stats.num_leaves, 3u);
+  EXPECT_EQ(stats.max_fanout, 2);
+  EXPECT_DOUBLE_EQ(stats.avg_fanout, 2.0);
+  EXPECT_DOUBLE_EQ(stats.fanout_variance, 0.0);
+  ASSERT_EQ(stats.depth_histogram.size(), 3u);
+  EXPECT_EQ(stats.depth_histogram[0], 1u);
+  EXPECT_EQ(stats.depth_histogram[1], 2u);
+  EXPECT_EQ(stats.depth_histogram[2], 2u);
+  EXPECT_DOUBLE_EQ(stats.avg_depth, (0 + 1 + 2 + 2 + 1) / 5.0);
+}
+
+TEST(DocumentStatsTest, FanoutVariance) {
+  // One parent with 1 child, one with 3: mean 2, variance 1.
+  auto doc = ParseXmlString("<r><a><x/></a><b><x/><x/><x/></b></r>");
+  ASSERT_TRUE(doc.ok());
+  DocumentStats stats = ComputeDocumentStats(*doc);
+  // Interior nodes: r (2 children), a (1), b (3): mean 2, var 2/3.
+  EXPECT_DOUBLE_EQ(stats.avg_fanout, 2.0);
+  EXPECT_NEAR(stats.fanout_variance, 2.0 / 3.0, 1e-12);
+}
+
+TEST(DocumentStatsTest, HistogramSumsToNodeCount) {
+  DatasetOptions options;
+  options.scale = 40;
+  Document doc = GenerateXmark(options);
+  DocumentStats stats = ComputeDocumentStats(doc);
+  size_t total = 0;
+  for (size_t c : stats.depth_histogram) total += c;
+  EXPECT_EQ(total, stats.num_nodes);
+  EXPECT_EQ(stats.depth_histogram.size(),
+            static_cast<size_t>(stats.max_depth) + 1);
+  EXPECT_GT(stats.fanout_variance, 0.0);
+}
+
+}  // namespace
+}  // namespace treelattice

@@ -1,0 +1,152 @@
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "summary/lattice_summary.h"
+
+namespace treelattice {
+namespace {
+
+Twig MustParse(const std::string& text, LabelDict* dict) {
+  Result<Twig> result = Twig::Parse(text, dict);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+TEST(LatticeSummaryTest, InsertAndLookup) {
+  LabelDict dict;
+  LatticeSummary summary(4);
+  Twig t = MustParse("a(b,c)", &dict);
+  ASSERT_TRUE(summary.Insert(t, 42).ok());
+  auto count = summary.Lookup(t);
+  ASSERT_TRUE(count.has_value());
+  EXPECT_EQ(*count, 42u);
+  EXPECT_TRUE(summary.Contains(t));
+}
+
+TEST(LatticeSummaryTest, LookupIsOrderInsensitive) {
+  LabelDict dict;
+  LatticeSummary summary(4);
+  ASSERT_TRUE(summary.Insert(MustParse("a(b,c)", &dict), 7).ok());
+  auto count = summary.Lookup(MustParse("a(c,b)", &dict));
+  ASSERT_TRUE(count.has_value());
+  EXPECT_EQ(*count, 7u);
+}
+
+TEST(LatticeSummaryTest, MissingLookup) {
+  LabelDict dict;
+  LatticeSummary summary(4);
+  EXPECT_FALSE(summary.Lookup(MustParse("a", &dict)).has_value());
+  EXPECT_FALSE(summary.LookupCode("0(1)").has_value());
+}
+
+TEST(LatticeSummaryTest, InsertValidation) {
+  LabelDict dict;
+  LatticeSummary summary(3);
+  Twig too_big = MustParse("a(b(c(d)))", &dict);
+  EXPECT_FALSE(summary.Insert(too_big, 1).ok());
+  Twig empty;
+  EXPECT_FALSE(summary.Insert(empty, 1).ok());
+  EXPECT_FALSE(summary.Insert(MustParse("a", &dict), 0).ok());
+}
+
+TEST(LatticeSummaryTest, InsertOverwrites) {
+  LabelDict dict;
+  LatticeSummary summary(4);
+  Twig t = MustParse("a", &dict);
+  ASSERT_TRUE(summary.Insert(t, 1).ok());
+  ASSERT_TRUE(summary.Insert(t, 2).ok());
+  EXPECT_EQ(*summary.Lookup(t), 2u);
+  EXPECT_EQ(summary.NumPatterns(), 1u);
+}
+
+TEST(LatticeSummaryTest, LevelsTrackSizes) {
+  LabelDict dict;
+  LatticeSummary summary(4);
+  ASSERT_TRUE(summary.Insert(MustParse("a", &dict), 5).ok());
+  ASSERT_TRUE(summary.Insert(MustParse("b", &dict), 3).ok());
+  ASSERT_TRUE(summary.Insert(MustParse("a(b)", &dict), 2).ok());
+  ASSERT_TRUE(summary.Insert(MustParse("a(b,b)", &dict), 1).ok());
+  EXPECT_EQ(summary.NumPatterns(1), 2u);
+  EXPECT_EQ(summary.NumPatterns(2), 1u);
+  EXPECT_EQ(summary.NumPatterns(3), 1u);
+  EXPECT_EQ(summary.NumPatterns(4), 0u);
+  EXPECT_EQ(summary.NumPatterns(), 4u);
+  EXPECT_TRUE(summary.PatternsAtLevel(99).empty());
+}
+
+TEST(LatticeSummaryTest, MemoryBytesTracksInsertions) {
+  LabelDict dict;
+  LatticeSummary summary(4);
+  EXPECT_EQ(summary.MemoryBytes(), 0u);
+  ASSERT_TRUE(summary.Insert(MustParse("a", &dict), 5).ok());
+  size_t one = summary.MemoryBytes();
+  EXPECT_GT(one, 0u);
+  ASSERT_TRUE(summary.Insert(MustParse("a(b)", &dict), 5).ok());
+  EXPECT_GT(summary.MemoryBytes(), one);
+}
+
+TEST(LatticeSummaryTest, EraseRemovesAndAdjustsCompleteness) {
+  LabelDict dict;
+  LatticeSummary summary(4);
+  Twig t3 = MustParse("a(b(c))", &dict);
+  ASSERT_TRUE(summary.Insert(t3, 9).ok());
+  summary.set_complete_through_level(4);
+  size_t before = summary.MemoryBytes();
+  ASSERT_TRUE(summary.Erase(t3.CanonicalCode()).ok());
+  EXPECT_FALSE(summary.Contains(t3));
+  EXPECT_LT(summary.MemoryBytes(), before);
+  EXPECT_EQ(summary.complete_through_level(), 2);
+  EXPECT_EQ(summary.Erase(t3.CanonicalCode()).code(), StatusCode::kNotFound);
+}
+
+TEST(LatticeSummaryTest, EraseRejectsLowLevels) {
+  LabelDict dict;
+  LatticeSummary summary(4);
+  Twig t1 = MustParse("a", &dict);
+  Twig t2 = MustParse("a(b)", &dict);
+  ASSERT_TRUE(summary.Insert(t1, 1).ok());
+  ASSERT_TRUE(summary.Insert(t2, 1).ok());
+  EXPECT_FALSE(summary.Erase(t1.CanonicalCode()).ok());
+  EXPECT_FALSE(summary.Erase(t2.CanonicalCode()).ok());
+}
+
+TEST(LatticeSummaryTest, SaveLoadRoundTrip) {
+  LabelDict dict;
+  LatticeSummary summary(4);
+  ASSERT_TRUE(summary.Insert(MustParse("a", &dict), 10).ok());
+  ASSERT_TRUE(summary.Insert(MustParse("a(b)", &dict), 6).ok());
+  ASSERT_TRUE(summary.Insert(MustParse("a(b,c(d))", &dict), 2).ok());
+  summary.set_complete_through_level(3);
+
+  std::string path = testing::TempDir() + "/tl_summary_test.txt";
+  ASSERT_TRUE(summary.SaveToFile(path).ok());
+  Result<LatticeSummary> loaded = LatticeSummary::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->max_level(), 4);
+  EXPECT_EQ(loaded->complete_through_level(), 3);
+  EXPECT_EQ(loaded->NumPatterns(), 3u);
+  EXPECT_EQ(*loaded->Lookup(MustParse("a(b,c(d))", &dict)), 2u);
+  EXPECT_EQ(loaded->MemoryBytes(), summary.MemoryBytes());
+}
+
+TEST(LatticeSummaryTest, LoadRejectsGarbage) {
+  std::string path = testing::TempDir() + "/tl_summary_bad.txt";
+  {
+    std::ofstream out(path);
+    out << "NOT A SUMMARY\n";
+  }
+  auto result = LatticeSummary::LoadFromFile(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  EXPECT_FALSE(LatticeSummary::LoadFromFile("/nonexistent/summary").ok());
+}
+
+TEST(LatticeSummaryTest, MinimumMaxLevelIsTwo) {
+  LatticeSummary summary(0);
+  EXPECT_EQ(summary.max_level(), 2);
+}
+
+}  // namespace
+}  // namespace treelattice

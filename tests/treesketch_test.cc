@@ -1,0 +1,196 @@
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "datagen/random_tree.h"
+#include "match/matcher.h"
+#include "treesketch/tree_sketch.h"
+#include "xml/parser.h"
+
+namespace treelattice {
+namespace {
+
+Twig MustParse(const std::string& text, LabelDict* dict) {
+  Result<Twig> result = Twig::Parse(text, dict);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+TEST(TreeSketchTest, RejectsEmptyDocument) {
+  Document doc;
+  EXPECT_FALSE(TreeSketch::Build(doc).ok());
+}
+
+TEST(TreeSketchTest, PerfectSynopsisIsExactOnUniformDocument) {
+  // Every 'a' has exactly 2 b's and 1 c: count-stable partition needs no
+  // merging, so estimates are exact.
+  std::string xml = "<r>";
+  for (int i = 0; i < 6; ++i) xml += "<a><b/><b/><c/></a>";
+  xml += "</r>";
+  auto doc = ParseXmlString(xml);
+  ASSERT_TRUE(doc.ok());
+  LabelDict* dict = &doc->mutable_dict();
+
+  TreeSketchOptions options;
+  options.memory_budget_bytes = 1 << 20;  // generous: no merging
+  TreeSketchStats stats;
+  auto sketch = TreeSketch::Build(*doc, options, &stats);
+  ASSERT_TRUE(sketch.ok()) << sketch.status().ToString();
+
+  MatchCounter counter(*doc);
+  // Exact for queries without duplicate sibling labels.
+  for (const char* q : {"a", "a(b)", "a(c)", "r(a)", "r(a(b))", "a(b,c)"}) {
+    Twig query = MustParse(q, dict);
+    auto estimate = sketch->EstimateCount(query);
+    ASSERT_TRUE(estimate.ok());
+    EXPECT_NEAR(*estimate, static_cast<double>(counter.Count(query)), 1e-9)
+        << q;
+  }
+  // Duplicate sibling labels: the multiplicative model ignores match
+  // injectivity and overcounts even with a perfect synopsis
+  // (6*2 * 6*1 = 72 vs true 6*2 * 5*1 = 60).
+  Twig dup = MustParse("r(a(b),a(c))", dict);
+  auto estimate = sketch->EstimateCount(dup);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_NEAR(*estimate, 72.0, 1e-9);
+  EXPECT_EQ(counter.Count(dup), 60u);
+}
+
+TEST(TreeSketchTest, UnknownLabelEstimatesZero) {
+  auto doc = ParseXmlString("<r><a/></r>");
+  ASSERT_TRUE(doc.ok());
+  LabelDict* dict = &doc->mutable_dict();
+  auto sketch = TreeSketch::Build(*doc);
+  ASSERT_TRUE(sketch.ok());
+  Twig query = MustParse("zzz", dict);
+  auto estimate = sketch->EstimateCount(query);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_EQ(*estimate, 0.0);
+  Twig nested = MustParse("r(zzz)", dict);
+  estimate = sketch->EstimateCount(nested);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_EQ(*estimate, 0.0);
+}
+
+TEST(TreeSketchTest, EmptyQueryRejected) {
+  auto doc = ParseXmlString("<r/>");
+  ASSERT_TRUE(doc.ok());
+  auto sketch = TreeSketch::Build(*doc);
+  ASSERT_TRUE(sketch.ok());
+  Twig empty;
+  EXPECT_FALSE(sketch->EstimateCount(empty).ok());
+}
+
+TEST(TreeSketchTest, BudgetShrinksSynopsis) {
+  RandomTreeOptions tree;
+  tree.seed = 9;
+  tree.num_nodes = 2000;
+  tree.num_labels = 6;
+  Document doc = GenerateRandomTree(tree);
+
+  TreeSketchOptions big;
+  big.memory_budget_bytes = 1 << 22;
+  TreeSketchStats big_stats;
+  auto big_sketch = TreeSketch::Build(doc, big, &big_stats);
+  ASSERT_TRUE(big_sketch.ok());
+
+  TreeSketchOptions small;
+  small.memory_budget_bytes = 2 * 1024;
+  TreeSketchStats small_stats;
+  auto small_sketch = TreeSketch::Build(doc, small, &small_stats);
+  ASSERT_TRUE(small_sketch.ok());
+
+  EXPECT_LT(small_sketch->NumClusters(), big_sketch->NumClusters());
+  EXPECT_LE(small_sketch->MemoryBytes(), big_sketch->MemoryBytes());
+  EXPECT_GT(small_stats.merges_performed, 0u);
+  EXPECT_EQ(big_stats.initial_stable_clusters,
+            small_stats.initial_stable_clusters);
+}
+
+TEST(TreeSketchTest, MergedSynopsisStillEstimatesLabelCountsExactly) {
+  // Single-node queries are exact regardless of merging: cluster sizes are
+  // preserved under merges.
+  RandomTreeOptions tree;
+  tree.seed = 13;
+  tree.num_nodes = 800;
+  tree.num_labels = 5;
+  Document doc = GenerateRandomTree(tree);
+  TreeSketchOptions options;
+  options.memory_budget_bytes = 1024;
+  auto sketch = TreeSketch::Build(doc, options);
+  ASSERT_TRUE(sketch.ok());
+  MatchCounter counter(doc);
+  for (LabelId l = 0; l < static_cast<LabelId>(doc.dict().size()); ++l) {
+    Twig single;
+    single.AddNode(l, -1);
+    auto estimate = sketch->EstimateCount(single);
+    ASSERT_TRUE(estimate.ok());
+    EXPECT_NEAR(*estimate, static_cast<double>(counter.Count(single)), 1e-9);
+  }
+}
+
+// The paper's Section 5.3 / Fig. 11 failure mode: high variance in child
+// counts makes the merged multiplicative estimate err badly, while the
+// variance is invisible to single-edge queries.
+TEST(TreeSketchTest, HighVarianceFanoutDegradesAccuracy) {
+  // 3 a's with four b's each, 1 a with two b's (paper's example document).
+  std::string xml = "<r>";
+  for (int i = 0; i < 3; ++i) xml += "<a><b/><b/><b/><b/></a>";
+  xml += "<a><b/><b/></a>";
+  xml += "</r>";
+  auto doc = ParseXmlString(xml);
+  ASSERT_TRUE(doc.ok());
+  LabelDict* dict = &doc->mutable_dict();
+
+  TreeSketchOptions options;
+  options.memory_budget_bytes = 64;  // force label-granularity clustering
+  auto sketch = TreeSketch::Build(*doc, options);
+  ASSERT_TRUE(sketch.ok());
+  ASSERT_LE(sketch->NumClusters(), 3u);
+
+  MatchCounter counter(*doc);
+  // Query a(b,b): true = 3*(4*3) + 1*(2*1) = 38.
+  Twig query = MustParse("a(b,b)", dict);
+  EXPECT_EQ(counter.Count(query), 38u);
+  auto estimate = sketch->EstimateCount(query);
+  ASSERT_TRUE(estimate.ok());
+  // Label-merged synopsis: 4 * 3.5 * 3.5 = 49 — visibly off.
+  EXPECT_NEAR(*estimate, 49.0, 1e-6);
+}
+
+TEST(TreeSketchTest, ZeroBudgetMergesToMinimum) {
+  RandomTreeOptions tree;
+  tree.seed = 77;
+  tree.num_nodes = 500;
+  tree.num_labels = 5;
+  Document doc = GenerateRandomTree(tree);
+  TreeSketchOptions options;
+  options.memory_budget_bytes = 0;  // unreachable: merge until label level
+  auto sketch = TreeSketch::Build(doc, options);
+  ASSERT_TRUE(sketch.ok());
+  // At most one cluster per occurring label remains.
+  EXPECT_LE(sketch->NumClusters(), doc.dict().size());
+  // Single-label counts stay exact even at minimum granularity.
+  MatchCounter counter(doc);
+  Twig single;
+  single.AddNode(doc.Label(doc.root()), -1);
+  auto estimate = sketch->EstimateCount(single);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_NEAR(*estimate, double(counter.Count(single)), 1e-9);
+}
+
+TEST(TreeSketchEstimatorAdapterTest, WrapsSketch) {
+  auto doc = ParseXmlString("<r><a/><a/></r>");
+  ASSERT_TRUE(doc.ok());
+  LabelDict* dict = &doc->mutable_dict();
+  auto sketch = TreeSketch::Build(*doc);
+  ASSERT_TRUE(sketch.ok());
+  TreeSketchEstimator estimator(&*sketch);
+  EXPECT_EQ(estimator.name(), "treesketches");
+  auto estimate = estimator.Estimate(MustParse("a", dict));
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_DOUBLE_EQ(*estimate, 2.0);
+}
+
+}  // namespace
+}  // namespace treelattice

@@ -1,0 +1,305 @@
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "twig/twig.h"
+#include "util/rng.h"
+
+namespace treelattice {
+namespace {
+
+Twig MustParse(const std::string& text, LabelDict* dict) {
+  Result<Twig> result = Twig::Parse(text, dict);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+TEST(TwigTest, BuildBasics) {
+  Twig t;
+  int root = t.AddNode(0, -1);
+  int b = t.AddNode(1, root);
+  int c = t.AddNode(2, root);
+  t.AddNode(3, b);
+  EXPECT_EQ(t.size(), 4);
+  EXPECT_EQ(t.root(), root);
+  EXPECT_EQ(t.parent(b), root);
+  EXPECT_TRUE(t.IsLeaf(c));
+  EXPECT_FALSE(t.IsLeaf(b));
+}
+
+TEST(TwigTest, ParseAndToString) {
+  LabelDict dict;
+  Twig t = MustParse("a(b,c(d,e))", &dict);
+  EXPECT_EQ(t.size(), 5);
+  EXPECT_EQ(t.ToString(dict), "a(b,c(d,e))");
+}
+
+TEST(TwigTest, ParseSingleNode) {
+  LabelDict dict;
+  Twig t = MustParse("root", &dict);
+  EXPECT_EQ(t.size(), 1);
+  EXPECT_EQ(t.ToString(dict), "root");
+}
+
+TEST(TwigTest, ParseWithWhitespace) {
+  LabelDict dict;
+  Twig t = MustParse("  a ( b , c ) ", &dict);
+  EXPECT_EQ(t.size(), 3);
+}
+
+TEST(TwigTest, ParseErrors) {
+  LabelDict dict;
+  EXPECT_FALSE(Twig::Parse("", &dict).ok());
+  EXPECT_FALSE(Twig::Parse("a(b", &dict).ok());
+  EXPECT_FALSE(Twig::Parse("a(b))", &dict).ok());
+  EXPECT_FALSE(Twig::Parse("a(,b)", &dict).ok());
+  EXPECT_FALSE(Twig::Parse("(a)", &dict).ok());
+  EXPECT_FALSE(Twig::Parse("a b", &dict).ok());
+  EXPECT_FALSE(Twig::Parse("a(b)c", &dict).ok());
+}
+
+TEST(TwigTest, ParseNullDictRejected) {
+  EXPECT_FALSE(Twig::Parse("a", nullptr).ok());
+}
+
+TEST(TwigTest, CanonicalCodeInvariantUnderSiblingOrder) {
+  LabelDict dict;
+  Twig t1 = MustParse("a(b,c(d,e))", &dict);
+  Twig t2 = MustParse("a(c(e,d),b)", &dict);
+  EXPECT_EQ(t1.CanonicalCode(), t2.CanonicalCode());
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(t1.CanonicalHash(), t2.CanonicalHash());
+}
+
+TEST(TwigTest, CanonicalCodeDistinguishesStructure) {
+  LabelDict dict;
+  Twig flat = MustParse("a(b,c)", &dict);
+  Twig nested = MustParse("a(b(c))", &dict);
+  EXPECT_NE(flat.CanonicalCode(), nested.CanonicalCode());
+}
+
+TEST(TwigTest, CanonicalCodeDistinguishesDuplicateSiblings) {
+  LabelDict dict;
+  Twig two = MustParse("a(b,b)", &dict);
+  Twig one = MustParse("a(b)", &dict);
+  EXPECT_NE(two.CanonicalCode(), one.CanonicalCode());
+}
+
+TEST(TwigTest, FromCanonicalCodeRoundTrip) {
+  LabelDict dict;
+  Twig t = MustParse("a(b,c(d,e),b)", &dict);
+  std::string code = t.CanonicalCode();
+  Result<Twig> back = Twig::FromCanonicalCode(code);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->CanonicalCode(), code);
+  EXPECT_EQ(back->size(), t.size());
+}
+
+TEST(TwigTest, FromCanonicalCodeRejectsGarbage) {
+  EXPECT_FALSE(Twig::FromCanonicalCode("").ok());
+  EXPECT_FALSE(Twig::FromCanonicalCode("abc").ok());
+  EXPECT_FALSE(Twig::FromCanonicalCode("1(2").ok());
+}
+
+TEST(TwigTest, CanonicalizedIsStable) {
+  LabelDict dict;
+  Twig t = MustParse("a(c(e,d),b)", &dict);
+  Twig canon = t.Canonicalized();
+  EXPECT_EQ(canon.CanonicalCode(), t.CanonicalCode());
+  // Canonicalizing twice is a fixpoint on node order.
+  Twig canon2 = canon.Canonicalized();
+  for (int i = 0; i < canon.size(); ++i) {
+    EXPECT_EQ(canon.label(i), canon2.label(i));
+    EXPECT_EQ(canon.parent(i), canon2.parent(i));
+  }
+}
+
+TEST(TwigTest, PreorderVisitsAllNodesRootFirst) {
+  LabelDict dict;
+  Twig t = MustParse("a(b(c),d)", &dict);
+  std::vector<int> order = t.PreorderNodes();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], t.root());
+  std::vector<int> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<int>{0, 1, 2, 3}));
+  // Every node appears after its parent.
+  std::vector<int> position(order.size());
+  for (size_t i = 0; i < order.size(); ++i) position[order[i]] = int(i);
+  for (int n = 0; n < t.size(); ++n) {
+    if (t.parent(n) != -1) EXPECT_LT(position[t.parent(n)], position[n]);
+  }
+}
+
+TEST(TwigTest, RemovableNodes) {
+  LabelDict dict;
+  // Path: root has degree 1 so it is removable, as is the leaf.
+  Twig path = MustParse("a(b(c))", &dict);
+  std::vector<int> removable = path.RemovableNodes();
+  EXPECT_EQ(removable.size(), 2u);
+
+  // Star: only the two leaves.
+  Twig star = MustParse("a(b,c)", &dict);
+  removable = star.RemovableNodes();
+  ASSERT_EQ(removable.size(), 2u);
+  EXPECT_TRUE(star.IsLeaf(removable[0]));
+  EXPECT_TRUE(star.IsLeaf(removable[1]));
+
+  // Single node: nothing to remove.
+  Twig single = MustParse("a", &dict);
+  EXPECT_TRUE(single.RemovableNodes().empty());
+}
+
+TEST(TwigTest, RemoveLeaf) {
+  LabelDict dict;
+  Twig t = MustParse("a(b,c)", &dict);
+  int c_node = 2;
+  std::vector<int> map;
+  Result<Twig> removed = t.RemoveNode(c_node, &map);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(removed->size(), 2);
+  EXPECT_EQ(removed->ToString(dict), "a(b)");
+  EXPECT_EQ(map[c_node], -1);
+  EXPECT_EQ(map[0], 0);
+}
+
+TEST(TwigTest, RemoveDegreeOneRootPromotesChild) {
+  LabelDict dict;
+  Twig t = MustParse("a(b(c,d))", &dict);
+  Result<Twig> removed = t.RemoveNode(t.root());
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(removed->ToString(dict), "b(c,d)");
+}
+
+TEST(TwigTest, RemoveInteriorRejected) {
+  LabelDict dict;
+  Twig t = MustParse("a(b(c),d)", &dict);
+  EXPECT_FALSE(t.RemoveNode(1).ok());   // b is interior
+  EXPECT_FALSE(t.RemoveNode(0).ok());   // root with two children
+  EXPECT_FALSE(t.RemoveNode(99).ok());  // out of range
+}
+
+TEST(TwigTest, InducedSubtree) {
+  LabelDict dict;
+  Twig t = MustParse("a(b(c),d)", &dict);
+  Result<Twig> sub = t.InducedSubtree({0, 1, 3});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->ToString(dict), "a(b,d)");
+}
+
+TEST(TwigTest, InducedSubtreeRejectsDisconnected) {
+  LabelDict dict;
+  Twig t = MustParse("a(b(c),d)", &dict);
+  EXPECT_FALSE(t.InducedSubtree({2, 3}).ok());  // c and d not connected
+  EXPECT_FALSE(t.InducedSubtree({}).ok());
+  EXPECT_FALSE(t.InducedSubtree({42}).ok());
+}
+
+TEST(TwigTest, DepthAndIsPath) {
+  LabelDict dict;
+  Twig path = MustParse("a(b(c(d)))", &dict);
+  EXPECT_TRUE(path.IsPath());
+  EXPECT_EQ(path.Depth(0), 0);
+  EXPECT_EQ(path.Depth(3), 3);
+  Twig branch = MustParse("a(b,c)", &dict);
+  EXPECT_FALSE(branch.IsPath());
+}
+
+// Property sweep: canonical code is invariant under random sibling
+// permutations of randomly built twigs.
+class TwigCanonicalProperty : public testing::TestWithParam<int> {};
+
+TEST_P(TwigCanonicalProperty, InvariantUnderShuffle) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  // Build a random twig with up to 10 nodes and 4 labels.
+  const int n = 2 + static_cast<int>(rng.Uniform(9));
+  std::vector<int> parents(n, -1);
+  Twig original;
+  original.AddNode(static_cast<LabelId>(rng.Uniform(4)), -1);
+  for (int i = 1; i < n; ++i) {
+    int parent = static_cast<int>(rng.Uniform(static_cast<uint64_t>(i)));
+    original.AddNode(static_cast<LabelId>(rng.Uniform(4)), parent);
+    parents[i] = parent;
+  }
+  // Rebuild with children inserted in a different (reversed per node)
+  // order: insert nodes by descending index groups. Equivalent tree.
+  Twig shuffled;
+  std::vector<int> new_index(static_cast<size_t>(n), -1);
+  // Insert in BFS order with reversed child lists.
+  std::vector<std::vector<int>> children(static_cast<size_t>(n));
+  for (int i = 1; i < n; ++i) children[parents[i]].push_back(i);
+  std::vector<int> queue = {0};
+  new_index[0] = shuffled.AddNode(original.label(0), -1);
+  for (size_t head = 0; head < queue.size(); ++head) {
+    int node = queue[head];
+    auto kids = children[node];
+    std::reverse(kids.begin(), kids.end());
+    for (int k : kids) {
+      new_index[k] = shuffled.AddNode(original.label(k), new_index[node]);
+      queue.push_back(k);
+    }
+  }
+  EXPECT_EQ(original.CanonicalCode(), shuffled.CanonicalCode())
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TwigCanonicalProperty, testing::Range(0, 50));
+
+// Reference unordered-tree isomorphism by recursive multiset comparison,
+// used to validate that canonical codes are a *complete* invariant: equal
+// codes <=> isomorphic twigs.
+bool Isomorphic(const Twig& a, int ra, const Twig& b, int rb) {
+  if (a.label(ra) != b.label(rb)) return false;
+  const auto& ka = a.children(ra);
+  const auto& kb = b.children(rb);
+  if (ka.size() != kb.size()) return false;
+  std::vector<bool> used(kb.size(), false);
+  // Backtracking match of child subtrees (twigs are tiny).
+  std::function<bool(size_t)> match = [&](size_t i) {
+    if (i == ka.size()) return true;
+    for (size_t j = 0; j < kb.size(); ++j) {
+      if (used[j]) continue;
+      if (Isomorphic(a, ka[i], b, kb[j])) {
+        used[j] = true;
+        if (match(i + 1)) return true;
+        used[j] = false;
+      }
+    }
+    return false;
+  };
+  return match(0);
+}
+
+class TwigCodeCompleteness : public testing::TestWithParam<int> {};
+
+TEST_P(TwigCodeCompleteness, EqualCodesIffIsomorphic) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 97 + 11);
+  // Two random twigs over a tiny alphabet so collisions are plausible.
+  auto random_twig = [&]() {
+    Twig t;
+    int n = 1 + static_cast<int>(rng.Uniform(5));
+    t.AddNode(static_cast<LabelId>(rng.Uniform(2)), -1);
+    for (int i = 1; i < n; ++i) {
+      t.AddNode(static_cast<LabelId>(rng.Uniform(2)),
+                static_cast<int>(rng.Uniform(static_cast<uint64_t>(i))));
+    }
+    return t;
+  };
+  for (int trial = 0; trial < 30; ++trial) {
+    Twig a = random_twig();
+    Twig b = random_twig();
+    bool same_code = a.CanonicalCode() == b.CanonicalCode();
+    bool isomorphic = a.size() == b.size() &&
+                      Isomorphic(a, a.root(), b, b.root());
+    EXPECT_EQ(same_code, isomorphic)
+        << a.ToDebugString() << " vs " << b.ToDebugString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TwigCodeCompleteness, testing::Range(0, 30));
+
+}  // namespace
+}  // namespace treelattice

@@ -1,0 +1,161 @@
+#include <string>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "datagen/datasets.h"
+#include "datagen/random_tree.h"
+#include "match/matcher.h"
+#include "workload/workload.h"
+#include "xml/parser.h"
+
+namespace treelattice {
+namespace {
+
+Document TestDocument() {
+  DatasetOptions options;
+  options.scale = 60;
+  return GeneratePsd(options);
+}
+
+TEST(TwigFromDocumentNodesTest, ExtractsConnectedSet) {
+  auto doc = ParseXmlString("<a><b><c/></b><d/></a>");
+  ASSERT_TRUE(doc.ok());
+  auto twig = TwigFromDocumentNodes(*doc, {0, 1, 3});
+  ASSERT_TRUE(twig.ok());
+  EXPECT_EQ(twig->size(), 3);
+  EXPECT_EQ(twig->ToString(doc->dict()), "a(b,d)");
+}
+
+TEST(TwigFromDocumentNodesTest, NonRootAnchoredSubtree) {
+  auto doc = ParseXmlString("<a><b><c/><d/></b></a>");
+  ASSERT_TRUE(doc.ok());
+  auto twig = TwigFromDocumentNodes(*doc, {1, 2, 3});
+  ASSERT_TRUE(twig.ok());
+  EXPECT_EQ(twig->ToString(doc->dict()), "b(c,d)");
+}
+
+TEST(TwigFromDocumentNodesTest, RejectsDisconnectedAndEmpty) {
+  auto doc = ParseXmlString("<a><b><c/></b><d/></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_FALSE(TwigFromDocumentNodes(*doc, {2, 3}).ok());
+  EXPECT_FALSE(TwigFromDocumentNodes(*doc, {}).ok());
+}
+
+TEST(TwigFromDocumentNodesTest, DeduplicatesInput) {
+  auto doc = ParseXmlString("<a><b/></a>");
+  ASSERT_TRUE(doc.ok());
+  auto twig = TwigFromDocumentNodes(*doc, {0, 1, 0, 1});
+  ASSERT_TRUE(twig.ok());
+  EXPECT_EQ(twig->size(), 2);
+}
+
+TEST(PositiveWorkloadTest, AllQueriesArePositiveAndRightSized) {
+  Document doc = TestDocument();
+  MatchCounter counter(doc);
+  for (int size : {3, 5, 7}) {
+    WorkloadOptions options;
+    options.query_size = size;
+    options.num_queries = 25;
+    auto queries = GeneratePositiveWorkload(doc, options);
+    ASSERT_TRUE(queries.ok()) << queries.status().ToString();
+    EXPECT_GT(queries->size(), 5u);
+    for (const Twig& q : *queries) {
+      EXPECT_EQ(q.size(), size);
+      EXPECT_GT(counter.Count(q), 0u) << q.ToDebugString();
+    }
+  }
+}
+
+TEST(PositiveWorkloadTest, QueriesAreDistinct) {
+  Document doc = TestDocument();
+  WorkloadOptions options;
+  options.query_size = 5;
+  options.num_queries = 40;
+  auto queries = GeneratePositiveWorkload(doc, options);
+  ASSERT_TRUE(queries.ok());
+  std::unordered_set<std::string> codes;
+  for (const Twig& q : *queries) codes.insert(q.CanonicalCode());
+  EXPECT_EQ(codes.size(), queries->size());
+}
+
+TEST(PositiveWorkloadTest, DeterministicForSeed) {
+  Document doc = TestDocument();
+  WorkloadOptions options;
+  options.query_size = 4;
+  options.num_queries = 10;
+  auto a = GeneratePositiveWorkload(doc, options);
+  auto b = GeneratePositiveWorkload(doc, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].CanonicalCode(), (*b)[i].CanonicalCode());
+  }
+}
+
+TEST(PositiveWorkloadTest, RejectsBadArguments) {
+  Document doc = TestDocument();
+  WorkloadOptions options;
+  options.query_size = 0;
+  EXPECT_FALSE(GeneratePositiveWorkload(doc, options).ok());
+
+  Document tiny;
+  tiny.AddNode("a", kInvalidNode);
+  options.query_size = 5;
+  EXPECT_FALSE(GeneratePositiveWorkload(tiny, options).ok());
+}
+
+TEST(PositiveWorkloadTest, StopsWhenPatternSpaceExhausted) {
+  // A tiny uniform document has very few distinct size-3 patterns; the
+  // generator must terminate and return what exists.
+  auto doc = ParseXmlString("<a><b><c/></b><b><c/></b></a>");
+  ASSERT_TRUE(doc.ok());
+  WorkloadOptions options;
+  options.query_size = 3;
+  options.num_queries = 100;
+  options.max_attempts = 5000;
+  options.allow_duplicate_siblings = true;
+  auto queries = GeneratePositiveWorkload(*doc, options);
+  ASSERT_TRUE(queries.ok());
+  EXPECT_GE(queries->size(), 2u);  // a(b,b) and a(b(c))
+  EXPECT_LT(queries->size(), 10u);
+
+  // With the default (paper) distinct-siblings rule, a(b,b) is excluded.
+  options.allow_duplicate_siblings = false;
+  auto distinct = GeneratePositiveWorkload(*doc, options);
+  ASSERT_TRUE(distinct.ok());
+  EXPECT_EQ(distinct->size(), 1u);
+  EXPECT_EQ((*distinct)[0].ToString(doc->dict()), "a(b(c))");
+}
+
+TEST(NegativeWorkloadTest, AllQueriesHaveZeroSelectivity) {
+  Document doc = TestDocument();
+  MatchCounter counter(doc);
+  WorkloadOptions options;
+  options.query_size = 5;
+  options.num_queries = 20;
+  auto queries = GenerateNegativeWorkload(doc, options);
+  ASSERT_TRUE(queries.ok()) << queries.status().ToString();
+  EXPECT_GT(queries->size(), 5u);
+  for (const Twig& q : *queries) {
+    EXPECT_EQ(counter.Count(q), 0u) << q.ToDebugString();
+    EXPECT_EQ(q.size(), 5);
+  }
+}
+
+TEST(NegativeWorkloadTest, DeterministicForSeed) {
+  Document doc = TestDocument();
+  WorkloadOptions options;
+  options.query_size = 4;
+  options.num_queries = 10;
+  auto a = GenerateNegativeWorkload(doc, options);
+  auto b = GenerateNegativeWorkload(doc, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].CanonicalCode(), (*b)[i].CanonicalCode());
+  }
+}
+
+}  // namespace
+}  // namespace treelattice

@@ -1,0 +1,115 @@
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "match/matcher.h"
+#include "xml/parser.h"
+#include "xpath/xpath.h"
+
+namespace treelattice {
+namespace {
+
+TEST(XPathTest, SimplePath) {
+  LabelDict dict;
+  auto twig = CompileXPath("/a/b/c", &dict);
+  ASSERT_TRUE(twig.ok()) << twig.status().ToString();
+  EXPECT_EQ(twig->size(), 3);
+  EXPECT_TRUE(twig->IsPath());
+  EXPECT_EQ(twig->ToString(dict), "a(b(c))");
+}
+
+TEST(XPathTest, RelativePathEqualsAbsolute) {
+  LabelDict dict;
+  auto absolute = CompileXPath("/a/b", &dict);
+  auto relative = CompileXPath("a/b", &dict);
+  ASSERT_TRUE(absolute.ok() && relative.ok());
+  EXPECT_EQ(absolute->CanonicalCode(), relative->CanonicalCode());
+}
+
+TEST(XPathTest, Predicates) {
+  LabelDict dict;
+  auto twig = CompileXPath("laptop[brand][price]", &dict);
+  ASSERT_TRUE(twig.ok()) << twig.status().ToString();
+  EXPECT_EQ(twig->ToString(dict), "laptop(brand,price)");
+}
+
+TEST(XPathTest, PredicateWithPath) {
+  LabelDict dict;
+  auto twig =
+      CompileXPath("/site/open_auctions/open_auction[bidder/time][seller]",
+                   &dict);
+  ASSERT_TRUE(twig.ok()) << twig.status().ToString();
+  EXPECT_EQ(twig->size(), 6);
+  EXPECT_EQ(twig->ToString(dict),
+            "site(open_auctions(open_auction(bidder(time),seller)))");
+}
+
+TEST(XPathTest, NestedPredicates) {
+  LabelDict dict;
+  auto twig = CompileXPath("a/b[c[d]/e]", &dict);
+  ASSERT_TRUE(twig.ok()) << twig.status().ToString();
+  EXPECT_EQ(twig->ToString(dict), "a(b(c(d,e)))");
+}
+
+TEST(XPathTest, PathContinuesAfterPredicate) {
+  LabelDict dict;
+  auto twig = CompileXPath("a[x]/b", &dict);
+  ASSERT_TRUE(twig.ok()) << twig.status().ToString();
+  EXPECT_EQ(twig->ToString(dict), "a(x,b)");
+}
+
+TEST(XPathTest, WhitespaceTolerated) {
+  LabelDict dict;
+  auto twig = CompileXPath("  a [ b ] / c ", &dict);
+  ASSERT_TRUE(twig.ok()) << twig.status().ToString();
+  EXPECT_EQ(twig->size(), 3);
+}
+
+TEST(XPathTest, RejectsUnsupportedConstructs) {
+  LabelDict dict;
+  EXPECT_FALSE(CompileXPath("//a", &dict).ok());
+  EXPECT_FALSE(CompileXPath("a//b", &dict).ok());
+  EXPECT_FALSE(CompileXPath("a/*", &dict).ok());
+  EXPECT_FALSE(CompileXPath("a[@id]", &dict).ok());
+  EXPECT_FALSE(CompileXPath("a[1]", &dict).ok());
+  EXPECT_FALSE(CompileXPath("", &dict).ok());
+  EXPECT_FALSE(CompileXPath("   ", &dict).ok());
+  EXPECT_FALSE(CompileXPath("a[b", &dict).ok());
+  EXPECT_FALSE(CompileXPath("a]b", &dict).ok());
+  EXPECT_FALSE(CompileXPath("a/", &dict).ok());
+  EXPECT_FALSE(CompileXPath("/a/b/c extra", &dict).ok());
+  EXPECT_FALSE(CompileXPath("a", nullptr).ok());
+}
+
+TEST(XPathTest, CompiledQueryCountsCorrectly) {
+  auto doc = ParseXmlString(
+      "<computer><laptops>"
+      "<laptop><brand/><price/></laptop>"
+      "<laptop><brand/><price/></laptop>"
+      "</laptops><desktops/></computer>");
+  ASSERT_TRUE(doc.ok());
+  MatchCounter counter(*doc);
+  auto twig = CompileXPath("laptop[brand][price]", &doc->mutable_dict());
+  ASSERT_TRUE(twig.ok());
+  EXPECT_EQ(counter.Count(*twig), 2u);
+}
+
+TEST(XPathTest, RoundTripThroughTwigToXPath) {
+  LabelDict dict;
+  for (const char* text :
+       {"/a/b/c", "/laptop[brand][price]", "/a/b[c[d]/e]",
+        "/site/open_auctions/open_auction[bidder/time][seller]"}) {
+    auto twig = CompileXPath(text, &dict);
+    ASSERT_TRUE(twig.ok()) << text;
+    std::string rendered = TwigToXPath(*twig, dict);
+    auto reparsed = CompileXPath(rendered, &dict);
+    ASSERT_TRUE(reparsed.ok()) << rendered;
+    EXPECT_EQ(reparsed->CanonicalCode(), twig->CanonicalCode())
+        << text << " -> " << rendered;
+  }
+  Twig empty;
+  EXPECT_EQ(TwigToXPath(empty, dict), "");
+}
+
+}  // namespace
+}  // namespace treelattice

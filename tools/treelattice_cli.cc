@@ -1,0 +1,276 @@
+// treelattice — command-line front end for the library.
+//
+//   treelattice build <doc.xml> --out=<summary> [--level=4]
+//       [--prune-delta=<d>]        mine a K-lattice summary from XML
+//   treelattice stats <summary>    print per-level pattern counts & size
+//   treelattice estimate <summary> <query>... [--estimator=recursive|
+//       voting|voting-median|fixed] estimate selectivity of queries
+//   treelattice truth <doc.xml> <query>...
+//                                  exact match counts (ground truth)
+//
+// Queries may be written in the twig format "a(b,c(d))" or as an XPath
+// subset "/a/b[c][d/e]" — anything containing '/' or '[' is treated as
+// XPath. Summaries are written as two files: <out> (the lattice) and
+// <out>.dict (the label dictionary), so estimation never needs the
+// original document.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/explain.h"
+#include "core/fixed_size_estimator.h"
+#include "core/pruning.h"
+#include "core/recursive_estimator.h"
+#include "harness/flags.h"
+#include "match/matcher.h"
+#include "mining/lattice_builder.h"
+#include "summary/lattice_summary.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+#include "xml/parser.h"
+#include "xpath/xpath.h"
+
+namespace treelattice {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  treelattice build <doc.xml> --out=<summary> [--level=4] "
+               "[--prune-delta=<d>]\n"
+               "  treelattice stats <summary>\n"
+               "  treelattice estimate <summary> <query>... "
+               "[--estimator=recursive|voting|voting-median|fixed] "
+               "[--explain]\n"
+               "  treelattice truth <doc.xml> <query>...\n");
+  return 2;
+}
+
+Status SaveDict(const LabelDict& dict, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  for (size_t i = 0; i < dict.size(); ++i) {
+    out << dict.Name(static_cast<LabelId>(i)) << '\n';
+  }
+  if (!out) return Status::IOError("write failure on " + path);
+  return Status::OK();
+}
+
+Result<LabelDict> LoadDict(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  LabelDict dict;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) dict.Intern(line);
+  }
+  return dict;
+}
+
+Result<Twig> ParseQuery(const std::string& text, LabelDict* dict) {
+  if (text.find('/') != std::string::npos ||
+      text.find('[') != std::string::npos) {
+    return CompileXPath(text, dict);
+  }
+  return Twig::Parse(text, dict);
+}
+
+/// Positional (non --flag) arguments after the subcommand.
+std::vector<std::string> Positionals(int argc, char** argv) {
+  std::vector<std::string> out;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) != 0) out.emplace_back(argv[i]);
+  }
+  return out;
+}
+
+int RunBuild(int argc, char** argv, const Flags& flags) {
+  std::vector<std::string> args = Positionals(argc, argv);
+  if (args.size() != 1) return Usage();
+  std::string out_path = flags.GetString("out", "");
+  if (out_path.empty()) {
+    std::fprintf(stderr, "build: --out=<summary> is required\n");
+    return 2;
+  }
+
+  WallTimer timer;
+  Result<Document> doc = ParseXmlFile(args[0]);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "%s\n", doc.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("parsed %zu elements in %.2fs\n", doc->NumNodes(),
+              timer.ElapsedSeconds());
+
+  LatticeBuildOptions options;
+  options.max_level = static_cast<int>(flags.GetInt("level", 4));
+  LatticeBuildStats stats;
+  Result<LatticeSummary> summary = BuildLattice(*doc, options, &stats);
+  if (!summary.ok()) {
+    std::fprintf(stderr, "%s\n", summary.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("mined %zu patterns (levels 1-%d) in %.2fs\n",
+              summary->NumPatterns(), options.max_level, stats.build_seconds);
+
+  double delta = flags.GetDouble("prune-delta", -1.0);
+  if (delta >= 0.0) {
+    PruneOptions prune;
+    prune.delta = delta;
+    PruneStats prune_stats;
+    Result<LatticeSummary> pruned =
+        PruneDerivablePatterns(*summary, prune, &prune_stats);
+    if (!pruned.ok()) {
+      std::fprintf(stderr, "%s\n", pruned.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("pruned %zu derivable patterns (delta=%.2f): %s -> %s\n",
+                prune_stats.patterns_before - prune_stats.patterns_after,
+                delta, HumanBytes(prune_stats.bytes_before).c_str(),
+                HumanBytes(prune_stats.bytes_after).c_str());
+    summary = std::move(pruned);
+  }
+
+  if (Status s = summary->SaveToFile(out_path); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (Status s = SaveDict(doc->dict(), out_path + ".dict"); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%s) and %s.dict\n", out_path.c_str(),
+              HumanBytes(summary->MemoryBytes()).c_str(), out_path.c_str());
+  return 0;
+}
+
+int RunStats(int argc, char** argv) {
+  std::vector<std::string> args = Positionals(argc, argv);
+  if (args.size() != 1) return Usage();
+  Result<LatticeSummary> summary = LatticeSummary::LoadFromFile(args[0]);
+  if (!summary.ok()) {
+    std::fprintf(stderr, "%s\n", summary.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("max level:        %d\n", summary->max_level());
+  std::printf("complete through: %d\n", summary->complete_through_level());
+  for (int level = 1; level <= summary->max_level(); ++level) {
+    std::printf("level %d patterns: %zu\n", level,
+                summary->NumPatterns(level));
+  }
+  std::printf("total:            %zu patterns, %s\n", summary->NumPatterns(),
+              HumanBytes(summary->MemoryBytes()).c_str());
+  return 0;
+}
+
+int RunEstimate(int argc, char** argv, const Flags& flags) {
+  std::vector<std::string> args = Positionals(argc, argv);
+  if (args.size() < 2) return Usage();
+  Result<LatticeSummary> summary = LatticeSummary::LoadFromFile(args[0]);
+  if (!summary.ok()) {
+    std::fprintf(stderr, "%s\n", summary.status().ToString().c_str());
+    return 1;
+  }
+  Result<LabelDict> dict = LoadDict(args[0] + ".dict");
+  if (!dict.ok()) {
+    std::fprintf(stderr, "%s (summaries written by 'build' carry a .dict "
+                         "sidecar)\n",
+                 dict.status().ToString().c_str());
+    return 1;
+  }
+
+  std::string kind = flags.GetString("estimator", "recursive");
+  std::unique_ptr<SelectivityEstimator> estimator;
+  using Options = RecursiveDecompositionEstimator::Options;
+  using Agg = RecursiveDecompositionEstimator::VoteAggregation;
+  if (kind == "recursive") {
+    estimator =
+        std::make_unique<RecursiveDecompositionEstimator>(&*summary);
+  } else if (kind == "voting") {
+    estimator = std::make_unique<RecursiveDecompositionEstimator>(
+        &*summary, Options{true, 0, Agg::kMean});
+  } else if (kind == "voting-median") {
+    estimator = std::make_unique<RecursiveDecompositionEstimator>(
+        &*summary, Options{true, 0, Agg::kMedian});
+  } else if (kind == "fixed") {
+    estimator =
+        std::make_unique<FixedSizeDecompositionEstimator>(&*summary);
+  } else {
+    std::fprintf(stderr, "unknown estimator '%s'\n", kind.c_str());
+    return 2;
+  }
+
+  const bool explain = flags.GetBool("explain", false);
+  int failures = 0;
+  for (size_t i = 1; i < args.size(); ++i) {
+    Result<Twig> query = ParseQuery(args[i], &*dict);
+    if (!query.ok()) {
+      std::fprintf(stderr, "%s: %s\n", args[i].c_str(),
+                   query.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    WallTimer timer;
+    Result<double> estimate = estimator->Estimate(*query);
+    if (!estimate.ok()) {
+      std::fprintf(stderr, "%s: %s\n", args[i].c_str(),
+                   estimate.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    std::printf("%-50s %14.2f   (%.0f us, %s)\n", args[i].c_str(), *estimate,
+                timer.ElapsedMicros(), estimator->name().c_str());
+    if (explain) {
+      Result<std::unique_ptr<ExplainNode>> trace =
+          ExplainEstimate(*summary, *query, *dict);
+      if (trace.ok()) {
+        std::printf("%s", RenderExplain(**trace).c_str());
+      }
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int RunTruth(int argc, char** argv) {
+  std::vector<std::string> args = Positionals(argc, argv);
+  if (args.size() < 2) return Usage();
+  Result<Document> doc = ParseXmlFile(args[0]);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "%s\n", doc.status().ToString().c_str());
+    return 1;
+  }
+  MatchCounter counter(*doc);
+  int failures = 0;
+  for (size_t i = 1; i < args.size(); ++i) {
+    Result<Twig> query = ParseQuery(args[i], &doc->mutable_dict());
+    if (!query.ok()) {
+      std::fprintf(stderr, "%s: %s\n", args[i].c_str(),
+                   query.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    std::printf("%-50s %14llu\n", args[i].c_str(),
+                static_cast<unsigned long long>(counter.Count(*query)));
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Flags flags(argc, argv);
+  std::string command = argv[1];
+  if (command == "build") return RunBuild(argc, argv, flags);
+  if (command == "stats") return RunStats(argc, argv);
+  if (command == "estimate") return RunEstimate(argc, argv, flags);
+  if (command == "truth") return RunTruth(argc, argv);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace treelattice
+
+int main(int argc, char** argv) { return treelattice::Main(argc, argv); }
