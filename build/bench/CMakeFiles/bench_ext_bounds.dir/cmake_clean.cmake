@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_bounds.dir/bench_ext_bounds.cc.o"
+  "CMakeFiles/bench_ext_bounds.dir/bench_ext_bounds.cc.o.d"
+  "bench_ext_bounds"
+  "bench_ext_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_incremental.dir/bench_ext_incremental.cc.o"
+  "CMakeFiles/bench_ext_incremental.dir/bench_ext_incremental.cc.o.d"
+  "bench_ext_incremental"
+  "bench_ext_incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

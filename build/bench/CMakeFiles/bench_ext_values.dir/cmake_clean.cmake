@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_values.dir/bench_ext_values.cc.o"
+  "CMakeFiles/bench_ext_values.dir/bench_ext_values.cc.o.d"
+  "bench_ext_values"
+  "bench_ext_values.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_values.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_voting.dir/bench_ext_voting.cc.o"
+  "CMakeFiles/bench_ext_voting.dir/bench_ext_voting.cc.o.d"
+  "bench_ext_voting"
+  "bench_ext_voting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_voting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro.cc" "bench/CMakeFiles/bench_micro.dir/bench_micro.cc.o" "gcc" "bench/CMakeFiles/bench_micro.dir/bench_micro.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/tl_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/twig/CMakeFiles/tl_twig.dir/DependInfo.cmake"
+  "/root/repo/build/src/xpath/CMakeFiles/tl_xpath.dir/DependInfo.cmake"
+  "/root/repo/build/src/match/CMakeFiles/tl_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/mining/CMakeFiles/tl_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/summary/CMakeFiles/tl_summary.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/treesketch/CMakeFiles/tl_treesketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/tl_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tl_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/tl_harness.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

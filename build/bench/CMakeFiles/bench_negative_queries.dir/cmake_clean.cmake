@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_negative_queries.dir/bench_negative_queries.cc.o"
+  "CMakeFiles/bench_negative_queries.dir/bench_negative_queries.cc.o.d"
+  "bench_negative_queries"
+  "bench_negative_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_negative_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

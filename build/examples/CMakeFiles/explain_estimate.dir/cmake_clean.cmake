@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explain_estimate.dir/explain_estimate.cpp.o"
+  "CMakeFiles/explain_estimate.dir/explain_estimate.cpp.o.d"
+  "explain_estimate"
+  "explain_estimate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explain_estimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

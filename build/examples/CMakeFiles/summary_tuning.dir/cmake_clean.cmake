@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summary_tuning.dir/summary_tuning.cpp.o"
+  "CMakeFiles/summary_tuning.dir/summary_tuning.cpp.o.d"
+  "summary_tuning"
+  "summary_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summary_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/calibrated_estimator.cc" "src/core/CMakeFiles/tl_core.dir/calibrated_estimator.cc.o" "gcc" "src/core/CMakeFiles/tl_core.dir/calibrated_estimator.cc.o.d"
+  "/root/repo/src/core/explain.cc" "src/core/CMakeFiles/tl_core.dir/explain.cc.o" "gcc" "src/core/CMakeFiles/tl_core.dir/explain.cc.o.d"
+  "/root/repo/src/core/fixed_size_estimator.cc" "src/core/CMakeFiles/tl_core.dir/fixed_size_estimator.cc.o" "gcc" "src/core/CMakeFiles/tl_core.dir/fixed_size_estimator.cc.o.d"
+  "/root/repo/src/core/markov_path_estimator.cc" "src/core/CMakeFiles/tl_core.dir/markov_path_estimator.cc.o" "gcc" "src/core/CMakeFiles/tl_core.dir/markov_path_estimator.cc.o.d"
+  "/root/repo/src/core/path_decomposition_estimator.cc" "src/core/CMakeFiles/tl_core.dir/path_decomposition_estimator.cc.o" "gcc" "src/core/CMakeFiles/tl_core.dir/path_decomposition_estimator.cc.o.d"
+  "/root/repo/src/core/pruning.cc" "src/core/CMakeFiles/tl_core.dir/pruning.cc.o" "gcc" "src/core/CMakeFiles/tl_core.dir/pruning.cc.o.d"
+  "/root/repo/src/core/recursive_estimator.cc" "src/core/CMakeFiles/tl_core.dir/recursive_estimator.cc.o" "gcc" "src/core/CMakeFiles/tl_core.dir/recursive_estimator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/twig/CMakeFiles/tl_twig.dir/DependInfo.cmake"
+  "/root/repo/build/src/summary/CMakeFiles/tl_summary.dir/DependInfo.cmake"
+  "/root/repo/build/src/match/CMakeFiles/tl_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tl_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/tl_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tl_core.dir/calibrated_estimator.cc.o"
+  "CMakeFiles/tl_core.dir/calibrated_estimator.cc.o.d"
+  "CMakeFiles/tl_core.dir/explain.cc.o"
+  "CMakeFiles/tl_core.dir/explain.cc.o.d"
+  "CMakeFiles/tl_core.dir/fixed_size_estimator.cc.o"
+  "CMakeFiles/tl_core.dir/fixed_size_estimator.cc.o.d"
+  "CMakeFiles/tl_core.dir/markov_path_estimator.cc.o"
+  "CMakeFiles/tl_core.dir/markov_path_estimator.cc.o.d"
+  "CMakeFiles/tl_core.dir/path_decomposition_estimator.cc.o"
+  "CMakeFiles/tl_core.dir/path_decomposition_estimator.cc.o.d"
+  "CMakeFiles/tl_core.dir/pruning.cc.o"
+  "CMakeFiles/tl_core.dir/pruning.cc.o.d"
+  "CMakeFiles/tl_core.dir/recursive_estimator.cc.o"
+  "CMakeFiles/tl_core.dir/recursive_estimator.cc.o.d"
+  "libtl_core.a"
+  "libtl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

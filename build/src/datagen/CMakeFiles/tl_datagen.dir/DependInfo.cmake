@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/imdb.cc" "src/datagen/CMakeFiles/tl_datagen.dir/imdb.cc.o" "gcc" "src/datagen/CMakeFiles/tl_datagen.dir/imdb.cc.o.d"
+  "/root/repo/src/datagen/nasa.cc" "src/datagen/CMakeFiles/tl_datagen.dir/nasa.cc.o" "gcc" "src/datagen/CMakeFiles/tl_datagen.dir/nasa.cc.o.d"
+  "/root/repo/src/datagen/psd.cc" "src/datagen/CMakeFiles/tl_datagen.dir/psd.cc.o" "gcc" "src/datagen/CMakeFiles/tl_datagen.dir/psd.cc.o.d"
+  "/root/repo/src/datagen/random_tree.cc" "src/datagen/CMakeFiles/tl_datagen.dir/random_tree.cc.o" "gcc" "src/datagen/CMakeFiles/tl_datagen.dir/random_tree.cc.o.d"
+  "/root/repo/src/datagen/registry.cc" "src/datagen/CMakeFiles/tl_datagen.dir/registry.cc.o" "gcc" "src/datagen/CMakeFiles/tl_datagen.dir/registry.cc.o.d"
+  "/root/repo/src/datagen/xmark.cc" "src/datagen/CMakeFiles/tl_datagen.dir/xmark.cc.o" "gcc" "src/datagen/CMakeFiles/tl_datagen.dir/xmark.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/tl_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tl_datagen.dir/imdb.cc.o"
+  "CMakeFiles/tl_datagen.dir/imdb.cc.o.d"
+  "CMakeFiles/tl_datagen.dir/nasa.cc.o"
+  "CMakeFiles/tl_datagen.dir/nasa.cc.o.d"
+  "CMakeFiles/tl_datagen.dir/psd.cc.o"
+  "CMakeFiles/tl_datagen.dir/psd.cc.o.d"
+  "CMakeFiles/tl_datagen.dir/random_tree.cc.o"
+  "CMakeFiles/tl_datagen.dir/random_tree.cc.o.d"
+  "CMakeFiles/tl_datagen.dir/registry.cc.o"
+  "CMakeFiles/tl_datagen.dir/registry.cc.o.d"
+  "CMakeFiles/tl_datagen.dir/xmark.cc.o"
+  "CMakeFiles/tl_datagen.dir/xmark.cc.o.d"
+  "libtl_datagen.a"
+  "libtl_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tl_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

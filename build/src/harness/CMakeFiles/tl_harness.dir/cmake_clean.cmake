@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tl_harness.dir/experiment.cc.o"
+  "CMakeFiles/tl_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/tl_harness.dir/flags.cc.o"
+  "CMakeFiles/tl_harness.dir/flags.cc.o.d"
+  "CMakeFiles/tl_harness.dir/metrics.cc.o"
+  "CMakeFiles/tl_harness.dir/metrics.cc.o.d"
+  "libtl_harness.a"
+  "libtl_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tl_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

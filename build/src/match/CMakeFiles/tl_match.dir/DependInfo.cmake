@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/match/brute_force.cc" "src/match/CMakeFiles/tl_match.dir/brute_force.cc.o" "gcc" "src/match/CMakeFiles/tl_match.dir/brute_force.cc.o.d"
+  "/root/repo/src/match/matcher.cc" "src/match/CMakeFiles/tl_match.dir/matcher.cc.o" "gcc" "src/match/CMakeFiles/tl_match.dir/matcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/tl_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/twig/CMakeFiles/tl_twig.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tl_match.dir/brute_force.cc.o"
+  "CMakeFiles/tl_match.dir/brute_force.cc.o.d"
+  "CMakeFiles/tl_match.dir/matcher.cc.o"
+  "CMakeFiles/tl_match.dir/matcher.cc.o.d"
+  "libtl_match.a"
+  "libtl_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tl_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

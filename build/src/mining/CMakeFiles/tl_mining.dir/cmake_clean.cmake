@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tl_mining.dir/freqt_builder.cc.o"
+  "CMakeFiles/tl_mining.dir/freqt_builder.cc.o.d"
+  "CMakeFiles/tl_mining.dir/incremental.cc.o"
+  "CMakeFiles/tl_mining.dir/incremental.cc.o.d"
+  "CMakeFiles/tl_mining.dir/lattice_builder.cc.o"
+  "CMakeFiles/tl_mining.dir/lattice_builder.cc.o.d"
+  "libtl_mining.a"
+  "libtl_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tl_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

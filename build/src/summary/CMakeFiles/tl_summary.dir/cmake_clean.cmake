@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tl_summary.dir/lattice_summary.cc.o"
+  "CMakeFiles/tl_summary.dir/lattice_summary.cc.o.d"
+  "libtl_summary.a"
+  "libtl_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tl_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tl_treesketch.dir/tree_sketch.cc.o"
+  "CMakeFiles/tl_treesketch.dir/tree_sketch.cc.o.d"
+  "libtl_treesketch.a"
+  "libtl_treesketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tl_treesketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

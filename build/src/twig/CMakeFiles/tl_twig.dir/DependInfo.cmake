@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/twig/automorphisms.cc" "src/twig/CMakeFiles/tl_twig.dir/automorphisms.cc.o" "gcc" "src/twig/CMakeFiles/tl_twig.dir/automorphisms.cc.o.d"
+  "/root/repo/src/twig/decompose.cc" "src/twig/CMakeFiles/tl_twig.dir/decompose.cc.o" "gcc" "src/twig/CMakeFiles/tl_twig.dir/decompose.cc.o.d"
+  "/root/repo/src/twig/twig.cc" "src/twig/CMakeFiles/tl_twig.dir/twig.cc.o" "gcc" "src/twig/CMakeFiles/tl_twig.dir/twig.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/tl_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tl_twig.dir/automorphisms.cc.o"
+  "CMakeFiles/tl_twig.dir/automorphisms.cc.o.d"
+  "CMakeFiles/tl_twig.dir/decompose.cc.o"
+  "CMakeFiles/tl_twig.dir/decompose.cc.o.d"
+  "CMakeFiles/tl_twig.dir/twig.cc.o"
+  "CMakeFiles/tl_twig.dir/twig.cc.o.d"
+  "libtl_twig.a"
+  "libtl_twig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tl_twig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tl_util.dir/rng.cc.o"
+  "CMakeFiles/tl_util.dir/rng.cc.o.d"
+  "CMakeFiles/tl_util.dir/status.cc.o"
+  "CMakeFiles/tl_util.dir/status.cc.o.d"
+  "CMakeFiles/tl_util.dir/string_util.cc.o"
+  "CMakeFiles/tl_util.dir/string_util.cc.o.d"
+  "libtl_util.a"
+  "libtl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tl_workload.dir/workload.cc.o"
+  "CMakeFiles/tl_workload.dir/workload.cc.o.d"
+  "libtl_workload.a"
+  "libtl_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tl_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tl_xml.dir/document.cc.o"
+  "CMakeFiles/tl_xml.dir/document.cc.o.d"
+  "CMakeFiles/tl_xml.dir/parser.cc.o"
+  "CMakeFiles/tl_xml.dir/parser.cc.o.d"
+  "CMakeFiles/tl_xml.dir/stats.cc.o"
+  "CMakeFiles/tl_xml.dir/stats.cc.o.d"
+  "CMakeFiles/tl_xml.dir/writer.cc.o"
+  "CMakeFiles/tl_xml.dir/writer.cc.o.d"
+  "libtl_xml.a"
+  "libtl_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tl_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

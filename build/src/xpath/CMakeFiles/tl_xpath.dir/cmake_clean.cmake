@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tl_xpath.dir/xpath.cc.o"
+  "CMakeFiles/tl_xpath.dir/xpath.cc.o.d"
+  "libtl_xpath.a"
+  "libtl_xpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tl_xpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrated_test.dir/calibrated_test.cc.o"
+  "CMakeFiles/calibrated_test.dir/calibrated_test.cc.o.d"
+  "calibrated_test"
+  "calibrated_test.pdb"
+  "calibrated_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrated_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

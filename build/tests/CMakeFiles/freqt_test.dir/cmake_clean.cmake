@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freqt_test.dir/freqt_test.cc.o"
+  "CMakeFiles/freqt_test.dir/freqt_test.cc.o.d"
+  "freqt_test"
+  "freqt_test.pdb"
+  "freqt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freqt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

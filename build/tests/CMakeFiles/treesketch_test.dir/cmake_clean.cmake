@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treesketch_test.dir/treesketch_test.cc.o"
+  "CMakeFiles/treesketch_test.dir/treesketch_test.cc.o.d"
+  "treesketch_test"
+  "treesketch_test.pdb"
+  "treesketch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treesketch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

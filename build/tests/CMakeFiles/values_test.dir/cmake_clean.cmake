@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/values_test.dir/values_test.cc.o"
+  "CMakeFiles/values_test.dir/values_test.cc.o.d"
+  "values_test"
+  "values_test.pdb"
+  "values_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/values_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

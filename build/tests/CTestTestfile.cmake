@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/xml_test[1]_include.cmake")
+include("/root/repo/build/tests/twig_test[1]_include.cmake")
+include("/root/repo/build/tests/decompose_test[1]_include.cmake")
+include("/root/repo/build/tests/match_test[1]_include.cmake")
+include("/root/repo/build/tests/mining_test[1]_include.cmake")
+include("/root/repo/build/tests/summary_test[1]_include.cmake")
+include("/root/repo/build/tests/estimator_test[1]_include.cmake")
+include("/root/repo/build/tests/pruning_test[1]_include.cmake")
+include("/root/repo/build/tests/treesketch_test[1]_include.cmake")
+include("/root/repo/build/tests/datagen_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
+include("/root/repo/build/tests/theory_test[1]_include.cmake")
+include("/root/repo/build/tests/flags_test[1]_include.cmake")
+include("/root/repo/build/tests/incremental_test[1]_include.cmake")
+include("/root/repo/build/tests/xpath_test[1]_include.cmake")
+include("/root/repo/build/tests/calibrated_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/path_baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/values_test[1]_include.cmake")
+include("/root/repo/build/tests/freqt_test[1]_include.cmake")
+include("/root/repo/build/tests/explain_test[1]_include.cmake")
+include("/root/repo/build/tests/e2e_shapes_test[1]_include.cmake")
+add_test(cli_smoke "sh" "/root/repo/tests/cli_smoke.sh" "/root/repo/build/tools/treelattice")
+set_tests_properties(cli_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;40;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treelattice.dir/treelattice_cli.cc.o"
+  "CMakeFiles/treelattice.dir/treelattice_cli.cc.o.d"
+  "treelattice"
+  "treelattice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treelattice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
