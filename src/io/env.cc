@@ -1,0 +1,48 @@
+#include "io/env.h"
+
+namespace treelattice {
+
+Status WriteFileAtomic(Env* env, const std::string& path,
+                       std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  Result<std::unique_ptr<WritableFile>> file = env->NewWritableFile(tmp);
+  if (!file.ok()) return file.status();
+
+  Status status = (*file)->Append(contents);
+  if (status.ok()) status = (*file)->Sync();
+  if (status.ok()) status = (*file)->Close();
+  if (status.ok()) status = env->RenameFile(tmp, path);
+  if (!status.ok()) {
+    // Best-effort cleanup; the original error is what the caller needs.
+    (*file)->Close();
+    env->DeleteFile(tmp);
+    return status;
+  }
+  return Status::OK();
+}
+
+Status ReadFileToString(Env* env, const std::string& path, std::string* out) {
+  out->clear();
+  Result<uint64_t> size = env->GetFileSize(path);
+  if (!size.ok()) return size.status();
+  Result<std::unique_ptr<RandomAccessFile>> file =
+      env->NewRandomAccessFile(path);
+  if (!file.ok()) return file.status();
+
+  out->reserve(static_cast<size_t>(*size));
+  std::string chunk;
+  uint64_t offset = 0;
+  while (offset < *size) {
+    size_t want = static_cast<size_t>(*size - offset);
+    TL_RETURN_IF_ERROR((*file)->Read(offset, want, &chunk));
+    if (chunk.empty()) {
+      // EOF before the stat'd size: the file shrank underneath us.
+      return Status::IOError("short read on " + path);
+    }
+    out->append(chunk);
+    offset += chunk.size();
+  }
+  return Status::OK();
+}
+
+}  // namespace treelattice

@@ -1,0 +1,81 @@
+#ifndef TREELATTICE_IO_ENV_H_
+#define TREELATTICE_IO_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+
+namespace treelattice {
+
+/// A file opened for sequential appending. Writers must call Close() (or
+/// let Sync() + destructor run) and check every Status: an Append that
+/// fails may have written a prefix of the data (torn write), which is
+/// exactly what the atomic-save protocol in WriteFileAtomic defends
+/// against.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Appends `data` at the end of the file.
+  virtual Status Append(std::string_view data) = 0;
+
+  /// Flushes buffered data and forces it to stable storage (fsync).
+  virtual Status Sync() = 0;
+
+  /// Closes the file. Idempotent; further Appends fail.
+  virtual Status Close() = 0;
+};
+
+/// A file opened for positional reads. Thread-compatible: concurrent Read
+/// calls at distinct offsets are safe on the Posix implementation (pread).
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+
+  /// Reads up to `n` bytes starting at `offset` into `*out` (replacing its
+  /// contents). A short result (including empty) at end-of-file is not an
+  /// error; callers that need exactly `n` bytes must loop or use
+  /// ReadFileToString.
+  virtual Status Read(uint64_t offset, size_t n, std::string* out) const = 0;
+};
+
+/// Narrow filesystem abstraction in the RocksDB Env style. All persistence
+/// in TreeLattice goes through an Env so tests can substitute a
+/// FaultInjectingEnv and exercise every failure path that a production
+/// filesystem can produce.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) = 0;
+  virtual Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) = 0;
+
+  /// Atomically replaces `to` with `from` (rename(2) semantics).
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+  virtual Status DeleteFile(const std::string& path) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual Result<uint64_t> GetFileSize(const std::string& path) = 0;
+
+  /// The process-wide Posix environment.
+  static Env* Default();
+};
+
+/// Crash-safe whole-file write: writes `contents` to `path + ".tmp"`,
+/// fsyncs, closes, then renames over `path`. On any failure the temp file
+/// is deleted and `path` is left untouched (either the old version or
+/// absent) — a reader can never observe a partially written `path`.
+Status WriteFileAtomic(Env* env, const std::string& path,
+                       std::string_view contents);
+
+/// Reads the whole of `path` into `*out`, looping over short reads.
+Status ReadFileToString(Env* env, const std::string& path, std::string* out);
+
+}  // namespace treelattice
+
+#endif  // TREELATTICE_IO_ENV_H_

@@ -1,0 +1,137 @@
+#include "io/fault_env.h"
+
+namespace treelattice {
+
+struct FaultInjectingEnv::State {
+  FaultInjectionConfig config;
+  int64_t bytes_written = 0;
+  int appends = 0;
+  int syncs = 0;
+  int renames = 0;
+  int deletes = 0;
+  int reads = 0;
+};
+
+namespace {
+
+class FaultWritableFile : public WritableFile {
+ public:
+  FaultWritableFile(std::unique_ptr<WritableFile> base,
+                    std::shared_ptr<FaultInjectingEnv::State> state)
+      : base_(std::move(base)), state_(std::move(state)) {}
+
+  Status Append(std::string_view data) override {
+    ++state_->appends;
+    const int64_t budget = state_->config.fail_write_after_bytes;
+    if (budget >= 0) {
+      int64_t room = budget - state_->bytes_written;
+      if (room < static_cast<int64_t>(data.size())) {
+        if (room > 0 && state_->config.torn_writes) {
+          std::string_view prefix = data.substr(0, static_cast<size_t>(room));
+          state_->bytes_written += room;
+          base_->Append(prefix);  // the torn prefix reaches the disk
+        }
+        return Status::IOError("injected write failure");
+      }
+    }
+    state_->bytes_written += static_cast<int64_t>(data.size());
+    return base_->Append(data);
+  }
+
+  Status Sync() override {
+    ++state_->syncs;
+    if (state_->config.fail_sync) {
+      return Status::IOError("injected fsync failure");
+    }
+    return base_->Sync();
+  }
+
+  Status Close() override { return base_->Close(); }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  std::shared_ptr<FaultInjectingEnv::State> state_;
+};
+
+class FaultRandomAccessFile : public RandomAccessFile {
+ public:
+  FaultRandomAccessFile(std::unique_ptr<RandomAccessFile> base,
+                        std::shared_ptr<FaultInjectingEnv::State> state)
+      : base_(std::move(base)), state_(std::move(state)) {}
+
+  Status Read(uint64_t offset, size_t n, std::string* out) const override {
+    ++state_->reads;
+    if (state_->config.fail_read) {
+      return Status::IOError("injected read failure");
+    }
+    const size_t cap = state_->config.short_read_cap;
+    if (cap > 0 && n > cap) n = cap;
+    return base_->Read(offset, n, out);
+  }
+
+ private:
+  std::unique_ptr<RandomAccessFile> base_;
+  std::shared_ptr<FaultInjectingEnv::State> state_;
+};
+
+}  // namespace
+
+FaultInjectingEnv::FaultInjectingEnv(Env* base)
+    : base_(base), state_(std::make_shared<State>()) {}
+
+FaultInjectingEnv::~FaultInjectingEnv() = default;
+
+FaultInjectionConfig& FaultInjectingEnv::config() { return state_->config; }
+
+void FaultInjectingEnv::Reset() { *state_ = State(); }
+
+int64_t FaultInjectingEnv::bytes_written() const {
+  return state_->bytes_written;
+}
+int FaultInjectingEnv::appends() const { return state_->appends; }
+int FaultInjectingEnv::syncs() const { return state_->syncs; }
+int FaultInjectingEnv::renames() const { return state_->renames; }
+int FaultInjectingEnv::deletes() const { return state_->deletes; }
+int FaultInjectingEnv::reads() const { return state_->reads; }
+
+Result<std::unique_ptr<WritableFile>> FaultInjectingEnv::NewWritableFile(
+    const std::string& path) {
+  Result<std::unique_ptr<WritableFile>> base = base_->NewWritableFile(path);
+  if (!base.ok()) return base.status();
+  return std::unique_ptr<WritableFile>(std::make_unique<FaultWritableFile>(
+      std::move(base).value(), state_));
+}
+
+Result<std::unique_ptr<RandomAccessFile>>
+FaultInjectingEnv::NewRandomAccessFile(const std::string& path) {
+  Result<std::unique_ptr<RandomAccessFile>> base =
+      base_->NewRandomAccessFile(path);
+  if (!base.ok()) return base.status();
+  return std::unique_ptr<RandomAccessFile>(
+      std::make_unique<FaultRandomAccessFile>(std::move(base).value(),
+                                              state_));
+}
+
+Status FaultInjectingEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  ++state_->renames;
+  if (state_->config.fail_rename) {
+    return Status::IOError("injected rename failure");
+  }
+  return base_->RenameFile(from, to);
+}
+
+Status FaultInjectingEnv::DeleteFile(const std::string& path) {
+  ++state_->deletes;
+  return base_->DeleteFile(path);
+}
+
+bool FaultInjectingEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Result<uint64_t> FaultInjectingEnv::GetFileSize(const std::string& path) {
+  return base_->GetFileSize(path);
+}
+
+}  // namespace treelattice

@@ -1,0 +1,78 @@
+#ifndef TREELATTICE_IO_FAULT_ENV_H_
+#define TREELATTICE_IO_FAULT_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "io/env.h"
+
+namespace treelattice {
+
+/// Faults the wrapper can inject. Fields may be adjusted between
+/// operations; they take effect immediately (shared with open files).
+struct FaultInjectionConfig {
+  /// Total bytes all WritableFiles may durably write before Append starts
+  /// failing with IOError. -1 disables the budget.
+  int64_t fail_write_after_bytes = -1;
+
+  /// When the write budget runs out mid-Append, write the surviving prefix
+  /// to the underlying file before reporting the error — a torn write, as
+  /// after a crash or a full disk.
+  bool torn_writes = false;
+
+  /// Every Sync fails with IOError (fsync returning EIO).
+  bool fail_sync = false;
+
+  /// Every RenameFile fails with IOError, leaving `from` in place.
+  bool fail_rename = false;
+
+  /// Every Read fails with IOError (injected EIO).
+  bool fail_read = false;
+
+  /// When > 0, each Read returns at most this many bytes, forcing callers
+  /// to handle short reads. 0 disables.
+  size_t short_read_cap = 0;
+};
+
+/// An Env decorator that forwards to a base Env (usually Env::Default())
+/// while injecting the failures configured in FaultInjectionConfig and
+/// counting operations. Tests use it to prove that every persistence path
+/// degrades to a clean Status — no crash, no partially visible file.
+class FaultInjectingEnv : public Env {
+ public:
+  struct State;  // shared with open file handles; definition is internal
+
+  explicit FaultInjectingEnv(Env* base);
+  ~FaultInjectingEnv() override;
+
+  FaultInjectionConfig& config();
+
+  /// Clears fault configuration and counters.
+  void Reset();
+
+  // Operation counters (since construction or Reset).
+  int64_t bytes_written() const;
+  int appends() const;
+  int syncs() const;
+  int renames() const;
+  int deletes() const;
+  int reads() const;
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override;
+  Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status DeleteFile(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Result<uint64_t> GetFileSize(const std::string& path) override;
+
+ private:
+  Env* base_;
+  std::shared_ptr<State> state_;  // shared with open file handles
+};
+
+}  // namespace treelattice
+
+#endif  // TREELATTICE_IO_FAULT_ENV_H_

@@ -1,0 +1,152 @@
+// Posix implementation of the Env abstraction: unbuffered fd-based I/O so
+// that Sync() gives a real durability point and torn writes are the only
+// partial-failure mode (matching what the fault injector simulates).
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "io/env.h"
+
+namespace treelattice {
+namespace {
+
+Status PosixError(const std::string& context, int err) {
+  return Status::IOError(context + ": " + std::strerror(err));
+}
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(std::string path, int fd)
+      : path_(std::move(path)), fd_(fd) {}
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    if (fd_ < 0) return Status::IOError("Append on closed file " + path_);
+    const char* p = data.data();
+    size_t n = data.size();
+    while (n > 0) {
+      ssize_t written = ::write(fd_, p, n);
+      if (written < 0) {
+        if (errno == EINTR) continue;
+        return PosixError("write " + path_, errno);
+      }
+      p += written;
+      n -= static_cast<size_t>(written);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (fd_ < 0) return Status::IOError("Sync on closed file " + path_);
+    if (::fsync(fd_) != 0) return PosixError("fsync " + path_, errno);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return PosixError("close " + path_, errno);
+    return Status::OK();
+  }
+
+ private:
+  std::string path_;
+  int fd_;
+};
+
+class PosixRandomAccessFile : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(std::string path, int fd)
+      : path_(std::move(path)), fd_(fd) {}
+
+  ~PosixRandomAccessFile() override { ::close(fd_); }
+
+  Status Read(uint64_t offset, size_t n, std::string* out) const override {
+    out->resize(n);
+    ssize_t got;
+    do {
+      got = ::pread(fd_, out->data(), n, static_cast<off_t>(offset));
+    } while (got < 0 && errno == EINTR);
+    if (got < 0) return PosixError("pread " + path_, errno);
+    out->resize(static_cast<size_t>(got));
+    return Status::OK();
+  }
+
+ private:
+  std::string path_;
+  int fd_;
+};
+
+class PosixEnv : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override {
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) return PosixError("open " + path + " for writing", errno);
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(path, fd));
+  }
+
+  Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return PosixError("open " + path, errno);
+    return std::unique_ptr<RandomAccessFile>(
+        std::make_unique<PosixRandomAccessFile>(path, fd));
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return PosixError("rename " + from + " -> " + to, errno);
+    }
+    // fsync the containing directory so the rename itself survives a crash;
+    // best-effort (some filesystems refuse O_RDONLY dir fsync).
+    std::string dir = to;
+    size_t slash = dir.find_last_of('/');
+    dir = slash == std::string::npos ? "." : dir.substr(0, slash + 1);
+    int dirfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dirfd >= 0) {
+      ::fsync(dirfd);
+      ::close(dirfd);
+    }
+    return Status::OK();
+  }
+
+  Status DeleteFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      return PosixError("unlink " + path, errno);
+    }
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  Result<uint64_t> GetFileSize(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+      return PosixError("stat " + path, errno);
+    }
+    return static_cast<uint64_t>(st.st_size);
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv env;
+  return &env;
+}
+
+}  // namespace treelattice

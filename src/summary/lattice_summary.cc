@@ -81,7 +81,7 @@ Status LatticeSummary::Erase(const std::string& code) {
   return Status::OK();
 }
 
-Status LatticeSummary::SaveToFile(const std::string& path) const {
+Status LatticeSummary::SaveToFileV1(const std::string& path) const {
   std::ofstream out(path);
   if (!out) return Status::IOError("cannot open " + path + " for writing");
   out << "TLSUMMARY v1\n"
@@ -96,30 +96,54 @@ Status LatticeSummary::SaveToFile(const std::string& path) const {
   return Status::OK();
 }
 
-Result<LatticeSummary> LatticeSummary::LoadFromFile(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open " + path);
+// SaveToFile and LoadFromFile live in summary_format.cc (they are thin
+// wrappers over the v2 container writer/loader).
+
+Result<LatticeSummary> LatticeSummary::FromV1Text(std::string_view contents,
+                                                  const std::string& origin) {
+  std::istringstream in{std::string(contents)};
   std::string magic;
   std::getline(in, magic);
   if (magic != "TLSUMMARY v1") {
-    return Status::Corruption("bad summary header in " + path);
+    return Status::Corruption("bad summary header in " + origin);
   }
   int max_level = 0;
   int complete = 0;
-  size_t n = 0;
+  uint64_t n = 0;
   in >> max_level >> complete >> n;
-  if (!in || max_level < 2) {
-    return Status::Corruption("bad summary metadata in " + path);
+  if (!in || max_level < 2 || max_level > kMaxLevelCap) {
+    return Status::Corruption("bad summary metadata in " + origin);
+  }
+  if (complete < 0 || complete > max_level) {
+    return Status::Corruption("completeness level out of range in " + origin);
+  }
+  // Every entry needs at least four bytes ("1 0\n"), so a count beyond the
+  // buffer size is a corrupt header, not a huge summary — reject before
+  // looping.
+  if (n > contents.size()) {
+    return Status::Corruption("pattern count exceeds file size in " + origin);
   }
   LatticeSummary summary(max_level);
-  for (size_t i = 0; i < n; ++i) {
+  for (uint64_t i = 0; i < n; ++i) {
     uint64_t count = 0;
     std::string code;
     in >> count >> code;
-    if (!in) return Status::Corruption("truncated summary in " + path);
+    if (!in) return Status::Corruption("truncated summary in " + origin);
     Result<Twig> twig = Twig::FromCanonicalCode(code);
-    if (!twig.ok()) return twig.status();
-    TL_RETURN_IF_ERROR(summary.Insert(*twig, count));
+    if (!twig.ok()) {
+      return Status::Corruption("bad canonical code in " + origin + ": " +
+                                twig.status().message());
+    }
+    Status inserted = summary.Insert(*twig, count);
+    if (!inserted.ok()) {
+      return Status::Corruption("bad pattern entry in " + origin + ": " +
+                                inserted.message());
+    }
+  }
+  std::string rest;
+  if (in >> rest) {
+    return Status::Corruption("trailing garbage after " + std::to_string(n) +
+                              " declared patterns in " + origin);
   }
   summary.set_complete_through_level(complete);
   return summary;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -60,10 +61,32 @@ class LatticeSummary {
   /// are never prunable). Returns NotFound if absent.
   Status Erase(const std::string& code);
 
-  /// Serializes to a small text format ("TLSUMMARY v1"). Stable across
-  /// platforms since canonical codes are label-id text.
+  /// Serializes to the checksummed binary container ("TLSUMMARY v2", see
+  /// summary_format.h), written atomically (temp file + fsync + rename) so
+  /// a crash mid-save can never leave a torn file at `path`. No label
+  /// dictionary is embedded; use SaveSummaryV2 to embed one.
   Status SaveToFile(const std::string& path) const;
+
+  /// Serializes to the legacy "TLSUMMARY v1" text format (no checksums, no
+  /// atomicity). Kept for cross-version tests and downgrade paths.
+  Status SaveToFileV1(const std::string& path) const;
+
+  /// Loads either format (v1 text or v2 container, sniffed by magic). A
+  /// section-corrupt v2 file is salvaged — see LoadSummary in
+  /// summary_format.h for the variant that reports salvage details and the
+  /// embedded dictionary.
   static Result<LatticeSummary> LoadFromFile(const std::string& path);
+
+  /// Parses the v1 text format from an in-memory buffer. Hardened against
+  /// corrupt input: header values are range-checked, the pattern count is
+  /// capped by the buffer size, and trailing garbage is rejected. `origin`
+  /// is used in error messages only.
+  static Result<LatticeSummary> FromV1Text(std::string_view contents,
+                                           const std::string& origin);
+
+  /// Largest max_level any parser accepts; a corrupt header cannot trigger
+  /// an unbounded allocation or load loop.
+  static constexpr int kMaxLevelCap = 4096;
 
  private:
   static int LevelOfCode(const std::string& code);

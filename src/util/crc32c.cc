@@ -1,0 +1,65 @@
+#include "util/crc32c.h"
+
+#include <array>
+#include <cstddef>
+
+namespace treelattice {
+namespace crc32c {
+namespace {
+
+// Reflected CRC-32C polynomial.
+constexpr uint32_t kPoly = 0x82f63b78u;
+
+// Slicing-by-4 tables, built once at first use. Table 0 is the classic
+// byte-at-a-time table; tables 1-3 extend it so four input bytes fold per
+// iteration, which is plenty for summary-sized files without requiring
+// SSE4.2 intrinsics.
+struct Tables {
+  std::array<std::array<uint32_t, 256>, 4> t;
+  Tables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xff];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xff];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xff];
+    }
+  }
+};
+
+const Tables& GetTables() {
+  static const Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Extend(uint32_t crc, std::string_view data) {
+  const Tables& tables = GetTables();
+  uint32_t c = ~crc;
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(data.data());
+  size_t n = data.size();
+  while (n >= 4) {
+    c ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+    c = tables.t[3][c & 0xff] ^ tables.t[2][(c >> 8) & 0xff] ^
+        tables.t[1][(c >> 16) & 0xff] ^ tables.t[0][c >> 24];
+    p += 4;
+    n -= 4;
+  }
+  while (n > 0) {
+    c = (c >> 8) ^ tables.t[0][(c ^ *p) & 0xff];
+    ++p;
+    --n;
+  }
+  return ~c;
+}
+
+}  // namespace crc32c
+}  // namespace treelattice

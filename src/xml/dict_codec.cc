@@ -1,0 +1,142 @@
+#include "xml/dict_codec.h"
+
+#include <limits>
+
+#include "util/coding.h"
+#include "util/string_util.h"
+
+namespace treelattice {
+namespace {
+
+constexpr std::string_view kDictMagic = "TLDICT v2";
+
+std::string EscapeName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    switch (c) {
+      case '%':
+        out += "%%";
+        break;
+      case '\n':
+        out += "%n";
+        break;
+      case '\r':
+        out += "%r";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+Status UnescapeName(std::string_view line, std::string* out) {
+  out->clear();
+  for (size_t i = 0; i < line.size(); ++i) {
+    if (line[i] != '%') {
+      out->push_back(line[i]);
+      continue;
+    }
+    if (i + 1 >= line.size()) {
+      return Status::Corruption("dict: dangling escape at end of line");
+    }
+    switch (line[++i]) {
+      case '%':
+        out->push_back('%');
+        break;
+      case 'n':
+        out->push_back('\n');
+        break;
+      case 'r':
+        out->push_back('\r');
+        break;
+      default:
+        return Status::Corruption("dict: unknown escape sequence");
+    }
+  }
+  return Status::OK();
+}
+
+Status InternChecked(LabelDict* dict, std::string_view name) {
+  LabelId expected = static_cast<LabelId>(dict->size());
+  if (dict->Intern(name) != expected) {
+    return Status::Corruption("dict: duplicate label name would shift ids");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveLabelDict(const LabelDict& dict, Env* env,
+                     const std::string& path) {
+  std::string contents(kDictMagic);
+  contents.push_back('\n');
+  for (size_t i = 0; i < dict.size(); ++i) {
+    contents += EscapeName(dict.Name(static_cast<LabelId>(i)));
+    contents.push_back('\n');
+  }
+  return WriteFileAtomic(env, path, contents);
+}
+
+Result<LabelDict> LoadLabelDict(Env* env, const std::string& path) {
+  std::string contents;
+  TL_RETURN_IF_ERROR(ReadFileToString(env, path, &contents));
+
+  std::vector<std::string_view> lines = SplitString(contents, '\n');
+  // A trailing newline produces one final empty piece that is not a label.
+  if (!lines.empty() && lines.back().empty()) lines.pop_back();
+
+  LabelDict dict;
+  bool escaped = !lines.empty() && lines[0] == kDictMagic;
+  std::string name;
+  for (size_t i = escaped ? 1 : 0; i < lines.size(); ++i) {
+    std::string_view line = lines[i];
+    // Lines may end in '\r' if the file transited a CRLF filesystem; only
+    // the escaped format can represent a genuine trailing '\r'.
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (escaped) {
+      TL_RETURN_IF_ERROR(UnescapeName(line, &name));
+      TL_RETURN_IF_ERROR(InternChecked(&dict, name));
+    } else {
+      TL_RETURN_IF_ERROR(InternChecked(&dict, line));
+    }
+  }
+  return dict;
+}
+
+void EncodeLabelDict(const LabelDict& dict, std::string* out) {
+  PutFixed32(out, static_cast<uint32_t>(dict.size()));
+  for (size_t i = 0; i < dict.size(); ++i) {
+    std::string_view name = dict.Name(static_cast<LabelId>(i));
+    PutFixed32(out, static_cast<uint32_t>(name.size()));
+    out->append(name);
+  }
+}
+
+Status DecodeLabelDict(std::string_view payload, LabelDict* dict) {
+  ByteReader reader(payload);
+  uint32_t count = 0;
+  if (!reader.GetFixed32(&count)) {
+    return Status::Corruption("dict block: truncated count");
+  }
+  if (count > payload.size()) {
+    // Each entry takes at least 4 bytes; an impossible count means a
+    // corrupt header, not a gigantic allocation.
+    return Status::Corruption("dict block: implausible label count");
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t len = 0;
+    std::string_view name;
+    if (!reader.GetFixed32(&len) || !reader.GetBytes(len, &name)) {
+      return Status::Corruption("dict block: truncated label entry");
+    }
+    TL_RETURN_IF_ERROR(InternChecked(dict, name));
+  }
+  if (!reader.empty()) {
+    return Status::Corruption("dict block: trailing bytes");
+  }
+  return Status::OK();
+}
+
+}  // namespace treelattice

@@ -1,0 +1,44 @@
+#ifndef TREELATTICE_XML_DICT_CODEC_H_
+#define TREELATTICE_XML_DICT_CODEC_H_
+
+#include <string>
+#include <string_view>
+
+#include "io/env.h"
+#include "util/result.h"
+#include "xml/label_dict.h"
+
+namespace treelattice {
+
+/// Serialization for LabelDict. Two encodings exist:
+///
+///  - A text sidecar ("TLDICT v2"): one label per line with %-escaping so
+///    names containing newlines, carriage returns, or '%' round-trip, and
+///    empty names occupy their line instead of vanishing. The seed's
+///    unescaped format (no header) is still read, WITHOUT skipping empty
+///    lines — skipping shifted every subsequent LabelId and silently
+///    corrupted all estimates.
+///  - A binary block (length-prefixed names) embedded in TLSUMMARY v2
+///    container files, which removes the summary/.dict pairing hazard.
+///
+/// Both decoders reject duplicate names: a duplicate would intern to an
+/// existing id and shift every later label.
+
+/// Writes the text sidecar atomically via `env`.
+Status SaveLabelDict(const LabelDict& dict, Env* env,
+                     const std::string& path);
+
+/// Reads a text sidecar written by SaveLabelDict or by the seed code.
+Result<LabelDict> LoadLabelDict(Env* env, const std::string& path);
+
+/// Appends the binary encoding of `dict` to `*out`.
+void EncodeLabelDict(const LabelDict& dict, std::string* out);
+
+/// Decodes a binary block produced by EncodeLabelDict into `*dict` (which
+/// must be empty). Bounds-checked: corrupt length fields yield Corruption,
+/// never an out-of-bounds read.
+Status DecodeLabelDict(std::string_view payload, LabelDict* dict);
+
+}  // namespace treelattice
+
+#endif  // TREELATTICE_XML_DICT_CODEC_H_

@@ -1,7 +1,10 @@
 #!/bin/sh
 # End-to-end smoke test of the treelattice CLI: build a summary from XML,
-# inspect it, estimate twig + XPath queries (with --explain), and compare
-# against exact counts. Invoked by ctest with the binary path as $1.
+# inspect and verify it, estimate twig + XPath queries (with --explain),
+# and compare against exact counts. Also exercises the crash-safety
+# surface: a deliberately truncated summary must be flagged by `verify`
+# and either salvaged or cleanly refused by `estimate`. Invoked by ctest
+# with the binary path as $1.
 set -e
 
 CLI="$1"
@@ -19,16 +22,27 @@ cat > "$WORKDIR/doc.xml" <<'EOF'
 </catalog>
 EOF
 
-# build
+# build: writes a single v2 container, no .dict sidecar
 "$CLI" build "$WORKDIR/doc.xml" --out="$WORKDIR/doc.summary" --level=3 \
     > "$WORKDIR/build.out"
 grep -q "parsed 13 elements" "$WORKDIR/build.out"
+grep -q "dict embedded" "$WORKDIR/build.out"
 test -f "$WORKDIR/doc.summary"
-test -f "$WORKDIR/doc.summary.dict"
+test ! -f "$WORKDIR/doc.summary.dict"
+test ! -f "$WORKDIR/doc.summary.tmp"
 
 # stats
 "$CLI" stats "$WORKDIR/doc.summary" > "$WORKDIR/stats.out"
+grep -q "TLSUMMARY v2" "$WORKDIR/stats.out"
 grep -q "max level:        3" "$WORKDIR/stats.out"
+grep -q "dict:             embedded" "$WORKDIR/stats.out"
+
+# verify: freshly built summary is intact, per-level lines present
+"$CLI" verify "$WORKDIR/doc.summary" > "$WORKDIR/verify.out"
+grep -q "RESULT: intact" "$WORKDIR/verify.out"
+grep -q "level 1" "$WORKDIR/verify.out"
+grep -q "level 3" "$WORKDIR/verify.out"
+grep -q "end marker" "$WORKDIR/verify.out"
 
 # estimate: twig syntax and XPath syntax, exact in-lattice values
 "$CLI" estimate "$WORKDIR/doc.summary" "item(name,price)" \
@@ -47,6 +61,35 @@ grep -q "2" "$WORKDIR/truth.out"
 "$CLI" build "$WORKDIR/doc.xml" --out="$WORKDIR/pruned.summary" --level=3 \
     --prune-delta=0 > "$WORKDIR/build2.out"
 grep -q "pruned" "$WORKDIR/build2.out"
+
+# truncated summary: verify must flag it, estimate must salvage (warning
+# on stderr, estimates still served from the intact prefix) or refuse
+SIZE=$(wc -c < "$WORKDIR/doc.summary")
+head -c $((SIZE - 30)) "$WORKDIR/doc.summary" > "$WORKDIR/truncated.summary"
+if "$CLI" verify "$WORKDIR/truncated.summary" > "$WORKDIR/verify2.out"; then
+  echo "expected verify to flag truncated summary" >&2
+  exit 1
+fi
+grep -q "RESULT: CORRUPT" "$WORKDIR/verify2.out"
+if "$CLI" estimate "$WORKDIR/truncated.summary" "name" \
+    > "$WORKDIR/est3.out" 2> "$WORKDIR/est3.err"; then
+  grep -q "warning" "$WORKDIR/est3.err"   # salvage mode announces itself
+  grep -q "4.00" "$WORKDIR/est3.out"      # level 1 survived: exact count
+else
+  grep -q "." "$WORKDIR/est3.err"         # refusal must say why
+fi
+
+# garbage file: verify and estimate both refuse cleanly
+head -c 100 /dev/urandom > "$WORKDIR/garbage.summary" 2>/dev/null \
+  || dd if=/dev/zero of="$WORKDIR/garbage.summary" bs=100 count=1 2>/dev/null
+if "$CLI" verify "$WORKDIR/garbage.summary" 2>/dev/null; then
+  echo "expected verify to reject garbage" >&2
+  exit 1
+fi
+if "$CLI" estimate "$WORKDIR/garbage.summary" "name" 2>/dev/null; then
+  echo "expected estimate to reject garbage" >&2
+  exit 1
+fi
 
 # error handling: bad inputs exit non-zero
 if "$CLI" estimate "$WORKDIR/doc.summary" "a//b" 2>/dev/null; then

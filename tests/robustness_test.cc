@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include "io/env.h"
 #include "summary/lattice_summary.h"
+#include "summary/summary_format.h"
 #include "twig/twig.h"
 #include "util/rng.h"
 #include "xml/parser.h"
@@ -138,6 +140,162 @@ TEST(MalformedSummaryTest, GarbageCodeRejected) {
   }
   Result<LatticeSummary> result = LatticeSummary::LoadFromFile(path);
   EXPECT_FALSE(result.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Summary-file fuzz suite: a damaged summary file — truncated anywhere,
+// or with any single bit flipped — must load to a clean Status (ok with
+// salvage, or a typed error), never crash, hang, or silently return wrong
+// counts while claiming to be undamaged.
+
+/// Reference v2 summary (with embedded dict) whose bytes the fuzz cases
+/// mutate, plus the original counts to compare salvage results against.
+struct SummaryFuzzFixture {
+  LabelDict dict;
+  LatticeSummary summary{3};
+  std::string bytes;
+
+  SummaryFuzzFixture() { Init(); }
+
+  // gtest fatal assertions are only usable in void functions, so the
+  // constructor delegates.
+  void Init() {
+    auto insert = [&](const std::string& text, uint64_t count) {
+      Result<Twig> twig = Twig::Parse(text, &dict);
+      ASSERT_TRUE(twig.ok());
+      ASSERT_TRUE(summary.Insert(*twig, count).ok());
+    };
+    insert("a", 100);
+    insert("b", 60);
+    insert("c", 30);
+    insert("a(b)", 40);
+    insert("a(c)", 20);
+    insert("a(b,c)", 10);
+    insert("a(b(c))", 5);
+    summary.set_complete_through_level(3);
+    std::string path = testing::TempDir() + "/tl_fuzz_reference.tls";
+    ASSERT_TRUE(
+        SaveSummaryV2(summary, &dict, Env::Default(), path).ok());
+    ASSERT_TRUE(ReadFileToString(Env::Default(), path, &bytes).ok());
+  }
+
+  /// Loads `mutated` and enforces the fuzz contract. `original` is the
+  /// undamaged summary for comparing untouched loads.
+  void CheckMutation(const std::string& mutated,
+                     const std::string& name) const {
+    std::string path = testing::TempDir() + "/tl_fuzz_case.tls";
+    ASSERT_TRUE(WriteFileAtomic(Env::Default(), path, mutated).ok());
+    Result<LoadedSummary> loaded = LoadSummary(Env::Default(), path);
+    if (!loaded.ok()) {
+      // Clean typed failure is always acceptable.
+      EXPECT_NE(loaded.status().code(), StatusCode::kOk) << name;
+      return;
+    }
+    const LatticeSummary& got = loaded->summary;
+    EXPECT_LE(got.complete_through_level(), got.max_level()) << name;
+    if (!loaded->salvaged) {
+      // Checksums intact: counts must be exactly the originals.
+      ASSERT_EQ(got.NumPatterns(), summary.NumPatterns()) << name;
+      for (int level = 1; level <= summary.max_level(); ++level) {
+        for (const std::string& code : summary.PatternsAtLevel(level)) {
+          ASSERT_TRUE(got.LookupCode(code).has_value()) << name;
+          EXPECT_EQ(*got.LookupCode(code), *summary.LookupCode(code))
+              << name;
+        }
+      }
+    } else {
+      // Salvage: whatever survived must be a subset with original counts.
+      EXPECT_FALSE(loaded->corruption_detail.empty()) << name;
+      for (int level = 1; level <= got.max_level(); ++level) {
+        for (const std::string& code : got.PatternsAtLevel(level)) {
+          ASSERT_TRUE(summary.LookupCode(code).has_value()) << name;
+          EXPECT_EQ(*got.LookupCode(code), *summary.LookupCode(code))
+              << name;
+        }
+      }
+    }
+    // Verify must agree with the loader about integrity.
+    Result<VerifyReport> report = VerifySummaryFile(Env::Default(), path);
+    ASSERT_TRUE(report.ok()) << name;
+    EXPECT_EQ(report->intact, !loaded->salvaged) << name;
+  }
+};
+
+TEST(SummaryFileFuzz, EveryTruncationPointLoadsCleanly) {
+  SummaryFuzzFixture fx;
+  for (size_t cut = 0; cut < fx.bytes.size(); ++cut) {
+    fx.CheckMutation(fx.bytes.substr(0, cut),
+                     "truncated to " + std::to_string(cut) + " bytes");
+  }
+}
+
+TEST(SummaryFileFuzz, EverySingleBitFlipIsDetectedOrHarmless) {
+  SummaryFuzzFixture fx;
+  for (size_t i = 0; i < fx.bytes.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = fx.bytes;
+      mutated[i] = static_cast<char>(mutated[i] ^ (1 << bit));
+      fx.CheckMutation(mutated, "bit " + std::to_string(bit) + " of byte " +
+                                    std::to_string(i));
+    }
+  }
+}
+
+TEST(SummaryFileFuzz, RandomMultiByteCorruptionLoadsCleanly) {
+  SummaryFuzzFixture fx;
+  Rng rng(20260806);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = fx.bytes;
+    size_t flips = 1 + rng.Uniform(8);
+    for (size_t f = 0; f < flips; ++f) {
+      size_t at = rng.Uniform(mutated.size());
+      mutated[at] = static_cast<char>(rng.Uniform(256));
+    }
+    fx.CheckMutation(mutated, "random corruption trial " +
+                                  std::to_string(trial));
+  }
+}
+
+TEST(SummaryFileFuzz, V1RandomTruncationNeverCrashes) {
+  SummaryFuzzFixture fx;
+  std::string path = testing::TempDir() + "/tl_fuzz_v1.txt";
+  ASSERT_TRUE(fx.summary.SaveToFileV1(path).ok());
+  std::string v1_bytes;
+  ASSERT_TRUE(ReadFileToString(Env::Default(), path, &v1_bytes).ok());
+  for (size_t cut = 0; cut < v1_bytes.size(); ++cut) {
+    std::string cut_path = testing::TempDir() + "/tl_fuzz_v1_cut.txt";
+    ASSERT_TRUE(WriteFileAtomic(Env::Default(), cut_path,
+                                v1_bytes.substr(0, cut))
+                    .ok());
+    Result<LatticeSummary> loaded = LatticeSummary::LoadFromFile(cut_path);
+    // v1 has no checksums: a truncated file either still parses as a
+    // prefix-consistent summary or fails cleanly; both are acceptable,
+    // crashing or hanging is not.
+    if (loaded.ok()) {
+      EXPECT_LE(loaded->complete_through_level(), loaded->max_level());
+    }
+  }
+}
+
+TEST(SummaryFileFuzz, CrossVersionLoadsReportTheirFormat) {
+  SummaryFuzzFixture fx;
+  std::string v1_path = testing::TempDir() + "/tl_cross_v1.txt";
+  std::string v2_path = testing::TempDir() + "/tl_cross_v2.tls";
+  ASSERT_TRUE(fx.summary.SaveToFileV1(v1_path).ok());
+  ASSERT_TRUE(fx.summary.SaveToFile(v2_path).ok());
+
+  Result<LoadedSummary> v1 = LoadSummary(Env::Default(), v1_path);
+  Result<LoadedSummary> v2 = LoadSummary(Env::Default(), v2_path);
+  ASSERT_TRUE(v1.ok());
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(v1->format_version, 1);
+  EXPECT_EQ(v2->format_version, 2);
+  ASSERT_EQ(v1->summary.NumPatterns(), v2->summary.NumPatterns());
+  for (int level = 1; level <= fx.summary.max_level(); ++level) {
+    for (const std::string& code : fx.summary.PatternsAtLevel(level)) {
+      EXPECT_EQ(*v1->summary.LookupCode(code), *v2->summary.LookupCode(code));
+    }
+  }
 }
 
 }  // namespace

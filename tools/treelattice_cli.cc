@@ -3,6 +3,7 @@
 //   treelattice build <doc.xml> --out=<summary> [--level=4]
 //       [--prune-delta=<d>]        mine a K-lattice summary from XML
 //   treelattice stats <summary>    print per-level pattern counts & size
+//   treelattice verify <summary>   check checksums, print per-level integrity
 //   treelattice estimate <summary> <query>... [--estimator=recursive|
 //       voting|voting-median|fixed] estimate selectivity of queries
 //   treelattice truth <doc.xml> <query>...
@@ -10,14 +11,15 @@
 //
 // Queries may be written in the twig format "a(b,c(d))" or as an XPath
 // subset "/a/b[c][d/e]" — anything containing '/' or '[' is treated as
-// XPath. Summaries are written as two files: <out> (the lattice) and
-// <out>.dict (the label dictionary), so estimation never needs the
-// original document.
+// XPath. `build` writes a single TLSUMMARY v2 container (checksummed,
+// written atomically, label dictionary embedded), so estimation never
+// needs the original document or a sidecar file. Summaries from older
+// builds (v1 text + <out>.dict sidecar) still load.
 
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -26,11 +28,14 @@
 #include "core/pruning.h"
 #include "core/recursive_estimator.h"
 #include "harness/flags.h"
+#include "io/env.h"
 #include "match/matcher.h"
 #include "mining/lattice_builder.h"
 #include "summary/lattice_summary.h"
+#include "summary/summary_format.h"
 #include "util/string_util.h"
 #include "util/timer.h"
+#include "xml/dict_codec.h"
 #include "xml/parser.h"
 #include "xpath/xpath.h"
 
@@ -43,32 +48,12 @@ int Usage() {
                "  treelattice build <doc.xml> --out=<summary> [--level=4] "
                "[--prune-delta=<d>]\n"
                "  treelattice stats <summary>\n"
+               "  treelattice verify <summary>\n"
                "  treelattice estimate <summary> <query>... "
                "[--estimator=recursive|voting|voting-median|fixed] "
                "[--explain]\n"
                "  treelattice truth <doc.xml> <query>...\n");
   return 2;
-}
-
-Status SaveDict(const LabelDict& dict, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open " + path + " for writing");
-  for (size_t i = 0; i < dict.size(); ++i) {
-    out << dict.Name(static_cast<LabelId>(i)) << '\n';
-  }
-  if (!out) return Status::IOError("write failure on " + path);
-  return Status::OK();
-}
-
-Result<LabelDict> LoadDict(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open " + path);
-  LabelDict dict;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (!line.empty()) dict.Intern(line);
-  }
-  return dict;
 }
 
 Result<Twig> ParseQuery(const std::string& text, LabelDict* dict) {
@@ -86,6 +71,25 @@ std::vector<std::string> Positionals(int argc, char** argv) {
     if (std::strncmp(argv[i], "--", 2) != 0) out.emplace_back(argv[i]);
   }
   return out;
+}
+
+/// Loads a summary for read commands, warning on salvage. Returns nullopt
+/// (after printing the error) when nothing loadable exists.
+std::optional<LoadedSummary> LoadOrComplain(const std::string& path) {
+  Result<LoadedSummary> loaded = LoadSummary(Env::Default(), path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return std::nullopt;
+  }
+  if (loaded->salvaged) {
+    std::fprintf(stderr,
+                 "warning: %s is damaged (%s); salvaged %zu patterns, "
+                 "complete through level %d\n",
+                 path.c_str(), loaded->corruption_detail.c_str(),
+                 loaded->summary.NumPatterns(),
+                 loaded->summary.complete_through_level());
+  }
+  return std::move(*loaded);
 }
 
 int RunBuild(int argc, char** argv, const Flags& flags) {
@@ -135,52 +139,107 @@ int RunBuild(int argc, char** argv, const Flags& flags) {
     summary = std::move(pruned);
   }
 
-  if (Status s = summary->SaveToFile(out_path); !s.ok()) {
+  if (Status s = SaveSummaryV2(*summary, &doc->dict(), Env::Default(),
+                               out_path);
+      !s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;
   }
-  if (Status s = SaveDict(doc->dict(), out_path + ".dict"); !s.ok()) {
-    std::fprintf(stderr, "%s\n", s.ToString().c_str());
-    return 1;
-  }
-  std::printf("wrote %s (%s) and %s.dict\n", out_path.c_str(),
-              HumanBytes(summary->MemoryBytes()).c_str(), out_path.c_str());
+  Result<uint64_t> file_size = Env::Default()->GetFileSize(out_path);
+  std::printf("wrote %s (%s, dict embedded)\n", out_path.c_str(),
+              HumanBytes(file_size.ok() ? *file_size : 0).c_str());
   return 0;
 }
 
 int RunStats(int argc, char** argv) {
   std::vector<std::string> args = Positionals(argc, argv);
   if (args.size() != 1) return Usage();
-  Result<LatticeSummary> summary = LatticeSummary::LoadFromFile(args[0]);
-  if (!summary.ok()) {
-    std::fprintf(stderr, "%s\n", summary.status().ToString().c_str());
+  std::optional<LoadedSummary> loaded = LoadOrComplain(args[0]);
+  if (!loaded) return 1;
+  const LatticeSummary& summary = loaded->summary;
+  std::printf("format:           TLSUMMARY v%d\n", loaded->format_version);
+  std::printf("max level:        %d\n", summary.max_level());
+  std::printf("complete through: %d\n", summary.complete_through_level());
+  std::printf("dict:             %s\n",
+              loaded->dict ? "embedded" : "none (v1 sidecar)");
+  for (int level = 1; level <= summary.max_level(); ++level) {
+    std::printf("level %d patterns: %zu\n", level, summary.NumPatterns(level));
+  }
+  std::printf("total:            %zu patterns, %s\n", summary.NumPatterns(),
+              HumanBytes(summary.MemoryBytes()).c_str());
+  return 0;
+}
+
+int RunVerify(int argc, char** argv) {
+  std::vector<std::string> args = Positionals(argc, argv);
+  if (args.size() != 1) return Usage();
+  Result<VerifyReport> report = VerifySummaryFile(Env::Default(), args[0]);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
     return 1;
   }
-  std::printf("max level:        %d\n", summary->max_level());
-  std::printf("complete through: %d\n", summary->complete_through_level());
-  for (int level = 1; level <= summary->max_level(); ++level) {
-    std::printf("level %d patterns: %zu\n", level,
-                summary->NumPatterns(level));
+  std::printf("format:           TLSUMMARY v%d\n", report->format_version);
+  if (report->format_version == 2) {
+    std::printf("max level:        %d\n", report->max_level);
+    std::printf("complete through: %d\n", report->complete_through_level);
+    std::printf("declared patterns:%llu\n",
+                static_cast<unsigned long long>(report->total_patterns));
+    for (const SectionIntegrity& section : report->sections) {
+      std::string name;
+      switch (section.tag) {
+        case 'D':
+          name = "dict";
+          break;
+        case 'L':
+          name = "level " + std::to_string(section.level);
+          break;
+        default:
+          name = "end marker";
+      }
+      if (section.intact) {
+        if (section.tag == 'L') {
+          std::printf("%-12s OK       %llu patterns\n", name.c_str(),
+                      static_cast<unsigned long long>(section.patterns));
+        } else {
+          std::printf("%-12s OK\n", name.c_str());
+        }
+      } else {
+        std::printf("%-12s CORRUPT  %s\n", name.c_str(),
+                    section.detail.c_str());
+      }
+    }
   }
-  std::printf("total:            %zu patterns, %s\n", summary->NumPatterns(),
-              HumanBytes(summary->MemoryBytes()).c_str());
-  return 0;
+  if (report->intact) {
+    std::printf("RESULT: intact\n");
+    return 0;
+  }
+  std::printf("RESULT: CORRUPT (%s); salvage keeps complete through level %d\n",
+              report->detail.c_str(),
+              report->salvage_complete_through_level);
+  return 1;
 }
 
 int RunEstimate(int argc, char** argv, const Flags& flags) {
   std::vector<std::string> args = Positionals(argc, argv);
   if (args.size() < 2) return Usage();
-  Result<LatticeSummary> summary = LatticeSummary::LoadFromFile(args[0]);
-  if (!summary.ok()) {
-    std::fprintf(stderr, "%s\n", summary.status().ToString().c_str());
-    return 1;
-  }
-  Result<LabelDict> dict = LoadDict(args[0] + ".dict");
-  if (!dict.ok()) {
-    std::fprintf(stderr, "%s (summaries written by 'build' carry a .dict "
-                         "sidecar)\n",
-                 dict.status().ToString().c_str());
-    return 1;
+  std::optional<LoadedSummary> loaded = LoadOrComplain(args[0]);
+  if (!loaded) return 1;
+  const LatticeSummary& summary = loaded->summary;
+
+  std::optional<LabelDict> dict = std::move(loaded->dict);
+  if (!dict) {
+    // v1 summaries (and v2 files whose dict section was lost) fall back to
+    // the .dict sidecar written by older builds.
+    Result<LabelDict> sidecar = LoadLabelDict(Env::Default(),
+                                              args[0] + ".dict");
+    if (!sidecar.ok()) {
+      std::fprintf(stderr,
+                   "%s (no dictionary: v2 summaries embed one, v1 summaries "
+                   "need the .dict sidecar next to the file)\n",
+                   sidecar.status().ToString().c_str());
+      return 1;
+    }
+    dict = std::move(*sidecar);
   }
 
   std::string kind = flags.GetString("estimator", "recursive");
@@ -188,17 +247,15 @@ int RunEstimate(int argc, char** argv, const Flags& flags) {
   using Options = RecursiveDecompositionEstimator::Options;
   using Agg = RecursiveDecompositionEstimator::VoteAggregation;
   if (kind == "recursive") {
-    estimator =
-        std::make_unique<RecursiveDecompositionEstimator>(&*summary);
+    estimator = std::make_unique<RecursiveDecompositionEstimator>(&summary);
   } else if (kind == "voting") {
     estimator = std::make_unique<RecursiveDecompositionEstimator>(
-        &*summary, Options{true, 0, Agg::kMean});
+        &summary, Options{true, 0, Agg::kMean});
   } else if (kind == "voting-median") {
     estimator = std::make_unique<RecursiveDecompositionEstimator>(
-        &*summary, Options{true, 0, Agg::kMedian});
+        &summary, Options{true, 0, Agg::kMedian});
   } else if (kind == "fixed") {
-    estimator =
-        std::make_unique<FixedSizeDecompositionEstimator>(&*summary);
+    estimator = std::make_unique<FixedSizeDecompositionEstimator>(&summary);
   } else {
     std::fprintf(stderr, "unknown estimator '%s'\n", kind.c_str());
     return 2;
@@ -226,7 +283,7 @@ int RunEstimate(int argc, char** argv, const Flags& flags) {
                 timer.ElapsedMicros(), estimator->name().c_str());
     if (explain) {
       Result<std::unique_ptr<ExplainNode>> trace =
-          ExplainEstimate(*summary, *query, *dict);
+          ExplainEstimate(summary, *query, *dict);
       if (trace.ok()) {
         std::printf("%s", RenderExplain(**trace).c_str());
       }
@@ -265,6 +322,7 @@ int Main(int argc, char** argv) {
   std::string command = argv[1];
   if (command == "build") return RunBuild(argc, argv, flags);
   if (command == "stats") return RunStats(argc, argv);
+  if (command == "verify") return RunVerify(argc, argv);
   if (command == "estimate") return RunEstimate(argc, argv, flags);
   if (command == "truth") return RunTruth(argc, argv);
   return Usage();
