@@ -17,6 +17,7 @@
 
 #include "datagen/datasets.h"
 #include "harness/experiment.h"
+#include "harness/bench_report.h"
 #include "harness/flags.h"
 #include "mining/incremental.h"
 #include "mining/lattice_builder.h"
@@ -135,5 +136,6 @@ int Run(const Flags& flags) {
 
 int main(int argc, char** argv) {
   treelattice::Flags flags(argc, argv);
-  return treelattice::Run(flags);
+  treelattice::BenchReport report("bench_ext_incremental", flags);
+  return report.Finish(treelattice::Run(flags));
 }

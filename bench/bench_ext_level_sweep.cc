@@ -12,6 +12,7 @@
 
 #include "core/recursive_estimator.h"
 #include "harness/experiment.h"
+#include "harness/bench_report.h"
 #include "harness/flags.h"
 #include "mining/lattice_builder.h"
 #include "util/string_util.h"
@@ -92,5 +93,6 @@ int Run(const Flags& flags) {
 
 int main(int argc, char** argv) {
   treelattice::Flags flags(argc, argv);
-  return treelattice::Run(flags);
+  treelattice::BenchReport report("bench_ext_level_sweep", flags);
+  return report.Finish(treelattice::Run(flags));
 }

@@ -18,6 +18,7 @@
 #include "core/path_decomposition_estimator.h"
 #include "core/recursive_estimator.h"
 #include "harness/experiment.h"
+#include "harness/bench_report.h"
 #include "harness/flags.h"
 #include "util/string_util.h"
 
@@ -78,5 +79,6 @@ int Run(const Flags& flags) {
 
 int main(int argc, char** argv) {
   treelattice::Flags flags(argc, argv);
-  return treelattice::Run(flags);
+  treelattice::BenchReport report("bench_ext_path_baseline", flags);
+  return report.Finish(treelattice::Run(flags));
 }

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "datagen/datasets.h"
+#include "harness/bench_report.h"
 #include "harness/flags.h"
 #include "io/env.h"
 #include "mining/lattice_builder.h"
@@ -123,5 +124,6 @@ int Run(const Flags& flags) {
 
 int main(int argc, char** argv) {
   treelattice::Flags flags(argc, argv);
-  return treelattice::Run(flags);
+  treelattice::BenchReport report("bench_ext_persistence", flags);
+  return report.Finish(treelattice::Run(flags));
 }

@@ -12,6 +12,7 @@
 
 #include "core/recursive_estimator.h"
 #include "harness/experiment.h"
+#include "harness/bench_report.h"
 #include "harness/flags.h"
 #include "util/string_util.h"
 
@@ -90,5 +91,6 @@ int Run(const Flags& flags) {
 
 int main(int argc, char** argv) {
   treelattice::Flags flags(argc, argv);
-  return treelattice::Run(flags);
+  treelattice::BenchReport report("bench_ext_voting", flags);
+  return report.Finish(treelattice::Run(flags));
 }

@@ -11,6 +11,7 @@
 
 #include "core/pruning.h"
 #include "harness/experiment.h"
+#include "harness/bench_report.h"
 #include "harness/flags.h"
 #include "util/string_util.h"
 
@@ -64,5 +65,6 @@ int Run(const Flags& flags) {
 
 int main(int argc, char** argv) {
   treelattice::Flags flags(argc, argv);
-  return treelattice::Run(flags);
+  treelattice::BenchReport report("bench_fig10a_pruning", flags);
+  return report.Finish(treelattice::Run(flags));
 }

@@ -14,6 +14,7 @@
 #include "core/pruning.h"
 #include "core/recursive_estimator.h"
 #include "harness/experiment.h"
+#include "harness/bench_report.h"
 #include "harness/flags.h"
 #include "treesketch/tree_sketch.h"
 #include "util/string_util.h"
@@ -108,5 +109,6 @@ int Run(const Flags& flags) {
 
 int main(int argc, char** argv) {
   treelattice::Flags flags(argc, argv);
-  return treelattice::Run(flags);
+  treelattice::BenchReport report("bench_fig10b_opt_accuracy", flags);
+  return report.Finish(treelattice::Run(flags));
 }

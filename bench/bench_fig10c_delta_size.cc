@@ -10,6 +10,7 @@
 
 #include "core/pruning.h"
 #include "harness/experiment.h"
+#include "harness/bench_report.h"
 #include "harness/flags.h"
 #include "util/string_util.h"
 
@@ -57,5 +58,6 @@ int Run(const Flags& flags) {
 
 int main(int argc, char** argv) {
   treelattice::Flags flags(argc, argv);
-  return treelattice::Run(flags);
+  treelattice::BenchReport report("bench_fig10c_delta_size", flags);
+  return report.Finish(treelattice::Run(flags));
 }

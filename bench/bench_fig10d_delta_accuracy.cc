@@ -13,6 +13,7 @@
 #include "core/pruning.h"
 #include "core/recursive_estimator.h"
 #include "harness/experiment.h"
+#include "harness/bench_report.h"
 #include "harness/flags.h"
 #include "util/string_util.h"
 
@@ -95,5 +96,6 @@ int Run(const Flags& flags) {
 
 int main(int argc, char** argv) {
   treelattice::Flags flags(argc, argv);
-  return treelattice::Run(flags);
+  treelattice::BenchReport report("bench_fig10d_delta_accuracy", flags);
+  return report.Finish(treelattice::Run(flags));
 }

@@ -13,6 +13,7 @@
 
 #include "core/recursive_estimator.h"
 #include "harness/experiment.h"
+#include "harness/bench_report.h"
 #include "harness/flags.h"
 #include "match/matcher.h"
 #include "mining/lattice_builder.h"
@@ -98,5 +99,6 @@ int Run(const Flags&) {
 
 int main(int argc, char** argv) {
   treelattice::Flags flags(argc, argv);
-  return treelattice::Run(flags);
+  treelattice::BenchReport report("bench_fig11_case_study", flags);
+  return report.Finish(treelattice::Run(flags));
 }

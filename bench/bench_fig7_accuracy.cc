@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include "harness/experiment.h"
+#include "harness/bench_report.h"
 #include "harness/flags.h"
 #include "util/string_util.h"
 
@@ -76,5 +77,6 @@ int Run(const Flags& flags) {
 
 int main(int argc, char** argv) {
   treelattice::Flags flags(argc, argv);
-  return treelattice::Run(flags);
+  treelattice::BenchReport report("bench_fig7_accuracy", flags);
+  return report.Finish(treelattice::Run(flags));
 }

@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "harness/experiment.h"
+#include "harness/bench_report.h"
 #include "harness/flags.h"
 #include "harness/metrics.h"
 #include "util/string_util.h"
@@ -94,5 +95,6 @@ int Run(const Flags& flags) {
 
 int main(int argc, char** argv) {
   treelattice::Flags flags(argc, argv);
-  return treelattice::Run(flags);
+  treelattice::BenchReport report("bench_fig8_error_cdf", flags);
+  return report.Finish(treelattice::Run(flags));
 }

@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "harness/experiment.h"
+#include "harness/bench_report.h"
 #include "harness/flags.h"
 #include "util/string_util.h"
 
@@ -70,5 +71,6 @@ int Run(const Flags& flags) {
 
 int main(int argc, char** argv) {
   treelattice::Flags flags(argc, argv);
-  return treelattice::Run(flags);
+  treelattice::BenchReport report("bench_fig9_response_time", flags);
+  return report.Finish(treelattice::Run(flags));
 }

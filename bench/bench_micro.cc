@@ -1,8 +1,19 @@
 // google-benchmark microbenchmarks for the library's hot paths: canonical
 // coding, match counting, lattice mining levels (the ablation DESIGN.md
 // calls out), decomposition, and the estimators.
+//
+// `--json=<path>` (the shared bench convention) is translated to
+// google-benchmark's own JSON reporter; the metrics-registry snapshot is
+// written next to it as <path>.metrics.json.
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "io/env.h"
+#include "obs/metrics.h"
 
 #include "core/fixed_size_estimator.h"
 #include "core/recursive_estimator.h"
@@ -197,4 +208,44 @@ BENCHMARK(BM_SummaryLookup);
 }  // namespace
 }  // namespace treelattice
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Rewrite --json=<path> into google-benchmark's reporter flags so this
+  // binary matches the other benches' interface, and drop other non
+  // --benchmark_* flags (the shared Flags contract ignores unrecognized
+  // arguments, so sweep drivers pass the same flag set to every bench).
+  std::string json_path;
+  std::vector<char*> args;
+  std::vector<std::string> storage;
+  args.reserve(static_cast<size_t>(argc) + 2);
+  storage.reserve(2);
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+      storage.push_back("--benchmark_out=" + json_path);
+      storage.push_back("--benchmark_out_format=json");
+    } else if (arg.rfind("--benchmark_", 0) == 0) {
+      args.push_back(argv[i]);
+    }
+  }
+  for (std::string& s : storage) args.push_back(s.data());
+  int new_argc = static_cast<int>(args.size());
+  args.push_back(nullptr);
+
+  benchmark::Initialize(&new_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(new_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (!json_path.empty()) {
+    std::string path = json_path + ".metrics.json";
+    if (treelattice::Status s = treelattice::WriteFileAtomic(
+            treelattice::Env::Default(), path,
+            treelattice::obs::MetricsRegistry::Default()->ToJson());
+        !s.ok()) {
+      std::fprintf(stderr, "--json: %s\n", s.ToString().c_str());
+    }
+  }
+  return 0;
+}

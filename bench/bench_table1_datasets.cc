@@ -8,6 +8,7 @@
 
 #include "datagen/datasets.h"
 #include "harness/experiment.h"
+#include "harness/bench_report.h"
 #include "harness/flags.h"
 #include "util/string_util.h"
 #include "xml/stats.h"
@@ -57,5 +58,6 @@ int Run(const Flags& flags) {
 
 int main(int argc, char** argv) {
   treelattice::Flags flags(argc, argv);
-  return treelattice::Run(flags);
+  treelattice::BenchReport report("bench_table1_datasets", flags);
+  return report.Finish(treelattice::Run(flags));
 }

@@ -8,6 +8,7 @@
 
 #include "datagen/datasets.h"
 #include "harness/experiment.h"
+#include "harness/bench_report.h"
 #include "harness/flags.h"
 #include "mining/lattice_builder.h"
 
@@ -74,5 +75,6 @@ int Run(const Flags& flags) {
 
 int main(int argc, char** argv) {
   treelattice::Flags flags(argc, argv);
-  return treelattice::Run(flags);
+  treelattice::BenchReport report("bench_table2_patterns", flags);
+  return report.Finish(treelattice::Run(flags));
 }

@@ -1,0 +1,51 @@
+#ifndef TREELATTICE_CORE_ESTIMATOR_METRICS_H_
+#define TREELATTICE_CORE_ESTIMATOR_METRICS_H_
+
+#include "obs/metrics.h"
+
+namespace treelattice {
+
+/// Estimation telemetry, shared by every estimator so per-query dumps (CLI
+/// `estimate --json`) can read one set of names regardless of the
+/// configured estimator:
+///   estimator.summary_hits            lattice lookups answered directly
+///   estimator.summary_misses          lookups that fell through
+///   estimator.exhaustive_zeros        misses answered 0 by completeness
+///   estimator.decompositions          Lemma 1 splits performed
+///   estimator.zero_overlap_fallbacks  splits voided by a zero component
+///   estimator.memo_hits               sub-twig estimates served from memo
+///   estimator.decomposition_depth     (histogram) recursion depth / query
+///   estimator.voting_fanout           (histogram) votes per split
+///   estimator.cover_steps             (histogram) fixed-size cover length
+struct EstimatorMetrics {
+  obs::Counter* summary_hits;
+  obs::Counter* summary_misses;
+  obs::Counter* exhaustive_zeros;
+  obs::Counter* decompositions;
+  obs::Counter* zero_overlap_fallbacks;
+  obs::Counter* memo_hits;
+  obs::Histogram* decomposition_depth;
+  obs::Histogram* voting_fanout;
+  obs::Histogram* cover_steps;
+
+  static EstimatorMetrics& Get() {
+    static EstimatorMetrics m = [] {
+      obs::MetricsRegistry* registry = obs::MetricsRegistry::Default();
+      return EstimatorMetrics{
+          registry->counter("estimator.summary_hits"),
+          registry->counter("estimator.summary_misses"),
+          registry->counter("estimator.exhaustive_zeros"),
+          registry->counter("estimator.decompositions"),
+          registry->counter("estimator.zero_overlap_fallbacks"),
+          registry->counter("estimator.memo_hits"),
+          registry->histogram("estimator.decomposition_depth"),
+          registry->histogram("estimator.voting_fanout"),
+          registry->histogram("estimator.cover_steps")};
+    }();
+    return m;
+  }
+};
+
+}  // namespace treelattice
+
+#endif  // TREELATTICE_CORE_ESTIMATOR_METRICS_H_

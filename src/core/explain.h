@@ -29,6 +29,13 @@ struct ExplainNode {
 /// answer exactly — asserted by tests — so the trace is a faithful
 /// explanation of the production estimate, suitable for optimizer
 /// debugging ("why was this cardinality predicted?").
+///
+/// Contract: the trace follows only the first valid leaf pair at each
+/// level, i.e. it explains `recursive` and, equivalently, a voting
+/// estimator capped at one vote per level (max_votes_per_level = 1,
+/// kMean). Full voting estimators average over *all* leaf pairs, so their
+/// estimates can legitimately differ from the rendered root; the trace is
+/// then one representative decomposition path, not the voted value.
 Result<std::unique_ptr<ExplainNode>> ExplainEstimate(
     const LatticeSummary& summary, const Twig& query, const LabelDict& dict);
 

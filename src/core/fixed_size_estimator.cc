@@ -1,5 +1,7 @@
 #include "core/fixed_size_estimator.h"
 
+#include "core/estimator_metrics.h"
+#include "obs/trace.h"
 #include "twig/decompose.h"
 
 namespace treelattice {
@@ -17,12 +19,16 @@ FixedSizeDecompositionEstimator::FixedSizeDecompositionEstimator(
 
 Result<double> FixedSizeDecompositionEstimator::LookupOrEstimate(
     const Twig& twig) {
+  EstimatorMetrics& metrics = EstimatorMetrics::Get();
   if (auto count = summary_->LookupCode(twig.CanonicalCode())) {
+    metrics.summary_hits->Increment();
     return static_cast<double>(*count);
   }
   if (twig.size() <= summary_->complete_through_level() || twig.size() < 3) {
+    metrics.exhaustive_zeros->Increment();
     return 0.0;
   }
+  metrics.summary_misses->Increment();
   return fallback_.Estimate(twig);
 }
 
@@ -30,11 +36,18 @@ Result<double> FixedSizeDecompositionEstimator::Estimate(const Twig& query) {
   if (query.empty()) {
     return Status::InvalidArgument("Estimate: empty query");
   }
+  obs::TraceSpan span("estimator.fixed", "core");
+  span.SetArg("query_size", static_cast<uint64_t>(query.size()));
+  EstimatorMetrics& metrics = EstimatorMetrics::Get();
   // Directly answerable (or provably absent) queries short-circuit.
   if (auto count = summary_->LookupCode(query.CanonicalCode())) {
+    metrics.summary_hits->Increment();
     return static_cast<double>(*count);
   }
-  if (query.size() <= summary_->complete_through_level()) return 0.0;
+  if (query.size() <= summary_->complete_through_level()) {
+    metrics.exhaustive_zeros->Increment();
+    return 0.0;
+  }
   if (query.size() <= options_.k) {
     // Too small to cover with k-subtrees (a pruned pattern): recursive
     // fallback from strictly smaller pieces.
@@ -43,6 +56,8 @@ Result<double> FixedSizeDecompositionEstimator::Estimate(const Twig& query) {
 
   std::vector<CoverStep> steps;
   TL_ASSIGN_OR_RETURN(steps, FixedSizeCover(query, options_.k));
+  metrics.decompositions->Increment();
+  metrics.cover_steps->Record(steps.size());
 
   double estimate;
   TL_ASSIGN_OR_RETURN(estimate, LookupOrEstimate(steps[0].subtree));

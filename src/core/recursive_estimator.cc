@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/estimator_metrics.h"
+#include "obs/trace.h"
 #include "twig/decompose.h"
 
 namespace treelattice {
@@ -18,26 +20,44 @@ Result<double> RecursiveDecompositionEstimator::Estimate(const Twig& query) {
   if (query.empty()) {
     return Status::InvalidArgument("Estimate: empty query");
   }
+  obs::TraceSpan span("estimator.recursive", "core");
+  span.SetArg("query_size", static_cast<uint64_t>(query.size()));
   std::unordered_map<std::string, double> memo;
-  return EstimateImpl(query, &memo);
+  int max_depth = 0;
+  Result<double> result = EstimateImpl(query, &memo, 0, &max_depth);
+  if (result.ok()) {
+    EstimatorMetrics::Get().decomposition_depth->Record(
+        static_cast<uint64_t>(max_depth));
+  }
+  return result;
 }
 
 Result<double> RecursiveDecompositionEstimator::EstimateImpl(
-    const Twig& twig, std::unordered_map<std::string, double>* memo) {
+    const Twig& twig, std::unordered_map<std::string, double>* memo,
+    int depth, int* max_depth) {
+  EstimatorMetrics& metrics = EstimatorMetrics::Get();
+  if (depth > *max_depth) *max_depth = depth;
   const std::string code = twig.CanonicalCode();
-  if (auto it = memo->find(code); it != memo->end()) return it->second;
+  if (auto it = memo->find(code); it != memo->end()) {
+    metrics.memo_hits->Increment();
+    return it->second;
+  }
 
   double value = 0.0;
   if (auto count = summary_->LookupCode(code)) {
+    metrics.summary_hits->Increment();
     value = static_cast<double>(*count);
   } else if (twig.size() <= summary_->complete_through_level()) {
     // The summary is exhaustive at this size: the pattern does not occur.
+    metrics.exhaustive_zeros->Increment();
     value = 0.0;
   } else if (twig.size() < 3) {
     // Sizes 1-2 are always retained by construction and pruning; a miss
     // means zero occurrences even in a pruned summary.
+    metrics.exhaustive_zeros->Increment();
     value = 0.0;
   } else {
+    metrics.summary_misses->Increment();
     std::vector<std::pair<int, int>> pairs = ValidLeafPairs(twig);
     if (pairs.empty()) {
       return Status::Internal("no valid leaf pair for twig of size " +
@@ -51,6 +71,8 @@ Result<double> RecursiveDecompositionEstimator::EstimateImpl(
                          static_cast<size_t>(options_.max_votes_per_level));
       }
     }
+    metrics.decompositions->Increment();
+    metrics.voting_fanout->Record(limit);
     std::vector<double> votes;
     votes.reserve(limit);
     for (size_t i = 0; i < limit; ++i) {
@@ -58,11 +80,18 @@ Result<double> RecursiveDecompositionEstimator::EstimateImpl(
       TL_ASSIGN_OR_RETURN(split, SplitByLeafPair(twig, pairs[i].first,
                                                  pairs[i].second));
       double e1, e2, eo;
-      TL_ASSIGN_OR_RETURN(e1, EstimateImpl(split.t1, memo));
-      TL_ASSIGN_OR_RETURN(e2, EstimateImpl(split.t2, memo));
-      TL_ASSIGN_OR_RETURN(eo, EstimateImpl(split.overlap, memo));
+      TL_ASSIGN_OR_RETURN(e1, EstimateImpl(split.t1, memo, depth + 1,
+                                           max_depth));
+      TL_ASSIGN_OR_RETURN(e2, EstimateImpl(split.t2, memo, depth + 1,
+                                           max_depth));
+      TL_ASSIGN_OR_RETURN(eo, EstimateImpl(split.overlap, memo, depth + 1,
+                                           max_depth));
       double est = 0.0;
-      if (e1 > 0.0 && e2 > 0.0 && eo > 0.0) est = e1 * e2 / eo;
+      if (e1 > 0.0 && e2 > 0.0 && eo > 0.0) {
+        est = e1 * e2 / eo;
+      } else {
+        metrics.zero_overlap_fallbacks->Increment();
+      }
       votes.push_back(est);
     }
     if (votes.empty()) {

@@ -52,7 +52,8 @@ class RecursiveDecompositionEstimator : public SelectivityEstimator {
 
  private:
   Result<double> EstimateImpl(const Twig& twig,
-                              std::unordered_map<std::string, double>* memo);
+                              std::unordered_map<std::string, double>* memo,
+                              int depth, int* max_depth);
 
   const LatticeSummary* summary_;
   Options options_;

@@ -1,0 +1,56 @@
+#include "harness/bench_report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "io/env.h"
+#include "obs/metrics.h"
+#include "util/json.h"
+
+namespace treelattice {
+
+BenchReport::BenchReport(std::string name, const Flags& flags)
+    : name_(std::move(name)), json_path_(flags.GetString("json", "")) {
+  params_.assign(flags.All().begin(), flags.All().end());
+  std::sort(params_.begin(), params_.end());
+}
+
+void BenchReport::AddResult(const std::string& key, double value) {
+  results_.emplace_back(key, value);
+}
+
+void BenchReport::WriteIfRequested(int exit_code) {
+  if (json_path_.empty() || written_) return;
+  written_ = true;
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name").String(name_);
+  w.Key("exit_code").Int(exit_code);
+  w.Key("wall_seconds").Double(timer_.ElapsedSeconds());
+  w.Key("params").BeginObject();
+  for (const auto& [key, value] : params_) {
+    if (key == "json") continue;  // the report's own destination
+    w.Key(key).String(value);
+  }
+  w.EndObject();
+  w.Key("results").BeginObject();
+  for (const auto& [key, value] : results_) {
+    w.Key(key).Double(value);
+  }
+  w.EndObject();
+  w.Key("metrics").Raw(obs::MetricsRegistry::Default()->ToJson());
+  w.EndObject();
+
+  if (Status s = WriteFileAtomic(Env::Default(), json_path_, w.str());
+      !s.ok()) {
+    std::fprintf(stderr, "--json: %s\n", s.ToString().c_str());
+  }
+}
+
+int BenchReport::Finish(int exit_code) {
+  WriteIfRequested(exit_code);
+  return exit_code;
+}
+
+}  // namespace treelattice

@@ -1,0 +1,51 @@
+#ifndef TREELATTICE_HARNESS_BENCH_REPORT_H_
+#define TREELATTICE_HARNESS_BENCH_REPORT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/flags.h"
+#include "util/timer.h"
+
+namespace treelattice {
+
+/// Machine-readable run record for the bench binaries. Every bench accepts
+/// `--json=<path>`; when set, WriteIfRequested() (or Finish()) writes one
+/// JSON object with the bench name, the parsed flags as `params`, any
+/// AddResult() values under `results`, total wall seconds, the exit code,
+/// and a snapshot of the metrics registry — so CI can diff runs without
+/// scraping the human tables.
+///
+///   int main(int argc, char** argv) {
+///     treelattice::Flags flags(argc, argv);
+///     treelattice::BenchReport report("bench_fig7_accuracy", flags);
+///     return report.Finish(treelattice::Run(flags));
+///   }
+class BenchReport {
+ public:
+  /// Starts the wall clock. `flags` supplies --json and the params dump.
+  BenchReport(std::string name, const Flags& flags);
+
+  /// Records a named numeric result (estimation error, patterns mined, ...).
+  void AddResult(const std::string& key, double value);
+
+  /// Writes the report if --json=<path> was given. Errors go to stderr and
+  /// are otherwise ignored: reporting must not fail the bench.
+  void WriteIfRequested(int exit_code);
+
+  /// Convenience: WriteIfRequested(exit_code), then returns exit_code.
+  int Finish(int exit_code);
+
+ private:
+  std::string name_;
+  std::string json_path_;
+  std::vector<std::pair<std::string, std::string>> params_;
+  std::vector<std::pair<std::string, double>> results_;
+  WallTimer timer_;
+  bool written_ = false;
+};
+
+}  // namespace treelattice
+
+#endif  // TREELATTICE_HARNESS_BENCH_REPORT_H_

@@ -26,6 +26,12 @@ class Flags {
   std::string GetString(const std::string& key,
                         const std::string& fallback) const;
 
+  /// Every parsed --key=value pair (value "" for bare --key), for report
+  /// emitters that record the run's parameters.
+  const std::unordered_map<std::string, std::string>& All() const {
+    return values_;
+  }
+
  private:
   std::unordered_map<std::string, std::string> values_;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace treelattice {
 
@@ -25,6 +26,11 @@ double Mean(const std::vector<double>& values) {
 
 double Percentile(std::vector<double> values, double pct) {
   if (values.empty()) return 0.0;
+  if (std::isnan(pct)) return std::numeric_limits<double>::quiet_NaN();
+  for (double v : values) {
+    if (std::isnan(v)) return std::numeric_limits<double>::quiet_NaN();
+  }
+  pct = std::clamp(pct, 0.0, 100.0);
   std::sort(values.begin(), values.end());
   double rank = pct / 100.0 * static_cast<double>(values.size() - 1);
   size_t lo = static_cast<size_t>(rank);

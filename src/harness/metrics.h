@@ -8,6 +8,7 @@ namespace treelattice {
 
 /// Sanity bound for the paper's error metric (Section 5.1): the 10th
 /// percentile of the true query counts in the workload, floored at 10.
+/// An empty workload has no percentile, so the bound is the floor (10).
 double SanityBound(const std::vector<double>& true_counts);
 
 /// The paper's error for one query: |s - ŝ| / max(sanity, s), reported as a
@@ -17,7 +18,12 @@ double RelativeErrorPct(double true_count, double estimate, double sanity);
 /// Mean of a vector (0 for empty).
 double Mean(const std::vector<double>& values);
 
-/// Percentile (0..100) by nearest-rank on a copy; 0 for empty input.
+/// Percentile of `values` by linear interpolation between closest ranks
+/// (operates on a sorted copy). Edge cases:
+///   - empty input         -> 0.0
+///   - single element      -> that element, for every pct
+///   - pct outside [0,100] -> clamped (pct<=0 -> min, pct>=100 -> max)
+///   - NaN pct or NaN values in the input -> NaN
 double Percentile(std::vector<double> values, double pct);
 
 /// Points of the cumulative distribution of `errors`: for each sorted error

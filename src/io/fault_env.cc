@@ -1,6 +1,20 @@
 #include "io/fault_env.h"
 
+#include "obs/metrics.h"
+
 namespace treelattice {
+
+namespace {
+
+/// Counts every fault the wrapper injects, so test and chaos runs can see
+/// how much failure traffic they actually generated.
+obs::Counter* InjectedFaults() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Default()->counter("io.fault.injected_failures");
+  return counter;
+}
+
+}  // namespace
 
 struct FaultInjectingEnv::State {
   FaultInjectionConfig config;
@@ -31,6 +45,7 @@ class FaultWritableFile : public WritableFile {
           state_->bytes_written += room;
           base_->Append(prefix);  // the torn prefix reaches the disk
         }
+        InjectedFaults()->Increment();
         return Status::IOError("injected write failure");
       }
     }
@@ -41,6 +56,7 @@ class FaultWritableFile : public WritableFile {
   Status Sync() override {
     ++state_->syncs;
     if (state_->config.fail_sync) {
+      InjectedFaults()->Increment();
       return Status::IOError("injected fsync failure");
     }
     return base_->Sync();
@@ -62,6 +78,7 @@ class FaultRandomAccessFile : public RandomAccessFile {
   Status Read(uint64_t offset, size_t n, std::string* out) const override {
     ++state_->reads;
     if (state_->config.fail_read) {
+      InjectedFaults()->Increment();
       return Status::IOError("injected read failure");
     }
     const size_t cap = state_->config.short_read_cap;
@@ -116,6 +133,7 @@ Status FaultInjectingEnv::RenameFile(const std::string& from,
                                      const std::string& to) {
   ++state_->renames;
   if (state_->config.fail_rename) {
+    InjectedFaults()->Increment();
     return Status::IOError("injected rename failure");
   }
   return base_->RenameFile(from, to);

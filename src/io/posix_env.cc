@@ -12,6 +12,7 @@
 #include <cstring>
 
 #include "io/env.h"
+#include "obs/metrics.h"
 
 namespace treelattice {
 namespace {
@@ -19,6 +20,35 @@ namespace {
 Status PosixError(const std::string& context, int err) {
   return Status::IOError(context + ": " + std::strerror(err));
 }
+
+// Filesystem telemetry, shared by all Posix file handles. Registered once;
+// the FaultInjectingEnv wrapper forwards here too, so fault-injection test
+// traffic shows up under the same names.
+struct IoMetrics {
+  obs::Counter* bytes_written;
+  obs::Counter* bytes_read;
+  obs::Counter* appends;
+  obs::Counter* reads;
+  obs::Counter* fsyncs;
+  obs::Counter* renames;
+  obs::Counter* deletes;
+  obs::Counter* files_opened;
+
+  static IoMetrics& Get() {
+    static IoMetrics m = [] {
+      obs::MetricsRegistry* registry = obs::MetricsRegistry::Default();
+      return IoMetrics{registry->counter("io.bytes_written"),
+                       registry->counter("io.bytes_read"),
+                       registry->counter("io.appends"),
+                       registry->counter("io.reads"),
+                       registry->counter("io.fsyncs"),
+                       registry->counter("io.renames"),
+                       registry->counter("io.deletes"),
+                       registry->counter("io.files_opened")};
+    }();
+    return m;
+  }
+};
 
 class PosixWritableFile : public WritableFile {
  public:
@@ -31,6 +61,7 @@ class PosixWritableFile : public WritableFile {
 
   Status Append(std::string_view data) override {
     if (fd_ < 0) return Status::IOError("Append on closed file " + path_);
+    IoMetrics::Get().appends->Increment();
     const char* p = data.data();
     size_t n = data.size();
     while (n > 0) {
@@ -39,6 +70,8 @@ class PosixWritableFile : public WritableFile {
         if (errno == EINTR) continue;
         return PosixError("write " + path_, errno);
       }
+      IoMetrics::Get().bytes_written->Increment(
+          static_cast<uint64_t>(written));
       p += written;
       n -= static_cast<size_t>(written);
     }
@@ -47,6 +80,7 @@ class PosixWritableFile : public WritableFile {
 
   Status Sync() override {
     if (fd_ < 0) return Status::IOError("Sync on closed file " + path_);
+    IoMetrics::Get().fsyncs->Increment();
     if (::fsync(fd_) != 0) return PosixError("fsync " + path_, errno);
     return Status::OK();
   }
@@ -72,12 +106,14 @@ class PosixRandomAccessFile : public RandomAccessFile {
   ~PosixRandomAccessFile() override { ::close(fd_); }
 
   Status Read(uint64_t offset, size_t n, std::string* out) const override {
+    IoMetrics::Get().reads->Increment();
     out->resize(n);
     ssize_t got;
     do {
       got = ::pread(fd_, out->data(), n, static_cast<off_t>(offset));
     } while (got < 0 && errno == EINTR);
     if (got < 0) return PosixError("pread " + path_, errno);
+    IoMetrics::Get().bytes_read->Increment(static_cast<uint64_t>(got));
     out->resize(static_cast<size_t>(got));
     return Status::OK();
   }
@@ -93,6 +129,7 @@ class PosixEnv : public Env {
       const std::string& path) override {
     int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
     if (fd < 0) return PosixError("open " + path + " for writing", errno);
+    IoMetrics::Get().files_opened->Increment();
     return std::unique_ptr<WritableFile>(
         std::make_unique<PosixWritableFile>(path, fd));
   }
@@ -101,11 +138,13 @@ class PosixEnv : public Env {
       const std::string& path) override {
     int fd = ::open(path.c_str(), O_RDONLY);
     if (fd < 0) return PosixError("open " + path, errno);
+    IoMetrics::Get().files_opened->Increment();
     return std::unique_ptr<RandomAccessFile>(
         std::make_unique<PosixRandomAccessFile>(path, fd));
   }
 
   Status RenameFile(const std::string& from, const std::string& to) override {
+    IoMetrics::Get().renames->Increment();
     if (::rename(from.c_str(), to.c_str()) != 0) {
       return PosixError("rename " + from + " -> " + to, errno);
     }
@@ -123,6 +162,7 @@ class PosixEnv : public Env {
   }
 
   Status DeleteFile(const std::string& path) override {
+    IoMetrics::Get().deletes->Increment();
     if (::unlink(path.c_str()) != 0) {
       return PosixError("unlink " + path, errno);
     }

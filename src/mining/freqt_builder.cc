@@ -6,6 +6,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "twig/automorphisms.h"
 #include "twig/twig.h"
 #include "util/saturating.h"
@@ -14,6 +16,25 @@
 namespace treelattice {
 
 namespace {
+
+/// Freqt-specific telemetry: ordered (pre-canonicalization) patterns
+/// enumerated, peak occurrence-list volume, and per-level latency.
+struct FreqtMetrics {
+  obs::Counter* ordered_patterns;
+  obs::Gauge* peak_occurrences;
+  obs::Histogram* level_build_micros;
+
+  static FreqtMetrics& Get() {
+    static FreqtMetrics m = [] {
+      obs::MetricsRegistry* registry = obs::MetricsRegistry::Default();
+      return FreqtMetrics{
+          registry->counter("mining.freqt.ordered_patterns"),
+          registry->gauge("mining.freqt.peak_occurrences"),
+          registry->histogram("mining.freqt.level_build_micros")};
+    }();
+    return m;
+  }
+};
 
 /// One rightmost-path occurrence of an ordered pattern: the document-node
 /// images of the rightmost path (root first) plus the number of ordered
@@ -30,17 +51,6 @@ struct OrderedPattern {
   std::vector<Occurrence> occurrences;
 };
 
-/// Packs a node-id path into a hashable byte key.
-std::string PathKey(const std::vector<NodeId>& prefix, NodeId last) {
-  std::string key;
-  key.reserve((prefix.size() + 1) * sizeof(NodeId));
-  for (NodeId n : prefix) {
-    key.append(reinterpret_cast<const char*>(&n), sizeof(NodeId));
-  }
-  key.append(reinterpret_cast<const char*>(&last), sizeof(NodeId));
-  return key;
-}
-
 }  // namespace
 
 Result<LatticeSummary> BuildLatticeFreqt(const Document& doc,
@@ -49,6 +59,8 @@ Result<LatticeSummary> BuildLatticeFreqt(const Document& doc,
   if (options.max_level < 2) {
     return Status::InvalidArgument("BuildLatticeFreqt: max_level must be >= 2");
   }
+  obs::TraceSpan build_span("mining.freqt.build", "mining");
+  build_span.SetArg("max_level", static_cast<uint64_t>(options.max_level));
   WallTimer timer;
   LatticeSummary summary(options.max_level);
   FreqtBuildStats local;
@@ -118,8 +130,12 @@ Result<LatticeSummary> BuildLatticeFreqt(const Document& doc,
 
   TL_RETURN_IF_ERROR(flush_level(current));
   local.ordered_patterns += current.size();
+  FreqtMetrics::Get().ordered_patterns->Increment(current.size());
 
   for (int level = 2; level <= options.max_level; ++level) {
+    obs::TraceSpan level_span("mining.freqt.level", "mining");
+    level_span.SetArg("level", static_cast<uint64_t>(level));
+    WallTimer level_timer;
     std::vector<OrderedPattern> next;
     size_t occurrence_volume = 0;
     for (const OrderedPattern& pattern : current) {
@@ -178,7 +194,12 @@ Result<LatticeSummary> BuildLatticeFreqt(const Document& doc,
     local.ordered_patterns += next.size();
     local.peak_occurrences = std::max(local.peak_occurrences,
                                       occurrence_volume);
+    FreqtMetrics::Get().ordered_patterns->Increment(next.size());
+    FreqtMetrics::Get().peak_occurrences->SetMax(
+        static_cast<int64_t>(occurrence_volume));
     TL_RETURN_IF_ERROR(flush_level(next));
+    FreqtMetrics::Get().level_build_micros->Record(
+        static_cast<uint64_t>(level_timer.ElapsedMicros()));
     current = std::move(next);
     if (current.empty()) break;
   }

@@ -7,12 +7,38 @@
 #include <unordered_set>
 
 #include "match/matcher.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "twig/twig.h"
 #include "util/timer.h"
 
 namespace treelattice {
 
 namespace {
+
+/// Mining telemetry, shared by both builders: how many candidates were
+/// enumerated, how many the Apriori check discarded before counting, how
+/// many patterns survived, and per-level build latency.
+struct MiningMetrics {
+  obs::Counter* candidates_generated;
+  obs::Counter* candidates_pruned_apriori;
+  obs::Counter* candidates_counted;
+  obs::Counter* patterns_inserted;
+  obs::Histogram* level_build_micros;
+
+  static MiningMetrics& Get() {
+    static MiningMetrics m = [] {
+      obs::MetricsRegistry* registry = obs::MetricsRegistry::Default();
+      return MiningMetrics{
+          registry->counter("mining.candidates_generated"),
+          registry->counter("mining.candidates_pruned_apriori"),
+          registry->counter("mining.candidates_counted"),
+          registry->counter("mining.patterns_inserted"),
+          registry->histogram("mining.level_build_micros")};
+    }();
+    return m;
+  }
+};
 
 /// Map from parent label to the distinct child labels observed beneath it
 /// in the document. Candidate twigs only ever attach edges from this set,
@@ -55,6 +81,8 @@ Result<LatticeSummary> BuildLattice(const Document& doc,
   if (options.max_level < 2) {
     return Status::InvalidArgument("BuildLattice: max_level must be >= 2");
   }
+  obs::TraceSpan build_span("mining.build", "mining");
+  build_span.SetArg("max_level", static_cast<uint64_t>(options.max_level));
   WallTimer timer;
   LatticeSummary summary(options.max_level);
   LatticeBuildStats local_stats;
@@ -87,10 +115,14 @@ Result<LatticeSummary> BuildLattice(const Document& doc,
     current.push_back(std::move(t));
   }
   local_stats.patterns_per_level[1] = current.size();
+  MiningMetrics::Get().patterns_inserted->Increment(current.size());
 
   const int num_threads = std::max(1, options.num_threads);
   int complete_level = 1;
   for (int level = 2; level <= options.max_level; ++level) {
+    obs::TraceSpan level_span("mining.level", "mining");
+    level_span.SetArg("level", static_cast<uint64_t>(level));
+    WallTimer level_timer;
     std::unordered_set<std::string> previous_codes;
     previous_codes.reserve(current.size());
     for (const Twig& t : current) previous_codes.insert(t.CanonicalCode());
@@ -106,10 +138,12 @@ Result<LatticeSummary> BuildLattice(const Document& doc,
           Twig candidate = pattern;  // small copy; patterns are tiny
           candidate.AddNode(child_label, node);
           ++local_stats.candidates_generated;
+          MiningMetrics::Get().candidates_generated->Increment();
           std::string code = candidate.CanonicalCode();
           if (!seen.insert(code).second) continue;
           if (options.apriori_prune && level >= 3 &&
               !PassesApriori(candidate, previous_codes)) {
+            MiningMetrics::Get().candidates_pruned_apriori->Increment();
             continue;
           }
           candidates.push_back(std::move(candidate));
@@ -117,6 +151,7 @@ Result<LatticeSummary> BuildLattice(const Document& doc,
       }
     }
     local_stats.candidates_counted += candidates.size();
+    MiningMetrics::Get().candidates_counted->Increment(candidates.size());
 
     // Phase 2: count the candidates — embarrassingly parallel, since
     // MatchCounter::Count only reads the document and label index.
@@ -154,6 +189,9 @@ Result<LatticeSummary> BuildLattice(const Document& doc,
       next.push_back(std::move(candidates[i]));
     }
     local_stats.patterns_per_level[static_cast<size_t>(level)] = next.size();
+    MiningMetrics::Get().patterns_inserted->Increment(next.size());
+    MiningMetrics::Get().level_build_micros->Record(
+        static_cast<uint64_t>(level_timer.ElapsedMicros()));
     current = std::move(next);
     if (truncated) break;
     complete_level = level;

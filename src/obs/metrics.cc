@@ -1,0 +1,256 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/json.h"
+
+namespace treelattice {
+namespace obs {
+
+namespace {
+
+bool EnabledFromEnv() {
+  const char* value = std::getenv("TREELATTICE_OBS");
+  if (value == nullptr) return true;
+  return std::strcmp(value, "off") != 0 && std::strcmp(value, "0") != 0 &&
+         std::strcmp(value, "false") != 0;
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> flag{EnabledFromEnv()};
+  return flag;
+}
+
+}  // namespace
+
+bool Enabled() { return EnabledFlag().load(std::memory_order_relaxed); }
+
+void SetEnabledForTest(bool enabled) {
+  EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Gauge
+
+void Gauge::SetMax(int64_t value) {
+  if (!Enabled()) return;
+  int64_t current = value_.load(std::memory_order_relaxed);
+  while (value > current &&
+         !value_.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+int Histogram::BucketIndex(uint64_t value) {
+  if (value == 0) return 0;
+  return 64 - std::countl_zero(value);
+}
+
+uint64_t Histogram::BucketLowerBound(int index) {
+  if (index <= 0) return 0;
+  return uint64_t{1} << (index - 1);
+}
+
+uint64_t Histogram::BucketUpperBound(int index) {
+  if (index <= 0) return 0;
+  if (index >= 64) return UINT64_MAX;
+  return (uint64_t{1} << index) - 1;
+}
+
+void Histogram::Record(uint64_t value) {
+  if (!Enabled()) return;
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::GetSnapshot() const {
+  Snapshot snap;
+  uint64_t buckets[kNumBuckets];
+  for (int i = 0; i < kNumBuckets; ++i) {
+    buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    snap.count += buckets[i];
+  }
+  if (snap.count == 0) return snap;
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.min = min_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+
+  // Percentile by nearest rank over the bucketed distribution, linearly
+  // interpolated inside the winning bucket (a sample "in the middle" of a
+  // bucket reports the bucket midpoint), then clamped to the observed
+  // [min, max] so quantiles never exceed a value actually recorded.
+  auto percentile = [&](double pct) {
+    double target = pct / 100.0 * static_cast<double>(snap.count);
+    if (target < 1.0) target = 1.0;
+    uint64_t cumulative = 0;
+    double result = static_cast<double>(snap.max);
+    for (int i = 0; i < kNumBuckets; ++i) {
+      if (buckets[i] == 0) continue;
+      if (static_cast<double>(cumulative + buckets[i]) >= target) {
+        double lower = static_cast<double>(BucketLowerBound(i));
+        double upper = static_cast<double>(BucketUpperBound(i)) + 1.0;
+        double frac = (target - static_cast<double>(cumulative) - 0.5) /
+                      static_cast<double>(buckets[i]);
+        if (frac < 0.0) frac = 0.0;
+        if (frac > 1.0) frac = 1.0;
+        result = lower + (upper - lower) * frac;
+        break;
+      }
+      cumulative += buckets[i];
+    }
+    result = std::max(result, static_cast<double>(snap.min));
+    return std::min(result, static_cast<double>(snap.max));
+  };
+  snap.p50 = percentile(50.0);
+  snap.p95 = percentile(95.0);
+  snap.p99 = percentile(99.0);
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+MetricsRegistry* MetricsRegistry::Default() {
+  static MetricsRegistry registry;
+  return &registry;
+}
+
+Counter* MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters").BeginObject();
+  for (const auto& [name, counter] : counters_) {
+    w.Key(name).Uint(counter->value());
+  }
+  w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const auto& [name, gauge] : gauges_) {
+    w.Key(name).Int(gauge->value());
+  }
+  w.EndObject();
+  w.Key("histograms").BeginObject();
+  for (const auto& [name, histogram] : histograms_) {
+    Histogram::Snapshot snap = histogram->GetSnapshot();
+    w.Key(name).BeginObject();
+    w.Key("count").Uint(snap.count);
+    w.Key("sum").Uint(snap.sum);
+    w.Key("min").Uint(snap.min);
+    w.Key("max").Uint(snap.max);
+    w.Key("p50").Double(snap.p50);
+    w.Key("p95").Double(snap.p95);
+    w.Key("p99").Double(snap.p99);
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.TakeString();
+}
+
+namespace {
+
+std::string PromName(const std::string& name) {
+  std::string out = "treelattice_";
+  for (char c : name) {
+    out.push_back((c == '.' || c == '-') ? '_' : c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToPrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    std::string prom = PromName(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(counter->value()) + "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    std::string prom = PromName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + std::to_string(gauge->value()) + "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    Histogram::Snapshot snap = histogram->GetSnapshot();
+    std::string prom = PromName(name);
+    out += "# TYPE " + prom + " summary\n";
+    out += prom + "_count " + std::to_string(snap.count) + "\n";
+    out += prom + "_sum " + std::to_string(snap.sum) + "\n";
+    auto quantile_line = [&](const char* q, double value) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", value);
+      out += prom + "{quantile=\"" + q + "\"} " + buf + "\n";
+    };
+    quantile_line("0.5", snap.p50);
+    quantile_line("0.95", snap.p95);
+    quantile_line("0.99", snap.p99);
+  }
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace obs
+}  // namespace treelattice

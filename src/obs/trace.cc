@@ -1,0 +1,135 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/json.h"
+
+namespace treelattice {
+namespace obs {
+
+std::atomic<bool> Tracer::enabled_{false};
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+/// Per-thread event buffer. Registered (as shared_ptr) in the global
+/// collector so events survive thread exit; the buffer's own mutex only
+/// contends with trace dumps, never with other recording threads.
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  uint32_t tid = 0;
+};
+
+struct Collector {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  uint32_t next_tid = 1;
+  SteadyClock::time_point epoch = SteadyClock::now();
+};
+
+Collector& GlobalCollector() {
+  static Collector* collector = new Collector();  // leaked: used at exit
+  return *collector;
+}
+
+ThreadBuffer& LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto fresh = std::make_shared<ThreadBuffer>();
+    Collector& collector = GlobalCollector();
+    std::lock_guard<std::mutex> lock(collector.mu);
+    fresh->tid = collector.next_tid++;
+    collector.buffers.push_back(fresh);
+    return fresh;
+  }();
+  return *buffer;
+}
+
+}  // namespace
+
+void Tracer::Start() {
+  Collector& collector = GlobalCollector();
+  {
+    std::lock_guard<std::mutex> lock(collector.mu);
+    for (auto& buffer : collector.buffers) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      buffer->events.clear();
+    }
+    collector.epoch = SteadyClock::now();
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Stop() { enabled_.store(false, std::memory_order_relaxed); }
+
+uint64_t Tracer::NowMicros() {
+  Collector& collector = GlobalCollector();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          SteadyClock::now() - collector.epoch)
+          .count());
+}
+
+void Tracer::Record(const TraceEvent& event) {
+  if (!enabled()) return;
+  ThreadBuffer& buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  TraceEvent copy = event;
+  copy.tid = buffer.tid;
+  buffer.events.push_back(copy);
+}
+
+size_t Tracer::CollectedEvents() {
+  Collector& collector = GlobalCollector();
+  std::lock_guard<std::mutex> lock(collector.mu);
+  size_t total = 0;
+  for (auto& buffer : collector.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    total += buffer->events.size();
+  }
+  return total;
+}
+
+std::string Tracer::ChromeTraceJson() {
+  Collector& collector = GlobalCollector();
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(collector.mu);
+    for (auto& buffer : collector.buffers) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      events.insert(events.end(), buffer->events.begin(),
+                    buffer->events.end());
+    }
+  }
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("traceEvents").BeginArray();
+  for (const TraceEvent& event : events) {
+    w.BeginObject();
+    w.Key("name").String(event.name != nullptr ? event.name : "");
+    w.Key("cat").String(event.category != nullptr ? event.category : "");
+    w.Key("ph").String("X");
+    w.Key("ts").Uint(event.ts_micros);
+    w.Key("dur").Uint(event.dur_micros);
+    w.Key("pid").Int(1);
+    w.Key("tid").Uint(event.tid);
+    if (event.arg_name != nullptr) {
+      w.Key("args").BeginObject();
+      w.Key(event.arg_name).Uint(event.arg_value);
+      w.EndObject();
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("displayTimeUnit").String("ms");
+  w.EndObject();
+  return w.TakeString();
+}
+
+}  // namespace obs
+}  // namespace treelattice

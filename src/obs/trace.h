@@ -1,0 +1,101 @@
+#ifndef TREELATTICE_OBS_TRACE_H_
+#define TREELATTICE_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace treelattice {
+namespace obs {
+
+/// One completed ("ph":"X") Chrome trace_event. Names and categories are
+/// string literals at every call site, so events store raw pointers.
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* category = nullptr;
+  uint64_t ts_micros = 0;   ///< start, relative to the trace epoch
+  uint64_t dur_micros = 0;  ///< duration
+  uint32_t tid = 0;         ///< tracer-assigned sequential thread id
+  const char* arg_name = nullptr;  ///< optional single numeric argument
+  uint64_t arg_value = 0;
+};
+
+/// Process-wide tracing control. Each thread records into its own buffer
+/// (created on first span, registered globally), so recording takes no
+/// global lock; ChromeTraceJson() gathers every thread's events. Tracing
+/// is off by default — a disabled TraceSpan is one relaxed atomic load.
+class Tracer {
+ public:
+  static bool enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Discards previously collected events and enables collection. The
+  /// trace epoch (ts 0) is the moment of this call.
+  static void Start();
+
+  /// Disables collection; collected events remain readable.
+  static void Stop();
+
+  /// Serializes all collected events as Chrome trace_event JSON — an
+  /// object with a "traceEvents" array of complete ("ph":"X") events —
+  /// loadable in chrome://tracing and Perfetto.
+  static std::string ChromeTraceJson();
+
+  /// Number of events collected so far (all threads).
+  static size_t CollectedEvents();
+
+  /// Microseconds since the trace epoch.
+  static uint64_t NowMicros();
+
+  /// Appends one complete event to the calling thread's buffer. No-op
+  /// when tracing is disabled.
+  static void Record(const TraceEvent& event);
+
+ private:
+  friend class TraceSpan;
+  static std::atomic<bool> enabled_;
+};
+
+/// RAII span: records a complete trace event covering its lifetime. Free
+/// when tracing is disabled. The name (and optional arg name) must be
+/// string literals or otherwise outlive the trace dump.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* category = "treelattice")
+      : active_(Tracer::enabled()) {
+    if (active_) {
+      event_.name = name;
+      event_.category = category;
+      event_.ts_micros = Tracer::NowMicros();
+    }
+  }
+
+  /// Attaches a single numeric argument (e.g. the mining level) rendered
+  /// into the event's "args" object.
+  void SetArg(const char* arg_name, uint64_t value) {
+    if (active_) {
+      event_.arg_name = arg_name;
+      event_.arg_value = value;
+    }
+  }
+
+  ~TraceSpan() {
+    if (active_ && Tracer::enabled()) {
+      event_.dur_micros = Tracer::NowMicros() - event_.ts_micros;
+      Tracer::Record(event_);
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceEvent event_;
+  bool active_;
+};
+
+}  // namespace obs
+}  // namespace treelattice
+
+#endif  // TREELATTICE_OBS_TRACE_H_

@@ -4,6 +4,8 @@
 #include <string_view>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "twig/twig.h"
 #include "util/coding.h"
 #include "util/crc32c.h"
@@ -11,6 +13,31 @@
 
 namespace treelattice {
 namespace {
+
+/// Persistence telemetry: successful operations, bytes moved, and — making
+/// the fault-injection machinery observable — checksum failures and salvage
+/// loads.
+struct SummaryMetrics {
+  obs::Counter* saves;
+  obs::Counter* save_bytes;
+  obs::Counter* loads;
+  obs::Counter* load_bytes;
+  obs::Counter* crc_failures;
+  obs::Counter* salvage_loads;
+
+  static SummaryMetrics& Get() {
+    static SummaryMetrics m = [] {
+      obs::MetricsRegistry* registry = obs::MetricsRegistry::Default();
+      return SummaryMetrics{registry->counter("summary.saves"),
+                            registry->counter("summary.save_bytes"),
+                            registry->counter("summary.loads"),
+                            registry->counter("summary.load_bytes"),
+                            registry->counter("summary.crc_failures"),
+                            registry->counter("summary.salvage_loads")};
+    }();
+    return m;
+  }
+};
 
 constexpr std::string_view kMagicV2 = "TLSUM2\r\n";
 constexpr std::string_view kMagicV1 = "TLSUMMARY v1";
@@ -128,6 +155,7 @@ Status ParseV2(std::string_view contents, const std::string& origin,
                                       kHeaderPayloadBytes);
   if (crc32c::Value(contents.substr(0, 8 + kHeaderPayloadBytes)) !=
       stored_crc) {
+    SummaryMetrics::Get().crc_failures->Increment();
     return Status::Corruption("header checksum mismatch in " + origin);
   }
   ByteReader header(contents.substr(8, kHeaderPayloadBytes));
@@ -189,6 +217,7 @@ Status ParseV2(std::string_view contents, const std::string& origin,
     section.info.tag = tag;
     section.info.level = level;
     if (crc32c::Value(raw) != crc) {
+      SummaryMetrics::Get().crc_failures->Increment();
       section.info.detail = SectionName(tag, level) + " checksum mismatch";
     } else {
       Status parsed = ParseSectionPayload(
@@ -269,6 +298,7 @@ void AppendSection(std::string* buf, char tag, std::string_view payload) {
 
 Status SaveSummaryV2(const LatticeSummary& summary, const LabelDict* dict,
                      Env* env, const std::string& path) {
+  obs::TraceSpan span("summary.save", "summary");
   std::string buf;
   buf.append(kMagicV2);
   PutFixed32(&buf, static_cast<uint32_t>(summary.max_level()));
@@ -296,12 +326,20 @@ Status SaveSummaryV2(const LatticeSummary& summary, const LabelDict* dict,
     AppendSection(&buf, kTagLevel, payload);
   }
   AppendSection(&buf, kTagEnd, "");
-  return WriteFileAtomic(env, path, buf);
+  Status status = WriteFileAtomic(env, path, buf);
+  if (status.ok()) {
+    SummaryMetrics::Get().saves->Increment();
+    SummaryMetrics::Get().save_bytes->Increment(buf.size());
+  }
+  return status;
 }
 
 Result<LoadedSummary> LoadSummary(Env* env, const std::string& path) {
+  obs::TraceSpan span("summary.load", "summary");
   std::string contents;
   TL_RETURN_IF_ERROR(ReadFileToString(env, path, &contents));
+  SummaryMetrics::Get().loads->Increment();
+  SummaryMetrics::Get().load_bytes->Increment(contents.size());
 
   if (std::string_view(contents).substr(0, kMagicV2.size()) == kMagicV2) {
     ParsedV2 parsed;
@@ -320,6 +358,7 @@ Result<LoadedSummary> LoadSummary(Env* env, const std::string& path) {
     }
     summary.set_complete_through_level(
         parsed.intact ? parsed.complete : parsed.salvage_complete);
+    if (!parsed.intact) SummaryMetrics::Get().salvage_loads->Increment();
     return LoadedSummary{std::move(summary), std::move(dict), 2,
                          !parsed.intact, parsed.first_detail};
   }
@@ -334,6 +373,7 @@ Result<LoadedSummary> LoadSummary(Env* env, const std::string& path) {
 }
 
 Result<VerifyReport> VerifySummaryFile(Env* env, const std::string& path) {
+  obs::TraceSpan span("summary.verify", "summary");
   std::string contents;
   TL_RETURN_IF_ERROR(ReadFileToString(env, path, &contents));
 

@@ -1,0 +1,86 @@
+#ifndef TREELATTICE_UTIL_JSON_H_
+#define TREELATTICE_UTIL_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/result.h"
+
+namespace treelattice {
+
+/// Minimal streaming JSON writer: explicit Begin/End calls with automatic
+/// comma placement. Produces compact (no whitespace) RFC 8259 output.
+/// Non-finite doubles are emitted as null (JSON has no NaN/Inf).
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Emits an object key; must be followed by exactly one value (or
+  /// Begin*). Only valid directly inside an object.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& Uint(uint64_t value);
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  /// Splices pre-serialized JSON in as one value. The caller vouches that
+  /// `json` is itself well-formed (e.g. another writer's str()).
+  JsonWriter& Raw(std::string_view json);
+
+  const std::string& str() const { return out_; }
+  std::string TakeString() { return std::move(out_); }
+
+  /// Appends a JSON-escaped, quoted copy of `value` to `*out`.
+  static void AppendEscaped(std::string_view value, std::string* out);
+
+ private:
+  void MaybeComma();
+
+  std::string out_;
+  // One entry per open scope: true until the first element is written.
+  std::vector<bool> first_in_scope_;
+  bool pending_key_ = false;
+};
+
+/// A parsed JSON value (null, bool, number, string, array, or object).
+/// Object member order is preserved. Intended for tests and tools that
+/// validate TreeLattice's machine-readable output — small inputs, clarity
+/// over speed.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+
+  /// Member lookup on an object; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+};
+
+/// Parses `text` as a single JSON document (trailing whitespace allowed,
+/// trailing garbage rejected). Returns InvalidArgument with an offset on
+/// malformed input.
+Result<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace treelattice
+
+#endif  // TREELATTICE_UTIL_JSON_H_

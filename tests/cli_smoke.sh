@@ -91,6 +91,54 @@ if "$CLI" estimate "$WORKDIR/garbage.summary" "name" 2>/dev/null; then
   exit 1
 fi
 
+# telemetry: --metrics file on build, with nonzero mining/io counters
+"$CLI" build "$WORKDIR/doc.xml" --out="$WORKDIR/doc2.summary" --level=3 \
+    --metrics="$WORKDIR/build_metrics.json" > /dev/null
+grep -q '"mining.patterns_inserted":' "$WORKDIR/build_metrics.json"
+grep -q '"io.bytes_written":' "$WORKDIR/build_metrics.json"
+if grep -q '"mining.patterns_inserted":0,' "$WORKDIR/build_metrics.json"; then
+  echo "expected nonzero mining.patterns_inserted" >&2
+  exit 1
+fi
+
+# telemetry: Prometheus rendering
+"$CLI" stats "$WORKDIR/doc.summary" --metrics=- --metrics-format=prom \
+    > "$WORKDIR/prom.out"
+grep -q "# TYPE treelattice_summary_loads counter" "$WORKDIR/prom.out"
+
+# telemetry: estimate --json emits one record per query with counters, and
+# --metrics=- appends the registry dump (nonzero summary hits, depth
+# histogram populated)
+"$CLI" estimate "$WORKDIR/doc.summary" "item(name,price)" \
+    "catalog(items(item(name)),vendors)" --json --metrics=- \
+    > "$WORKDIR/est_json.out"
+grep -q '"query":"item(name,price)"' "$WORKDIR/est_json.out"
+grep -q '"estimator":"recursive"' "$WORKDIR/est_json.out"
+grep -q '"estimate":2' "$WORKDIR/est_json.out"
+grep -q '"wall_micros":' "$WORKDIR/est_json.out"
+grep -q '"summary_hits":' "$WORKDIR/est_json.out"
+grep -q '"estimator.summary_hits":[1-9]' "$WORKDIR/est_json.out"
+grep -q '"estimator.decomposition_depth":{"count":[1-9]' "$WORKDIR/est_json.out"
+
+# telemetry: --trace writes a Chrome trace_event file
+"$CLI" build "$WORKDIR/doc.xml" --out="$WORKDIR/doc3.summary" --level=3 \
+    --trace="$WORKDIR/build_trace.json" > /dev/null
+grep -q '"traceEvents":\[' "$WORKDIR/build_trace.json"
+grep -q '"ph":"X"' "$WORKDIR/build_trace.json"
+grep -q '"name":"mining.build"' "$WORKDIR/build_trace.json"
+
+# telemetry: TREELATTICE_OBS=off leaves counters at zero
+TREELATTICE_OBS=off "$CLI" estimate "$WORKDIR/doc.summary" \
+    "item(name,price)" --metrics="$WORKDIR/off_metrics.json" > /dev/null
+grep -q '"estimator.summary_hits":0' "$WORKDIR/off_metrics.json"
+
+# bad --metrics-format is rejected
+if "$CLI" stats "$WORKDIR/doc.summary" --metrics=- --metrics-format=xml \
+    2>/dev/null; then
+  echo "expected rejection of bad metrics format" >&2
+  exit 1
+fi
+
 # error handling: bad inputs exit non-zero
 if "$CLI" estimate "$WORKDIR/doc.summary" "a//b" 2>/dev/null; then
   echo "expected failure on descendant axis" >&2

@@ -296,7 +296,9 @@ TEST(VotingTest, MedianAggregationDiffersAndIsFinite) {
     if (std::abs(*a - *b) > 1e-9) ++different;
     // In-lattice sub-twigs anchor both, so on in-lattice queries they
     // coincide exactly.
-    if (summary.Contains(q)) EXPECT_DOUBLE_EQ(*a, *b);
+    if (summary.Contains(q)) {
+      EXPECT_DOUBLE_EQ(*a, *b);
+    }
   }
   // The aggregation rule must actually matter somewhere in the workload.
   EXPECT_GT(different, 0);

@@ -83,6 +83,37 @@ TEST(ExplainTest, RootEstimateMatchesEstimator) {
   }
 }
 
+TEST(ExplainTest, RootMatchesSingleVoteVotingEstimator) {
+  // The documented contract (explain.h): the trace follows the first valid
+  // leaf pair at each level, which is exactly a voting estimator capped at
+  // one vote per level. Full voting averages over all pairs and may
+  // legitimately diverge from the trace root.
+  RandomTreeOptions tree;
+  tree.seed = 23;
+  tree.num_nodes = 150;
+  tree.num_labels = 4;
+  Document doc = GenerateRandomTree(tree);
+  LatticeSummary summary = MustBuild(doc, 3);
+  using Options = RecursiveDecompositionEstimator::Options;
+  using Agg = RecursiveDecompositionEstimator::VoteAggregation;
+  RecursiveDecompositionEstimator single_vote(&summary,
+                                              Options{true, 1, Agg::kMean});
+
+  WorkloadOptions wl;
+  wl.seed = 5;
+  wl.query_size = 6;
+  wl.num_queries = 20;
+  auto queries = GeneratePositiveWorkload(doc, wl);
+  ASSERT_TRUE(queries.ok());
+  for (const Twig& q : *queries) {
+    auto estimate = single_vote.Estimate(q);
+    auto trace = ExplainEstimate(summary, q, doc.dict());
+    ASSERT_TRUE(estimate.ok() && trace.ok());
+    EXPECT_NEAR((*trace)->estimate, *estimate, 1e-9 * (1 + *estimate))
+        << q.ToDebugString();
+  }
+}
+
 TEST(ExplainTest, RenderIsIndentedAndComplete) {
   std::string xml = "<r>";
   for (int i = 0; i < 3; ++i) xml += "<x><y><w/></y><z/></x>";

@@ -1,3 +1,5 @@
+#include <cmath>
+#include <limits>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -39,6 +41,26 @@ TEST(MetricsTest, MeanAndPercentile) {
   EXPECT_DOUBLE_EQ(Percentile(values, 100), 4.0);
   EXPECT_DOUBLE_EQ(Percentile(values, 50), 2.5);
   EXPECT_DOUBLE_EQ(Percentile({}, 50), 0.0);
+}
+
+TEST(MetricsTest, PercentileSingleElement) {
+  // One element answers every percentile.
+  for (double pct : {0.0, 10.0, 50.0, 99.9, 100.0}) {
+    EXPECT_DOUBLE_EQ(Percentile({7.5}, pct), 7.5) << pct;
+  }
+}
+
+TEST(MetricsTest, PercentileClampsOutOfRangePct) {
+  std::vector<double> values = {4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(Percentile(values, -10.0), 1.0);   // clamped to min
+  EXPECT_DOUBLE_EQ(Percentile(values, 250.0), 4.0);   // clamped to max
+}
+
+TEST(MetricsTest, PercentileNanPropagates) {
+  std::vector<double> values = {4, 1, 3, 2};
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(Percentile(values, nan)));
+  EXPECT_TRUE(std::isnan(Percentile({1.0, nan, 3.0}, 50.0)));
 }
 
 TEST(MetricsTest, ErrorCdfIsMonotone) {

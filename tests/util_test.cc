@@ -1,3 +1,4 @@
+#include <limits>
 #include <memory>
 #include <set>
 #include <string>
@@ -6,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "util/hash.h"
+#include "util/json.h"
 #include "util/result.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -196,6 +198,79 @@ TEST(StringUtilTest, HumanBytes) {
 TEST(StringUtilTest, FormatDouble) {
   EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
   EXPECT_EQ(FormatDouble(1.0, 0), "1");
+}
+
+TEST(JsonWriterTest, ObjectsArraysAndCommas) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("a").Int(1);
+  w.Key("b").BeginArray().Int(2).String("x").Bool(true).Null().EndArray();
+  w.Key("c").BeginObject().EndObject();
+  w.EndObject();
+  EXPECT_EQ(w.str(), R"({"a":1,"b":[2,"x",true,null],"c":{}})");
+}
+
+TEST(JsonWriterTest, EscapesStringsAndControlChars) {
+  JsonWriter w;
+  w.BeginArray().String("quo\"te\\path\n\x01").EndArray();
+  EXPECT_EQ(w.str(), "[\"quo\\\"te\\\\path\\n\\u0001\"]");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.BeginArray()
+      .Double(1.5)
+      .Double(std::numeric_limits<double>::infinity())
+      .Double(std::numeric_limits<double>::quiet_NaN())
+      .EndArray();
+  EXPECT_EQ(w.str(), "[1.5,null,null]");
+}
+
+TEST(JsonWriterTest, RawSplicesVerbatim) {
+  JsonWriter w;
+  w.BeginObject().Key("m").Raw(R"({"x":1})").Key("n").Int(2).EndObject();
+  EXPECT_EQ(w.str(), R"({"m":{"x":1},"n":2})");
+}
+
+TEST(JsonParseTest, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name").String("bench");
+  w.Key("values").BeginArray().Int(1).Double(2.5).EndArray();
+  w.Key("ok").Bool(true);
+  w.EndObject();
+  Result<JsonValue> parsed = ParseJson(w.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("name")->string_value, "bench");
+  ASSERT_EQ(parsed->Find("values")->array.size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed->Find("values")->array[1].number_value, 2.5);
+  EXPECT_TRUE(parsed->Find("ok")->bool_value);
+}
+
+TEST(JsonParseTest, HandlesEscapesAndUnicode) {
+  Result<JsonValue> parsed = ParseJson(R"("a\"b\\c\nA")");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->string_value, "a\"b\\c\nA");
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "tru", "1 2", "\"unterminated",
+        "{\"a\":1,}", "[1] trailing"}) {
+    EXPECT_FALSE(ParseJson(bad).ok()) << bad;
+  }
+}
+
+TEST(JsonParseTest, RejectsExcessiveNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(ParseJson(deep).ok());
+}
+
+TEST(JsonParseTest, FindOnNonObjectIsNull) {
+  Result<JsonValue> parsed = ParseJson("[1,2]");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("x"), nullptr);
 }
 
 }  // namespace

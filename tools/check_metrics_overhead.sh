@@ -1,0 +1,55 @@
+#!/bin/sh
+# Asserts the telemetry overhead budget (DESIGN.md "Observability"): the
+# estimator microbenchmarks with metrics enabled must stay within
+# TOLERANCE_PCT (default 5%) of the same binary with TREELATTICE_OBS=off.
+#
+#   tools/check_metrics_overhead.sh [build_dir]
+#
+# Environment: TOLERANCE_PCT (default 5), FILTER (default the estimator
+# benchmarks), MIN_TIME (default 0.2s per benchmark, to tame noise).
+set -eu
+
+BUILD_DIR="${1:-build}"
+BIN="$BUILD_DIR/bench/bench_micro"
+TOLERANCE_PCT="${TOLERANCE_PCT:-5}"
+FILTER="${FILTER:-BM_Estimate}"
+MIN_TIME="${MIN_TIME:-0.2}"
+
+if [ ! -x "$BIN" ]; then
+  echo "error: $BIN not found (build first: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
+  exit 2
+fi
+
+# Sums the cpu_time column of google-benchmark's CSV output.
+run_total() {
+  TREELATTICE_OBS="$1" "$BIN" \
+    --benchmark_filter="$FILTER" \
+    --benchmark_min_time="$MIN_TIME" \
+    --benchmark_format=csv 2>/dev/null |
+    awk -F, '/^"/ { total += $4; n += 1 } END {
+      if (n == 0) { print "0 0" } else { printf "%.0f %d\n", total, n }
+    }'
+}
+
+echo "=== baseline: TREELATTICE_OBS=off ($FILTER) ==="
+set -- $(run_total off)
+off_total=$1; off_n=$2
+echo "    $off_n benchmarks, total cpu $off_total ns"
+
+echo "=== instrumented: TREELATTICE_OBS=on ==="
+set -- $(run_total on)
+on_total=$1; on_n=$2
+echo "    $on_n benchmarks, total cpu $on_total ns"
+
+if [ "$off_n" -eq 0 ] || [ "$off_n" != "$on_n" ]; then
+  echo "FAIL: benchmark sets differ (off=$off_n, on=$on_n)" >&2
+  exit 1
+fi
+
+awk -v off="$off_total" -v on="$on_total" -v tol="$TOLERANCE_PCT" 'BEGIN {
+  overhead = 100.0 * (on - off) / off
+  printf "overhead: %+.2f%% (budget %s%%)\n", overhead, tol
+  exit (overhead <= tol) ? 0 : 1
+}' || { echo "FAIL: telemetry overhead exceeds ${TOLERANCE_PCT}%" >&2; exit 1; }
+
+echo "OK: telemetry overhead within budget"

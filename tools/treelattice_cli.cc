@@ -15,14 +15,23 @@
 // written atomically, label dictionary embedded), so estimation never
 // needs the original document or a sidecar file. Summaries from older
 // builds (v1 text + <out>.dict sidecar) still load.
+//
+// Every subcommand also takes the telemetry flags
+//   --metrics=<file|->           dump the metrics registry after the command
+//   --metrics-format=json|prom   registry dump format (default json)
+//   --trace=<file>               write a Chrome trace_event JSON file
+// and `estimate --json` prints one JSON record per query instead of the
+// human table.
 
 #include <cstdio>
 #include <cstring>
+#include <iterator>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "core/estimator_metrics.h"
 #include "core/explain.h"
 #include "core/fixed_size_estimator.h"
 #include "core/pruning.h"
@@ -31,8 +40,11 @@
 #include "io/env.h"
 #include "match/matcher.h"
 #include "mining/lattice_builder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "summary/lattice_summary.h"
 #include "summary/summary_format.h"
+#include "util/json.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 #include "xml/dict_codec.h"
@@ -51,8 +63,21 @@ int Usage() {
                "  treelattice verify <summary>\n"
                "  treelattice estimate <summary> <query>... "
                "[--estimator=recursive|voting|voting-median|fixed] "
-               "[--explain]\n"
-               "  treelattice truth <doc.xml> <query>...\n");
+               "[--explain] [--json]\n"
+               "  treelattice truth <doc.xml> <query>...\n"
+               "\n"
+               "telemetry flags (any subcommand):\n"
+               "  --metrics=<file|->           dump the metrics registry "
+               "after the command\n"
+               "  --metrics-format=json|prom   dump format (default json)\n"
+               "  --trace=<file>               write Chrome trace_event JSON "
+               "(chrome://tracing)\n"
+               "\n"
+               "estimate --json prints one JSON record per query (estimate, "
+               "wall micros,\nsummary lookup and decomposition counters). "
+               "--explain traces the non-voting\ndecomposition path: with a "
+               "voting estimator the trace shows one\nrepresentative path "
+               "and its root may differ from the voted estimate.\n");
   return 2;
 }
 
@@ -262,6 +287,22 @@ int RunEstimate(int argc, char** argv, const Flags& flags) {
   }
 
   const bool explain = flags.GetBool("explain", false);
+  const bool json = flags.GetBool("json", false);
+  // Per-query counter deltas for --json. Every estimator shares the
+  // estimator.* names, so one set of before/after reads works for all.
+  EstimatorMetrics& em = EstimatorMetrics::Get();
+  struct NamedCounter {
+    const char* key;
+    obs::Counter* counter;
+  };
+  const NamedCounter delta_counters[] = {
+      {"summary_hits", em.summary_hits},
+      {"summary_misses", em.summary_misses},
+      {"exhaustive_zeros", em.exhaustive_zeros},
+      {"decompositions", em.decompositions},
+      {"zero_overlap_fallbacks", em.zero_overlap_fallbacks},
+      {"memo_hits", em.memo_hits},
+  };
   int failures = 0;
   for (size_t i = 1; i < args.size(); ++i) {
     Result<Twig> query = ParseQuery(args[i], &*dict);
@@ -271,16 +312,38 @@ int RunEstimate(int argc, char** argv, const Flags& flags) {
       ++failures;
       continue;
     }
+    uint64_t before[std::size(delta_counters)];
+    for (size_t c = 0; c < std::size(delta_counters); ++c) {
+      before[c] = delta_counters[c].counter->value();
+    }
     WallTimer timer;
     Result<double> estimate = estimator->Estimate(*query);
+    double wall_micros = timer.ElapsedMicros();
     if (!estimate.ok()) {
       std::fprintf(stderr, "%s: %s\n", args[i].c_str(),
                    estimate.status().ToString().c_str());
       ++failures;
       continue;
     }
-    std::printf("%-50s %14.2f   (%.0f us, %s)\n", args[i].c_str(), *estimate,
-                timer.ElapsedMicros(), estimator->name().c_str());
+    if (json) {
+      JsonWriter w;
+      w.BeginObject();
+      w.Key("query").String(args[i]);
+      w.Key("estimator").String(estimator->name());
+      w.Key("estimate").Double(*estimate);
+      w.Key("wall_micros").Double(wall_micros);
+      w.Key("counters").BeginObject();
+      for (size_t c = 0; c < std::size(delta_counters); ++c) {
+        w.Key(delta_counters[c].key)
+            .Uint(delta_counters[c].counter->value() - before[c]);
+      }
+      w.EndObject();
+      w.EndObject();
+      std::printf("%s\n", w.str().c_str());
+    } else {
+      std::printf("%-50s %14.2f   (%.0f us, %s)\n", args[i].c_str(),
+                  *estimate, wall_micros, estimator->name().c_str());
+    }
     if (explain) {
       Result<std::unique_ptr<ExplainNode>> trace =
           ExplainEstimate(summary, *query, *dict);
@@ -316,16 +379,61 @@ int RunTruth(int argc, char** argv) {
   return failures == 0 ? 0 : 1;
 }
 
+/// Writes the registry dump after a command: "-" → stdout, otherwise an
+/// atomic file write. Failures are reported but do not change the command's
+/// exit code — telemetry must never mask the real result.
+void DumpMetrics(const std::string& target, const std::string& format) {
+  std::string text = (format == "prom")
+                         ? obs::MetricsRegistry::Default()->ToPrometheusText()
+                         : obs::MetricsRegistry::Default()->ToJson();
+  if (target == "-") {
+    std::printf("%s\n", text.c_str());
+    return;
+  }
+  if (Status s = WriteFileAtomic(Env::Default(), target, text); !s.ok()) {
+    std::fprintf(stderr, "--metrics: %s\n", s.ToString().c_str());
+  }
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   Flags flags(argc, argv);
   std::string command = argv[1];
-  if (command == "build") return RunBuild(argc, argv, flags);
-  if (command == "stats") return RunStats(argc, argv);
-  if (command == "verify") return RunVerify(argc, argv);
-  if (command == "estimate") return RunEstimate(argc, argv, flags);
-  if (command == "truth") return RunTruth(argc, argv);
-  return Usage();
+
+  const std::string metrics_target = flags.GetString("metrics", "");
+  const std::string metrics_format = flags.GetString("metrics-format", "json");
+  if (metrics_format != "json" && metrics_format != "prom") {
+    std::fprintf(stderr, "--metrics-format must be json or prom\n");
+    return 2;
+  }
+  const std::string trace_target = flags.GetString("trace", "");
+  if (!trace_target.empty()) obs::Tracer::Start();
+
+  int rc;
+  if (command == "build") {
+    rc = RunBuild(argc, argv, flags);
+  } else if (command == "stats") {
+    rc = RunStats(argc, argv);
+  } else if (command == "verify") {
+    rc = RunVerify(argc, argv);
+  } else if (command == "estimate") {
+    rc = RunEstimate(argc, argv, flags);
+  } else if (command == "truth") {
+    rc = RunTruth(argc, argv);
+  } else {
+    return Usage();
+  }
+
+  if (!trace_target.empty()) {
+    obs::Tracer::Stop();
+    if (Status s = WriteFileAtomic(Env::Default(), trace_target,
+                                   obs::Tracer::ChromeTraceJson());
+        !s.ok()) {
+      std::fprintf(stderr, "--trace: %s\n", s.ToString().c_str());
+    }
+  }
+  if (!metrics_target.empty()) DumpMetrics(metrics_target, metrics_format);
+  return rc;
 }
 
 }  // namespace
