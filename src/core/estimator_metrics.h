@@ -1,6 +1,7 @@
 #ifndef TREELATTICE_CORE_ESTIMATOR_METRICS_H_
 #define TREELATTICE_CORE_ESTIMATOR_METRICS_H_
 
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
 
 namespace treelattice {
@@ -31,16 +32,17 @@ struct EstimatorMetrics {
   static EstimatorMetrics& Get() {
     static EstimatorMetrics m = [] {
       obs::MetricsRegistry* registry = obs::MetricsRegistry::Default();
+      namespace names = obs::metric_names;
       return EstimatorMetrics{
-          registry->counter("estimator.summary_hits"),
-          registry->counter("estimator.summary_misses"),
-          registry->counter("estimator.exhaustive_zeros"),
-          registry->counter("estimator.decompositions"),
-          registry->counter("estimator.zero_overlap_fallbacks"),
-          registry->counter("estimator.memo_hits"),
-          registry->histogram("estimator.decomposition_depth"),
-          registry->histogram("estimator.voting_fanout"),
-          registry->histogram("estimator.cover_steps")};
+          registry->counter(names::kEstimatorSummaryHits),
+          registry->counter(names::kEstimatorSummaryMisses),
+          registry->counter(names::kEstimatorExhaustiveZeros),
+          registry->counter(names::kEstimatorDecompositions),
+          registry->counter(names::kEstimatorZeroOverlapFallbacks),
+          registry->counter(names::kEstimatorMemoHits),
+          registry->histogram(names::kEstimatorDecompositionDepth),
+          registry->histogram(names::kEstimatorVotingFanout),
+          registry->histogram(names::kEstimatorCoverSteps)};
     }();
     return m;
   }

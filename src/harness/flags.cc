@@ -1,5 +1,6 @@
 #include "harness/flags.h"
 
+#include <cerrno>
 #include <cstdlib>
 
 #include "util/string_util.h"
@@ -24,13 +25,25 @@ Flags::Flags(int argc, char** argv) {
 int64_t Flags::GetInt(const std::string& key, int64_t fallback) const {
   auto it = values_.find(key);
   if (it == values_.end() || it->second.empty()) return fallback;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  errno = 0;
+  char* end = nullptr;
+  int64_t value = std::strtoll(it->second.c_str(), &end, 10);
+  if (errno == ERANGE || end == it->second.c_str() || *end != '\0') {
+    return fallback;
+  }
+  return value;
 }
 
 double Flags::GetDouble(const std::string& key, double fallback) const {
   auto it = values_.find(key);
   if (it == values_.end() || it->second.empty()) return fallback;
-  return std::strtod(it->second.c_str(), nullptr);
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(it->second.c_str(), &end);
+  if (errno == ERANGE || end == it->second.c_str() || *end != '\0') {
+    return fallback;
+  }
+  return value;
 }
 
 bool Flags::GetBool(const std::string& key, bool fallback) const {

@@ -13,10 +13,13 @@ class Flags {
  public:
   Flags(int argc, char** argv);
 
-  /// Integer flag with default.
+  /// Integer flag with default. A value that is not a complete decimal
+  /// integer (or overflows int64) yields the fallback — "--level=abc"
+  /// must not silently become 0.
   int64_t GetInt(const std::string& key, int64_t fallback) const;
 
-  /// Floating-point flag with default.
+  /// Floating-point flag with default; malformed values yield the
+  /// fallback, as with GetInt.
   double GetDouble(const std::string& key, double fallback) const;
 
   /// Boolean flag: present without value or "=true"/"=1" means true.

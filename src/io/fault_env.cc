@@ -1,6 +1,10 @@
 #include "io/fault_env.h"
 
+#include <mutex>
+
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
+#include "util/thread_annotations.h"
 
 namespace treelattice {
 
@@ -9,21 +13,25 @@ namespace {
 /// Counts every fault the wrapper injects, so test and chaos runs can see
 /// how much failure traffic they actually generated.
 obs::Counter* InjectedFaults() {
-  static obs::Counter* counter =
-      obs::MetricsRegistry::Default()->counter("io.fault.injected_failures");
+  static obs::Counter* counter = obs::MetricsRegistry::Default()->counter(
+      obs::metric_names::kIoFaultInjectedFailures);
   return counter;
 }
 
 }  // namespace
 
 struct FaultInjectingEnv::State {
+  mutable std::mutex mu;
+  /// Fault switches. Mutated through config() between operations (see the
+  /// header contract); operations read it under mu so the write budget is
+  /// consumed atomically even with files appending from several threads.
   FaultInjectionConfig config;
-  int64_t bytes_written = 0;
-  int appends = 0;
-  int syncs = 0;
-  int renames = 0;
-  int deletes = 0;
-  int reads = 0;
+  int64_t bytes_written TL_GUARDED_BY(mu) = 0;
+  int appends TL_GUARDED_BY(mu) = 0;
+  int syncs TL_GUARDED_BY(mu) = 0;
+  int renames TL_GUARDED_BY(mu) = 0;
+  int deletes TL_GUARDED_BY(mu) = 0;
+  int reads TL_GUARDED_BY(mu) = 0;
 };
 
 namespace {
@@ -35,27 +43,43 @@ class FaultWritableFile : public WritableFile {
       : base_(std::move(base)), state_(std::move(state)) {}
 
   Status Append(std::string_view data) override {
-    ++state_->appends;
-    const int64_t budget = state_->config.fail_write_after_bytes;
-    if (budget >= 0) {
-      int64_t room = budget - state_->bytes_written;
-      if (room < static_cast<int64_t>(data.size())) {
-        if (room > 0 && state_->config.torn_writes) {
-          std::string_view prefix = data.substr(0, static_cast<size_t>(room));
-          state_->bytes_written += room;
-          base_->Append(prefix);  // the torn prefix reaches the disk
+    // The budget check and the byte-count update happen under one lock so
+    // concurrent appenders cannot jointly overshoot the write budget.
+    bool tear = false;
+    std::string_view prefix;
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      ++state_->appends;
+      const int64_t budget = state_->config.fail_write_after_bytes;
+      if (budget >= 0) {
+        int64_t room = budget - state_->bytes_written;
+        if (room < static_cast<int64_t>(data.size())) {
+          if (room > 0 && state_->config.torn_writes) {
+            prefix = data.substr(0, static_cast<size_t>(room));
+            state_->bytes_written += room;
+            tear = true;
+          }
+          InjectedFaults()->Increment();
+          if (!tear) return Status::IOError("injected write failure");
         }
-        InjectedFaults()->Increment();
-        return Status::IOError("injected write failure");
       }
+      if (!tear) state_->bytes_written += static_cast<int64_t>(data.size());
     }
-    state_->bytes_written += static_cast<int64_t>(data.size());
+    if (tear) {
+      base_->Append(prefix);  // the torn prefix reaches the disk
+      return Status::IOError("injected write failure");
+    }
     return base_->Append(data);
   }
 
   Status Sync() override {
-    ++state_->syncs;
-    if (state_->config.fail_sync) {
+    bool fail;
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      ++state_->syncs;
+      fail = state_->config.fail_sync;
+    }
+    if (fail) {
       InjectedFaults()->Increment();
       return Status::IOError("injected fsync failure");
     }
@@ -76,12 +100,18 @@ class FaultRandomAccessFile : public RandomAccessFile {
       : base_(std::move(base)), state_(std::move(state)) {}
 
   Status Read(uint64_t offset, size_t n, std::string* out) const override {
-    ++state_->reads;
-    if (state_->config.fail_read) {
+    bool fail;
+    size_t cap;
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      ++state_->reads;
+      fail = state_->config.fail_read;
+      cap = state_->config.short_read_cap;
+    }
+    if (fail) {
       InjectedFaults()->Increment();
       return Status::IOError("injected read failure");
     }
-    const size_t cap = state_->config.short_read_cap;
     if (cap > 0 && n > cap) n = cap;
     return base_->Read(offset, n, out);
   }
@@ -100,16 +130,41 @@ FaultInjectingEnv::~FaultInjectingEnv() = default;
 
 FaultInjectionConfig& FaultInjectingEnv::config() { return state_->config; }
 
-void FaultInjectingEnv::Reset() { *state_ = State(); }
+void FaultInjectingEnv::Reset() {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  state_->config = FaultInjectionConfig();
+  state_->bytes_written = 0;
+  state_->appends = 0;
+  state_->syncs = 0;
+  state_->renames = 0;
+  state_->deletes = 0;
+  state_->reads = 0;
+}
 
 int64_t FaultInjectingEnv::bytes_written() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
   return state_->bytes_written;
 }
-int FaultInjectingEnv::appends() const { return state_->appends; }
-int FaultInjectingEnv::syncs() const { return state_->syncs; }
-int FaultInjectingEnv::renames() const { return state_->renames; }
-int FaultInjectingEnv::deletes() const { return state_->deletes; }
-int FaultInjectingEnv::reads() const { return state_->reads; }
+int FaultInjectingEnv::appends() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->appends;
+}
+int FaultInjectingEnv::syncs() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->syncs;
+}
+int FaultInjectingEnv::renames() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->renames;
+}
+int FaultInjectingEnv::deletes() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->deletes;
+}
+int FaultInjectingEnv::reads() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->reads;
+}
 
 Result<std::unique_ptr<WritableFile>> FaultInjectingEnv::NewWritableFile(
     const std::string& path) {
@@ -131,8 +186,13 @@ FaultInjectingEnv::NewRandomAccessFile(const std::string& path) {
 
 Status FaultInjectingEnv::RenameFile(const std::string& from,
                                      const std::string& to) {
-  ++state_->renames;
-  if (state_->config.fail_rename) {
+  bool fail;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    ++state_->renames;
+    fail = state_->config.fail_rename;
+  }
+  if (fail) {
     InjectedFaults()->Increment();
     return Status::IOError("injected rename failure");
   }
@@ -140,7 +200,10 @@ Status FaultInjectingEnv::RenameFile(const std::string& from,
 }
 
 Status FaultInjectingEnv::DeleteFile(const std::string& path) {
-  ++state_->deletes;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    ++state_->deletes;
+  }
   return base_->DeleteFile(path);
 }
 

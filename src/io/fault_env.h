@@ -11,6 +11,9 @@ namespace treelattice {
 
 /// Faults the wrapper can inject. Fields may be adjusted between
 /// operations; they take effect immediately (shared with open files).
+/// Thread-compatible: adjust the fields only while no Env operation is in
+/// flight — the wrapper itself reads them under its internal lock, but a
+/// concurrent writer through config() would race with that read.
 struct FaultInjectionConfig {
   /// Total bytes all WritableFiles may durably write before Append starts
   /// failing with IOError. -1 disables the budget.
@@ -39,6 +42,11 @@ struct FaultInjectionConfig {
 /// while injecting the failures configured in FaultInjectionConfig and
 /// counting operations. Tests use it to prove that every persistence path
 /// degrades to a clean Status — no crash, no partially visible file.
+///
+/// Thread-safe for concurrent file operations and counter reads (the
+/// shared State is internally locked, so the write budget is consumed
+/// atomically across threads); see FaultInjectionConfig for the one
+/// exception, config mutation.
 class FaultInjectingEnv : public Env {
  public:
   struct State;  // shared with open file handles; definition is internal

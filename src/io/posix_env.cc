@@ -12,6 +12,7 @@
 #include <cstring>
 
 #include "io/env.h"
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
 
 namespace treelattice {
@@ -37,14 +38,15 @@ struct IoMetrics {
   static IoMetrics& Get() {
     static IoMetrics m = [] {
       obs::MetricsRegistry* registry = obs::MetricsRegistry::Default();
-      return IoMetrics{registry->counter("io.bytes_written"),
-                       registry->counter("io.bytes_read"),
-                       registry->counter("io.appends"),
-                       registry->counter("io.reads"),
-                       registry->counter("io.fsyncs"),
-                       registry->counter("io.renames"),
-                       registry->counter("io.deletes"),
-                       registry->counter("io.files_opened")};
+      namespace names = obs::metric_names;
+      return IoMetrics{registry->counter(names::kIoBytesWritten),
+                       registry->counter(names::kIoBytesRead),
+                       registry->counter(names::kIoAppends),
+                       registry->counter(names::kIoReads),
+                       registry->counter(names::kIoFsyncs),
+                       registry->counter(names::kIoRenames),
+                       registry->counter(names::kIoDeletes),
+                       registry->counter(names::kIoFilesOpened)};
     }();
     return m;
   }

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
 
 namespace treelattice {
@@ -54,8 +55,8 @@ uint64_t BruteForceCount(const Document& doc, const Twig& query) {
   std::vector<NodeId> mapping(static_cast<size_t>(query.size()), kInvalidNode);
   uint64_t visited = 0;
   uint64_t total = Extend(doc, query, preorder, 0, mapping, visited);
-  static obs::Counter* nodes_visited =
-      obs::MetricsRegistry::Default()->counter("match.brute_force.nodes_visited");
+  static obs::Counter* nodes_visited = obs::MetricsRegistry::Default()->counter(
+      obs::metric_names::kMatchBruteForceNodesVisited);
   nodes_visited->Increment(visited);
   return total;
 }

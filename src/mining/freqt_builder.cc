@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "twig/automorphisms.h"
@@ -27,10 +28,11 @@ struct FreqtMetrics {
   static FreqtMetrics& Get() {
     static FreqtMetrics m = [] {
       obs::MetricsRegistry* registry = obs::MetricsRegistry::Default();
+      namespace names = obs::metric_names;
       return FreqtMetrics{
-          registry->counter("mining.freqt.ordered_patterns"),
-          registry->gauge("mining.freqt.peak_occurrences"),
-          registry->histogram("mining.freqt.level_build_micros")};
+          registry->counter(names::kMiningFreqtOrderedPatterns),
+          registry->gauge(names::kMiningFreqtPeakOccurrences),
+          registry->histogram(names::kMiningFreqtLevelBuildMicros)};
     }();
     return m;
   }

@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "match/matcher.h"
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "twig/twig.h"
@@ -29,12 +30,13 @@ struct MiningMetrics {
   static MiningMetrics& Get() {
     static MiningMetrics m = [] {
       obs::MetricsRegistry* registry = obs::MetricsRegistry::Default();
+      namespace names = obs::metric_names;
       return MiningMetrics{
-          registry->counter("mining.candidates_generated"),
-          registry->counter("mining.candidates_pruned_apriori"),
-          registry->counter("mining.candidates_counted"),
-          registry->counter("mining.patterns_inserted"),
-          registry->histogram("mining.level_build_micros")};
+          registry->counter(names::kMiningCandidatesGenerated),
+          registry->counter(names::kMiningCandidatesPrunedApriori),
+          registry->counter(names::kMiningCandidatesCounted),
+          registry->counter(names::kMiningPatternsInserted),
+          registry->histogram(names::kMiningLevelBuildMicros)};
     }();
     return m;
   }

@@ -1,0 +1,77 @@
+#ifndef TREELATTICE_OBS_METRIC_NAMES_H_
+#define TREELATTICE_OBS_METRIC_NAMES_H_
+
+/// The single registry of observability metric names.
+///
+/// Every metric TreeLattice records is declared here and nowhere else;
+/// instrumentation sites pass these constants to
+/// MetricsRegistry::counter()/gauge()/histogram(). tools/tl_lint.py
+/// rejects string literals at registry call sites anywhere under src/, so
+/// the full telemetry surface of the system is readable in this one file
+/// (and dashboards/alerts can be reviewed against it in one diff).
+///
+/// Naming scheme: lowercase dot-separated "<subsystem>.<metric>"; dots
+/// become underscores in the Prometheus rendering (metrics.h).
+
+namespace treelattice {
+namespace obs {
+namespace metric_names {
+
+// -- estimators (core/estimator_metrics.h) ----------------------------------
+inline constexpr char kEstimatorSummaryHits[] = "estimator.summary_hits";
+inline constexpr char kEstimatorSummaryMisses[] = "estimator.summary_misses";
+inline constexpr char kEstimatorExhaustiveZeros[] =
+    "estimator.exhaustive_zeros";
+inline constexpr char kEstimatorDecompositions[] = "estimator.decompositions";
+inline constexpr char kEstimatorZeroOverlapFallbacks[] =
+    "estimator.zero_overlap_fallbacks";
+inline constexpr char kEstimatorMemoHits[] = "estimator.memo_hits";
+inline constexpr char kEstimatorDecompositionDepth[] =
+    "estimator.decomposition_depth";
+inline constexpr char kEstimatorVotingFanout[] = "estimator.voting_fanout";
+inline constexpr char kEstimatorCoverSteps[] = "estimator.cover_steps";
+
+// -- mining (mining/lattice_builder.cc, mining/freqt_builder.cc) ------------
+inline constexpr char kMiningCandidatesGenerated[] =
+    "mining.candidates_generated";
+inline constexpr char kMiningCandidatesPrunedApriori[] =
+    "mining.candidates_pruned_apriori";
+inline constexpr char kMiningCandidatesCounted[] = "mining.candidates_counted";
+inline constexpr char kMiningPatternsInserted[] = "mining.patterns_inserted";
+inline constexpr char kMiningLevelBuildMicros[] = "mining.level_build_micros";
+inline constexpr char kMiningFreqtOrderedPatterns[] =
+    "mining.freqt.ordered_patterns";
+inline constexpr char kMiningFreqtPeakOccurrences[] =
+    "mining.freqt.peak_occurrences";
+inline constexpr char kMiningFreqtLevelBuildMicros[] =
+    "mining.freqt.level_build_micros";
+
+// -- summary persistence (summary/summary_format.cc) ------------------------
+inline constexpr char kSummarySaves[] = "summary.saves";
+inline constexpr char kSummarySaveBytes[] = "summary.save_bytes";
+inline constexpr char kSummaryLoads[] = "summary.loads";
+inline constexpr char kSummaryLoadBytes[] = "summary.load_bytes";
+inline constexpr char kSummaryCrcFailures[] = "summary.crc_failures";
+inline constexpr char kSummarySalvageLoads[] = "summary.salvage_loads";
+
+// -- io (io/posix_env.cc, io/fault_env.cc) ----------------------------------
+inline constexpr char kIoBytesWritten[] = "io.bytes_written";
+inline constexpr char kIoBytesRead[] = "io.bytes_read";
+inline constexpr char kIoAppends[] = "io.appends";
+inline constexpr char kIoReads[] = "io.reads";
+inline constexpr char kIoFsyncs[] = "io.fsyncs";
+inline constexpr char kIoRenames[] = "io.renames";
+inline constexpr char kIoDeletes[] = "io.deletes";
+inline constexpr char kIoFilesOpened[] = "io.files_opened";
+inline constexpr char kIoFaultInjectedFailures[] =
+    "io.fault.injected_failures";
+
+// -- match (match/brute_force.cc) -------------------------------------------
+inline constexpr char kMatchBruteForceNodesVisited[] =
+    "match.brute_force.nodes_visited";
+
+}  // namespace metric_names
+}  // namespace obs
+}  // namespace treelattice
+
+#endif  // TREELATTICE_OBS_METRIC_NAMES_H_

@@ -9,6 +9,8 @@
 #include <string>
 #include <string_view>
 
+#include "util/thread_annotations.h"
+
 namespace treelattice {
 namespace obs {
 
@@ -100,13 +102,15 @@ class Histogram {
 /// the atomic update per event:
 ///
 ///   static obs::Counter* hits =
-///       obs::MetricsRegistry::Default()->counter("estimator.summary_hits");
+///       obs::MetricsRegistry::Default()->counter(
+///           obs::metric_names::kEstimatorSummaryHits);
 ///   hits->Increment();
 ///
-/// Naming scheme (enforced by convention, see DESIGN.md): lowercase
-/// dot-separated "<subsystem>.<metric>", e.g. "io.bytes_written",
-/// "estimator.decomposition_depth". Dots become underscores in the
-/// Prometheus rendering.
+/// Naming scheme (enforced by tools/tl_lint.py, see DESIGN.md §8):
+/// lowercase dot-separated "<subsystem>.<metric>", e.g. "io.bytes_written",
+/// "estimator.decomposition_depth", and every name used from src/ must be
+/// a constant declared in obs/metric_names.h. Dots become underscores in
+/// the Prometheus rendering.
 class MetricsRegistry {
  public:
   /// The process-wide registry.
@@ -134,9 +138,14 @@ class MetricsRegistry {
 
  private:
   mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  // The maps only grow; values are stable unique_ptrs, so the pointers
+  // handed out by counter()/gauge()/histogram() stay valid without mu_.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      TL_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      TL_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      TL_GUARDED_BY(mu_);
 };
 
 }  // namespace obs

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "util/json.h"
+#include "util/thread_annotations.h"
 
 namespace treelattice {
 namespace obs {
@@ -21,19 +22,24 @@ using SteadyClock = std::chrono::steady_clock;
 /// contends with trace dumps, never with other recording threads.
 struct ThreadBuffer {
   std::mutex mu;
-  std::vector<TraceEvent> events;
-  uint32_t tid = 0;
+  std::vector<TraceEvent> events TL_GUARDED_BY(mu);
+  uint32_t tid = 0;  // written once at registration, read-only afterwards
 };
 
 struct Collector {
   std::mutex mu;
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
-  uint32_t next_tid = 1;
-  SteadyClock::time_point epoch = SteadyClock::now();
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers TL_GUARDED_BY(mu);
+  uint32_t next_tid TL_GUARDED_BY(mu) = 1;
+  // Trace epoch as steady-clock nanos. Atomic rather than mu-guarded:
+  // NowMicros() runs on every span start and must not contend on the
+  // collector lock with unrelated threads registering buffers.
+  std::atomic<int64_t> epoch_nanos{
+      SteadyClock::now().time_since_epoch().count()};
 };
 
 Collector& GlobalCollector() {
-  static Collector* collector = new Collector();  // leaked: used at exit
+  // Deliberately leaked: buffers are read during static destruction.
+  static Collector* collector = new Collector();  // tl-lint: allow(naked-new)
   return *collector;
 }
 
@@ -59,8 +65,10 @@ void Tracer::Start() {
       std::lock_guard<std::mutex> buffer_lock(buffer->mu);
       buffer->events.clear();
     }
-    collector.epoch = SteadyClock::now();
   }
+  collector.epoch_nanos.store(
+      SteadyClock::now().time_since_epoch().count(),
+      std::memory_order_relaxed);
   enabled_.store(true, std::memory_order_relaxed);
 }
 
@@ -68,9 +76,14 @@ void Tracer::Stop() { enabled_.store(false, std::memory_order_relaxed); }
 
 uint64_t Tracer::NowMicros() {
   Collector& collector = GlobalCollector();
+  int64_t now_nanos = SteadyClock::now().time_since_epoch().count();
+  int64_t epoch_nanos =
+      collector.epoch_nanos.load(std::memory_order_relaxed);
+  int64_t delta = now_nanos - epoch_nanos;
+  if (delta < 0) delta = 0;  // span opened just before a Start() reset
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
-          SteadyClock::now() - collector.epoch)
+          std::chrono::nanoseconds(delta))
           .count());
 }
 

@@ -4,6 +4,7 @@
 #include <string_view>
 #include <utility>
 
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "twig/twig.h"
@@ -28,12 +29,13 @@ struct SummaryMetrics {
   static SummaryMetrics& Get() {
     static SummaryMetrics m = [] {
       obs::MetricsRegistry* registry = obs::MetricsRegistry::Default();
-      return SummaryMetrics{registry->counter("summary.saves"),
-                            registry->counter("summary.save_bytes"),
-                            registry->counter("summary.loads"),
-                            registry->counter("summary.load_bytes"),
-                            registry->counter("summary.crc_failures"),
-                            registry->counter("summary.salvage_loads")};
+      namespace names = obs::metric_names;
+      return SummaryMetrics{registry->counter(names::kSummarySaves),
+                            registry->counter(names::kSummarySaveBytes),
+                            registry->counter(names::kSummaryLoads),
+                            registry->counter(names::kSummaryLoadBytes),
+                            registry->counter(names::kSummaryCrcFailures),
+                            registry->counter(names::kSummarySalvageLoads)};
     }();
     return m;
   }

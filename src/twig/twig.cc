@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 
 #include "util/hash.h"
 #include "util/string_util.h"
@@ -124,20 +125,40 @@ bool Twig::IsPath() const {
 }
 
 std::string Twig::SubtreeCode(int i) const {
-  std::string code = std::to_string(label(i));
-  const std::vector<int>& kids = children(i);
-  if (kids.empty()) return code;
-  std::vector<std::string> child_codes;
-  child_codes.reserve(kids.size());
-  for (int c : kids) child_codes.push_back(SubtreeCode(c));
-  std::sort(child_codes.begin(), child_codes.end());
-  code.push_back('(');
-  for (size_t k = 0; k < child_codes.size(); ++k) {
-    if (k > 0) code.push_back(',');
-    code += child_codes[k];
+  // Iterative post-order (children before parents via reversed preorder):
+  // a chain-shaped twig thousands of nodes deep must not overflow the
+  // stack just to compute its code.
+  std::vector<int> order;
+  std::vector<int> stack = {i};
+  while (!stack.empty()) {
+    int n = stack.back();
+    stack.pop_back();
+    order.push_back(n);
+    const std::vector<int>& kids = children(n);
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) stack.push_back(*it);
   }
-  code.push_back(')');
-  return code;
+  std::vector<std::string> codes(static_cast<size_t>(size()));
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    int n = *it;
+    std::string code = std::to_string(label(n));
+    const std::vector<int>& kids = children(n);
+    if (!kids.empty()) {
+      std::vector<std::string> child_codes;
+      child_codes.reserve(kids.size());
+      for (int c : kids) {
+        child_codes.push_back(std::move(codes[static_cast<size_t>(c)]));
+      }
+      std::sort(child_codes.begin(), child_codes.end());
+      code.push_back('(');
+      for (size_t k = 0; k < child_codes.size(); ++k) {
+        if (k > 0) code.push_back(',');
+        code += child_codes[k];
+      }
+      code.push_back(')');
+    }
+    codes[static_cast<size_t>(n)] = std::move(code);
+  }
+  return codes[static_cast<size_t>(i)];
 }
 
 std::string Twig::CanonicalCode() const {
@@ -152,6 +173,16 @@ namespace {
 /// Shared recursive-descent parser over "label(child,child,...)" where a
 /// label is either an identifier (ParseText) or a decimal id (ParseCode).
 struct TwigTextParser {
+  /// Nesting bound. The parser itself is iterative, so this guards the
+  /// recursive consumers downstream (estimator decomposition) and plain
+  /// resource sanity, not the parse stack. Matches
+  /// LatticeSummary::kMaxLevelCap (a pattern's depth cannot exceed its
+  /// node count, which the summary caps at 4096), so no legitimate stored
+  /// pattern is rejected while adversarial inputs — e.g. a corrupt summary
+  /// section holding "0(0(0(..." a million parens deep — fail with a
+  /// diagnostic.
+  static constexpr int kMaxDepth = 4096;
+
   std::string_view text;
   size_t pos = 0;
   LabelDict* dict;  // null => labels are decimal ids
@@ -177,47 +208,65 @@ struct TwigTextParser {
     }
     std::string_view name = text.substr(start, pos - start);
     if (dict != nullptr) return dict->Intern(name);
-    // Decimal label id (canonical-code mode).
+    // Decimal label id (canonical-code mode). Overflow-checked: LabelId is
+    // a signed 32-bit id, and a corrupt code must not trip UB on its way
+    // to a ParseError.
     LabelId id = 0;
     for (char c : name) {
       if (c < '0' || c > '9') {
         return Status::ParseError("expected numeric label id, got '" +
                                   std::string(name) + "'");
       }
-      id = id * 10 + (c - '0');
+      int digit = c - '0';
+      if (id > (std::numeric_limits<LabelId>::max() - digit) / 10) {
+        return Status::ParseError("label id out of range: '" +
+                                  std::string(name) + "'");
+      }
+      id = id * 10 + digit;
     }
     return id;
   }
 
-  Status ParseNode(Twig* twig, int parent) {
-    LabelId label;
-    TL_ASSIGN_OR_RETURN(label, ParseLabel());
-    int node = twig->AddNode(label, parent);
-    SkipSpace();
-    if (!AtEnd() && Peek() == '(') {
-      ++pos;  // consume '('
-      while (true) {
-        TL_RETURN_IF_ERROR(ParseNode(twig, node));
+  Result<Twig> Run() {
+    Twig twig;
+    // Iterative descent: `open` is the chain of ancestors whose '(' is
+    // still unclosed, so nesting depth consumes heap, never call stack.
+    std::vector<int> open;
+    int parent = -1;
+    bool done = false;
+    while (!done) {
+      LabelId label;
+      TL_ASSIGN_OR_RETURN(label, ParseLabel());
+      int node = twig.AddNode(label, parent);
+      SkipSpace();
+      if (!AtEnd() && Peek() == '(') {
+        if (static_cast<int>(open.size()) >= kMaxDepth) {
+          return Status::ParseError("twig nesting deeper than " +
+                                    std::to_string(kMaxDepth) +
+                                    " at offset " + std::to_string(pos));
+        }
+        ++pos;  // consume '('
+        open.push_back(node);
+        parent = node;
+        continue;
+      }
+      while (!open.empty() && !AtEnd() && Peek() == ')') {
+        ++pos;
+        open.pop_back();
         SkipSpace();
-        if (AtEnd()) return Status::ParseError("unterminated '('");
-        if (Peek() == ',') {
-          ++pos;
-          continue;
-        }
-        if (Peek() == ')') {
-          ++pos;
-          break;
-        }
+      }
+      if (open.empty()) {
+        done = true;
+      } else if (AtEnd()) {
+        return Status::ParseError("unterminated '('");
+      } else if (Peek() == ',') {
+        ++pos;
+        parent = open.back();
+      } else {
         return Status::ParseError("expected ',' or ')' at offset " +
                                   std::to_string(pos));
       }
     }
-    return Status::OK();
-  }
-
-  Result<Twig> Run() {
-    Twig twig;
-    TL_RETURN_IF_ERROR(ParseNode(&twig, -1));
     SkipSpace();
     if (!AtEnd()) {
       return Status::ParseError("trailing characters at offset " +

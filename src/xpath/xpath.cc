@@ -24,7 +24,7 @@ class XPathCompiler {
       }
     }
     Twig twig;
-    TL_RETURN_IF_ERROR(ParsePath(&twig, -1));
+    TL_RETURN_IF_ERROR(ParsePath(&twig, -1, 0));
     SkipSpace();
     if (!AtEnd()) {
       return Status::InvalidArgument("trailing characters at offset " +
@@ -37,6 +37,11 @@ class XPathCompiler {
   }
 
  private:
+  /// Bound on predicate nesting ("a[a[a[...]]]"). Far beyond any twig the
+  /// paper's workloads use, but low enough that a hostile query cannot
+  /// drive the recursive-descent compiler into stack overflow.
+  static constexpr int kMaxPredicateDepth = 128;
+
   bool AtEnd() const { return pos_ >= text_.size(); }
   char Peek() const { return text_[pos_]; }
   void Advance() { ++pos_; }
@@ -94,7 +99,14 @@ class XPathCompiler {
   }
 
   /// Parses `name pred* value-test? ('/' ...)*` attaching under `parent`.
-  Status ParsePath(Twig* twig, int parent) {
+  /// `depth` counts predicate nesting, the only source of recursion.
+  Status ParsePath(Twig* twig, int parent, int depth) {
+    if (depth > kMaxPredicateDepth) {
+      return Status::InvalidArgument(
+          "predicates nested deeper than " +
+          std::to_string(kMaxPredicateDepth) + " at offset " +
+          std::to_string(pos_));
+    }
     while (true) {
       std::string_view name;
       TL_ASSIGN_OR_RETURN(name, ParseName());
@@ -117,7 +129,7 @@ class XPathCompiler {
           }
           TL_RETURN_IF_ERROR(ParseValueTest(twig, node));
         } else {
-          TL_RETURN_IF_ERROR(ParsePath(twig, node));
+          TL_RETURN_IF_ERROR(ParsePath(twig, node, depth + 1));
         }
         SkipSpace();
         if (AtEnd() || Peek() != ']') {
@@ -148,17 +160,21 @@ class XPathCompiler {
 
 void RenderNode(const Twig& twig, const LabelDict& dict, int node,
                 std::string* out) {
-  out->append(dict.Name(twig.label(node)));
-  const std::vector<int>& kids = twig.children(node);
-  if (kids.empty()) return;
-  // First child continues the path spine; the rest become predicates.
-  for (size_t i = 1; i < kids.size(); ++i) {
-    out->push_back('[');
-    RenderNode(twig, dict, kids[i], out);
-    out->push_back(']');
+  // The path spine (first child) is iterated, not recursed: spine length
+  // is unbounded ("a/a/a/..."), while predicate nesting — the only
+  // recursion left — is bounded by the twig's branching depth.
+  while (true) {
+    out->append(dict.Name(twig.label(node)));
+    const std::vector<int>& kids = twig.children(node);
+    if (kids.empty()) return;
+    for (size_t i = 1; i < kids.size(); ++i) {
+      out->push_back('[');
+      RenderNode(twig, dict, kids[i], out);
+      out->push_back(']');
+    }
+    out->push_back('/');
+    node = kids[0];
   }
-  out->push_back('/');
-  RenderNode(twig, dict, kids[0], out);
 }
 
 }  // namespace

@@ -1,0 +1,248 @@
+// Concurrency suite: hammers the components that DESIGN.md documents as
+// thread-safe — the metrics registry, the tracer, the fault-injecting
+// Env, and a shared estimator — from many threads at once. The point is
+// less the assertions (though totals must add up) than the interleaving
+// itself: `tools/run_sanitized_tests.sh thread` runs this binary under
+// ThreadSanitizer, which turns any data race into a failure.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/recursive_estimator.h"
+#include "io/env.h"
+#include "io/fault_env.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "summary/lattice_summary.h"
+#include "twig/twig.h"
+
+namespace treelattice {
+namespace {
+
+constexpr int kThreads = 8;
+constexpr int kOpsPerThread = 5000;
+
+// Launches `n` threads running `fn(thread_index)` and joins them all.
+template <typename Fn>
+void RunThreads(int n, Fn fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(n));
+  for (int t = 0; t < n; ++t) threads.emplace_back(fn, t);
+  for (std::thread& th : threads) th.join();
+}
+
+TEST(ConcurrencyTest, MetricsRegistryHammer) {
+  obs::SetEnabledForTest(true);
+  obs::MetricsRegistry* registry = obs::MetricsRegistry::Default();
+  registry->ResetAll();
+
+  std::atomic<bool> stop{false};
+  // A reader thread snapshots the registry while writers mutate it: the
+  // maps grow concurrently with ToJson/ToPrometheusText walking them.
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      (void)registry->ToJson();
+      (void)registry->ToPrometheusText();
+    }
+  });
+
+  RunThreads(kThreads, [&](int t) {
+    // Same-name lookups from every thread must return the same object;
+    // distinct names interleave registrations with the reader.
+    obs::Counter* shared = registry->counter("test.concurrency_shared");
+    obs::Counter* own = registry->counter("test.concurrency_thread_" +
+                                          std::to_string(t));
+    obs::Gauge* peak = registry->gauge("test.concurrency_peak");
+    obs::Histogram* hist = registry->histogram("test.concurrency_hist");
+    for (int i = 0; i < kOpsPerThread; ++i) {
+      shared->Increment();
+      own->Increment(2);
+      peak->SetMax(t * kOpsPerThread + i);
+      hist->Record(static_cast<uint64_t>(i));
+    }
+  });
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(registry->counter("test.concurrency_shared")->value(),
+            static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(registry
+                  ->counter("test.concurrency_thread_" + std::to_string(t))
+                  ->value(),
+              2u * kOpsPerThread);
+  }
+  EXPECT_EQ(registry->gauge("test.concurrency_peak")->value(),
+            static_cast<int64_t>(kThreads) * kOpsPerThread - 1);
+  obs::Histogram::Snapshot snap =
+      registry->histogram("test.concurrency_hist")->GetSnapshot();
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_EQ(snap.max, static_cast<uint64_t>(kOpsPerThread) - 1);
+  registry->ResetAll();
+}
+
+TEST(ConcurrencyTest, TracerHammer) {
+  obs::Tracer::Start();
+
+  std::atomic<bool> stop{false};
+  // Concurrent dumps: ChromeTraceJson walks every thread's buffer while
+  // those threads are still appending.
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      (void)obs::Tracer::ChromeTraceJson();
+      (void)obs::Tracer::CollectedEvents();
+    }
+  });
+
+  constexpr int kSpansPerThread = 2000;
+  RunThreads(kThreads, [&](int t) {
+    for (int i = 0; i < kSpansPerThread; ++i) {
+      obs::TraceSpan span("concurrency.span", "test");
+      span.SetArg("thread", static_cast<uint64_t>(t));
+    }
+  });
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  obs::Tracer::Stop();
+
+  EXPECT_GE(obs::Tracer::CollectedEvents(),
+            static_cast<size_t>(kThreads) * kSpansPerThread);
+  std::string json = obs::Tracer::ChromeTraceJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("concurrency.span"), std::string::npos);
+
+  // Restart discards everything collected above (fresh epoch).
+  obs::Tracer::Start();
+  obs::Tracer::Stop();
+  EXPECT_EQ(obs::Tracer::CollectedEvents(), 0u);
+}
+
+TEST(ConcurrencyTest, FaultEnvCountersAddUp) {
+  FaultInjectingEnv env(Env::Default());
+  const std::string dir = testing::TempDir();
+
+  constexpr int kAppendsPerThread = 50;
+  const std::string chunk(128, 'x');
+  std::atomic<bool> stop{false};
+  // Counter reads race with the file operations below.
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      (void)env.bytes_written();
+      (void)env.appends();
+      (void)env.syncs();
+      (void)env.reads();
+    }
+  });
+
+  RunThreads(kThreads, [&](int t) {
+    const std::string path =
+        dir + "/tl_concurrency_" + std::to_string(t) + ".dat";
+    auto file = env.NewWritableFile(path);
+    ASSERT_TRUE(file.ok()) << file.status().message();
+    for (int i = 0; i < kAppendsPerThread; ++i) {
+      ASSERT_TRUE((*file)->Append(chunk).ok());
+    }
+    ASSERT_TRUE((*file)->Sync().ok());
+    ASSERT_TRUE((*file)->Close().ok());
+    std::string back;
+    ASSERT_TRUE(ReadFileToString(&env, path, &back).ok());
+    ASSERT_EQ(back.size(), chunk.size() * kAppendsPerThread);
+    ASSERT_TRUE(env.DeleteFile(path).ok());
+  });
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(env.appends(), kThreads * kAppendsPerThread);
+  EXPECT_EQ(env.bytes_written(),
+            static_cast<int64_t>(chunk.size()) * kThreads * kAppendsPerThread);
+  EXPECT_EQ(env.syncs(), kThreads);
+  EXPECT_EQ(env.deletes(), kThreads);
+}
+
+TEST(ConcurrencyTest, FaultEnvWriteBudgetConsumedAtomically) {
+  FaultInjectingEnv env(Env::Default());
+  const std::string dir = testing::TempDir();
+
+  // A budget that runs out mid-test: with 1-byte appends racing from
+  // every thread, exactly `kBudget` may succeed — any other total means
+  // the check-and-consume was torn between threads.
+  constexpr int64_t kBudget = kThreads * 100;
+  env.config().fail_write_after_bytes = kBudget;
+
+  std::atomic<int> successes{0};
+  RunThreads(kThreads, [&](int t) {
+    const std::string path =
+        dir + "/tl_budget_" + std::to_string(t) + ".dat";
+    auto file = env.NewWritableFile(path);
+    ASSERT_TRUE(file.ok()) << file.status().message();
+    for (int i = 0; i < 200; ++i) {
+      if ((*file)->Append("x").ok()) {
+        successes.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    ASSERT_TRUE((*file)->Close().ok());
+    ASSERT_TRUE(env.DeleteFile(path).ok());
+  });
+
+  EXPECT_EQ(successes.load(), kBudget);
+  EXPECT_EQ(env.bytes_written(), kBudget);
+}
+
+TEST(ConcurrencyTest, SharedEstimatorHammer) {
+  // A summary complete through level 2: the level-3 query below is not
+  // stored, so every Estimate call runs the decomposition recursion with
+  // its per-call memo against the shared read-only summary.
+  LatticeSummary summary(3);
+  auto insert = [&summary](const char* code, uint64_t count) {
+    Result<Twig> twig = Twig::FromCanonicalCode(code);
+    ASSERT_TRUE(twig.ok());
+    ASSERT_TRUE(summary.Insert(*twig, count).ok());
+  };
+  insert("0", 10);
+  insert("1", 8);
+  insert("2", 6);
+  insert("0(1)", 5);
+  insert("0(2)", 4);
+  insert("1(2)", 3);
+  summary.set_complete_through_level(2);
+
+  RecursiveDecompositionEstimator plain(&summary);
+  RecursiveDecompositionEstimator::Options voting_options;
+  voting_options.voting = true;
+  RecursiveDecompositionEstimator voting(&summary, voting_options);
+
+  Result<Twig> stored = Twig::FromCanonicalCode("0(1)");
+  Result<Twig> decomposed = Twig::FromCanonicalCode("0(1,2)");
+  ASSERT_TRUE(stored.ok());
+  ASSERT_TRUE(decomposed.ok());
+
+  // Single-threaded reference answers; every thread must reproduce them.
+  Result<double> stored_want = plain.Estimate(*stored);
+  Result<double> decomposed_want = plain.Estimate(*decomposed);
+  Result<double> voting_want = voting.Estimate(*decomposed);
+  ASSERT_TRUE(stored_want.ok());
+  ASSERT_TRUE(decomposed_want.ok());
+  ASSERT_TRUE(voting_want.ok());
+  EXPECT_DOUBLE_EQ(*stored_want, 5.0);
+  EXPECT_DOUBLE_EQ(*decomposed_want, 5.0 * 4.0 / 10.0);
+
+  RunThreads(kThreads, [&](int /*t*/) {
+    for (int i = 0; i < 500; ++i) {
+      Result<double> a = plain.Estimate(*stored);
+      Result<double> b = plain.Estimate(*decomposed);
+      Result<double> c = voting.Estimate(*decomposed);
+      ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+      ASSERT_DOUBLE_EQ(*a, *stored_want);
+      ASSERT_DOUBLE_EQ(*b, *decomposed_want);
+      ASSERT_DOUBLE_EQ(*c, *voting_want);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace treelattice

@@ -139,7 +139,9 @@ TEST_P(FixedSizeCoverProperty, Lemma2Invariants) {
   EXPECT_TRUE(steps[0].overlap.empty());
   for (size_t i = 0; i < steps.size(); ++i) {
     EXPECT_EQ(steps[i].subtree.size(), k);
-    if (i > 0) EXPECT_EQ(steps[i].overlap.size(), k - 1);
+    if (i > 0) {
+      EXPECT_EQ(steps[i].overlap.size(), k - 1);
+    }
   }
 }
 

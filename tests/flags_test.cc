@@ -47,5 +47,18 @@ TEST(FlagsTest, EmptyValueIntFallsBack) {
   EXPECT_EQ(flags.GetInt("scale", 9), 9);
 }
 
+TEST(FlagsTest, MalformedNumbersFallBack) {
+  Flags flags = MakeFlags({"--scale=abc", "--level=12x", "--ratio=0.5.0",
+                           "--huge=99999999999999999999", "--neg=-3",
+                           "--exp=1e3"});
+  // Garbage and partial numbers must not silently become 0 (or a prefix).
+  EXPECT_EQ(flags.GetInt("scale", 4), 4);
+  EXPECT_EQ(flags.GetInt("level", 4), 4);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("ratio", 1.5), 1.5);
+  EXPECT_EQ(flags.GetInt("huge", 7), 7);  // int64 overflow
+  EXPECT_EQ(flags.GetInt("neg", 0), -3);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("exp", 0.0), 1000.0);
+}
+
 }  // namespace
 }  // namespace treelattice

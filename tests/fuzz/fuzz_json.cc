@@ -1,0 +1,60 @@
+// Fuzz harness for the util/json.h parser, which validates TreeLattice's
+// machine-readable stats output in tests and tools. Accepted documents
+// are re-serialized and re-parsed: writer and parser must agree.
+
+#include <string>
+#include <string_view>
+
+#include "fuzz_target.h"
+#include "util/json.h"
+
+namespace {
+
+void Reserialize(const treelattice::JsonValue& v,
+                 treelattice::JsonWriter* w) {
+  using Type = treelattice::JsonValue::Type;
+  switch (v.type) {
+    case Type::kNull:
+      w->Null();
+      break;
+    case Type::kBool:
+      w->Bool(v.bool_value);
+      break;
+    case Type::kNumber:
+      w->Double(v.number_value);
+      break;
+    case Type::kString:
+      w->String(v.string_value);
+      break;
+    case Type::kArray:
+      w->BeginArray();
+      for (const treelattice::JsonValue& e : v.array) Reserialize(e, w);
+      w->EndArray();
+      break;
+    case Type::kObject:
+      w->BeginObject();
+      for (const auto& [key, value] : v.object) {
+        w->Key(key);
+        Reserialize(value, w);
+      }
+      w->EndObject();
+      break;
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  treelattice::Result<treelattice::JsonValue> value =
+      treelattice::ParseJson(text);
+  if (!value.ok()) return 0;
+  // The parser caps nesting at its own kMaxDepth, so Reserialize's
+  // recursion is bounded. The writer's output must parse back.
+  treelattice::JsonWriter writer;
+  Reserialize(*value, &writer);
+  treelattice::Result<treelattice::JsonValue> reparsed =
+      treelattice::ParseJson(writer.str());
+  if (!reparsed.ok()) __builtin_trap();
+  return 0;
+}

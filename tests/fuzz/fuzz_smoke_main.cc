@@ -1,0 +1,185 @@
+// Standalone driver for the fuzz targets when libFuzzer is unavailable
+// (the default GCC build). Replays every corpus file once, then runs a
+// fixed number of deterministic mutation iterations over corpus-derived
+// inputs, so `ctest -L fuzz` gives real (if shallow) parser coverage on
+// any toolchain and any crash is reproducible from the printed seed.
+//
+// Usage:
+//   fuzz_<target>_smoke [--corpus=DIR] [--iterations=N] [--seed=S]
+//                       [--max-len=N] [FILE...]
+//
+// FILE arguments are replayed once each (handy for reproducing a crash
+// from a saved artifact). With libFuzzer builds (-DTREELATTICE_FUZZ=ON
+// under Clang) this file is not linked; libFuzzer provides main().
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "fuzz_target.h"
+
+namespace {
+
+struct Options {
+  std::vector<std::string> corpus_dirs;
+  std::vector<std::string> files;
+  uint64_t iterations = 10000;
+  uint64_t seed = 0x7265'6c61'7474'6963ULL;  // stable default, any value works
+  size_t max_len = 1 << 16;
+};
+
+bool ParseFlag(const char* arg, const char* name, const char** value) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+std::vector<std::string> LoadCorpus(const Options& opts) {
+  std::vector<std::string> inputs;
+  for (const std::string& dir : opts.corpus_dirs) {
+    std::error_code ec;
+    std::filesystem::directory_iterator it(dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "warning: cannot read corpus dir %s: %s\n",
+                   dir.c_str(), ec.message().c_str());
+      continue;
+    }
+    std::vector<std::string> paths;
+    for (const auto& entry : it) {
+      if (entry.is_regular_file(ec)) paths.push_back(entry.path().string());
+    }
+    // Directory order is filesystem-dependent; sort for determinism.
+    std::sort(paths.begin(), paths.end());
+    for (const std::string& path : paths) {
+      std::ifstream in(path, std::ios::binary);
+      std::string bytes((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+      if (in.bad()) {
+        std::fprintf(stderr, "warning: failed reading %s\n", path.c_str());
+        continue;
+      }
+      inputs.push_back(std::move(bytes));
+    }
+  }
+  for (const std::string& path : opts.files) {
+    std::ifstream in(path, std::ios::binary);
+    inputs.emplace_back((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  }
+  return inputs;
+}
+
+void RunOne(const std::string& input) {
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(input.data()),
+                         input.size());
+}
+
+// A libFuzzer-flavored mutation: byte flips, inserts, erases, duplicated
+// ranges, and crossover splices from a second corpus input.
+std::string Mutate(std::string input, const std::vector<std::string>& corpus,
+                   std::mt19937_64* rng, size_t max_len) {
+  auto rand_index = [&](size_t n) {
+    return static_cast<size_t>((*rng)() % n);
+  };
+  int rounds = 1 + static_cast<int>((*rng)() % 8);
+  for (int r = 0; r < rounds; ++r) {
+    switch ((*rng)() % 6) {
+      case 0:  // flip/overwrite a byte
+        if (!input.empty()) {
+          input[rand_index(input.size())] =
+              static_cast<char>((*rng)() & 0xff);
+        }
+        break;
+      case 1:  // insert a random byte
+        if (input.size() < max_len) {
+          input.insert(input.begin() +
+                           static_cast<std::ptrdiff_t>(
+                               rand_index(input.size() + 1)),
+                       static_cast<char>((*rng)() & 0xff));
+        }
+        break;
+      case 2:  // erase a range
+        if (!input.empty()) {
+          size_t at = rand_index(input.size());
+          size_t n = 1 + rand_index(input.size() - at);
+          input.erase(at, n);
+        }
+        break;
+      case 3: {  // duplicate a range in place
+        if (!input.empty() && input.size() < max_len) {
+          size_t at = rand_index(input.size());
+          size_t n = 1 + rand_index(input.size() - at);
+          input.insert(at, input.substr(at, n));
+        }
+        break;
+      }
+      case 4: {  // splice a slice of another corpus input
+        if (!corpus.empty()) {
+          const std::string& other = corpus[rand_index(corpus.size())];
+          if (!other.empty() && input.size() < max_len) {
+            size_t at = rand_index(other.size());
+            size_t n = 1 + rand_index(other.size() - at);
+            input.insert(rand_index(input.size() + 1), other, at, n);
+          }
+        }
+        break;
+      }
+      default:  // truncate
+        if (!input.empty()) input.resize(rand_index(input.size()));
+        break;
+    }
+  }
+  if (input.size() > max_len) input.resize(max_len);
+  return input;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const char* value = nullptr;
+    if (ParseFlag(argv[i], "--corpus", &value)) {
+      opts.corpus_dirs.emplace_back(value);
+    } else if (ParseFlag(argv[i], "--iterations", &value)) {
+      opts.iterations = std::strtoull(value, nullptr, 10);
+    } else if (ParseFlag(argv[i], "--seed", &value)) {
+      opts.seed = std::strtoull(value, nullptr, 10);
+    } else if (ParseFlag(argv[i], "--max-len", &value)) {
+      opts.max_len = std::strtoull(value, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::fprintf(stderr,
+                   "usage: %s [--corpus=DIR] [--iterations=N] [--seed=S] "
+                   "[--max-len=N] [FILE...]\n",
+                   argv[0]);
+      return 2;
+    } else {
+      opts.files.emplace_back(argv[i]);
+    }
+  }
+
+  std::vector<std::string> corpus = LoadCorpus(opts);
+  for (const std::string& input : corpus) RunOne(input);
+  std::printf("replayed %zu corpus inputs\n", corpus.size());
+
+  std::mt19937_64 rng(opts.seed);
+  for (uint64_t i = 0; i < opts.iterations; ++i) {
+    std::string base;
+    if (!corpus.empty() && (rng() % 8) != 0) {
+      base = corpus[static_cast<size_t>(rng() % corpus.size())];
+    }
+    RunOne(Mutate(std::move(base), corpus, &rng, opts.max_len));
+  }
+  std::printf("ran %llu mutation iterations (seed %llu): OK\n",
+              static_cast<unsigned long long>(opts.iterations),
+              static_cast<unsigned long long>(opts.seed));
+  return 0;
+}

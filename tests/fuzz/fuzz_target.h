@@ -1,0 +1,17 @@
+#ifndef TREELATTICE_TESTS_FUZZ_FUZZ_TARGET_H_
+#define TREELATTICE_TESTS_FUZZ_FUZZ_TARGET_H_
+
+#include <cstddef>
+#include <cstdint>
+
+/// The libFuzzer entry point each fuzz_<target>.cc defines. Built two
+/// ways (tests/fuzz/CMakeLists.txt): against fuzz_smoke_main.cc as a
+/// deterministic corpus-replay + mutation binary that runs under plain
+/// ctest (label `fuzz`), and — with -DTREELATTICE_FUZZ=ON under Clang —
+/// against libFuzzer for real coverage-guided fuzzing.
+///
+/// Contract: must return 0, must not crash, leak, or trip a sanitizer on
+/// ANY input. Parse errors are success (the parser rejected cleanly).
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+#endif  // TREELATTICE_TESTS_FUZZ_FUZZ_TARGET_H_

@@ -1,0 +1,28 @@
+// Fuzz harness for the XML structural parser (xml/parser.h): untrusted
+// documents arrive through dataset ingestion and `treelattice build`.
+// Exercises both the value-free default and the attribute/value-modeling
+// configuration, which drive different node-synthesis paths.
+
+#include <string_view>
+
+#include "fuzz_target.h"
+#include "xml/parser.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view xml(reinterpret_cast<const char*>(data), size);
+
+  (void)treelattice::ParseXmlString(xml);
+
+  treelattice::XmlParseOptions options;
+  options.model_attributes = true;
+  options.model_values = true;
+  options.value_buckets = 16;
+  treelattice::Result<treelattice::Document> doc =
+      treelattice::ParseXmlString(xml, options);
+  if (doc.ok()) {
+    // A document the parser accepted must satisfy its own invariants.
+    treelattice::Status valid = doc->Validate();
+    if (!valid.ok()) __builtin_trap();
+  }
+  return 0;
+}

@@ -130,7 +130,9 @@ TEST(TwigTest, PreorderVisitsAllNodesRootFirst) {
   std::vector<int> position(order.size());
   for (size_t i = 0; i < order.size(); ++i) position[order[i]] = int(i);
   for (int n = 0; n < t.size(); ++n) {
-    if (t.parent(n) != -1) EXPECT_LT(position[t.parent(n)], position[n]);
+    if (t.parent(n) != -1) {
+      EXPECT_LT(position[t.parent(n)], position[n]);
+    }
   }
 }
 
@@ -300,6 +302,50 @@ TEST_P(TwigCodeCompleteness, EqualCodesIffIsomorphic) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TwigCodeCompleteness, testing::Range(0, 30));
+
+// Hostile canonical codes (fuzz regressions): nesting past the parser's
+// depth cap and label ids past int32 must fail with a ParseError, not a
+// stack overflow or signed-overflow UB.
+TEST(TwigParseTest, RejectsHostileCanonicalCodes) {
+  {
+    // "0(0(0(...": 6000 levels, past the 4096 cap.
+    std::string deep;
+    for (int i = 0; i < 6000; ++i) deep += "0(";
+    deep += "0";
+    deep.append(6000, ')');
+    auto twig = Twig::FromCanonicalCode(deep);
+    ASSERT_FALSE(twig.ok());
+    EXPECT_NE(twig.status().message().find("nesting deeper"),
+              std::string::npos)
+        << twig.status().message();
+  }
+  for (const char* code : {"99999999999999999999(1)", "2147483648"}) {
+    auto twig = Twig::FromCanonicalCode(code);
+    ASSERT_FALSE(twig.ok()) << code;
+    EXPECT_NE(twig.status().message().find("out of range"),
+              std::string::npos)
+        << twig.status().message();
+  }
+  // The largest representable id is still accepted.
+  auto max_id = Twig::FromCanonicalCode("2147483647");
+  ASSERT_TRUE(max_id.ok()) << max_id.status().ToString();
+  EXPECT_EQ(max_id->label(max_id->root()), 2147483647);
+}
+
+// The nesting cap is exact: a twig at the cap parses, one past it fails.
+TEST(TwigParseTest, NestingDepthBoundary) {
+  auto chain = [](int depth) {
+    std::string code;
+    for (int i = 0; i < depth; ++i) code += "0(";
+    code += "0";
+    code.append(static_cast<size_t>(depth), ')');
+    return code;
+  };
+  auto at_cap = Twig::FromCanonicalCode(chain(4096));
+  ASSERT_TRUE(at_cap.ok()) << at_cap.status().ToString();
+  EXPECT_EQ(at_cap->size(), 4097);
+  EXPECT_FALSE(Twig::FromCanonicalCode(chain(4097)).ok());
+}
 
 }  // namespace
 }  // namespace treelattice

@@ -111,5 +111,85 @@ TEST(XPathTest, RoundTripThroughTwigToXPath) {
   EXPECT_EQ(TwigToXPath(empty, dict), "");
 }
 
+// Malformed queries must come back as a diagnostic Status — never a
+// crash, hang, or silently wrong twig. The table mirrors the seed corpus
+// in tests/corpus/xpath/ that the fuzz harness replays.
+TEST(XPathTest, MalformedQueriesRejectedWithDiagnostic) {
+  struct Case {
+    const char* name;
+    std::string input;
+    const char* want_message_fragment;
+  };
+  const Case kCases[] = {
+      {"empty", "", "empty"},
+      {"whitespace_only", "  \t ", "empty"},
+      {"slash_only", "/", "expected element name"},
+      {"trailing_slash", "a/b/", "expected element name"},
+      {"empty_step", "a//b", "descendant axis"},
+      {"leading_descendant", "//a", "descendant axis"},
+      {"unbalanced_open", "a[b[c]", "unterminated predicate"},
+      {"unbalanced_close", "a]b", "trailing characters"},
+      {"empty_predicate", "a[]", "expected element name"},
+      {"wildcard", "/a/*", "wildcard"},
+      {"attribute_axis", "a[@id]", "attribute axis"},
+      {"positional_predicate", "a[1]", "positional"},
+      {"unterminated_literal", "a[.=\"x", "unterminated string literal"},
+      {"bare_dot_predicate", "a[.]", "expected '='"},
+      {"unquoted_literal", "a[.=x]", "expected quoted literal"},
+      {"garbage_after_path", "a/b c", "trailing characters"},
+      {"oversized_predicate_depth",
+       // 300 nested predicates, past the compiler's cap of 128.
+       [] {
+         std::string q = "a";
+         for (int i = 0; i < 300; ++i) q += "[a";
+         q.append(300, ']');
+         return q;
+       }(),
+       "nested deeper"},
+  };
+  for (const Case& c : kCases) {
+    LabelDict dict;
+    auto twig = CompileXPath(c.input, &dict);
+    ASSERT_FALSE(twig.ok()) << c.name << ": accepted " << c.input;
+    EXPECT_NE(twig.status().message().find(c.want_message_fragment),
+              std::string::npos)
+        << c.name << ": diagnostic was '" << twig.status().message() << "'";
+  }
+}
+
+// Depths at and around the predicate-nesting cap: the boundary must be
+// exact — the cap rejects hostile inputs, not legitimate deep queries.
+TEST(XPathTest, PredicateDepthBoundary) {
+  auto nested = [](int depth) {
+    std::string q = "a";
+    for (int i = 0; i < depth; ++i) q += "[a";
+    q.append(static_cast<size_t>(depth), ']');
+    return q;
+  };
+  {
+    LabelDict dict;
+    auto at_cap = CompileXPath(nested(128), &dict);
+    EXPECT_TRUE(at_cap.ok()) << at_cap.status().ToString();
+  }
+  {
+    LabelDict dict;
+    auto past_cap = CompileXPath(nested(129), &dict);
+    EXPECT_FALSE(past_cap.ok());
+  }
+}
+
+// A long path spine is not recursion in the compiler or the renderer;
+// both must handle thousands of steps (regression: RenderNode used to
+// recurse per step).
+TEST(XPathTest, LongPathSpineCompilesAndRenders) {
+  std::string q;
+  for (int i = 0; i < 5000; ++i) q += "/a";
+  LabelDict dict;
+  auto twig = CompileXPath(q, &dict);
+  ASSERT_TRUE(twig.ok()) << twig.status().ToString();
+  EXPECT_EQ(twig->size(), 5000);
+  EXPECT_EQ(TwigToXPath(*twig, dict), q);
+}
+
 }  // namespace
 }  // namespace treelattice

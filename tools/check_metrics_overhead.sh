@@ -32,11 +32,13 @@ run_total() {
 }
 
 echo "=== baseline: TREELATTICE_OBS=off ($FILTER) ==="
+# shellcheck disable=SC2046 # run_total prints "total n"; splitting is intended
 set -- $(run_total off)
 off_total=$1; off_n=$2
 echo "    $off_n benchmarks, total cpu $off_total ns"
 
 echo "=== instrumented: TREELATTICE_OBS=on ==="
+# shellcheck disable=SC2046 # as above
 set -- $(run_total on)
 on_total=$1; on_n=$2
 echo "    $on_n benchmarks, total cpu $on_total ns"

@@ -30,7 +30,8 @@ for bin in "$BENCH_DIR"/bench_*; do
   if "$bin" --json="$out_json" "$@" > "$OUT_DIR/$name.log" 2>&1; then
     :
   else
-    echo "    FAILED (exit $?); log: $OUT_DIR/$name.log" >&2
+    rc=$?
+    echo "    FAILED (exit $rc); log: $OUT_DIR/$name.log" >&2
     failures=$((failures + 1))
   fi
 done

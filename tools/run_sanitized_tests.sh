@@ -4,14 +4,16 @@
 #
 #   tools/run_sanitized_tests.sh [address|undefined|thread ...]
 #
-# With no arguments, runs ASan then UBSan. Each sanitizer gets its own
+# With no arguments, runs ASan, UBSan, then TSan (the concurrency suite
+# is only meaningful under the last one). Each sanitizer gets its own
 # build directory (build-asan/, build-ubsan/, build-tsan/) so incremental
 # rebuilds stay fast. Exits non-zero on the first failing suite.
 set -e
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-SANITIZERS="${*:-address undefined}"
+SANITIZERS="${*:-address undefined thread}"
 
+# shellcheck disable=SC2086 # word splitting of the sanitizer list is intended
 for SAN in $SANITIZERS; do
   case "$SAN" in
     address) DIR="$ROOT/build-asan" ;;

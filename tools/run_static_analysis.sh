@@ -1,0 +1,93 @@
+#!/bin/sh
+# The static-analysis gate (DESIGN.md §8): clang-tidy with the curated
+# .clang-tidy profile, the project-convention linter (tools/tl_lint.py),
+# shellcheck over every shell script, and a warnings-as-errors compile.
+#
+#   tools/run_static_analysis.sh [build_dir]
+#
+# Exits non-zero on any finding from any available tool. Tools missing from
+# the environment (clang-tidy, shellcheck) are reported as SKIPPED and do
+# not fail the gate — the custom lint and the -Werror build always run, so
+# the gate is never vacuous. CI images with the full toolchain get all four
+# legs.
+#
+# Environment:
+#   CLANG_TIDY   clang-tidy binary (default: clang-tidy)
+#   SHELLCHECK   shellcheck binary (default: shellcheck)
+#   TIDY_JOBS    parallel tidy invocations (default: nproc)
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$ROOT/build}"
+CLANG_TIDY="${CLANG_TIDY:-clang-tidy}"
+SHELLCHECK="${SHELLCHECK:-shellcheck}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+TIDY_JOBS="${TIDY_JOBS:-$JOBS}"
+failures=0
+
+# --- leg 1: warnings-as-errors compile -------------------------------------
+echo "=== static-analysis: -Werror build ==="
+WERROR_DIR="$ROOT/build-werror"
+mkdir -p "$WERROR_DIR"
+if cmake -B "$WERROR_DIR" -S "$ROOT" -DTREELATTICE_WERROR=ON \
+      > "$WERROR_DIR/cmake.log" 2>&1 \
+    && cmake --build "$WERROR_DIR" -j "$JOBS" > "$WERROR_DIR/build.log" 2>&1
+then
+  echo "    OK (warning-clean at -Wall -Wextra -Werror)"
+else
+  echo "    FAIL: see $WERROR_DIR/build.log" >&2
+  tail -n 40 "$WERROR_DIR/build.log" >&2 || true
+  failures=$((failures + 1))
+fi
+
+# --- leg 2: clang-tidy ------------------------------------------------------
+echo "=== static-analysis: clang-tidy ==="
+if command -v "$CLANG_TIDY" > /dev/null 2>&1; then
+  if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+    echo "    configuring $BUILD_DIR for compile_commands.json"
+    cmake -B "$BUILD_DIR" -S "$ROOT" > /dev/null
+  fi
+  TIDY_LOG="$BUILD_DIR/clang-tidy.log"
+  : > "$TIDY_LOG"
+  # Sources under the four checked trees; headers are pulled in through
+  # HeaderFilterRegex in .clang-tidy.
+  if find "$ROOT/src" "$ROOT/tools" "$ROOT/bench" "$ROOT/tests" \
+        -name '*.cc' -print 2>/dev/null \
+      | xargs -P "$TIDY_JOBS" -n 8 \
+        "$CLANG_TIDY" -p "$BUILD_DIR" --quiet >> "$TIDY_LOG" 2>&1
+  then
+    echo "    OK (no findings)"
+  else
+    echo "    FAIL: findings in $TIDY_LOG" >&2
+    grep -E 'warning:|error:' "$TIDY_LOG" | head -n 40 >&2 || true
+    failures=$((failures + 1))
+  fi
+else
+  echo "    SKIPPED ($CLANG_TIDY not found)"
+fi
+
+# --- leg 3: project-convention lint ----------------------------------------
+echo "=== static-analysis: tl_lint ==="
+if python3 "$ROOT/tools/tl_lint.py" "$ROOT"; then
+  :
+else
+  failures=$((failures + 1))
+fi
+
+# --- leg 4: shellcheck ------------------------------------------------------
+echo "=== static-analysis: shellcheck ==="
+if command -v "$SHELLCHECK" > /dev/null 2>&1; then
+  # shellcheck's own exit code aggregates across files.
+  if find "$ROOT/tools" "$ROOT/tests" -name '*.sh' -print 2>/dev/null \
+      | xargs "$SHELLCHECK" --shell=sh
+  then
+    echo "    OK"
+  else
+    failures=$((failures + 1))
+  fi
+else
+  echo "    SKIPPED ($SHELLCHECK not found)"
+fi
+
+echo "=== static-analysis: $failures failing leg(s) ==="
+[ "$failures" -eq 0 ]

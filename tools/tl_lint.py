@@ -1,0 +1,250 @@
+#!/usr/bin/env python3
+"""TreeLattice project-convention linter (the custom leg of the static
+analysis gate; see DESIGN.md §8 and tools/run_static_analysis.sh).
+
+Checks, each suppressible per line with `// tl-lint: allow(<rule>)`:
+
+  metric-literal   Every obs metric name used from src/ must be a constant
+                   declared in src/obs/metric_names.h — no string literals
+                   at MetricsRegistry::counter()/gauge()/histogram() call
+                   sites, so the full telemetry surface lives in one header.
+  metric-name      Constants in metric_names.h follow the naming scheme
+                   lowercase dot-separated "<subsystem>.<metric>" and are
+                   unique.
+  include-cycle    The src/<module> directories form a DAG under
+                   #include "module/...": no include cycles between
+                   modules (reported once per cycle, not per line).
+  naked-new        No naked `new` expressions in src/ — ownership goes
+                   through std::make_unique/std::make_shared/containers.
+                   (Placement new and intentional leaks carry the
+                   suppression comment with a justification.)
+
+Exit status: 0 clean, 1 findings, 2 usage/environment error.
+
+Usage: tools/tl_lint.py [repo_root]
+"""
+
+import os
+import re
+import sys
+
+ALLOW_RE = re.compile(r"//\s*tl-lint:\s*allow\(([a-z-]+)\)")
+
+METRIC_CALL_RE = re.compile(
+    r"(?:->|\.)\s*(?:counter|gauge|histogram)\s*\(\s*\"")
+METRIC_CONST_RE = re.compile(
+    r"inline\s+constexpr\s+char\s+(k\w+)\[\]\s*=\s*\"([^\"]*)\"")
+METRIC_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
+INCLUDE_RE = re.compile(r'^\s*#include\s+"([^"]+)"')
+# `new` introducing an expression: after =, (, {, ",", return, or start of
+# statement. Excludes identifiers like "renew" via \b.
+NAKED_NEW_RE = re.compile(r"(?:^|[=({,;]|\breturn)\s*\bnew\b")
+
+
+def strip_comments_and_strings(line, in_block_comment):
+    """Removes // and /* */ comment text and string-literal contents.
+
+    Keeps the quotes of string literals (so call-site patterns like
+    `counter("` still match) but blanks what is inside them. Returns
+    (cleaned_line, still_in_block_comment).
+    """
+    out = []
+    i = 0
+    n = len(line)
+    state = "block" if in_block_comment else "code"
+    while i < n:
+        c = line[i]
+        nxt = line[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                break
+            if c == "/" and nxt == "*":
+                state = "block"
+                i += 2
+                continue
+            if c == '"':
+                out.append(c)
+                state = "string"
+                i += 1
+                continue
+            if c == "'":
+                # Skip char literal wholesale (handles '\'' and '\\').
+                j = i + 1
+                while j < n:
+                    if line[j] == "\\":
+                        j += 2
+                        continue
+                    if line[j] == "'":
+                        break
+                    j += 1
+                i = j + 1
+                continue
+            out.append(c)
+            i += 1
+        elif state == "string":
+            if c == "\\":
+                i += 2
+                continue
+            if c == '"':
+                out.append(c)
+                state = "code"
+            i += 1
+        else:  # block comment
+            if c == "*" and nxt == "/":
+                state = "code"
+                i += 2
+            else:
+                i += 1
+    return "".join(out), state == "block"
+
+
+def iter_source_files(root, subdirs, exts=(".h", ".cc")):
+    for sub in subdirs:
+        base = os.path.join(root, sub)
+        for dirpath, _, filenames in os.walk(base):
+            for name in sorted(filenames):
+                if name.endswith(exts):
+                    yield os.path.join(dirpath, name)
+
+
+def load_lines(path):
+    with open(path, encoding="utf-8", errors="replace") as f:
+        return f.read().splitlines()
+
+
+def allowed(raw_line, rule):
+    m = ALLOW_RE.search(raw_line)
+    return m is not None and m.group(1) == rule
+
+
+def check_metric_constants(root, findings):
+    """Returns the set of declared metric name strings."""
+    path = os.path.join(root, "src", "obs", "metric_names.h")
+    names = {}
+    if not os.path.exists(path):
+        findings.append((path, 0, "metric-name",
+                         "missing metric name registry header"))
+        return names
+    for lineno, raw in enumerate(load_lines(path), 1):
+        m = METRIC_CONST_RE.search(raw)
+        if not m:
+            continue
+        const, name = m.groups()
+        if not METRIC_NAME_RE.match(name) and not allowed(raw, "metric-name"):
+            findings.append(
+                (path, lineno, "metric-name",
+                 f'"{name}" is not lowercase dot-separated '
+                 '"<subsystem>.<metric>"'))
+        if name in names:
+            findings.append(
+                (path, lineno, "metric-name",
+                 f'duplicate metric name "{name}" (also {names[name]})'))
+        names[name] = const
+    return names
+
+
+def check_metric_literals(root, findings):
+    for path in iter_source_files(root, ["src"]):
+        if path.endswith(os.path.join("obs", "metric_names.h")):
+            continue
+        in_block = False
+        for lineno, raw in enumerate(load_lines(path), 1):
+            line, in_block = strip_comments_and_strings(raw, in_block)
+            if METRIC_CALL_RE.search(line) and not allowed(
+                    raw, "metric-literal"):
+                findings.append(
+                    (path, lineno, "metric-literal",
+                     "metric name must be a constant from "
+                     "obs/metric_names.h, not a string literal"))
+
+
+def check_naked_new(root, findings):
+    for path in iter_source_files(root, ["src", "tools"]):
+        in_block = False
+        for lineno, raw in enumerate(load_lines(path), 1):
+            line, in_block = strip_comments_and_strings(raw, in_block)
+            if NAKED_NEW_RE.search(line) and not allowed(raw, "naked-new"):
+                findings.append(
+                    (path, lineno, "naked-new",
+                     "naked `new`: use std::make_unique/make_shared, or "
+                     "suppress with a justification"))
+
+
+def check_include_cycles(root, findings):
+    src = os.path.join(root, "src")
+    modules = sorted(
+        d for d in os.listdir(src) if os.path.isdir(os.path.join(src, d)))
+    module_set = set(modules)
+    edges = {m: set() for m in modules}
+    for module in modules:
+        for path in iter_source_files(src, [module]):
+            in_block = False
+            for raw in load_lines(path):
+                line, in_block = strip_comments_and_strings(raw, in_block)
+                m = INCLUDE_RE.match(line)
+                if not m:
+                    continue
+                target = m.group(1).split("/", 1)[0]
+                if target in module_set and target != module:
+                    edges[module].add(target)
+
+    # Iterative DFS cycle detection; report each cycle once.
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {m: WHITE for m in modules}
+    stack_path = []
+
+    def dfs(start):
+        stack = [(start, iter(sorted(edges[start])))]
+        color[start] = GRAY
+        stack_path.append(start)
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                if color[nxt] == GRAY:
+                    cycle = stack_path[stack_path.index(nxt):] + [nxt]
+                    findings.append(
+                        (os.path.join(src, node), 0, "include-cycle",
+                         "module include cycle: " + " -> ".join(cycle)))
+                elif color[nxt] == WHITE:
+                    color[nxt] = GRAY
+                    stack_path.append(nxt)
+                    stack.append((nxt, iter(sorted(edges[nxt]))))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                stack_path.pop()
+                stack.pop()
+
+    for module in modules:
+        if color[module] == WHITE:
+            dfs(module)
+
+
+def main(argv):
+    root = argv[1] if len(argv) > 1 else os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    if not os.path.isdir(os.path.join(root, "src")):
+        print(f"tl_lint: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    findings = []
+    check_metric_constants(root, findings)
+    check_metric_literals(root, findings)
+    check_naked_new(root, findings)
+    check_include_cycles(root, findings)
+
+    for path, lineno, rule, message in sorted(findings):
+        rel = os.path.relpath(path, root)
+        where = f"{rel}:{lineno}" if lineno else rel
+        print(f"{where}: [{rule}] {message}")
+    if findings:
+        print(f"tl_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("tl_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
