@@ -1,0 +1,174 @@
+// Extension benchmark: serving throughput and tail latency. The ROADMAP
+// north-star is an estimation *service*; this drives the serve-layer
+// worker pool with request bursts of increasing size over a mined PSD
+// lattice and reports throughput plus p50/p95/p99 response latency, with
+// and without per-request deadlines. The workload mixes cheap in-lattice
+// lookups with wide star queries whose voting recursion is expensive —
+// exactly the requests the degradation ladder exists for, so the governed
+// runs also report how many answers were degraded to a cheaper rung.
+//
+// Shape to expect: ungoverned tails are dominated by the star queries;
+// deadlines cap p99 near the deadline (plus one fallback grace) at the
+// price of degraded answers. Throughput scales with workers until the
+// queue, not the estimator, is the bottleneck.
+//
+// Flags: --scale=<n> (PSD records, default 800), --level=<k> (default 3),
+//        --workers=<n> (default 4), --deadline-ms=<d> (default 5).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datagen/datasets.h"
+#include "harness/bench_report.h"
+#include "harness/flags.h"
+#include "mining/lattice_builder.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
+#include "summary/lattice_summary.h"
+#include "util/timer.h"
+#include "xml/label_dict.h"
+
+namespace treelattice {
+namespace {
+
+double Percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  size_t index = static_cast<size_t>(q * static_cast<double>(sorted.size() - 1));
+  return sorted[index];
+}
+
+struct BurstResult {
+  double wall_seconds = 0.0;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;  // micros
+  uint64_t ok = 0, errors = 0, degraded = 0;
+};
+
+/// Submits `n` requests round-robin over `queries` and waits for every
+/// response, measuring per-request submit-to-sink latency.
+BurstResult RunBurst(serve::SnapshotHolder* snapshots,
+                     const std::vector<std::string>& queries, int n,
+                     int workers, double deadline_millis) {
+  using Clock = std::chrono::steady_clock;
+  std::vector<Clock::time_point> submitted(static_cast<size_t>(n));
+  // One slot per request id; distinct ids never collide, so the sink can
+  // write lock-free (sink calls are serialized by the server anyway).
+  std::vector<double> latencies(static_cast<size_t>(n), 0.0);
+  std::vector<uint8_t> degraded_flags(static_cast<size_t>(n), 0);
+
+  serve::ServerOptions options;
+  options.workers = workers;
+  options.queue_capacity = static_cast<size_t>(n);  // no shedding: pure latency
+  options.default_deadline_millis = deadline_millis;
+  BurstResult result;
+  {
+    serve::Server server(
+        snapshots, options, [&](const serve::ServeResponse& response) {
+          size_t slot = static_cast<size_t>(response.id - 1);
+          latencies[slot] = std::chrono::duration<double, std::micro>(
+                                Clock::now() - submitted[slot])
+                                .count();
+          degraded_flags[slot] = response.degraded ? 1 : 0;
+        });
+    WallTimer timer;
+    for (int i = 0; i < n; ++i) {
+      serve::ServeRequest request;
+      request.id = static_cast<uint64_t>(i + 1);
+      request.query = queries[static_cast<size_t>(i) % queries.size()];
+      submitted[static_cast<size_t>(i)] = Clock::now();
+      server.Submit(std::move(request));
+    }
+    server.Shutdown();  // drains: every latency slot is filled after this
+    result.wall_seconds = timer.ElapsedSeconds();
+    serve::Server::Stats stats = server.GetStats();
+    result.ok = stats.ok;
+    result.errors = stats.errors;
+    result.degraded = stats.degraded;
+  }
+
+  std::sort(latencies.begin(), latencies.end());
+  result.p50 = Percentile(latencies, 0.50);
+  result.p95 = Percentile(latencies, 0.95);
+  result.p99 = Percentile(latencies, 0.99);
+  return result;
+}
+
+int Run(const Flags& flags, BenchReport* report) {
+  const int scale = static_cast<int>(flags.GetInt("scale", 800));
+  const int level = static_cast<int>(flags.GetInt("level", 3));
+  const int workers = static_cast<int>(flags.GetInt("workers", 4));
+  const double deadline_millis = flags.GetDouble("deadline-ms", 5.0);
+
+  std::printf("=== Extension: Serving throughput & tail latency ===\n\n");
+
+  DatasetOptions generate;
+  generate.scale = scale;
+  Document doc = GeneratePsd(generate);
+  LatticeBuildOptions options;
+  options.max_level = level;
+  Result<LatticeSummary> summary = BuildLattice(doc, options, nullptr);
+  if (!summary.ok()) {
+    std::fprintf(stderr, "%s\n", summary.status().ToString().c_str());
+    return 1;
+  }
+
+  serve::SnapshotHolder snapshots;
+  snapshots.Swap(std::make_shared<serve::SummarySnapshot>(
+      std::move(*summary), LabelDict(doc.dict())));
+
+  // Mixed workload: mostly cheap lookups, with wide stars (above the
+  // lattice level, distinct children) that make the voting primary sweat.
+  const std::vector<std::string> queries = {
+      "protein(name)",
+      "header(uid,accession)",
+      "organism(source,common)",
+      "refinfo(authors(author),citation,year)",
+      "ProteinEntry(header(uid),protein(name),organism(source))",
+      "ProteinEntry(header,protein,organism,reference,summary,sequence,"
+      "keywords)",
+  };
+
+  std::printf("%-26s %10s %12s %10s %10s %10s %9s\n", "config", "requests",
+              "req/s", "p50 us", "p95 us", "p99 us", "degraded");
+  for (int burst : {64, 256, 1024}) {
+    for (int governed = 0; governed <= 1; ++governed) {
+      const double deadline = governed ? deadline_millis : 0.0;
+      BurstResult r = RunBurst(&snapshots, queries, burst, workers, deadline);
+      if (r.ok + r.errors != static_cast<uint64_t>(burst)) {
+        std::fprintf(stderr, "lost responses: %llu of %d\n",
+                     static_cast<unsigned long long>(r.ok + r.errors), burst);
+        return 1;
+      }
+      char name[64];
+      std::snprintf(name, sizeof(name), "burst%d%s", burst,
+                    governed ? "_deadline" : "");
+      std::printf("%-26s %10d %12.0f %10.0f %10.0f %10.0f %9llu\n", name,
+                  burst, static_cast<double>(burst) / r.wall_seconds, r.p50,
+                  r.p95, r.p99, static_cast<unsigned long long>(r.degraded));
+      report->AddResult(std::string(name) + "_qps",
+                        static_cast<double>(burst) / r.wall_seconds);
+      report->AddResult(std::string(name) + "_p50_micros", r.p50);
+      report->AddResult(std::string(name) + "_p95_micros", r.p95);
+      report->AddResult(std::string(name) + "_p99_micros", r.p99);
+      report->AddResult(std::string(name) + "_degraded",
+                        static_cast<double>(r.degraded));
+    }
+  }
+  std::printf(
+      "\ndeadline runs use --deadline-ms=%.1f per request; degraded counts\n"
+      "answers served from a fallback rung instead of the voting primary.\n",
+      deadline_millis);
+  return 0;
+}
+
+}  // namespace
+}  // namespace treelattice
+
+int main(int argc, char** argv) {
+  treelattice::Flags flags(argc, argv);
+  treelattice::BenchReport report("bench_ext_serve", flags);
+  return report.Finish(treelattice::Run(flags, &report));
+}

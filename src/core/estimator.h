@@ -1,12 +1,49 @@
 #ifndef TREELATTICE_CORE_ESTIMATOR_H_
 #define TREELATTICE_CORE_ESTIMATOR_H_
 
+#include <cstdint>
 #include <string>
 
 #include "twig/twig.h"
+#include "util/deadline.h"
 #include "util/result.h"
 
 namespace treelattice {
+
+/// Per-request resource limits for an estimation, threaded through the
+/// estimator call chain (recursion, voting, fixed-size fallbacks). All
+/// limits are optional; the default is ungoverned. The deadline is
+/// absolute, so nested estimators charge against the caller's budget
+/// rather than restarting it.
+struct EstimateOptions {
+  Deadline deadline;
+  /// Cooperative cancellation; may be flipped from another thread. Not
+  /// owned — must outlive the Estimate call.
+  const CancelToken* cancel = nullptr;
+  /// Upper bound on work steps (summary lookups, splits, sweep windows);
+  /// 0 means unlimited.
+  uint64_t max_work_steps = 0;
+  /// The deadline's original duration in milliseconds when it was built
+  /// with WithDeadlineMillis; 0 when unknown. The degradation ladder uses
+  /// it to size the grace budget of fallback rungs.
+  double deadline_millis = 0.0;
+
+  /// An options object whose deadline is `millis` from now.
+  static EstimateOptions WithDeadlineMillis(double millis) {
+    EstimateOptions options;
+    options.deadline = Deadline::After(millis);
+    options.deadline_millis = millis;
+    return options;
+  }
+
+  bool governed() const {
+    return !deadline.is_infinite() || cancel != nullptr || max_work_steps > 0;
+  }
+
+  CostGovernor MakeGovernor() const {
+    return CostGovernor(deadline, cancel, max_work_steps);
+  }
+};
 
 /// Interface for twig-query selectivity estimators.
 ///
@@ -19,6 +56,17 @@ class SelectivityEstimator {
 
   /// Estimated number of matches of `query` in the summarized document.
   virtual Result<double> Estimate(const Twig& query) = 0;
+
+  /// Governed estimation: like Estimate(query) but aborts with
+  /// kDeadlineExceeded / kResourceExhausted / kCancelled when `options`'
+  /// budget trips. The base implementation ignores the options (correct
+  /// for estimators whose work is trivially bounded); estimators with
+  /// unbounded recursion or sweeps override it with cooperative checks.
+  virtual Result<double> Estimate(const Twig& query,
+                                  const EstimateOptions& options) {
+    (void)options;
+    return Estimate(query);
+  }
 
   /// Short stable name used in experiment reports.
   virtual std::string name() const = 0;

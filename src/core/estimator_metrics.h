@@ -18,6 +18,10 @@ namespace treelattice {
 ///   estimator.decomposition_depth     (histogram) recursion depth / query
 ///   estimator.voting_fanout           (histogram) votes per split
 ///   estimator.cover_steps             (histogram) fixed-size cover length
+///   estimator.deadline_exceeded       primary estimates aborted by budget
+///                                     (deadline or work-step exhaustion)
+///   estimator.degraded                answers served by a fallback rung of
+///                                     the degradation ladder
 struct EstimatorMetrics {
   obs::Counter* summary_hits;
   obs::Counter* summary_misses;
@@ -28,6 +32,8 @@ struct EstimatorMetrics {
   obs::Histogram* decomposition_depth;
   obs::Histogram* voting_fanout;
   obs::Histogram* cover_steps;
+  obs::Counter* deadline_exceeded;
+  obs::Counter* degraded;
 
   static EstimatorMetrics& Get() {
     static EstimatorMetrics m = [] {
@@ -42,7 +48,9 @@ struct EstimatorMetrics {
           registry->counter(names::kEstimatorMemoHits),
           registry->histogram(names::kEstimatorDecompositionDepth),
           registry->histogram(names::kEstimatorVotingFanout),
-          registry->histogram(names::kEstimatorCoverSteps)};
+          registry->histogram(names::kEstimatorCoverSteps),
+          registry->counter(names::kEstimatorDeadlineExceeded),
+          registry->counter(names::kEstimatorDegraded)};
     }();
     return m;
   }

@@ -18,8 +18,11 @@ FixedSizeDecompositionEstimator::FixedSizeDecompositionEstimator(
 }
 
 Result<double> FixedSizeDecompositionEstimator::LookupOrEstimate(
-    const Twig& twig) {
+    const Twig& twig, CostGovernor* governor) {
   EstimatorMetrics& metrics = EstimatorMetrics::Get();
+  if (governor != nullptr) {
+    if (Status s = governor->Charge(); !s.ok()) return s;
+  }
   if (auto count = summary_->LookupCode(twig.CanonicalCode())) {
     metrics.summary_hits->Increment();
     return static_cast<double>(*count);
@@ -29,16 +32,31 @@ Result<double> FixedSizeDecompositionEstimator::LookupOrEstimate(
     return 0.0;
   }
   metrics.summary_misses->Increment();
-  return fallback_.Estimate(twig);
+  return fallback_.EstimateWithGovernor(twig, governor);
 }
 
 Result<double> FixedSizeDecompositionEstimator::Estimate(const Twig& query) {
+  return EstimateWithGovernor(query, nullptr);
+}
+
+Result<double> FixedSizeDecompositionEstimator::Estimate(
+    const Twig& query, const EstimateOptions& options) {
+  if (!options.governed()) return EstimateWithGovernor(query, nullptr);
+  CostGovernor governor = options.MakeGovernor();
+  return EstimateWithGovernor(query, &governor);
+}
+
+Result<double> FixedSizeDecompositionEstimator::EstimateWithGovernor(
+    const Twig& query, CostGovernor* governor) {
   if (query.empty()) {
     return Status::InvalidArgument("Estimate: empty query");
   }
   obs::TraceSpan span("estimator.fixed", "core");
   span.SetArg("query_size", static_cast<uint64_t>(query.size()));
   EstimatorMetrics& metrics = EstimatorMetrics::Get();
+  if (governor != nullptr) {
+    if (Status s = governor->Charge(); !s.ok()) return s;
+  }
   // Directly answerable (or provably absent) queries short-circuit.
   if (auto count = summary_->LookupCode(query.CanonicalCode())) {
     metrics.summary_hits->Increment();
@@ -51,7 +69,7 @@ Result<double> FixedSizeDecompositionEstimator::Estimate(const Twig& query) {
   if (query.size() <= options_.k) {
     // Too small to cover with k-subtrees (a pruned pattern): recursive
     // fallback from strictly smaller pieces.
-    return LookupOrEstimate(query);
+    return LookupOrEstimate(query, governor);
   }
 
   std::vector<CoverStep> steps;
@@ -60,13 +78,13 @@ Result<double> FixedSizeDecompositionEstimator::Estimate(const Twig& query) {
   metrics.cover_steps->Record(steps.size());
 
   double estimate;
-  TL_ASSIGN_OR_RETURN(estimate, LookupOrEstimate(steps[0].subtree));
+  TL_ASSIGN_OR_RETURN(estimate, LookupOrEstimate(steps[0].subtree, governor));
   if (estimate <= 0.0) return 0.0;
   for (size_t i = 1; i < steps.size(); ++i) {
     double numer, denom;
-    TL_ASSIGN_OR_RETURN(numer, LookupOrEstimate(steps[i].subtree));
+    TL_ASSIGN_OR_RETURN(numer, LookupOrEstimate(steps[i].subtree, governor));
     if (numer <= 0.0) return 0.0;
-    TL_ASSIGN_OR_RETURN(denom, LookupOrEstimate(steps[i].overlap));
+    TL_ASSIGN_OR_RETURN(denom, LookupOrEstimate(steps[i].overlap, governor));
     if (denom <= 0.0) return 0.0;  // overlap ⊆ subtree, cannot be rarer
     estimate *= numer / denom;
   }

@@ -30,12 +30,21 @@ class FixedSizeDecompositionEstimator : public SelectivityEstimator {
 
   Result<double> Estimate(const Twig& query) override;
 
+  /// Governed estimation: charges one step per sweep window / summary
+  /// lookup and threads the same budget into the recursive fallback, so a
+  /// pruned summary cannot turn the sweep into unbounded recursion.
+  Result<double> Estimate(const Twig& query,
+                          const EstimateOptions& options) override;
+
   std::string name() const override { return "fixed-size"; }
 
  private:
+  Result<double> EstimateWithGovernor(const Twig& query,
+                                      CostGovernor* governor);
+
   /// Summary lookup for a basic twig, falling back to recursive
-  /// decomposition when the pattern was pruned.
-  Result<double> LookupOrEstimate(const Twig& twig);
+  /// decomposition when the pattern was pruned. `governor` may be nullptr.
+  Result<double> LookupOrEstimate(const Twig& twig, CostGovernor* governor);
 
   const LatticeSummary* summary_;
   Options options_;

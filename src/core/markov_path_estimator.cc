@@ -24,6 +24,18 @@ double MarkovPathEstimator::WindowCount(const std::vector<LabelId>& labels,
 }
 
 Result<double> MarkovPathEstimator::Estimate(const Twig& query) {
+  return EstimateWithGovernor(query, nullptr);
+}
+
+Result<double> MarkovPathEstimator::Estimate(const Twig& query,
+                                             const EstimateOptions& options) {
+  if (!options.governed()) return EstimateWithGovernor(query, nullptr);
+  CostGovernor governor = options.MakeGovernor();
+  return EstimateWithGovernor(query, &governor);
+}
+
+Result<double> MarkovPathEstimator::EstimateWithGovernor(
+    const Twig& query, CostGovernor* governor) {
   if (query.empty()) {
     return Status::InvalidArgument("Estimate: empty query");
   }
@@ -49,6 +61,9 @@ Result<double> MarkovPathEstimator::Estimate(const Twig& query) {
   double estimate = WindowCount(labels, 0, m);
   if (estimate <= 0.0) return 0.0;
   for (size_t i = 1; i + m <= n; ++i) {
+    if (governor != nullptr) {
+      if (Status s = governor->Charge(); !s.ok()) return s;
+    }
     double numer = WindowCount(labels, i, m);
     if (numer <= 0.0) return 0.0;
     double denom = WindowCount(labels, i, m - 1);

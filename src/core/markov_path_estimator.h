@@ -31,9 +31,18 @@ class MarkovPathEstimator : public SelectivityEstimator {
   /// Fails with InvalidArgument on non-path queries.
   Result<double> Estimate(const Twig& query) override;
 
+  /// Governed estimation: charges one step per sweep window. The sweep is
+  /// strictly linear in the query size, so in practice this never trips a
+  /// realistic budget — which is exactly why the degradation ladder uses
+  /// this estimator as its final rung.
+  Result<double> Estimate(const Twig& query,
+                          const EstimateOptions& options) override;
+
   std::string name() const override { return "markov-path"; }
 
  private:
+  Result<double> EstimateWithGovernor(const Twig& query,
+                                      CostGovernor* governor);
   /// Count of the path window labels[begin, begin+len).
   double WindowCount(const std::vector<LabelId>& labels, size_t begin,
                      size_t len) const;

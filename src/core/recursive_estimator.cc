@@ -17,6 +17,18 @@ RecursiveDecompositionEstimator::RecursiveDecompositionEstimator(
     : summary_(summary), options_(options) {}
 
 Result<double> RecursiveDecompositionEstimator::Estimate(const Twig& query) {
+  return EstimateWithGovernor(query, nullptr);
+}
+
+Result<double> RecursiveDecompositionEstimator::Estimate(
+    const Twig& query, const EstimateOptions& options) {
+  if (!options.governed()) return EstimateWithGovernor(query, nullptr);
+  CostGovernor governor = options.MakeGovernor();
+  return EstimateWithGovernor(query, &governor);
+}
+
+Result<double> RecursiveDecompositionEstimator::EstimateWithGovernor(
+    const Twig& query, CostGovernor* governor) {
   if (query.empty()) {
     return Status::InvalidArgument("Estimate: empty query");
   }
@@ -24,7 +36,7 @@ Result<double> RecursiveDecompositionEstimator::Estimate(const Twig& query) {
   span.SetArg("query_size", static_cast<uint64_t>(query.size()));
   std::unordered_map<std::string, double> memo;
   int max_depth = 0;
-  Result<double> result = EstimateImpl(query, &memo, 0, &max_depth);
+  Result<double> result = EstimateImpl(query, &memo, 0, &max_depth, governor);
   if (result.ok()) {
     EstimatorMetrics::Get().decomposition_depth->Record(
         static_cast<uint64_t>(max_depth));
@@ -34,8 +46,13 @@ Result<double> RecursiveDecompositionEstimator::Estimate(const Twig& query) {
 
 Result<double> RecursiveDecompositionEstimator::EstimateImpl(
     const Twig& twig, std::unordered_map<std::string, double>* memo,
-    int depth, int* max_depth) {
+    int depth, int* max_depth, CostGovernor* governor) {
   EstimatorMetrics& metrics = EstimatorMetrics::Get();
+  if (governor != nullptr) {
+    // One step per sub-twig visit: the memo probe plus summary lookup (and
+    // possibly a split) below.
+    if (Status s = governor->Charge(); !s.ok()) return s;
+  }
   if (depth > *max_depth) *max_depth = depth;
   const std::string code = twig.CanonicalCode();
   if (auto it = memo->find(code); it != memo->end()) {
@@ -81,11 +98,11 @@ Result<double> RecursiveDecompositionEstimator::EstimateImpl(
                                                  pairs[i].second));
       double e1, e2, eo;
       TL_ASSIGN_OR_RETURN(e1, EstimateImpl(split.t1, memo, depth + 1,
-                                           max_depth));
+                                           max_depth, governor));
       TL_ASSIGN_OR_RETURN(e2, EstimateImpl(split.t2, memo, depth + 1,
-                                           max_depth));
+                                           max_depth, governor));
       TL_ASSIGN_OR_RETURN(eo, EstimateImpl(split.overlap, memo, depth + 1,
-                                           max_depth));
+                                           max_depth, governor));
       double est = 0.0;
       if (e1 > 0.0 && e2 > 0.0 && eo > 0.0) {
         est = e1 * e2 / eo;

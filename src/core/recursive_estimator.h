@@ -43,6 +43,19 @@ class RecursiveDecompositionEstimator : public SelectivityEstimator {
 
   Result<double> Estimate(const Twig& query) override;
 
+  /// Governed estimation: cooperatively checks `options`' budget once per
+  /// sub-twig visit (lookup or split) and aborts the recursion with the
+  /// budget error as soon as it trips.
+  Result<double> Estimate(const Twig& query,
+                          const EstimateOptions& options) override;
+
+  /// Governed estimation charging an external governor — used by the
+  /// fixed-size estimator's recursive fallback so that one budget covers
+  /// the whole query, not each fallback separately. `governor` may be
+  /// nullptr for ungoverned estimation.
+  Result<double> EstimateWithGovernor(const Twig& query,
+                                      CostGovernor* governor);
+
   std::string name() const override {
     if (!options_.voting) return "recursive";
     return options_.aggregation == VoteAggregation::kMedian
@@ -53,7 +66,8 @@ class RecursiveDecompositionEstimator : public SelectivityEstimator {
  private:
   Result<double> EstimateImpl(const Twig& twig,
                               std::unordered_map<std::string, double>* memo,
-                              int depth, int* max_depth);
+                              int depth, int* max_depth,
+                              CostGovernor* governor);
 
   const LatticeSummary* summary_;
   Options options_;

@@ -30,6 +30,9 @@ inline constexpr char kEstimatorDecompositionDepth[] =
     "estimator.decomposition_depth";
 inline constexpr char kEstimatorVotingFanout[] = "estimator.voting_fanout";
 inline constexpr char kEstimatorCoverSteps[] = "estimator.cover_steps";
+inline constexpr char kEstimatorDeadlineExceeded[] =
+    "estimator.deadline_exceeded";
+inline constexpr char kEstimatorDegraded[] = "estimator.degraded";
 
 // -- mining (mining/lattice_builder.cc, mining/freqt_builder.cc) ------------
 inline constexpr char kMiningCandidatesGenerated[] =
@@ -69,6 +72,17 @@ inline constexpr char kIoFaultInjectedFailures[] =
 // -- match (match/brute_force.cc) -------------------------------------------
 inline constexpr char kMatchBruteForceNodesVisited[] =
     "match.brute_force.nodes_visited";
+
+// -- serve (serve/server.cc, serve/snapshot.cc) -----------------------------
+inline constexpr char kServeRequests[] = "serve.requests";
+inline constexpr char kServeResponsesOk[] = "serve.responses_ok";
+inline constexpr char kServeResponsesError[] = "serve.responses_error";
+inline constexpr char kServeShed[] = "serve.shed";
+inline constexpr char kServeQueueDepthPeak[] = "serve.queue_depth_peak";
+inline constexpr char kServeLatencyMicros[] = "serve.latency_micros";
+inline constexpr char kServeReloads[] = "serve.reloads";
+inline constexpr char kServeReloadFailures[] = "serve.reload_failures";
+inline constexpr char kServeSnapshotVersion[] = "serve.snapshot_version";
 
 }  // namespace metric_names
 }  // namespace obs

@@ -1,0 +1,52 @@
+#ifndef TREELATTICE_SERVE_SERVE_METRICS_H_
+#define TREELATTICE_SERVE_SERVE_METRICS_H_
+
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+
+namespace treelattice {
+namespace serve {
+
+/// Serving telemetry (see obs/metric_names.h for the registry):
+///   serve.requests          requests admitted to the queue
+///   serve.responses_ok      successful estimates returned
+///   serve.responses_error   error responses (parse, budget, internal)
+///   serve.shed              requests rejected by a full admission queue
+///   serve.queue_depth_peak  (gauge) high-water mark of the queue
+///   serve.latency_micros    (histogram) submit-to-response latency
+///   serve.reloads           successful summary hot-swaps
+///   serve.reload_failures   reloads that kept the previous snapshot
+///   serve.snapshot_version  (gauge) version of the serving snapshot
+struct ServeMetrics {
+  obs::Counter* requests;
+  obs::Counter* responses_ok;
+  obs::Counter* responses_error;
+  obs::Counter* shed;
+  obs::Gauge* queue_depth_peak;
+  obs::Histogram* latency_micros;
+  obs::Counter* reloads;
+  obs::Counter* reload_failures;
+  obs::Gauge* snapshot_version;
+
+  static ServeMetrics& Get() {
+    static ServeMetrics m = [] {
+      obs::MetricsRegistry* registry = obs::MetricsRegistry::Default();
+      namespace names = obs::metric_names;
+      return ServeMetrics{registry->counter(names::kServeRequests),
+                          registry->counter(names::kServeResponsesOk),
+                          registry->counter(names::kServeResponsesError),
+                          registry->counter(names::kServeShed),
+                          registry->gauge(names::kServeQueueDepthPeak),
+                          registry->histogram(names::kServeLatencyMicros),
+                          registry->counter(names::kServeReloads),
+                          registry->counter(names::kServeReloadFailures),
+                          registry->gauge(names::kServeSnapshotVersion)};
+    }();
+    return m;
+  }
+};
+
+}  // namespace serve
+}  // namespace treelattice
+
+#endif  // TREELATTICE_SERVE_SERVE_METRICS_H_

@@ -1,0 +1,293 @@
+#include "serve/server.h"
+
+#include <chrono>
+#include <utility>
+
+#include "serve/serve_metrics.h"
+#include "twig/twig.h"
+#include "util/json.h"
+#include "xpath/xpath.h"
+
+namespace treelattice {
+namespace serve {
+
+namespace {
+
+/// Mirrors the CLI's query heuristic: anything that looks like a path
+/// expression goes through the XPath compiler, everything else is twig
+/// syntax.
+Result<Twig> ParseQueryText(const std::string& text, LabelDict* dict) {
+  if (text.find('/') != std::string::npos ||
+      text.find('[') != std::string::npos) {
+    return CompileXPath(text, dict);
+  }
+  return Twig::Parse(text, dict);
+}
+
+std::string_view Trimmed(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' ||
+                        s.front() == '\r' || s.front() == '\n')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r' || s.back() == '\n')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string ServeResponse::ToJsonLine() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("id").Uint(id);
+  w.Key("query").String(query);
+  w.Key("ok").Bool(ok);
+  if (ok) {
+    w.Key("estimate").Double(estimate);
+    w.Key("rung").String(rung);
+    w.Key("degraded").Bool(degraded);
+  } else {
+    w.Key("error").BeginObject();
+    w.Key("code").String(error_code);
+    w.Key("message").String(error_message);
+    w.EndObject();
+  }
+  w.Key("wall_micros").Double(wall_micros);
+  w.Key("snapshot_version").Int(snapshot_version);
+  w.EndObject();
+  return w.TakeString();
+}
+
+Result<ServeRequest> ParseRequestLine(std::string_view line) {
+  std::string_view trimmed = Trimmed(line);
+  if (trimmed.empty()) {
+    return Status::InvalidArgument("empty request line");
+  }
+  ServeRequest request;
+  if (trimmed.front() != '{') {
+    request.query = std::string(trimmed);
+    return request;
+  }
+  Result<JsonValue> parsed = ParseJson(trimmed);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("malformed request JSON: " +
+                                   parsed.status().message());
+  }
+  if (!parsed->is_object()) {
+    return Status::InvalidArgument("request JSON must be an object");
+  }
+  const JsonValue* query = parsed->Find("query");
+  if (query == nullptr || !query->is_string() || query->string_value.empty()) {
+    return Status::InvalidArgument(
+        "request JSON needs a non-empty string \"query\" member");
+  }
+  request.query = query->string_value;
+  if (const JsonValue* deadline = parsed->Find("deadline_ms")) {
+    if (!deadline->is_number() || deadline->number_value < 0.0) {
+      return Status::InvalidArgument(
+          "\"deadline_ms\" must be a non-negative number");
+    }
+    request.deadline_millis = deadline->number_value;
+  }
+  if (const JsonValue* steps = parsed->Find("max_steps")) {
+    if (!steps->is_number() || steps->number_value < 0.0) {
+      return Status::InvalidArgument(
+          "\"max_steps\" must be a non-negative number");
+    }
+    request.max_work_steps = static_cast<uint64_t>(steps->number_value);
+  }
+  if (const JsonValue* id = parsed->Find("id")) {
+    if (!id->is_number() || id->number_value < 0.0) {
+      return Status::InvalidArgument("\"id\" must be a non-negative number");
+    }
+    request.id = static_cast<uint64_t>(id->number_value);
+  }
+  return request;
+}
+
+Server::Server(SnapshotHolder* snapshots, ServerOptions options,
+               ResponseSink sink)
+    : snapshots_(snapshots),
+      options_(std::move(options)),
+      sink_(std::move(sink)) {
+  const int workers = options_.workers > 0 ? options_.workers : 1;
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Server::~Server() { Shutdown(); }
+
+bool Server::Submit(ServeRequest request) {
+  ServeMetrics& metrics = ServeMetrics::Get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stopping_ && queue_.size() < options_.queue_capacity) {
+      queue_.push_back(std::move(request));
+      submitted_.fetch_add(1, std::memory_order_relaxed);
+      metrics.requests->Increment();
+      metrics.queue_depth_peak->SetMax(static_cast<int64_t>(queue_.size()));
+      work_available_.notify_one();
+      return true;
+    }
+  }
+  // Shed: answer immediately (from the submitting thread) so every
+  // request gets exactly one response even under overload.
+  shed_.fetch_add(1, std::memory_order_relaxed);
+  metrics.shed->Increment();
+  ServeResponse response;
+  response.id = request.id;
+  response.query = request.query;
+  response.ok = false;
+  response.error_code =
+      std::string(StatusCodeToString(StatusCode::kResourceExhausted));
+  response.error_message = "admission queue full; request shed";
+  Emit(response);
+  return false;
+}
+
+void Server::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+Server::Stats Server::GetStats() const {
+  Stats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.shed = shed_.load(std::memory_order_relaxed);
+  stats.ok = ok_.load(std::memory_order_relaxed);
+  stats.errors = errors_.load(std::memory_order_relaxed);
+  stats.degraded = degraded_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void Server::WorkerLoop() {
+  // Per-worker caches, rebuilt whenever the serving snapshot changes:
+  // the estimator binds to the snapshot's summary, and the dictionary is
+  // a private copy because query compilation interns labels (a label the
+  // snapshot has never seen gets a fresh id that misses every summary
+  // lookup, yielding the natural estimate of zero).
+  std::shared_ptr<const SummarySnapshot> snapshot;
+  std::unique_ptr<DegradingEstimator> estimator;
+  std::unique_ptr<LabelDict> dict;
+
+  for (;;) {
+    ServeRequest request;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock,
+                           [this]() TL_REQUIRES(mu_) {
+                             return stopping_ || !queue_.empty();
+                           });
+      if (queue_.empty()) return;  // stopping_ && drained
+      request = std::move(queue_.front());
+      queue_.pop_front();
+    }
+
+    std::shared_ptr<const SummarySnapshot> current = snapshots_->Get();
+    if (current != snapshot) {
+      snapshot = std::move(current);
+      if (snapshot != nullptr) {
+        dict = std::make_unique<LabelDict>(snapshot->dict);
+        estimator = std::make_unique<DegradingEstimator>(&snapshot->summary,
+                                                         options_.estimator);
+      } else {
+        dict.reset();
+        estimator.reset();
+      }
+    }
+
+    if (options_.worker_delay_millis > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          options_.worker_delay_millis));
+    }
+
+    ServeResponse response =
+        Process(request, estimator.get(), dict.get(),
+                snapshot != nullptr ? snapshot->version : 0);
+    Emit(response);
+  }
+}
+
+ServeResponse Server::Process(const ServeRequest& request,
+                              DegradingEstimator* estimator, LabelDict* dict,
+                              int64_t snapshot_version) const {
+  const auto start = std::chrono::steady_clock::now();
+  ServeResponse response;
+  response.id = request.id;
+  response.query = request.query;
+  response.snapshot_version = snapshot_version;
+
+  Status error = Status::OK();
+  if (estimator == nullptr || dict == nullptr) {
+    error = Status::NotFound("no summary snapshot loaded");
+  } else {
+    Result<Twig> query = ParseQueryText(request.query, dict);
+    if (!query.ok()) {
+      error = query.status();
+    } else {
+      const double deadline_millis = request.deadline_millis > 0.0
+                                         ? request.deadline_millis
+                                         : options_.default_deadline_millis;
+      EstimateOptions estimate_options;
+      if (deadline_millis > 0.0) {
+        estimate_options = EstimateOptions::WithDeadlineMillis(deadline_millis);
+      }
+      estimate_options.max_work_steps = request.max_work_steps > 0
+                                            ? request.max_work_steps
+                                            : options_.default_max_work_steps;
+      Result<DegradingEstimator::DegradedEstimate> estimate =
+          estimator->EstimateDegraded(*query, estimate_options);
+      if (!estimate.ok()) {
+        error = estimate.status();
+      } else {
+        response.ok = true;
+        response.estimate = estimate->estimate;
+        response.rung = std::string(DegradingEstimator::RungName(estimate->rung));
+        response.degraded = estimate->degraded;
+      }
+    }
+  }
+  if (!response.ok) {
+    response.error_code = std::string(StatusCodeToString(error.code()));
+    response.error_message = error.message();
+  }
+  response.wall_micros =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  return response;
+}
+
+void Server::Emit(const ServeResponse& response) {
+  ServeMetrics& metrics = ServeMetrics::Get();
+  if (response.ok) {
+    ok_.fetch_add(1, std::memory_order_relaxed);
+    metrics.responses_ok->Increment();
+    if (response.degraded) {
+      degraded_.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    metrics.responses_error->Increment();
+  }
+  metrics.latency_micros->Record(
+      response.wall_micros > 0.0 ? static_cast<uint64_t>(response.wall_micros)
+                                 : 0);
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  sink_(response);
+}
+
+}  // namespace serve
+}  // namespace treelattice

@@ -1,0 +1,152 @@
+#ifndef TREELATTICE_SERVE_SERVER_H_
+#define TREELATTICE_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/degrading_estimator.h"
+#include "serve/snapshot.h"
+#include "util/result.h"
+#include "util/thread_annotations.h"
+
+namespace treelattice {
+namespace serve {
+
+/// One estimation request, as admitted to the queue.
+struct ServeRequest {
+  uint64_t id = 0;
+  /// Query text: twig syntax "a(b,c)" or the XPath subset "/a/b[c]"
+  /// (anything containing '/' or '[' is treated as XPath).
+  std::string query;
+  /// Per-request deadline; <= 0 uses the server default.
+  double deadline_millis = 0.0;
+  /// Per-request work-step cap; 0 uses the server default.
+  uint64_t max_work_steps = 0;
+};
+
+/// One response, delivered to the sink exactly once per submitted request.
+struct ServeResponse {
+  uint64_t id = 0;
+  std::string query;
+  bool ok = false;
+  double estimate = 0.0;
+  /// Degradation-ladder rung that answered: "primary", "fixed-size", or
+  /// "markov-path" (empty on error).
+  std::string rung;
+  bool degraded = false;
+  std::string error_code;     // StatusCodeToString(code) when !ok
+  std::string error_message;  // human detail when !ok
+  double wall_micros = 0.0;
+  /// Version of the snapshot that served the request (0 if none).
+  int64_t snapshot_version = 0;
+
+  /// The newline-free JSON wire rendering of this response.
+  std::string ToJsonLine() const;
+};
+
+/// Parses one request line of the serve protocol: either a bare query
+/// string, or a JSON envelope
+///   {"query": "a(b,c)", "deadline_ms": 50, "max_steps": 100000, "id": 7}
+/// with every field but "query" optional. Lines are trimmed; the id, when
+/// absent, is left 0 for the caller to assign.
+Result<ServeRequest> ParseRequestLine(std::string_view line);
+
+struct ServerOptions {
+  /// Worker threads answering queries.
+  int workers = 4;
+  /// Bounded admission queue; submissions beyond this are shed with
+  /// kResourceExhausted instead of growing memory without limit.
+  size_t queue_capacity = 128;
+  /// Default per-request deadline; 0 = none.
+  double default_deadline_millis = 0.0;
+  /// Default per-request work-step cap; 0 = none.
+  uint64_t default_max_work_steps = 0;
+  /// Degradation-ladder configuration shared by all workers.
+  DegradingEstimator::Options estimator;
+  /// Artificial per-request processing delay — a load-shaping aid for
+  /// tests and benches that need to force queue pressure deterministically.
+  double worker_delay_millis = 0.0;
+};
+
+/// A worker pool over a bounded admission queue, answering twig/XPath
+/// selectivity queries from the current SummarySnapshot through the
+/// degradation ladder.
+///
+/// Lifecycle: construction starts the workers; Shutdown() (or the
+/// destructor) stops admission, drains everything already queued, and
+/// joins the workers — a graceful drain, never a drop. Reloads happen
+/// outside the server by swapping the SnapshotHolder; workers pick up the
+/// new snapshot on their next request and in-flight queries finish on the
+/// snapshot they started with.
+class Server {
+ public:
+  using ResponseSink = std::function<void(const ServeResponse&)>;
+
+  /// `snapshots` must outlive the server and should hold a snapshot
+  /// before the first Submit (requests answered with no snapshot fail
+  /// with kNotFound ... the server itself never crashes). `sink` is
+  /// invoked exactly once per submitted request, possibly from a worker
+  /// thread; invocations are serialized by the server.
+  Server(SnapshotHolder* snapshots, ServerOptions options, ResponseSink sink);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Admits a request. When the queue is at capacity (or the server is
+  /// shutting down) the request is shed: the sink immediately receives a
+  /// kResourceExhausted error response and Submit returns false.
+  bool Submit(ServeRequest request);
+
+  /// Stops admission, waits for every queued request to be answered, and
+  /// joins the workers. Idempotent.
+  void Shutdown();
+
+  struct Stats {
+    uint64_t submitted = 0;
+    uint64_t shed = 0;
+    uint64_t ok = 0;
+    uint64_t errors = 0;
+    uint64_t degraded = 0;
+  };
+  Stats GetStats() const;
+
+ private:
+  void WorkerLoop();
+  ServeResponse Process(const ServeRequest& request,
+                        DegradingEstimator* estimator, LabelDict* dict,
+                        int64_t snapshot_version) const;
+  void Emit(const ServeResponse& response);
+
+  SnapshotHolder* const snapshots_;
+  const ServerOptions options_;
+  const ResponseSink sink_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_available_;
+  std::deque<ServeRequest> queue_ TL_GUARDED_BY(mu_);
+  bool stopping_ TL_GUARDED_BY(mu_) = false;
+
+  std::mutex sink_mu_;  // serializes sink invocations
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> ok_{0};
+  std::atomic<uint64_t> errors_{0};
+  std::atomic<uint64_t> degraded_{0};
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace serve
+}  // namespace treelattice
+
+#endif  // TREELATTICE_SERVE_SERVER_H_

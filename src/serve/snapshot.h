@@ -1,0 +1,95 @@
+#ifndef TREELATTICE_SERVE_SNAPSHOT_H_
+#define TREELATTICE_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "io/env.h"
+#include "summary/lattice_summary.h"
+#include "util/thread_annotations.h"
+#include "xml/label_dict.h"
+
+namespace treelattice {
+namespace serve {
+
+/// An immutable serving unit: a loaded summary plus the label dictionary
+/// it was built with. Snapshots are shared read-only between all worker
+/// threads via shared_ptr; a hot reload builds a fresh snapshot and swaps
+/// the pointer, so in-flight queries keep the snapshot they started with.
+struct SummarySnapshot {
+  SummarySnapshot(LatticeSummary summary_in, LabelDict dict_in)
+      : summary(std::move(summary_in)), dict(std::move(dict_in)) {}
+
+  LatticeSummary summary;
+  LabelDict dict;
+  /// Monotonic install counter, stamped by SnapshotHolder::Swap.
+  int64_t version = 0;
+  /// True when the snapshot was salvaged from a damaged file.
+  bool salvaged = false;
+  /// Where it came from, for logs ("path" or "path (salvaged: ...)").
+  std::string source;
+};
+
+/// The atomic swap point between the reload path and the query path.
+/// Readers Get() a shared_ptr (a mutex-guarded copy — the portable
+/// rendering of an atomic shared_ptr swap); writers Swap() in a whole new
+/// snapshot. The holder never exposes a partially built snapshot and old
+/// snapshots die only when the last in-flight query drops its reference.
+class SnapshotHolder {
+ public:
+  /// The current snapshot; nullptr before the first Swap.
+  std::shared_ptr<const SummarySnapshot> Get() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return current_;
+  }
+
+  /// Installs `snapshot` as current, stamping it with the next version
+  /// number (1-based). Returns that version.
+  int64_t Swap(std::shared_ptr<SummarySnapshot> snapshot) {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot->version = ++version_;
+    current_ = std::move(snapshot);
+    return version_;
+  }
+
+  /// Version of the current snapshot; 0 before the first Swap.
+  int64_t version() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return version_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const SummarySnapshot> current_ TL_GUARDED_BY(mu_);
+  int64_t version_ TL_GUARDED_BY(mu_) = 0;
+};
+
+/// Policy for (re)loading a summary file into a SnapshotHolder.
+struct ReloadOptions {
+  /// Load attempts before giving up (transient I/O faults heal; a file
+  /// being replaced by an atomic rename can briefly fail to open).
+  int attempts = 3;
+  /// Sleep before each retry, doubling per attempt; 0 disables sleeping
+  /// (deterministic tests).
+  double backoff_millis = 10.0;
+  /// Accept a salvaged (partially corrupt) load. Startup turns this on —
+  /// a degraded snapshot beats no snapshot; hot reloads leave it off so a
+  /// truncated file on disk never replaces a good serving snapshot.
+  bool accept_salvaged = false;
+};
+
+/// Loads `path` through `env` and swaps the result into `holder`,
+/// retrying per `options`. On any failure — unreadable file, corruption,
+/// salvage when not accepted, missing dictionary — the holder keeps its
+/// previous snapshot untouched and the last error is returned
+/// (serve.reload_failures counts it). Success bumps serve.reloads and the
+/// serve.snapshot_version gauge.
+Status ReloadSummary(Env* env, const std::string& path,
+                     const ReloadOptions& options, SnapshotHolder* holder);
+
+}  // namespace serve
+}  // namespace treelattice
+
+#endif  // TREELATTICE_SERVE_SNAPSHOT_H_

@@ -139,6 +139,18 @@ if "$CLI" stats "$WORKDIR/doc.summary" --metrics=- --metrics-format=xml \
   exit 1
 fi
 
+# serve: newline-delimited queries in, one JSON response per request out,
+# graceful drain on EOF (the full fault-injected soak lives in
+# serve_smoke.sh under the `serve` ctest label)
+printf 'item(name,price)\nitem[name][price]\n#stats\n' \
+  | "$CLI" serve "$WORKDIR/doc.summary" --workers=2 \
+  > "$WORKDIR/serve.out" 2> "$WORKDIR/serve.err"
+test "$(grep -c '^{"id":' "$WORKDIR/serve.out")" -eq 2
+grep -q '"ok":true' "$WORKDIR/serve.out"
+grep -q '"rung":"primary"' "$WORKDIR/serve.out"
+grep -q '^{"stats":' "$WORKDIR/serve.out"
+grep -q "serve: drained" "$WORKDIR/serve.err"
+
 # error handling: bad inputs exit non-zero
 if "$CLI" estimate "$WORKDIR/doc.summary" "a//b" 2>/dev/null; then
   echo "expected failure on descendant axis" >&2

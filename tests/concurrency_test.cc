@@ -18,8 +18,10 @@
 #include "io/fault_env.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/snapshot.h"
 #include "summary/lattice_summary.h"
 #include "twig/twig.h"
+#include "xml/label_dict.h"
 
 namespace treelattice {
 namespace {
@@ -242,6 +244,63 @@ TEST(ConcurrencyTest, SharedEstimatorHammer) {
       ASSERT_DOUBLE_EQ(*c, *voting_want);
     }
   });
+}
+
+TEST(ConcurrencyTest, SnapshotHotSwapHammer) {
+  // The serve-layer reload race: 8 query threads Get() the serving
+  // snapshot — copying its dictionary and binding an estimator to its
+  // summary, exactly as server workers do — while a swapper installs
+  // fresh snapshots as fast as it can. Every answer must match one of
+  // the two snapshot generations; anything else means a query saw a
+  // half-installed snapshot.
+  LabelDict dict;
+  Result<Twig> proto = Twig::Parse("a(b)", &dict);
+  ASSERT_TRUE(proto.ok());
+
+  auto make_snapshot = [&](uint64_t count_a, uint64_t count_ab) {
+    LatticeSummary summary(2);
+    LatticeSummary* s = &summary;
+    Result<Twig> a = Twig::Parse("a", &dict);
+    EXPECT_TRUE(a.ok());
+    EXPECT_TRUE(s->Insert(*a, count_a).ok());
+    EXPECT_TRUE(s->Insert(*proto, count_ab).ok());
+    summary.set_complete_through_level(2);
+    return std::make_shared<serve::SummarySnapshot>(std::move(summary),
+                                                    LabelDict(dict));
+  };
+
+  constexpr double kWantV1 = 5.0;
+  constexpr double kWantV2 = 90.0;
+  serve::SnapshotHolder holder;
+  holder.Swap(make_snapshot(10, 5));
+
+  std::atomic<bool> stop{false};
+  std::thread swapper([&] {
+    bool odd = true;
+    while (!stop.load(std::memory_order_acquire)) {
+      holder.Swap(odd ? make_snapshot(100, 90) : make_snapshot(10, 5));
+      odd = !odd;
+    }
+  });
+
+  RunThreads(kThreads, [&](int /*t*/) {
+    for (int i = 0; i < 2000; ++i) {
+      std::shared_ptr<const serve::SummarySnapshot> snapshot = holder.Get();
+      ASSERT_NE(snapshot, nullptr);
+      LabelDict worker_dict(snapshot->dict);
+      Result<Twig> query = Twig::Parse("a(b)", &worker_dict);
+      ASSERT_TRUE(query.ok());
+      RecursiveDecompositionEstimator estimator(&snapshot->summary);
+      Result<double> estimate = estimator.Estimate(*query);
+      ASSERT_TRUE(estimate.ok()) << estimate.status().ToString();
+      ASSERT_TRUE(*estimate == kWantV1 || *estimate == kWantV2)
+          << "estimate " << *estimate << " from snapshot v"
+          << snapshot->version << " matches neither generation";
+    }
+  });
+  stop.store(true, std::memory_order_release);
+  swapper.join();
+  EXPECT_GE(holder.version(), 1);
 }
 
 }  // namespace

@@ -9,10 +9,13 @@
 
 #include <gtest/gtest.h>
 
+#include "core/estimator_metrics.h"
 #include "core/recursive_estimator.h"
 #include "mining/lattice_builder.h"
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/serve_metrics.h"
 #include "util/json.h"
 #include "xml/parser.h"
 
@@ -265,6 +268,42 @@ TEST_F(ObsTest, MiningAndEstimationInstrumentationFires) {
   EXPECT_GT(
       registry->histogram("estimator.decomposition_depth")->GetSnapshot().count,
       0u);
+}
+
+TEST_F(ObsTest, ServeAndDegradationMetricsAreRegistered) {
+  // Touching the singletons registers every serve.* and estimator.*
+  // governance metric in the default registry; the JSON dump must then
+  // carry each name in its declared section.
+  serve::ServeMetrics& sm = serve::ServeMetrics::Get();
+  EstimatorMetrics& em = EstimatorMetrics::Get();
+  sm.requests->Increment();
+  sm.queue_depth_peak->SetMax(3);
+  sm.latency_micros->Record(42);
+  em.deadline_exceeded->Increment();
+  em.degraded->Increment();
+
+  Result<JsonValue> parsed = ParseJson(MetricsRegistry::Default()->ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* counters = parsed->Find("counters");
+  const JsonValue* gauges = parsed->Find("gauges");
+  const JsonValue* histograms = parsed->Find("histograms");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(gauges, nullptr);
+  ASSERT_NE(histograms, nullptr);
+
+  namespace names = obs::metric_names;
+  for (const char* name :
+       {names::kServeRequests, names::kServeResponsesOk,
+        names::kServeResponsesError, names::kServeShed, names::kServeReloads,
+        names::kServeReloadFailures, names::kEstimatorDeadlineExceeded,
+        names::kEstimatorDegraded}) {
+    EXPECT_NE(counters->Find(name), nullptr) << name;
+  }
+  EXPECT_NE(gauges->Find(names::kServeQueueDepthPeak), nullptr);
+  EXPECT_NE(gauges->Find(names::kServeSnapshotVersion), nullptr);
+  EXPECT_NE(histograms->Find(names::kServeLatencyMicros), nullptr);
+  EXPECT_GE(counters->Find(names::kServeRequests)->number_value, 1.0);
+  EXPECT_GE(counters->Find(names::kEstimatorDegraded)->number_value, 1.0);
 }
 
 }  // namespace

@@ -1,0 +1,170 @@
+#!/bin/sh
+# Soak test for `treelattice serve` (ctest label: serve): 200+ queries
+# streamed through a live server while the summary file on disk is
+# corrupted and reloaded, a deliberately tiny queue is overflowed, and a
+# SIGTERM lands mid-stream. The server must never die, every stdout line
+# must be well-formed JSON, failed reloads must keep the old snapshot
+# serving, and both EOF and SIGTERM must drain cleanly. Invoked by ctest
+# with the binary path as $1.
+set -e
+
+CLI="$1"
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+cat > "$WORKDIR/doc.xml" <<'EOF'
+<catalog>
+  <items>
+    <item><name/><price/></item>
+    <item><name/><price/></item>
+    <item><name/></item>
+  </items>
+  <vendors><vendor><name/></vendor></vendors>
+</catalog>
+EOF
+
+"$CLI" build "$WORKDIR/doc.xml" --out="$WORKDIR/doc.summary" --level=3 \
+    > /dev/null
+cp "$WORKDIR/doc.summary" "$WORKDIR/doc.summary.good"
+
+# Every stdout line the server emits must parse as JSON. Prefer a real
+# parser when python3 is around (it is wherever the lint suite runs);
+# otherwise fall back to a shape check.
+assert_all_json() {
+  if command -v python3 > /dev/null 2>&1; then
+    python3 - "$1" <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    for n, line in enumerate(f, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            json.loads(line)
+        except ValueError:
+            sys.exit(f"line {n} is not valid JSON: {line[:120]}")
+PYEOF
+  else
+    if grep -v '^{.*}$' "$1" | grep -q .; then
+      echo "non-JSON line in $1" >&2
+      exit 1
+    fi
+  fi
+}
+
+# The server loads the summary at startup; wait for its ready line before
+# touching the file on disk, or the corruption below races the startup
+# load and the server (correctly) refuses to start at all.
+wait_ready() {
+  n=0
+  while ! grep -q "serve: ready" "$1" 2> /dev/null; do
+    n=$((n + 1))
+    if [ "$n" -ge 100 ]; then
+      echo "server never became ready; stderr:" >&2
+      cat "$1" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+}
+
+# --- phase 1: 200-query soak with injected reload faults -----------------
+
+mkfifo "$WORKDIR/in"
+"$CLI" serve "$WORKDIR/doc.summary" --workers=4 --deadline-ms=100 \
+    --reload-backoff-ms=0 \
+    < "$WORKDIR/in" > "$WORKDIR/soak.out" 2> "$WORKDIR/soak.err" &
+SERVE_PID=$!
+exec 3> "$WORKDIR/in"
+wait_ready "$WORKDIR/soak.err"
+
+i=0
+while [ "$i" -lt 100 ]; do
+  echo "item(name,price)" >&3
+  i=$((i + 1))
+done
+
+# Corrupt the file on disk: the strict hot reload must fail and the old
+# snapshot must keep answering the next 100 queries.
+head -c 64 /dev/urandom > "$WORKDIR/doc.summary" 2>/dev/null \
+  || dd if=/dev/zero of="$WORKDIR/doc.summary" bs=64 count=1 2>/dev/null
+echo "#reload" >&3
+
+i=0
+while [ "$i" -lt 100 ]; do
+  case $((i % 4)) in
+    0) echo "item(name,price)" >&3 ;;
+    1) echo "/catalog/items/item[name]" >&3 ;;
+    2) echo '{"query":"item(name)","deadline_ms":50,"max_steps":100000}' >&3 ;;
+    3) echo "((((not a query" >&3 ;;
+  esac
+  i=$((i + 1))
+done
+
+# Heal the file; this reload must succeed and bump the snapshot version.
+cp "$WORKDIR/doc.summary.good" "$WORKDIR/doc.summary"
+echo "#reload" >&3
+echo "item(name,price)" >&3
+echo "#stats" >&3
+
+exec 3>&-   # EOF: graceful drain
+wait "$SERVE_PID"
+
+grep -q "serve: reload failed" "$WORKDIR/soak.err"
+grep -q "serve: reloaded" "$WORKDIR/soak.err"
+grep -q "serve: drained" "$WORKDIR/soak.err"
+assert_all_json "$WORKDIR/soak.out"
+
+# Exactly one response per request (201 queries), plus the stats record.
+RESPONSES=$(grep -c '^{"id":' "$WORKDIR/soak.out")
+test "$RESPONSES" -eq 201
+grep -q '^{"stats":' "$WORKDIR/soak.out"
+# The malformed queries answered with structured JSON errors, not crashes.
+grep -q '"ok":false,"error":{"code":' "$WORKDIR/soak.out"
+# Known-good queries kept answering after the failed reload.
+OK_COUNT=$(grep -c '"ok":true' "$WORKDIR/soak.out")
+test "$OK_COUNT" -ge 150
+# The healed reload produced a version-2 snapshot for the final query.
+grep -q '"snapshot_version":2' "$WORKDIR/soak.out"
+
+# --- phase 2: queue overflow sheds instead of growing or crashing --------
+
+i=0
+while [ "$i" -lt 30 ]; do
+  echo "item(name,price)"
+  i=$((i + 1))
+done | "$CLI" serve "$WORKDIR/doc.summary" --workers=1 --queue=2 \
+    --worker-delay-ms=20 > "$WORKDIR/shed.out" 2> "$WORKDIR/shed.err"
+
+assert_all_json "$WORKDIR/shed.out"
+SHED_RESPONSES=$(grep -c '^{"id":' "$WORKDIR/shed.out")
+test "$SHED_RESPONSES" -eq 30
+grep -q '"code":"ResourceExhausted"' "$WORKDIR/shed.out"
+grep -q "serve: drained" "$WORKDIR/shed.err"
+
+# --- phase 3: SIGTERM mid-stream drains instead of dropping --------------
+
+mkfifo "$WORKDIR/in2"
+"$CLI" serve "$WORKDIR/doc.summary" --workers=2 \
+    < "$WORKDIR/in2" > "$WORKDIR/term.out" 2> "$WORKDIR/term.err" &
+SERVE_PID=$!
+exec 3> "$WORKDIR/in2"
+wait_ready "$WORKDIR/term.err"
+i=0
+while [ "$i" -lt 10 ]; do
+  echo "item(name)" >&3
+  i=$((i + 1))
+done
+# Give the server a moment to admit the batch, then signal it.
+sleep 1
+kill -TERM "$SERVE_PID"
+RC=0
+wait "$SERVE_PID" || RC=$?
+exec 3>&-
+test "$RC" -eq 0
+grep -q "serve: drained" "$WORKDIR/term.err"
+assert_all_json "$WORKDIR/term.out"
+TERM_RESPONSES=$(grep -c '^{"id":' "$WORKDIR/term.out")
+test "$TERM_RESPONSES" -eq 10
+
+echo "serve smoke test passed"

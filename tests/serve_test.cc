@@ -1,0 +1,438 @@
+// Serving-layer suite: snapshot holder semantics, hot reload through the
+// fault-injecting Env (retries, salvage policy, keep-old-on-failure), the
+// request-line protocol, and the Server itself — round trips, load
+// shedding, degraded answers under budget, and exactly-once drain.
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "io/env.h"
+#include "io/fault_env.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
+#include "summary/lattice_summary.h"
+#include "summary/summary_format.h"
+#include "twig/twig.h"
+#include "util/json.h"
+#include "xml/label_dict.h"
+
+namespace treelattice {
+namespace serve {
+namespace {
+
+/// Builds a small summary (complete through level 2) and saves it as a v2
+/// container at `path`, returning the dict used.
+LabelDict WriteTestSummary(Env* env, const std::string& path,
+                           uint64_t scale = 1) {
+  LabelDict dict;
+  LatticeSummary summary(2);
+  auto insert = [&](const std::string& text, uint64_t count) {
+    Result<Twig> twig = Twig::Parse(text, &dict);
+    ASSERT_TRUE(twig.ok()) << twig.status().ToString();
+    ASSERT_TRUE(summary.Insert(*twig, count * scale).ok());
+  };
+  insert("a", 10);
+  insert("b", 8);
+  insert("c", 6);
+  insert("a(b)", 5);
+  insert("b(c)", 4);
+  // Wide-star support: a query over many distinct children of `a` makes
+  // the voting recursion combinatorially expensive while the fixed-size
+  // sweep stays a few hundred lookups — the gap the degradation tests
+  // aim their step budgets into.
+  for (int i = 0; i < 12; ++i) {
+    const std::string child = "t" + std::to_string(i);
+    insert(child, 20 + static_cast<uint64_t>(i));
+    insert("a(" + child + ")", 3 + static_cast<uint64_t>(i));
+  }
+  summary.set_complete_through_level(2);
+  EXPECT_TRUE(SaveSummaryV2(summary, &dict, env, path).ok());
+  return dict;
+}
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(SnapshotHolderTest, EmptyUntilFirstSwapThenVersioned) {
+  SnapshotHolder holder;
+  EXPECT_EQ(holder.Get(), nullptr);
+  EXPECT_EQ(holder.version(), 0);
+
+  LabelDict dict;
+  auto snapshot =
+      std::make_shared<SummarySnapshot>(LatticeSummary(2), LabelDict(dict));
+  EXPECT_EQ(holder.Swap(snapshot), 1);
+  ASSERT_NE(holder.Get(), nullptr);
+  EXPECT_EQ(holder.Get()->version, 1);
+
+  auto second =
+      std::make_shared<SummarySnapshot>(LatticeSummary(2), LabelDict(dict));
+  EXPECT_EQ(holder.Swap(second), 2);
+  EXPECT_EQ(holder.version(), 2);
+}
+
+TEST(SnapshotHolderTest, InFlightReadersKeepTheirSnapshot) {
+  SnapshotHolder holder;
+  LabelDict dict;
+  holder.Swap(
+      std::make_shared<SummarySnapshot>(LatticeSummary(2), LabelDict(dict)));
+  std::shared_ptr<const SummarySnapshot> in_flight = holder.Get();
+  holder.Swap(
+      std::make_shared<SummarySnapshot>(LatticeSummary(2), LabelDict(dict)));
+  EXPECT_EQ(in_flight->version, 1);       // untouched by the swap
+  EXPECT_EQ(holder.Get()->version, 2);    // new readers see the new one
+}
+
+TEST(ReloadTest, LoadsV2SummaryWithEmbeddedDict) {
+  const std::string path = TempPath("tl_serve_reload_ok.tls");
+  WriteTestSummary(Env::Default(), path);
+
+  SnapshotHolder holder;
+  ReloadOptions options;
+  options.backoff_millis = 0.0;
+  ASSERT_TRUE(ReloadSummary(Env::Default(), path, options, &holder).ok());
+  std::shared_ptr<const SummarySnapshot> snapshot = holder.Get();
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_EQ(snapshot->version, 1);
+  EXPECT_FALSE(snapshot->salvaged);
+  EXPECT_GT(snapshot->summary.NumPatterns(), 0u);
+  ASSERT_TRUE(Env::Default()->DeleteFile(path).ok());
+}
+
+TEST(ReloadTest, ReadFaultKeepsPreviousSnapshotAndReportsError) {
+  const std::string path = TempPath("tl_serve_reload_fault.tls");
+  WriteTestSummary(Env::Default(), path);
+
+  FaultInjectingEnv env(Env::Default());
+  SnapshotHolder holder;
+  ReloadOptions options;
+  options.attempts = 3;
+  options.backoff_millis = 0.0;
+  ASSERT_TRUE(ReloadSummary(&env, path, options, &holder).ok());
+  const int64_t reads_after_first = env.reads();
+
+  env.config().fail_read = true;
+  Status failed = ReloadSummary(&env, path, options, &holder);
+  EXPECT_FALSE(failed.ok());
+  // All three attempts actually hit the Env before giving up.
+  EXPECT_GT(env.reads(), reads_after_first);
+  // The serving snapshot is still the good one from before the fault.
+  ASSERT_NE(holder.Get(), nullptr);
+  EXPECT_EQ(holder.Get()->version, 1);
+  EXPECT_EQ(holder.version(), 1);
+
+  // The fault heals; the next reload succeeds and bumps the version.
+  env.config().fail_read = false;
+  EXPECT_TRUE(ReloadSummary(&env, path, options, &holder).ok());
+  EXPECT_EQ(holder.Get()->version, 2);
+  ASSERT_TRUE(Env::Default()->DeleteFile(path).ok());
+}
+
+TEST(ReloadTest, SalvagedLoadRejectedUnlessAccepted) {
+  const std::string path = TempPath("tl_serve_reload_salvage.tls");
+  WriteTestSummary(Env::Default(), path);
+
+  // Truncate the tail: the v2 container salvages the intact prefix.
+  std::string bytes;
+  ASSERT_TRUE(ReadFileToString(Env::Default(), path, &bytes).ok());
+  ASSERT_GT(bytes.size(), 24u);
+  ASSERT_TRUE(WriteFileAtomic(Env::Default(), path,
+                              bytes.substr(0, bytes.size() - 16))
+                  .ok());
+
+  SnapshotHolder holder;
+  ReloadOptions strict;
+  strict.attempts = 1;
+  strict.backoff_millis = 0.0;
+  // Hot-reload policy: a damaged file must not replace a good snapshot.
+  Status rejected = ReloadSummary(Env::Default(), path, strict, &holder);
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_EQ(holder.Get(), nullptr);
+
+  // Startup policy: a salvaged snapshot beats not serving at all.
+  ReloadOptions lenient = strict;
+  lenient.accept_salvaged = true;
+  Status accepted = ReloadSummary(Env::Default(), path, lenient, &holder);
+  if (accepted.ok()) {
+    ASSERT_NE(holder.Get(), nullptr);
+    EXPECT_TRUE(holder.Get()->salvaged);
+  } else {
+    // Some truncations destroy the dictionary section too; then even the
+    // lenient load fails, and the holder must still be empty, not torn.
+    EXPECT_EQ(holder.Get(), nullptr);
+  }
+  ASSERT_TRUE(Env::Default()->DeleteFile(path).ok());
+}
+
+TEST(RequestLineTest, BareQueryAndJsonEnvelope) {
+  Result<ServeRequest> bare = ParseRequestLine("  a(b,c)\r\n");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(bare->query, "a(b,c)");
+  EXPECT_EQ(bare->id, 0u);
+  EXPECT_EQ(bare->deadline_millis, 0.0);
+
+  Result<ServeRequest> envelope = ParseRequestLine(
+      R"({"query":"/a/b[c]","deadline_ms":25.5,"max_steps":1000,"id":7})");
+  ASSERT_TRUE(envelope.ok());
+  EXPECT_EQ(envelope->query, "/a/b[c]");
+  EXPECT_DOUBLE_EQ(envelope->deadline_millis, 25.5);
+  EXPECT_EQ(envelope->max_work_steps, 1000u);
+  EXPECT_EQ(envelope->id, 7u);
+}
+
+TEST(RequestLineTest, MalformedInputsRejectedCleanly) {
+  EXPECT_FALSE(ParseRequestLine("").ok());
+  EXPECT_FALSE(ParseRequestLine("   \r\n").ok());
+  EXPECT_FALSE(ParseRequestLine("{not json").ok());
+  EXPECT_FALSE(ParseRequestLine("{\"no_query\":1}").ok());
+  EXPECT_FALSE(ParseRequestLine("{\"query\":\"\"}").ok());
+  EXPECT_FALSE(ParseRequestLine("{\"query\":\"a\",\"deadline_ms\":-1}").ok());
+  // Only '{'-prefixed lines are JSON envelopes; anything else is a bare
+  // query and gets its real parse error at estimation time.
+  EXPECT_TRUE(ParseRequestLine("[\"query\"]").ok());
+}
+
+TEST(ResponseJsonTest, SuccessAndErrorLinesAreValidJson) {
+  ServeResponse ok_response;
+  ok_response.id = 3;
+  ok_response.query = "a(b)";
+  ok_response.ok = true;
+  ok_response.estimate = 5.0;
+  ok_response.rung = "primary";
+  ok_response.snapshot_version = 2;
+  Result<JsonValue> ok_json = ParseJson(ok_response.ToJsonLine());
+  ASSERT_TRUE(ok_json.ok()) << ok_json.status().ToString();
+  EXPECT_DOUBLE_EQ(ok_json->Find("estimate")->number_value, 5.0);
+  EXPECT_EQ(ok_json->Find("rung")->string_value, "primary");
+
+  ServeResponse error_response;
+  error_response.id = 4;
+  error_response.query = "quotes \" and \\ backslashes";
+  error_response.error_code = "InvalidArgument";
+  error_response.error_message = "bad \"query\"";
+  Result<JsonValue> error_json = ParseJson(error_response.ToJsonLine());
+  ASSERT_TRUE(error_json.ok()) << error_json.status().ToString();
+  EXPECT_FALSE(error_json->Find("ok")->bool_value);
+  EXPECT_EQ(error_json->Find("error")->Find("code")->string_value,
+            "InvalidArgument");
+}
+
+/// Collects responses under a lock and indexes them by request id.
+struct ResponseCollector {
+  std::mutex mu;
+  std::vector<ServeResponse> responses;
+
+  Server::ResponseSink Sink() {
+    return [this](const ServeResponse& response) {
+      std::lock_guard<std::mutex> lock(mu);
+      responses.push_back(response);
+    };
+  }
+
+  std::map<uint64_t, ServeResponse> ById() {
+    std::lock_guard<std::mutex> lock(mu);
+    std::map<uint64_t, ServeResponse> by_id;
+    for (const ServeResponse& response : responses) {
+      EXPECT_EQ(by_id.count(response.id), 0u)
+          << "duplicate response for id " << response.id;
+      by_id[response.id] = response;
+    }
+    return by_id;
+  }
+};
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = TempPath("tl_serve_server.tls");
+    WriteTestSummary(Env::Default(), path_);
+    ReloadOptions options;
+    options.backoff_millis = 0.0;
+    ASSERT_TRUE(
+        ReloadSummary(Env::Default(), path_, options, &snapshots_).ok());
+  }
+
+  void TearDown() override {
+    ASSERT_TRUE(Env::Default()->DeleteFile(path_).ok());
+  }
+
+  std::string path_;
+  SnapshotHolder snapshots_;
+  ResponseCollector collector_;
+};
+
+TEST_F(ServerTest, RoundTripsQueriesExactlyOnce) {
+  ServerOptions options;
+  options.workers = 4;
+  {
+    Server server(&snapshots_, options, collector_.Sink());
+    for (uint64_t id = 1; id <= 50; ++id) {
+      ServeRequest request;
+      request.id = id;
+      request.query = (id % 2 == 0) ? "a(b)" : "b(c)";
+      EXPECT_TRUE(server.Submit(std::move(request)));
+    }
+    server.Shutdown();
+    Server::Stats stats = server.GetStats();
+    EXPECT_EQ(stats.submitted, 50u);
+    EXPECT_EQ(stats.ok, 50u);
+    EXPECT_EQ(stats.errors, 0u);
+    EXPECT_EQ(stats.shed, 0u);
+  }
+  std::map<uint64_t, ServeResponse> by_id = collector_.ById();
+  ASSERT_EQ(by_id.size(), 50u);
+  for (const auto& [id, response] : by_id) {
+    EXPECT_TRUE(response.ok) << response.error_message;
+    EXPECT_DOUBLE_EQ(response.estimate, (id % 2 == 0) ? 5.0 : 4.0);
+    EXPECT_EQ(response.rung, "primary");
+    EXPECT_FALSE(response.degraded);
+    EXPECT_EQ(response.snapshot_version, 1);
+  }
+}
+
+TEST_F(ServerTest, MalformedQueriesAnswerWithErrorsNotCrashes) {
+  Server server(&snapshots_, ServerOptions(), collector_.Sink());
+  ServeRequest bad;
+  bad.id = 1;
+  bad.query = "((((";
+  EXPECT_TRUE(server.Submit(std::move(bad)));
+  server.Shutdown();
+  std::map<uint64_t, ServeResponse> by_id = collector_.ById();
+  ASSERT_EQ(by_id.size(), 1u);
+  EXPECT_FALSE(by_id[1].ok);
+  EXPECT_FALSE(by_id[1].error_code.empty());
+  EXPECT_EQ(server.GetStats().errors, 1u);
+}
+
+TEST_F(ServerTest, NoSnapshotYieldsNotFoundResponse) {
+  SnapshotHolder empty;
+  Server server(&empty, ServerOptions(), collector_.Sink());
+  ServeRequest request;
+  request.id = 9;
+  request.query = "a(b)";
+  EXPECT_TRUE(server.Submit(std::move(request)));
+  server.Shutdown();
+  std::map<uint64_t, ServeResponse> by_id = collector_.ById();
+  ASSERT_EQ(by_id.size(), 1u);
+  EXPECT_FALSE(by_id[9].ok);
+  EXPECT_EQ(by_id[9].error_code, "NotFound");
+}
+
+TEST_F(ServerTest, FullQueueShedsWithResourceExhausted) {
+  ServerOptions options;
+  options.workers = 1;
+  options.queue_capacity = 2;
+  options.worker_delay_millis = 20.0;  // hold the worker so the queue fills
+  Server server(&snapshots_, options, collector_.Sink());
+  int admitted = 0;
+  for (uint64_t id = 1; id <= 20; ++id) {
+    ServeRequest request;
+    request.id = id;
+    request.query = "a(b)";
+    if (server.Submit(std::move(request))) ++admitted;
+  }
+  server.Shutdown();
+
+  Server::Stats stats = server.GetStats();
+  EXPECT_EQ(stats.submitted, static_cast<uint64_t>(admitted));
+  EXPECT_EQ(stats.shed, 20u - static_cast<uint64_t>(admitted));
+  EXPECT_GT(stats.shed, 0u) << "queue never filled; shedding untested";
+
+  // Exactly one response per request either way; shed ones carry the
+  // load-shedding error code.
+  std::map<uint64_t, ServeResponse> by_id = collector_.ById();
+  ASSERT_EQ(by_id.size(), 20u);
+  int shed_seen = 0;
+  for (const auto& [id, response] : by_id) {
+    if (!response.ok) {
+      EXPECT_EQ(response.error_code, "ResourceExhausted");
+      ++shed_seen;
+    }
+  }
+  EXPECT_EQ(shed_seen, 20 - admitted);
+}
+
+TEST_F(ServerTest, StarvedRequestsDegradeWithRungRecorded) {
+  // A per-request step budget the voting primary cannot meet on the
+  // star-12 query (>2^11 distinct sub-stars) but the fixed-size sweep
+  // (a few hundred lookups) fits comfortably: the ladder answers from a
+  // fallback rung and the response says so.
+  ServerOptions options;
+  options.default_max_work_steps = 1000;
+  Server server(&snapshots_, options, collector_.Sink());
+  ServeRequest request;
+  request.id = 1;
+  request.query = "a(t0,t1,t2,t3,t4,t5,t6,t7,t8,t9,t10,t11)";
+  EXPECT_TRUE(server.Submit(std::move(request)));
+  server.Shutdown();
+
+  std::map<uint64_t, ServeResponse> by_id = collector_.ById();
+  ASSERT_EQ(by_id.size(), 1u);
+  const ServeResponse& response = by_id[1];
+  ASSERT_TRUE(response.ok) << response.error_message;
+  EXPECT_TRUE(response.degraded);
+  EXPECT_NE(response.rung, "primary");
+  EXPECT_EQ(server.GetStats().degraded, 1u);
+}
+
+TEST_F(ServerTest, UnknownLabelsEstimateZeroAcrossReload) {
+  // Labels the snapshot has never seen intern fresh ids in the worker's
+  // private dict copy and miss every summary lookup — estimate 0, not a
+  // crash, and the shared snapshot dict is never mutated.
+  Server server(&snapshots_, ServerOptions(), collector_.Sink());
+  ServeRequest request;
+  request.id = 1;
+  request.query = "nosuch(labels)";
+  EXPECT_TRUE(server.Submit(std::move(request)));
+  server.Shutdown();
+  std::map<uint64_t, ServeResponse> by_id = collector_.ById();
+  ASSERT_EQ(by_id.size(), 1u);
+  ASSERT_TRUE(by_id[1].ok) << by_id[1].error_message;
+  EXPECT_DOUBLE_EQ(by_id[1].estimate, 0.0);
+}
+
+TEST_F(ServerTest, WorkersPickUpHotSwappedSnapshot) {
+  // Double every count, rewrite the file, reload, and query again: the
+  // same query must now answer from the new snapshot (version 2, doubled
+  // estimate) without restarting the server.
+  Server server(&snapshots_, ServerOptions(), collector_.Sink());
+  ServeRequest first;
+  first.id = 1;
+  first.query = "a(b)";
+  EXPECT_TRUE(server.Submit(std::move(first)));
+  while (collector_.ById().empty()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  WriteTestSummary(Env::Default(), path_, /*scale=*/2);
+  ReloadOptions options;
+  options.backoff_millis = 0.0;
+  ASSERT_TRUE(
+      ReloadSummary(Env::Default(), path_, options, &snapshots_).ok());
+
+  ServeRequest second;
+  second.id = 2;
+  second.query = "a(b)";
+  EXPECT_TRUE(server.Submit(std::move(second)));
+  server.Shutdown();
+
+  std::map<uint64_t, ServeResponse> by_id = collector_.ById();
+  ASSERT_EQ(by_id.size(), 2u);
+  EXPECT_DOUBLE_EQ(by_id[1].estimate, 5.0);
+  EXPECT_EQ(by_id[1].snapshot_version, 1);
+  EXPECT_DOUBLE_EQ(by_id[2].estimate, 10.0);
+  EXPECT_EQ(by_id[2].snapshot_version, 2);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace treelattice

@@ -36,10 +36,25 @@ TEST(StatusTest, AllCodesHaveNames) {
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
         StatusCode::kParseError, StatusCode::kOutOfRange, StatusCode::kIOError,
         StatusCode::kCorruption, StatusCode::kUnimplemented,
-        StatusCode::kInternal}) {
+        StatusCode::kInternal, StatusCode::kDeadlineExceeded,
+        StatusCode::kResourceExhausted, StatusCode::kCancelled}) {
     EXPECT_FALSE(StatusCodeToString(code).empty());
     EXPECT_NE(StatusCodeToString(code), "Unknown");
   }
+}
+
+TEST(StatusTest, BudgetCodesRoundTrip) {
+  Status deadline = Status::DeadlineExceeded("out of time");
+  EXPECT_EQ(deadline.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(deadline.ToString(), "DeadlineExceeded: out of time");
+
+  Status exhausted = Status::ResourceExhausted("out of steps");
+  EXPECT_EQ(exhausted.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(exhausted.ToString(), "ResourceExhausted: out of steps");
+
+  Status cancelled = Status::Cancelled("caller gave up");
+  EXPECT_EQ(cancelled.code(), StatusCode::kCancelled);
+  EXPECT_EQ(cancelled.ToString(), "Cancelled: caller gave up");
 }
 
 Status FailIfNegative(int x) {

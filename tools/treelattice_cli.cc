@@ -8,6 +8,11 @@
 //       voting|voting-median|fixed] estimate selectivity of queries
 //   treelattice truth <doc.xml> <query>...
 //                                  exact match counts (ground truth)
+//   treelattice serve <summary> [--workers=4] [--queue=128]
+//       [--deadline-ms=<d>] [--max-steps=<n>]
+//                                  answer newline-delimited queries on stdin
+//                                  with JSON lines on stdout until EOF or
+//                                  SIGTERM/SIGINT (graceful drain)
 //
 // Queries may be written in the twig format "a(b,c(d))" or as an XPath
 // subset "/a/b[c][d/e]" — anything containing '/' or '[' is treated as
@@ -23,6 +28,7 @@
 // and `estimate --json` prints one JSON record per query instead of the
 // human table.
 
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <iterator>
@@ -42,6 +48,8 @@
 #include "mining/lattice_builder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
 #include "summary/lattice_summary.h"
 #include "summary/summary_format.h"
 #include "util/json.h"
@@ -65,6 +73,19 @@ int Usage() {
                "[--estimator=recursive|voting|voting-median|fixed] "
                "[--explain] [--json]\n"
                "  treelattice truth <doc.xml> <query>...\n"
+               "  treelattice serve <summary> [--workers=4] [--queue=128]\n"
+               "      [--deadline-ms=<d>] [--max-steps=<n>] "
+               "[--estimator=voting|recursive|voting-median]\n"
+               "      [--reload-attempts=3] [--reload-backoff-ms=10] "
+               "[--worker-delay-ms=0]\n"
+               "\n"
+               "serve reads one request per line from stdin — a bare query, "
+               "or a JSON\nenvelope {\"query\":...,\"deadline_ms\":...,"
+               "\"max_steps\":...,\"id\":...} — and\nwrites one JSON response "
+               "per request to stdout. Control lines: '#reload'\nhot-swaps "
+               "the summary from disk (keeping the old snapshot on failure),\n"
+               "'#stats' prints a stats record. SIGTERM/SIGINT or EOF drain "
+               "gracefully.\n"
                "\n"
                "telemetry flags (any subcommand):\n"
                "  --metrics=<file|->           dump the metrics registry "
@@ -379,6 +400,163 @@ int RunTruth(int argc, char** argv) {
   return failures == 0 ? 0 : 1;
 }
 
+// --- serve ---------------------------------------------------------------
+
+volatile std::sig_atomic_t g_serve_shutdown = 0;
+
+void HandleServeSignal(int) { g_serve_shutdown = 1; }
+
+/// Installs a handler WITHOUT SA_RESTART so a blocking stdin read returns
+/// with EINTR on SIGTERM/SIGINT instead of silently resuming — that is
+/// what lets the read loop notice the signal and start the drain.
+void InstallServeSignalHandlers() {
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = HandleServeSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+}
+
+int RunServe(int argc, char** argv, const Flags& flags) {
+  std::vector<std::string> args = Positionals(argc, argv);
+  if (args.size() != 1) return Usage();
+  const std::string& summary_path = args[0];
+
+  serve::ServerOptions options;
+  options.workers = static_cast<int>(flags.GetInt("workers", 4));
+  options.queue_capacity =
+      static_cast<size_t>(flags.GetInt("queue", 128));
+  options.default_deadline_millis = flags.GetDouble("deadline-ms", 0.0);
+  options.default_max_work_steps =
+      static_cast<uint64_t>(flags.GetInt("max-steps", 0));
+  options.worker_delay_millis = flags.GetDouble("worker-delay-ms", 0.0);
+
+  std::string kind = flags.GetString("estimator", "voting");
+  using PrimaryOptions = RecursiveDecompositionEstimator::Options;
+  using Agg = RecursiveDecompositionEstimator::VoteAggregation;
+  if (kind == "voting") {
+    options.estimator.primary = PrimaryOptions{true, 0, Agg::kMean};
+  } else if (kind == "voting-median") {
+    options.estimator.primary = PrimaryOptions{true, 0, Agg::kMedian};
+  } else if (kind == "recursive") {
+    options.estimator.primary = PrimaryOptions{false, 0, Agg::kMean};
+  } else {
+    std::fprintf(stderr, "unknown estimator '%s'\n", kind.c_str());
+    return 2;
+  }
+
+  serve::ReloadOptions reload;
+  reload.attempts = static_cast<int>(flags.GetInt("reload-attempts", 3));
+  reload.backoff_millis = flags.GetDouble("reload-backoff-ms", 10.0);
+
+  // Startup accepts a salvaged summary (a degraded snapshot beats not
+  // starting); hot reloads below stay strict so a damaged file on disk
+  // never replaces a good serving snapshot.
+  serve::SnapshotHolder snapshots;
+  serve::ReloadOptions startup = reload;
+  startup.accept_salvaged = true;
+  if (Status s = serve::ReloadSummary(Env::Default(), summary_path, startup,
+                                      &snapshots);
+      !s.ok()) {
+    std::fprintf(stderr, "serve: cannot load %s: %s\n", summary_path.c_str(),
+                 s.ToString().c_str());
+    return 1;
+  }
+  if (std::shared_ptr<const serve::SummarySnapshot> snap = snapshots.Get();
+      snap != nullptr && snap->salvaged) {
+    std::fprintf(stderr, "serve: warning: serving salvaged summary (%s)\n",
+                 snap->source.c_str());
+  }
+
+  // One fprintf call per line: stdio's per-call lock keeps worker output
+  // lines whole even though #stats lines come from the main thread.
+  serve::Server server(&snapshots, options,
+                       [](const serve::ServeResponse& response) {
+                         std::fprintf(stdout, "%s\n",
+                                      response.ToJsonLine().c_str());
+                         std::fflush(stdout);
+                       });
+
+  InstallServeSignalHandlers();
+  std::fprintf(stderr, "serve: ready (%d workers, queue %zu)\n",
+               options.workers, options.queue_capacity);
+
+  uint64_t next_id = 0;
+  char line[65536];
+  while (g_serve_shutdown == 0) {
+    if (std::fgets(line, sizeof(line), stdin) == nullptr) break;
+    std::string_view text = line;
+    while (!text.empty() && (text.back() == '\n' || text.back() == '\r')) {
+      text.remove_suffix(1);
+    }
+    if (text.empty()) continue;
+    if (text == "#reload") {
+      Status s =
+          serve::ReloadSummary(Env::Default(), summary_path, reload,
+                               &snapshots);
+      if (s.ok()) {
+        std::fprintf(stderr, "serve: reloaded %s (snapshot v%lld)\n",
+                     summary_path.c_str(),
+                     static_cast<long long>(snapshots.version()));
+      } else {
+        std::fprintf(stderr,
+                     "serve: reload failed, keeping snapshot v%lld: %s\n",
+                     static_cast<long long>(snapshots.version()),
+                     s.ToString().c_str());
+      }
+      continue;
+    }
+    if (text == "#stats") {
+      serve::Server::Stats stats = server.GetStats();
+      JsonWriter w;
+      w.BeginObject();
+      w.Key("stats").BeginObject();
+      w.Key("submitted").Uint(stats.submitted);
+      w.Key("shed").Uint(stats.shed);
+      w.Key("ok").Uint(stats.ok);
+      w.Key("errors").Uint(stats.errors);
+      w.Key("degraded").Uint(stats.degraded);
+      w.Key("snapshot_version").Int(snapshots.version());
+      w.EndObject();
+      w.EndObject();
+      std::fprintf(stdout, "%s\n", w.str().c_str());
+      std::fflush(stdout);
+      continue;
+    }
+    Result<serve::ServeRequest> request = serve::ParseRequestLine(text);
+    ++next_id;
+    if (!request.ok()) {
+      serve::ServeResponse response;
+      response.id = next_id;
+      response.query = std::string(text);
+      response.error_code =
+          std::string(StatusCodeToString(request.status().code()));
+      response.error_message = request.status().message();
+      std::fprintf(stdout, "%s\n", response.ToJsonLine().c_str());
+      std::fflush(stdout);
+      continue;
+    }
+    if (request->id == 0) request->id = next_id;
+    server.Submit(std::move(*request));
+  }
+
+  // EOF or signal: stop admission, answer everything already queued, then
+  // report the tally. Every submitted request got exactly one response.
+  server.Shutdown();
+  serve::Server::Stats stats = server.GetStats();
+  std::fprintf(stderr,
+               "serve: drained (submitted=%llu ok=%llu errors=%llu "
+               "shed=%llu degraded=%llu)\n",
+               static_cast<unsigned long long>(stats.submitted),
+               static_cast<unsigned long long>(stats.ok),
+               static_cast<unsigned long long>(stats.errors),
+               static_cast<unsigned long long>(stats.shed),
+               static_cast<unsigned long long>(stats.degraded));
+  return 0;
+}
+
 /// Writes the registry dump after a command: "-" → stdout, otherwise an
 /// atomic file write. Failures are reported but do not change the command's
 /// exit code — telemetry must never mask the real result.
@@ -420,6 +598,8 @@ int Main(int argc, char** argv) {
     rc = RunEstimate(argc, argv, flags);
   } else if (command == "truth") {
     rc = RunTruth(argc, argv);
+  } else if (command == "serve") {
+    rc = RunServe(argc, argv, flags);
   } else {
     return Usage();
   }
