@@ -1,0 +1,239 @@
+// Extension benchmark: the allocation-free estimation hot path. Runs the
+// voting recursive estimator over size-N positive queries twice — once
+// through the interned/flat-hash production path (cached canonical codes,
+// hash-keyed summary probes, reusable per-thread scratch) and once through
+// an in-bench replica of the pre-interning implementation (canonical-code
+// string rebuilt per sub-twig visit, std::string-keyed node-based maps for
+// both summary and memo, allocating splits). Both paths perform the exact
+// same arithmetic in the same order, so their estimates must agree
+// bit-for-bit — the bench asserts that on every query before timing, which
+// makes the reported speedup an apples-to-apples measure of the data-
+// structure work alone.
+//
+// The headline result is `speedup` (hotpath queries/sec over legacy
+// queries/sec), a machine-independent ratio guarded by tools/check_perf.sh
+// against bench/baselines/hotpath.json. The tentpole target is >= 2x on
+// size-8 voting queries.
+//
+// Flags: --scale=<n> (PSD records, default 800), --level=<k> (default 3),
+//        --size=<n> (query size, default 8), --queries=<n> (default 32),
+//        --reps=<n> (timed passes over the workload, default 5).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/estimate_scratch.h"
+#include "core/recursive_estimator.h"
+#include "datagen/datasets.h"
+#include "harness/bench_report.h"
+#include "harness/flags.h"
+#include "mining/lattice_builder.h"
+#include "summary/lattice_summary.h"
+#include "twig/decompose.h"
+#include "twig/twig.h"
+#include "util/result.h"
+#include "util/timer.h"
+#include "workload/workload.h"
+
+namespace treelattice {
+namespace {
+
+/// The estimator exactly as it was before the interning rewrite: summary
+/// counts in a std::string-keyed std::unordered_map, a fresh string-keyed
+/// memo per query, canonical codes recomputed on every sub-twig visit
+/// (Twig::ComputeCanonicalCode bypasses the cache), and allocating
+/// SplitByLeafPair calls. Kept in the bench so one run records both sides
+/// of the before/after comparison on the same machine.
+class LegacyVotingEstimator {
+ public:
+  LegacyVotingEstimator(const LatticeSummary& summary,
+                        RecursiveDecompositionEstimator::Options options)
+      : options_(options),
+        complete_through_level_(summary.complete_through_level()) {
+    for (int level = 1; level <= summary.max_level(); ++level) {
+      for (const std::string& code : summary.PatternsAtLevel(level)) {
+        if (auto count = summary.LookupCode(code)) counts_[code] = *count;
+      }
+    }
+  }
+
+  Result<double> Estimate(const Twig& query) {
+    std::unordered_map<std::string, double> memo;
+    return EstimateImpl(query, &memo);
+  }
+
+ private:
+  Result<double> EstimateImpl(const Twig& twig,
+                              std::unordered_map<std::string, double>* memo) {
+    const std::string code = twig.ComputeCanonicalCode();
+    if (auto it = memo->find(code); it != memo->end()) return it->second;
+
+    double value = 0.0;
+    if (auto it = counts_.find(code); it != counts_.end()) {
+      value = static_cast<double>(it->second);
+    } else if (twig.size() <= complete_through_level_ || twig.size() < 3) {
+      value = 0.0;
+    } else {
+      std::vector<std::pair<int, int>> pairs = ValidLeafPairs(twig);
+      if (pairs.empty()) {
+        return Status::Internal("no valid leaf pair for twig of size " +
+                                std::to_string(twig.size()));
+      }
+      size_t limit = 1;
+      if (options_.voting) {
+        limit = pairs.size();
+        if (options_.max_votes_per_level > 0) {
+          limit = std::min(
+              limit, static_cast<size_t>(options_.max_votes_per_level));
+        }
+      }
+      std::vector<double> votes;
+      for (size_t i = 0; i < limit; ++i) {
+        Result<RecursiveSplit> split =
+            SplitByLeafPair(twig, pairs[i].first, pairs[i].second);
+        if (!split.ok()) return split.status();
+        double e1, e2, eo;
+        TL_ASSIGN_OR_RETURN(e1, EstimateImpl(split->t1, memo));
+        TL_ASSIGN_OR_RETURN(e2, EstimateImpl(split->t2, memo));
+        TL_ASSIGN_OR_RETURN(eo, EstimateImpl(split->overlap, memo));
+        double est = 0.0;
+        if (e1 > 0.0 && e2 > 0.0 && eo > 0.0) est = e1 * e2 / eo;
+        votes.push_back(est);
+      }
+      using Agg = RecursiveDecompositionEstimator::VoteAggregation;
+      if (options_.aggregation == Agg::kMedian && options_.voting) {
+        std::sort(votes.begin(), votes.end());
+        size_t mid = votes.size() / 2;
+        value = (votes.size() % 2 == 1)
+                    ? votes[mid]
+                    : 0.5 * (votes[mid - 1] + votes[mid]);
+      } else {
+        double sum = 0.0;
+        for (double v : votes) sum += v;
+        value = sum / static_cast<double>(votes.size());
+      }
+    }
+    memo->emplace(code, value);
+    return value;
+  }
+
+  RecursiveDecompositionEstimator::Options options_;
+  int complete_through_level_;
+  std::unordered_map<std::string, uint64_t> counts_;
+};
+
+int Run(const Flags& flags, BenchReport* report) {
+  const int scale = static_cast<int>(flags.GetInt("scale", 800));
+  const int level = static_cast<int>(flags.GetInt("level", 3));
+  const int query_size = static_cast<int>(flags.GetInt("size", 8));
+  const size_t num_queries = static_cast<size_t>(flags.GetInt("queries", 32));
+  const int reps = static_cast<int>(flags.GetInt("reps", 5));
+
+  std::printf("=== Extension: Estimation hot path (interned vs legacy) ===\n\n");
+
+  DatasetOptions generate;
+  generate.scale = scale;
+  Document doc = GeneratePsd(generate);
+  LatticeBuildOptions build;
+  build.max_level = level;
+  Result<LatticeSummary> summary = BuildLattice(doc, build, nullptr);
+  if (!summary.ok()) {
+    std::fprintf(stderr, "%s\n", summary.status().ToString().c_str());
+    return 1;
+  }
+
+  WorkloadOptions workload;
+  workload.query_size = query_size;
+  workload.num_queries = num_queries;
+  Result<std::vector<Twig>> queries = GeneratePositiveWorkload(doc, workload);
+  if (!queries.ok()) {
+    std::fprintf(stderr, "%s\n", queries.status().ToString().c_str());
+    return 1;
+  }
+  if (queries->empty()) {
+    std::fprintf(stderr, "no size-%d queries sampled\n", query_size);
+    return 1;
+  }
+  std::printf("PSD scale %d, lattice level %d, %zu size-%d voting queries\n\n",
+              scale, level, queries->size(), query_size);
+
+  RecursiveDecompositionEstimator::Options voting;
+  voting.voting = true;
+  RecursiveDecompositionEstimator hotpath(&*summary, voting);
+  LegacyVotingEstimator legacy(*summary, voting);
+  EstimateScratch scratch;
+  EstimateOptions estimate_options;
+  estimate_options.scratch = &scratch;
+
+  // Equality gate: every query must produce the exact same bits on both
+  // paths, otherwise the speedup below compares different algorithms.
+  for (const Twig& query : *queries) {
+    Result<double> a = hotpath.Estimate(query, estimate_options);
+    Result<double> b = legacy.Estimate(query);
+    if (!a.ok() || !b.ok()) {
+      std::fprintf(stderr, "estimate failed: %s / %s\n",
+                   a.ok() ? "ok" : a.status().ToString().c_str(),
+                   b.ok() ? "ok" : b.status().ToString().c_str());
+      return 1;
+    }
+    if (*a != *b) {
+      std::fprintf(stderr,
+                   "value divergence on %s: hotpath=%.17g legacy=%.17g\n",
+                   query.CanonicalCode().c_str(), *a, *b);
+      return 1;
+    }
+  }
+  std::printf("value check: %zu/%zu queries bit-identical on both paths\n\n",
+              queries->size(), queries->size());
+
+  // Timed passes. The warm-up above also warmed every query's cached
+  // canonical code — the production serve path likewise canonicalizes a
+  // query once at parse time, so that is the steady state being measured.
+  double legacy_seconds = 0.0;
+  double hotpath_seconds = 0.0;
+  uint64_t answered = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    WallTimer legacy_timer;
+    for (const Twig& query : *queries) {
+      if (!legacy.Estimate(query).ok()) return 1;
+    }
+    legacy_seconds += legacy_timer.ElapsedSeconds();
+    WallTimer hotpath_timer;
+    for (const Twig& query : *queries) {
+      if (!hotpath.Estimate(query, estimate_options).ok()) return 1;
+    }
+    hotpath_seconds += hotpath_timer.ElapsedSeconds();
+    answered += queries->size();
+  }
+
+  const double n = static_cast<double>(answered);
+  const double legacy_qps = n / legacy_seconds;
+  const double hotpath_qps = n / hotpath_seconds;
+  const double speedup = hotpath_qps / legacy_qps;
+  std::printf("%-24s %14s %14s\n", "path", "queries/s", "us/query");
+  std::printf("%-24s %14.0f %14.2f\n", "legacy-string-keyed", legacy_qps,
+              1e6 * legacy_seconds / n);
+  std::printf("%-24s %14.0f %14.2f\n", "hotpath-interned", hotpath_qps,
+              1e6 * hotpath_seconds / n);
+  std::printf("\nspeedup: %.2fx (target >= 2x on size-%d voting queries)\n",
+              speedup, query_size);
+
+  report->AddResult("legacy_qps", legacy_qps);
+  report->AddResult("hotpath_qps", hotpath_qps);
+  report->AddResult("speedup", speedup);
+  report->AddResult("query_size", static_cast<double>(query_size));
+  return 0;
+}
+
+}  // namespace
+}  // namespace treelattice
+
+int main(int argc, char** argv) {
+  treelattice::Flags flags(argc, argv);
+  treelattice::BenchReport report("bench_ext_hotpath", flags);
+  return report.Finish(treelattice::Run(flags, &report));
+}

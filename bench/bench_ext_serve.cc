@@ -45,13 +45,15 @@ struct BurstResult {
   double wall_seconds = 0.0;
   double p50 = 0.0, p95 = 0.0, p99 = 0.0;  // micros
   uint64_t ok = 0, errors = 0, degraded = 0;
+  uint64_t cache_hits = 0;
 };
 
 /// Submits `n` requests round-robin over `queries` and waits for every
 /// response, measuring per-request submit-to-sink latency.
 BurstResult RunBurst(serve::SnapshotHolder* snapshots,
                      const std::vector<std::string>& queries, int n,
-                     int workers, double deadline_millis) {
+                     int workers, double deadline_millis,
+                     bool enable_cache = false) {
   using Clock = std::chrono::steady_clock;
   std::vector<Clock::time_point> submitted(static_cast<size_t>(n));
   // One slot per request id; distinct ids never collide, so the sink can
@@ -63,6 +65,7 @@ BurstResult RunBurst(serve::SnapshotHolder* snapshots,
   options.workers = workers;
   options.queue_capacity = static_cast<size_t>(n);  // no shedding: pure latency
   options.default_deadline_millis = deadline_millis;
+  options.enable_estimate_cache = enable_cache;
   BurstResult result;
   {
     serve::Server server(
@@ -87,6 +90,7 @@ BurstResult RunBurst(serve::SnapshotHolder* snapshots,
     result.ok = stats.ok;
     result.errors = stats.errors;
     result.degraded = stats.degraded;
+    result.cache_hits = stats.cache_hits;
   }
 
   std::sort(latencies.begin(), latencies.end());
@@ -161,6 +165,36 @@ int Run(const Flags& flags, BenchReport* report) {
       "\ndeadline runs use --deadline-ms=%.1f per request; degraded counts\n"
       "answers served from a fallback rung instead of the voting primary.\n",
       deadline_millis);
+
+  // Repeated-query workload: the same six queries cycled 1024 times is the
+  // snapshot-scoped estimate cache's home turf — after one cold pass per
+  // query, every answer is a shard probe. Ungoverned on both sides so the
+  // comparison isolates the cache (governed answers are never inserted).
+  std::printf("\n--- estimate cache on a repeated-query burst (ungoverned) ---\n");
+  std::printf("%-26s %10s %12s %10s %10s %10s %9s\n", "config", "requests",
+              "req/s", "p50 us", "p95 us", "p99 us", "hits");
+  const int repeat_burst = 1024;
+  for (int cached = 0; cached <= 1; ++cached) {
+    BurstResult r = RunBurst(&snapshots, queries, repeat_burst, workers,
+                             /*deadline_millis=*/0.0, cached != 0);
+    if (r.ok + r.errors != static_cast<uint64_t>(repeat_burst)) {
+      std::fprintf(stderr, "lost responses: %llu of %d\n",
+                   static_cast<unsigned long long>(r.ok + r.errors),
+                   repeat_burst);
+      return 1;
+    }
+    const char* name = cached ? "repeat1024_cache" : "repeat1024_nocache";
+    std::printf("%-26s %10d %12.0f %10.0f %10.0f %10.0f %9llu\n", name,
+                repeat_burst,
+                static_cast<double>(repeat_burst) / r.wall_seconds, r.p50,
+                r.p95, r.p99, static_cast<unsigned long long>(r.cache_hits));
+    report->AddResult(std::string(name) + "_qps",
+                      static_cast<double>(repeat_burst) / r.wall_seconds);
+    report->AddResult(std::string(name) + "_p50_micros", r.p50);
+    report->AddResult(std::string(name) + "_p99_micros", r.p99);
+    report->AddResult(std::string(name) + "_cache_hits",
+                      static_cast<double>(r.cache_hits));
+  }
   return 0;
 }
 

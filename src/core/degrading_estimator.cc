@@ -54,6 +54,7 @@ EstimateOptions DegradingEstimator::FallbackBudget(
   EstimateOptions fallback;
   fallback.cancel = original.cancel;
   fallback.max_work_steps = original.max_work_steps;
+  fallback.scratch = original.scratch;
   if (original.deadline_millis > 0.0) {
     double grace =
         original.deadline_millis * options_.fallback_deadline_fraction;

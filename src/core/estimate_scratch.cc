@@ -1,0 +1,86 @@
+#include "core/estimate_scratch.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace treelattice {
+
+namespace {
+constexpr size_t kMinSlots = 16;
+}  // namespace
+
+void CodeMemo::Reset(size_t expected_entries) {
+  entries_.clear();
+  arena_.clear();
+  // Size the table so `expected_entries` stays under the 0.7 load bound;
+  // never shrink — a warm memo keeps its high-water capacity.
+  size_t want = kMinSlots;
+  while (want * 7 < expected_entries * 10) want <<= 1;
+  if (slots_.size() < want) {
+    slots_.assign(want, Slot{});
+  } else {
+    std::fill(slots_.begin(), slots_.end(), Slot{});
+  }
+  mask_ = slots_.size() - 1;
+}
+
+const double* CodeMemo::Find(uint64_t hash, std::string_view code) const {
+  if (slots_.empty()) return nullptr;
+  size_t idx = static_cast<size_t>(Mix64(hash)) & mask_;
+  for (;;) {
+    const Slot& slot = slots_[idx];
+    if (slot.index_plus_one == 0) return nullptr;
+    if (slot.hash == hash) {
+      const Entry& entry = entries_[slot.index_plus_one - 1];
+      if (CodeOf(entry) == code) return &entry.value;
+    }
+    idx = (idx + 1) & mask_;
+  }
+}
+
+void CodeMemo::Insert(uint64_t hash, std::string_view code, double value) {
+  if (slots_.empty()) Reset(0);
+  if ((entries_.size() + 1) * 10 >= slots_.size() * 7) Grow();
+  size_t idx = static_cast<size_t>(Mix64(hash)) & mask_;
+  while (slots_[idx].index_plus_one != 0) {
+    if (slots_[idx].hash == hash &&
+        CodeOf(entries_[slots_[idx].index_plus_one - 1]) == code) {
+      return;  // already memoized; keep the first value (emplace semantics)
+    }
+    idx = (idx + 1) & mask_;
+  }
+  Entry entry;
+  entry.hash = hash;
+  entry.offset = arena_.size();
+  entry.length = code.size();
+  entry.value = value;
+  arena_.append(code);
+  entries_.push_back(entry);
+  slots_[idx] = Slot{hash, static_cast<uint32_t>(entries_.size())};
+}
+
+void CodeMemo::Grow() {
+  slots_.assign(slots_.size() * 2, Slot{});
+  mask_ = slots_.size() - 1;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    size_t idx = static_cast<size_t>(Mix64(entries_[i].hash)) & mask_;
+    while (slots_[idx].index_plus_one != 0) idx = (idx + 1) & mask_;
+    slots_[idx] = Slot{entries_[i].hash, static_cast<uint32_t>(i + 1)};
+  }
+}
+
+void EstimateScratch::BeginQuery(int query_size) {
+  // The voting recursion visits O(size^2) distinct sub-twigs in practice
+  // (each level removes one node; each level contributes one memo entry per
+  // distinct split piece), so a quadratic reservation avoids regrowth.
+  const size_t n = query_size < 1 ? 1 : static_cast<size_t>(query_size);
+  memo_.Reset(n * n);
+}
+
+DepthWorkspace& EstimateScratch::Depth(int depth) {
+  while (depths_.size() <= static_cast<size_t>(depth)) depths_.emplace_back();
+  return depths_[static_cast<size_t>(depth)];
+}
+
+}  // namespace treelattice

@@ -1,0 +1,103 @@
+#ifndef TREELATTICE_CORE_ESTIMATE_SCRATCH_H_
+#define TREELATTICE_CORE_ESTIMATE_SCRATCH_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "twig/decompose.h"
+
+namespace treelattice {
+
+/// Flat open-addressing memo from (canonical-code hash, code) to a memoized
+/// estimate. Codes are copied into one contiguous arena so the memo owns no
+/// per-entry strings; the full code is always verified on a hash hit, so a
+/// 64-bit collision can never silently return the wrong sub-twig's estimate
+/// (the "bit-for-bit unchanged" contract of the hot-path rewrite).
+///
+/// The memo never erases; Reset() drops all entries while keeping every
+/// buffer's capacity, so a warm memo allocates nothing across queries.
+class CodeMemo {
+ public:
+  /// Empties the memo and sizes the slot table for `expected_entries`.
+  void Reset(size_t expected_entries);
+
+  /// Pointer to the memoized value for (hash, code), or nullptr. The
+  /// pointer is invalidated by the next Insert.
+  const double* Find(uint64_t hash, std::string_view code) const;
+
+  /// Memoizes (hash, code) -> value. Keeps the existing value if the key
+  /// is already present (emplace semantics). `hash` must equal
+  /// HashBytes(code).
+  void Insert(uint64_t hash, std::string_view code, double value);
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    uint64_t hash = 0;
+    size_t offset = 0;  ///< into arena_
+    size_t length = 0;
+    double value = 0.0;
+  };
+  /// Slot of the probe table; index_plus_one == 0 marks an empty slot.
+  struct Slot {
+    uint64_t hash = 0;
+    uint32_t index_plus_one = 0;
+  };
+
+  std::string_view CodeOf(const Entry& entry) const {
+    return std::string_view(arena_).substr(entry.offset, entry.length);
+  }
+
+  /// Doubles the slot table and reinserts all entries (no code compares
+  /// needed: stored entries are distinct by construction).
+  void Grow();
+
+  std::vector<Entry> entries_;
+  std::vector<Slot> slots_;
+  size_t mask_ = 0;
+  std::string arena_;
+};
+
+/// Reusable buffers for one recursion level of the voting decomposition:
+/// the removable-node list, one pre-built split per valid leaf pair, and
+/// the vote accumulator. Twigs inside `splits` are Clear()ed and refilled
+/// in place, so a warm workspace performs a whole level without touching
+/// the allocator.
+struct DepthWorkspace {
+  std::vector<int> removable;
+  std::vector<RecursiveSplit> splits;
+  size_t num_valid = 0;  ///< prefix of `splits` filled for the current twig
+  std::vector<double> votes;
+  std::vector<int> map_scratch;
+};
+
+/// Per-thread reusable state for one estimation call chain: the sub-twig
+/// memo plus one workspace per recursion depth. Thread through
+/// EstimateOptions::scratch to reuse across requests (a serve worker keeps
+/// one for its lifetime); estimators fall back to an internal thread_local
+/// instance when none is supplied, so ungoverned callers stay
+/// allocation-free too. Not thread-safe: one scratch per thread.
+class EstimateScratch {
+ public:
+  /// Resets the memo for a fresh query of `query_size` nodes. Depth
+  /// workspaces need no reset — each level overwrites its own prefix.
+  void BeginQuery(int query_size);
+
+  CodeMemo& memo() { return memo_; }
+
+  /// Workspace for recursion depth `depth`, created on first use. A deque
+  /// keeps references stable while deeper levels extend it mid-recursion.
+  DepthWorkspace& Depth(int depth);
+
+ private:
+  CodeMemo memo_;
+  std::deque<DepthWorkspace> depths_;
+};
+
+}  // namespace treelattice
+
+#endif  // TREELATTICE_CORE_ESTIMATE_SCRATCH_H_

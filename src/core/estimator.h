@@ -10,6 +10,8 @@
 
 namespace treelattice {
 
+class EstimateScratch;
+
 /// Per-request resource limits for an estimation, threaded through the
 /// estimator call chain (recursion, voting, fixed-size fallbacks). All
 /// limits are optional; the default is ungoverned. The deadline is
@@ -23,6 +25,11 @@ struct EstimateOptions {
   /// Upper bound on work steps (summary lookups, splits, sweep windows);
   /// 0 means unlimited.
   uint64_t max_work_steps = 0;
+  /// Reusable hot-path buffers (memo, split workspaces); see
+  /// core/estimate_scratch.h. Not owned — must outlive the Estimate call
+  /// and be used by one thread at a time. nullptr makes estimators fall
+  /// back to an internal thread_local scratch.
+  EstimateScratch* scratch = nullptr;
   /// The deadline's original duration in milliseconds when it was built
   /// with WithDeadlineMillis; 0 when unknown. The degradation ladder uses
   /// it to size the grace budget of fallback rungs.

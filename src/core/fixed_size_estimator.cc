@@ -18,12 +18,12 @@ FixedSizeDecompositionEstimator::FixedSizeDecompositionEstimator(
 }
 
 Result<double> FixedSizeDecompositionEstimator::LookupOrEstimate(
-    const Twig& twig, CostGovernor* governor) {
+    const Twig& twig, CostGovernor* governor, EstimateScratch* scratch) {
   EstimatorMetrics& metrics = EstimatorMetrics::Get();
   if (governor != nullptr) {
     if (Status s = governor->Charge(); !s.ok()) return s;
   }
-  if (auto count = summary_->LookupCode(twig.CanonicalCode())) {
+  if (auto count = summary_->Lookup(twig)) {
     metrics.summary_hits->Increment();
     return static_cast<double>(*count);
   }
@@ -32,22 +32,27 @@ Result<double> FixedSizeDecompositionEstimator::LookupOrEstimate(
     return 0.0;
   }
   metrics.summary_misses->Increment();
-  return fallback_.EstimateWithGovernor(twig, governor);
+  // A fresh top-level fallback call per pruned window: the recursive
+  // estimator resets the scratch memo itself, preserving the old
+  // fresh-memo-per-fallback semantics.
+  return fallback_.EstimateWithGovernor(twig, governor, scratch);
 }
 
 Result<double> FixedSizeDecompositionEstimator::Estimate(const Twig& query) {
-  return EstimateWithGovernor(query, nullptr);
+  return EstimateWithGovernor(query, nullptr, nullptr);
 }
 
 Result<double> FixedSizeDecompositionEstimator::Estimate(
     const Twig& query, const EstimateOptions& options) {
-  if (!options.governed()) return EstimateWithGovernor(query, nullptr);
+  if (!options.governed()) {
+    return EstimateWithGovernor(query, nullptr, options.scratch);
+  }
   CostGovernor governor = options.MakeGovernor();
-  return EstimateWithGovernor(query, &governor);
+  return EstimateWithGovernor(query, &governor, options.scratch);
 }
 
 Result<double> FixedSizeDecompositionEstimator::EstimateWithGovernor(
-    const Twig& query, CostGovernor* governor) {
+    const Twig& query, CostGovernor* governor, EstimateScratch* scratch) {
   if (query.empty()) {
     return Status::InvalidArgument("Estimate: empty query");
   }
@@ -58,7 +63,7 @@ Result<double> FixedSizeDecompositionEstimator::EstimateWithGovernor(
     if (Status s = governor->Charge(); !s.ok()) return s;
   }
   // Directly answerable (or provably absent) queries short-circuit.
-  if (auto count = summary_->LookupCode(query.CanonicalCode())) {
+  if (auto count = summary_->Lookup(query)) {
     metrics.summary_hits->Increment();
     return static_cast<double>(*count);
   }
@@ -69,7 +74,7 @@ Result<double> FixedSizeDecompositionEstimator::EstimateWithGovernor(
   if (query.size() <= options_.k) {
     // Too small to cover with k-subtrees (a pruned pattern): recursive
     // fallback from strictly smaller pieces.
-    return LookupOrEstimate(query, governor);
+    return LookupOrEstimate(query, governor, scratch);
   }
 
   std::vector<CoverStep> steps;
@@ -78,13 +83,16 @@ Result<double> FixedSizeDecompositionEstimator::EstimateWithGovernor(
   metrics.cover_steps->Record(steps.size());
 
   double estimate;
-  TL_ASSIGN_OR_RETURN(estimate, LookupOrEstimate(steps[0].subtree, governor));
+  TL_ASSIGN_OR_RETURN(estimate,
+                      LookupOrEstimate(steps[0].subtree, governor, scratch));
   if (estimate <= 0.0) return 0.0;
   for (size_t i = 1; i < steps.size(); ++i) {
     double numer, denom;
-    TL_ASSIGN_OR_RETURN(numer, LookupOrEstimate(steps[i].subtree, governor));
+    TL_ASSIGN_OR_RETURN(numer,
+                        LookupOrEstimate(steps[i].subtree, governor, scratch));
     if (numer <= 0.0) return 0.0;
-    TL_ASSIGN_OR_RETURN(denom, LookupOrEstimate(steps[i].overlap, governor));
+    TL_ASSIGN_OR_RETURN(denom,
+                        LookupOrEstimate(steps[i].overlap, governor, scratch));
     if (denom <= 0.0) return 0.0;  // overlap ⊆ subtree, cannot be rarer
     estimate *= numer / denom;
   }

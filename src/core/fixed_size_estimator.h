@@ -39,12 +39,14 @@ class FixedSizeDecompositionEstimator : public SelectivityEstimator {
   std::string name() const override { return "fixed-size"; }
 
  private:
-  Result<double> EstimateWithGovernor(const Twig& query,
-                                      CostGovernor* governor);
+  Result<double> EstimateWithGovernor(const Twig& query, CostGovernor* governor,
+                                      EstimateScratch* scratch);
 
   /// Summary lookup for a basic twig, falling back to recursive
-  /// decomposition when the pattern was pruned. `governor` may be nullptr.
-  Result<double> LookupOrEstimate(const Twig& twig, CostGovernor* governor);
+  /// decomposition when the pattern was pruned. `governor` and `scratch`
+  /// may be nullptr.
+  Result<double> LookupOrEstimate(const Twig& twig, CostGovernor* governor,
+                                  EstimateScratch* scratch);
 
   const LatticeSummary* summary_;
   Options options_;

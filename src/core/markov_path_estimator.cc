@@ -19,7 +19,7 @@ double MarkovPathEstimator::WindowCount(const std::vector<LabelId>& labels,
   for (size_t i = 0; i < len; ++i) {
     parent = window.AddNode(labels[begin + i], parent);
   }
-  auto count = summary_->LookupCode(window.CanonicalCode());
+  auto count = summary_->Lookup(window);
   return count ? static_cast<double>(*count) : 0.0;
 }
 

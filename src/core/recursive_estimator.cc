@@ -8,6 +8,19 @@
 
 namespace treelattice {
 
+namespace {
+
+/// Fallback scratch for callers that do not supply one (ungoverned
+/// Estimate(), CLI paths, tests). One per thread: estimation never runs
+/// re-entrantly on a thread — nested work (fixed-size fallback) issues
+/// sequential top-level calls, each of which resets the memo.
+EstimateScratch& ThreadLocalScratch() {
+  thread_local EstimateScratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
 RecursiveDecompositionEstimator::RecursiveDecompositionEstimator(
     const LatticeSummary* summary)
     : RecursiveDecompositionEstimator(summary, Options()) {}
@@ -17,26 +30,34 @@ RecursiveDecompositionEstimator::RecursiveDecompositionEstimator(
     : summary_(summary), options_(options) {}
 
 Result<double> RecursiveDecompositionEstimator::Estimate(const Twig& query) {
-  return EstimateWithGovernor(query, nullptr);
+  return EstimateWithGovernor(query, nullptr, nullptr);
 }
 
 Result<double> RecursiveDecompositionEstimator::Estimate(
     const Twig& query, const EstimateOptions& options) {
-  if (!options.governed()) return EstimateWithGovernor(query, nullptr);
+  if (!options.governed()) {
+    return EstimateWithGovernor(query, nullptr, options.scratch);
+  }
   CostGovernor governor = options.MakeGovernor();
-  return EstimateWithGovernor(query, &governor);
+  return EstimateWithGovernor(query, &governor, options.scratch);
 }
 
 Result<double> RecursiveDecompositionEstimator::EstimateWithGovernor(
     const Twig& query, CostGovernor* governor) {
+  return EstimateWithGovernor(query, governor, nullptr);
+}
+
+Result<double> RecursiveDecompositionEstimator::EstimateWithGovernor(
+    const Twig& query, CostGovernor* governor, EstimateScratch* scratch) {
   if (query.empty()) {
     return Status::InvalidArgument("Estimate: empty query");
   }
   obs::TraceSpan span("estimator.recursive", "core");
   span.SetArg("query_size", static_cast<uint64_t>(query.size()));
-  std::unordered_map<std::string, double> memo;
+  if (scratch == nullptr) scratch = &ThreadLocalScratch();
+  scratch->BeginQuery(query.size());
   int max_depth = 0;
-  Result<double> result = EstimateImpl(query, &memo, 0, &max_depth, governor);
+  Result<double> result = EstimateImpl(query, scratch, 0, &max_depth, governor);
   if (result.ok()) {
     EstimatorMetrics::Get().decomposition_depth->Record(
         static_cast<uint64_t>(max_depth));
@@ -45,8 +66,8 @@ Result<double> RecursiveDecompositionEstimator::EstimateWithGovernor(
 }
 
 Result<double> RecursiveDecompositionEstimator::EstimateImpl(
-    const Twig& twig, std::unordered_map<std::string, double>* memo,
-    int depth, int* max_depth, CostGovernor* governor) {
+    const Twig& twig, EstimateScratch* scratch, int depth, int* max_depth,
+    CostGovernor* governor) {
   EstimatorMetrics& metrics = EstimatorMetrics::Get();
   if (governor != nullptr) {
     // One step per sub-twig visit: the memo probe plus summary lookup (and
@@ -54,14 +75,15 @@ Result<double> RecursiveDecompositionEstimator::EstimateImpl(
     if (Status s = governor->Charge(); !s.ok()) return s;
   }
   if (depth > *max_depth) *max_depth = depth;
-  const std::string code = twig.CanonicalCode();
-  if (auto it = memo->find(code); it != memo->end()) {
+  const uint64_t hash = twig.CanonicalHash();
+  const std::string& code = twig.CanonicalCode();
+  if (const double* hit = scratch->memo().Find(hash, code)) {
     metrics.memo_hits->Increment();
-    return it->second;
+    return *hit;
   }
 
   double value = 0.0;
-  if (auto count = summary_->LookupCode(code)) {
+  if (auto count = summary_->LookupHashed(hash, code)) {
     metrics.summary_hits->Increment();
     value = static_cast<double>(*count);
   } else if (twig.size() <= summary_->complete_through_level()) {
@@ -75,14 +97,29 @@ Result<double> RecursiveDecompositionEstimator::EstimateImpl(
     value = 0.0;
   } else {
     metrics.summary_misses->Increment();
-    std::vector<std::pair<int, int>> pairs = ValidLeafPairs(twig);
-    if (pairs.empty()) {
+    // Build every valid leaf-pair split once, in the same deterministic
+    // (preorder index) pair order ValidLeafPairs used — the splits double
+    // as the validity check, so the old validate-then-resplit double work
+    // is gone and each split's twigs refill this depth's pooled buffers.
+    DepthWorkspace& ws = scratch->Depth(depth);
+    twig.RemovableNodesInto(&ws.removable);
+    ws.num_valid = 0;
+    for (size_t a = 0; a < ws.removable.size(); ++a) {
+      for (size_t b = a + 1; b < ws.removable.size(); ++b) {
+        if (ws.splits.size() <= ws.num_valid) ws.splits.emplace_back();
+        Status split_status =
+            SplitByLeafPairInto(twig, ws.removable[a], ws.removable[b],
+                                &ws.splits[ws.num_valid], &ws.map_scratch);
+        if (split_status.ok()) ++ws.num_valid;
+      }
+    }
+    if (ws.num_valid == 0) {
       return Status::Internal("no valid leaf pair for twig of size " +
                               std::to_string(twig.size()));
     }
     size_t limit = 1;
     if (options_.voting) {
-      limit = pairs.size();
+      limit = ws.num_valid;
       if (options_.max_votes_per_level > 0) {
         limit = std::min(limit,
                          static_cast<size_t>(options_.max_votes_per_level));
@@ -90,18 +127,17 @@ Result<double> RecursiveDecompositionEstimator::EstimateImpl(
     }
     metrics.decompositions->Increment();
     metrics.voting_fanout->Record(limit);
-    std::vector<double> votes;
-    votes.reserve(limit);
+    ws.votes.clear();
     for (size_t i = 0; i < limit; ++i) {
-      RecursiveSplit split;
-      TL_ASSIGN_OR_RETURN(split, SplitByLeafPair(twig, pairs[i].first,
-                                                 pairs[i].second));
+      // The deeper recursion uses workspaces > depth, never this one, so
+      // the split twigs stay valid across the three calls.
+      RecursiveSplit& split = ws.splits[i];
       double e1, e2, eo;
-      TL_ASSIGN_OR_RETURN(e1, EstimateImpl(split.t1, memo, depth + 1,
+      TL_ASSIGN_OR_RETURN(e1, EstimateImpl(split.t1, scratch, depth + 1,
                                            max_depth, governor));
-      TL_ASSIGN_OR_RETURN(e2, EstimateImpl(split.t2, memo, depth + 1,
+      TL_ASSIGN_OR_RETURN(e2, EstimateImpl(split.t2, scratch, depth + 1,
                                            max_depth, governor));
-      TL_ASSIGN_OR_RETURN(eo, EstimateImpl(split.overlap, memo, depth + 1,
+      TL_ASSIGN_OR_RETURN(eo, EstimateImpl(split.overlap, scratch, depth + 1,
                                            max_depth, governor));
       double est = 0.0;
       if (e1 > 0.0 && e2 > 0.0 && eo > 0.0) {
@@ -109,24 +145,24 @@ Result<double> RecursiveDecompositionEstimator::EstimateImpl(
       } else {
         metrics.zero_overlap_fallbacks->Increment();
       }
-      votes.push_back(est);
+      ws.votes.push_back(est);
     }
-    if (votes.empty()) {
+    if (ws.votes.empty()) {
       value = 0.0;
     } else if (options_.aggregation == VoteAggregation::kMedian &&
                options_.voting) {
-      std::sort(votes.begin(), votes.end());
-      size_t mid = votes.size() / 2;
-      value = (votes.size() % 2 == 1)
-                  ? votes[mid]
-                  : 0.5 * (votes[mid - 1] + votes[mid]);
+      std::sort(ws.votes.begin(), ws.votes.end());
+      size_t mid = ws.votes.size() / 2;
+      value = (ws.votes.size() % 2 == 1)
+                  ? ws.votes[mid]
+                  : 0.5 * (ws.votes[mid - 1] + ws.votes[mid]);
     } else {
       double sum = 0.0;
-      for (double v : votes) sum += v;
-      value = sum / static_cast<double>(votes.size());
+      for (double v : ws.votes) sum += v;
+      value = sum / static_cast<double>(ws.votes.size());
     }
   }
-  memo->emplace(code, value);
+  scratch->memo().Insert(hash, code, value);
   return value;
 }
 

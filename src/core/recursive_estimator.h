@@ -2,8 +2,8 @@
 #define TREELATTICE_CORE_RECURSIVE_ESTIMATOR_H_
 
 #include <string>
-#include <unordered_map>
 
+#include "core/estimate_scratch.h"
 #include "core/estimator.h"
 #include "summary/lattice_summary.h"
 
@@ -20,6 +20,11 @@ namespace treelattice {
 /// each recursion level and the average is used; estimates are memoized per
 /// distinct sub-twig, which makes the voting scheme equivalent to the
 /// paper's level-wise averaging while keeping the recursion polynomial.
+///
+/// The inner loop runs over an EstimateScratch (flat hash memo keyed by the
+/// twig's cached 64-bit code hash, per-depth split buffers refilled in
+/// place) and the summary's hashed probe, so after the query's one-time
+/// canonicalization a warm-scratch estimate performs no heap allocation.
 class RecursiveDecompositionEstimator : public SelectivityEstimator {
  public:
   /// How per-level vote estimates are combined (the paper averages;
@@ -45,16 +50,19 @@ class RecursiveDecompositionEstimator : public SelectivityEstimator {
 
   /// Governed estimation: cooperatively checks `options`' budget once per
   /// sub-twig visit (lookup or split) and aborts the recursion with the
-  /// budget error as soon as it trips.
+  /// budget error as soon as it trips. Uses options.scratch when provided.
   Result<double> Estimate(const Twig& query,
                           const EstimateOptions& options) override;
 
   /// Governed estimation charging an external governor — used by the
   /// fixed-size estimator's recursive fallback so that one budget covers
   /// the whole query, not each fallback separately. `governor` may be
-  /// nullptr for ungoverned estimation.
+  /// nullptr for ungoverned estimation; `scratch` may be nullptr to use
+  /// the internal thread_local scratch.
   Result<double> EstimateWithGovernor(const Twig& query,
                                       CostGovernor* governor);
+  Result<double> EstimateWithGovernor(const Twig& query, CostGovernor* governor,
+                                      EstimateScratch* scratch);
 
   std::string name() const override {
     if (!options_.voting) return "recursive";
@@ -64,8 +72,7 @@ class RecursiveDecompositionEstimator : public SelectivityEstimator {
   }
 
  private:
-  Result<double> EstimateImpl(const Twig& twig,
-                              std::unordered_map<std::string, double>* memo,
+  Result<double> EstimateImpl(const Twig& twig, EstimateScratch* scratch,
                               int depth, int* max_depth,
                               CostGovernor* governor);
 

@@ -84,6 +84,12 @@ inline constexpr char kServeReloads[] = "serve.reloads";
 inline constexpr char kServeReloadFailures[] = "serve.reload_failures";
 inline constexpr char kServeSnapshotVersion[] = "serve.snapshot_version";
 
+// -- estimate cache (serve/estimate_cache.cc) -------------------------------
+inline constexpr char kCacheHits[] = "cache.hits";
+inline constexpr char kCacheMisses[] = "cache.misses";
+inline constexpr char kCacheEvictions[] = "cache.evictions";
+inline constexpr char kCacheInvalidations[] = "cache.invalidations";
+
 }  // namespace metric_names
 }  // namespace obs
 }  // namespace treelattice

@@ -1,0 +1,135 @@
+#include "serve/estimate_cache.h"
+
+#include "util/hash.h"
+
+namespace treelattice {
+namespace serve {
+
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+EstimateCache::EstimateCache(Options options)
+    : config_fingerprint_(options.config_fingerprint) {
+  const size_t shard_count =
+      RoundUpPow2(options.shards > 0 ? static_cast<size_t>(options.shards) : 1);
+  shards_.reserve(shard_count);
+  for (size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  shard_mask_ = shard_count - 1;
+  const size_t capacity = options.capacity > 0 ? options.capacity : 1;
+  per_shard_capacity_ = capacity / shard_count;
+  if (per_shard_capacity_ == 0) per_shard_capacity_ = 1;
+}
+
+uint64_t EstimateCache::KeyFor(uint64_t code_hash) const {
+  return HashCombine(config_fingerprint_, code_hash);
+}
+
+EstimateCache::Shard& EstimateCache::ShardFor(uint64_t key) {
+  // The index within a shard uses the key directly (unordered_map mixes
+  // it again); shard selection uses the high bits so the two do not
+  // correlate.
+  return *shards_[static_cast<size_t>(key >> 48) & shard_mask_];
+}
+
+void EstimateCache::SyncShardVersion(Shard& shard, int64_t snapshot_version) {
+  if (shard.version == snapshot_version) return;
+  if (!shard.lru.empty()) {
+    shard.lru.clear();
+    shard.index.clear();
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+    CacheMetrics::Get().invalidations->Increment();
+  }
+  shard.version = snapshot_version;
+}
+
+std::optional<double> EstimateCache::Get(int64_t snapshot_version,
+                                         uint64_t code_hash,
+                                         std::string_view code) {
+  const uint64_t key = KeyFor(code_hash);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  SyncShardVersion(shard, snapshot_version);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end() && it->second->code == code) {
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // touch
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    CacheMetrics::Get().hits->Increment();
+    return it->second->estimate;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  CacheMetrics::Get().misses->Increment();
+  return std::nullopt;
+}
+
+void EstimateCache::Put(int64_t snapshot_version, uint64_t code_hash,
+                        std::string_view code, double estimate) {
+  const uint64_t key = KeyFor(code_hash);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  SyncShardVersion(shard, snapshot_version);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // Same key: refresh. A 64-bit collision between distinct codes simply
+    // overwrites the slot — correctness is preserved because Get verifies
+    // the code before serving.
+    it->second->code.assign(code);
+    it->second->estimate = estimate;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.lru.size() >= per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    CacheMetrics::Get().evictions->Increment();
+  }
+  Entry entry;
+  entry.key = key;
+  entry.code.assign(code);
+  entry.estimate = estimate;
+  shard.lru.push_front(std::move(entry));
+  shard.index.emplace(key, shard.lru.begin());
+}
+
+void EstimateCache::Invalidate() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    if (!shard->lru.empty()) {
+      shard->lru.clear();
+      shard->index.clear();
+      invalidations_.fetch_add(1, std::memory_order_relaxed);
+      CacheMetrics::Get().invalidations->Increment();
+    }
+    shard->version = -1;
+  }
+}
+
+size_t EstimateCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+EstimateCache::Stats EstimateCache::GetStats() const {
+  Stats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.invalidations = invalidations_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace serve
+}  // namespace treelattice

@@ -1,0 +1,149 @@
+#ifndef TREELATTICE_SERVE_ESTIMATE_CACHE_H_
+#define TREELATTICE_SERVE_ESTIMATE_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "util/thread_annotations.h"
+
+namespace treelattice {
+namespace serve {
+
+/// Cache telemetry (see obs/metric_names.h for the registry):
+///   cache.hits           estimate served straight from the cache
+///   cache.misses         lookups that fell through to the estimator
+///   cache.evictions      LRU entries displaced by capacity pressure
+///   cache.invalidations  shard clears caused by a snapshot swap
+struct CacheMetrics {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* evictions;
+  obs::Counter* invalidations;
+
+  static CacheMetrics& Get() {
+    static CacheMetrics m = [] {
+      obs::MetricsRegistry* registry = obs::MetricsRegistry::Default();
+      namespace names = obs::metric_names;
+      return CacheMetrics{registry->counter(names::kCacheHits),
+                          registry->counter(names::kCacheMisses),
+                          registry->counter(names::kCacheEvictions),
+                          registry->counter(names::kCacheInvalidations)};
+    }();
+    return m;
+  }
+};
+
+/// A sharded, snapshot-scoped LRU cache of exact (ungoverned, primary-rung)
+/// estimates, keyed by canonical query code under one estimator
+/// configuration.
+///
+/// Scoping contract: every Get/Put carries the snapshot version the caller
+/// is serving from. A shard belongs to exactly one version at a time; the
+/// first access under a different version clears it, so an estimate
+/// computed against snapshot N can never answer a request served from
+/// snapshot M != N — a `#reload` hot-swap implicitly drops the whole cache
+/// without any cross-thread coordination beyond the per-shard mutex.
+///
+/// Insert policy is the caller's: only cache results that are exact for
+/// the configuration (ungoverned, non-degraded primary answers) — a
+/// deadline-truncated estimate must never be replayed to a request with a
+/// healthier budget.
+///
+/// The map key is the 64-bit canonical-code hash combined with the
+/// configured fingerprint; the stored code string is verified on every hit,
+/// so hash collisions degrade to misses, never wrong answers.
+class EstimateCache {
+ public:
+  struct Options {
+    /// Total entries across all shards (at least one per shard).
+    size_t capacity = 1024;
+    /// Shard count; rounded up to a power of two, at least 1.
+    int shards = 8;
+    /// Fingerprint of the estimator configuration this cache serves;
+    /// folded into every key so distinct configs never alias.
+    uint64_t config_fingerprint = 0;
+  };
+
+  explicit EstimateCache(Options options);
+
+  EstimateCache(const EstimateCache&) = delete;
+  EstimateCache& operator=(const EstimateCache&) = delete;
+
+  /// Cached estimate for `code` under `snapshot_version`, or nullopt.
+  /// `code_hash` must equal HashBytes(code).
+  std::optional<double> Get(int64_t snapshot_version, uint64_t code_hash,
+                            std::string_view code);
+
+  /// Caches `estimate` for `code` under `snapshot_version` (overwriting any
+  /// entry for the same code), evicting the least recently used entry of
+  /// the shard when full.
+  void Put(int64_t snapshot_version, uint64_t code_hash, std::string_view code,
+           double estimate);
+
+  /// Explicitly drops every entry (all shards), e.g. on shutdown paths
+  /// that want deterministic teardown. Snapshot swaps do NOT need this —
+  /// the version check already fences them.
+  void Invalidate();
+
+  /// Live entries across all shards (test/diagnostic aid).
+  size_t size() const;
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t invalidations = 0;
+  };
+  Stats GetStats() const;
+
+ private:
+  struct Entry {
+    uint64_t key = 0;
+    std::string code;
+    double estimate = 0.0;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    /// Snapshot version the shard's entries belong to; -1 = empty/fresh.
+    int64_t version TL_GUARDED_BY(mu) = -1;
+    /// MRU at the front.
+    std::list<Entry> lru TL_GUARDED_BY(mu);
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> index
+        TL_GUARDED_BY(mu);
+  };
+
+  uint64_t KeyFor(uint64_t code_hash) const;
+  Shard& ShardFor(uint64_t key);
+
+  /// Clears `shard` if it belongs to a different snapshot version,
+  /// claiming it for `snapshot_version`. Returns with shard.version ==
+  /// snapshot_version.
+  void SyncShardVersion(Shard& shard, int64_t snapshot_version)
+      TL_REQUIRES(shard.mu);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  size_t shard_mask_ = 0;
+  size_t per_shard_capacity_ = 1;
+  uint64_t config_fingerprint_ = 0;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> invalidations_{0};
+};
+
+}  // namespace serve
+}  // namespace treelattice
+
+#endif  // TREELATTICE_SERVE_ESTIMATE_CACHE_H_

@@ -3,8 +3,10 @@
 #include <chrono>
 #include <utility>
 
+#include "core/estimate_scratch.h"
 #include "serve/serve_metrics.h"
 #include "twig/twig.h"
+#include "util/hash.h"
 #include "util/json.h"
 #include "xpath/xpath.h"
 
@@ -36,6 +38,19 @@ std::string_view Trimmed(std::string_view s) {
   return s;
 }
 
+/// Stable fingerprint of the estimator configuration a cache serves, so a
+/// cache can never be (mis)shared across configs that would produce
+/// different estimates for the same query.
+uint64_t EstimatorConfigFingerprint(const DegradingEstimator::Options& o) {
+  uint64_t fp = HashBytes("degrading-ladder-v1");
+  fp = HashCombine(fp, o.primary.voting ? 1 : 0);
+  fp = HashCombine(fp, static_cast<uint64_t>(o.primary.max_votes_per_level));
+  fp = HashCombine(fp, static_cast<uint64_t>(o.primary.aggregation));
+  fp = HashCombine(fp, static_cast<uint64_t>(o.fixed_size.k));
+  fp = HashCombine(fp, static_cast<uint64_t>(o.markov.order));
+  return fp;
+}
+
 }  // namespace
 
 std::string ServeResponse::ToJsonLine() const {
@@ -48,6 +63,7 @@ std::string ServeResponse::ToJsonLine() const {
     w.Key("estimate").Double(estimate);
     w.Key("rung").String(rung);
     w.Key("degraded").Bool(degraded);
+    w.Key("cached").Bool(cached);
   } else {
     w.Key("error").BeginObject();
     w.Key("code").String(error_code);
@@ -112,6 +128,14 @@ Server::Server(SnapshotHolder* snapshots, ServerOptions options,
     : snapshots_(snapshots),
       options_(std::move(options)),
       sink_(std::move(sink)) {
+  if (options_.enable_estimate_cache && options_.estimate_cache_capacity > 0) {
+    EstimateCache::Options cache_options;
+    cache_options.capacity = options_.estimate_cache_capacity;
+    cache_options.shards = options_.estimate_cache_shards;
+    cache_options.config_fingerprint =
+        EstimatorConfigFingerprint(options_.estimator);
+    cache_ = std::make_unique<EstimateCache>(cache_options);
+  }
   const int workers = options_.workers > 0 ? options_.workers : 1;
   workers_.reserve(static_cast<size_t>(workers));
   for (int i = 0; i < workers; ++i) {
@@ -169,6 +193,11 @@ Server::Stats Server::GetStats() const {
   stats.ok = ok_.load(std::memory_order_relaxed);
   stats.errors = errors_.load(std::memory_order_relaxed);
   stats.degraded = degraded_.load(std::memory_order_relaxed);
+  if (cache_ != nullptr) {
+    EstimateCache::Stats cache_stats = cache_->GetStats();
+    stats.cache_hits = cache_stats.hits;
+    stats.cache_misses = cache_stats.misses;
+  }
   return stats;
 }
 
@@ -181,6 +210,9 @@ void Server::WorkerLoop() {
   std::shared_ptr<const SummarySnapshot> snapshot;
   std::unique_ptr<DegradingEstimator> estimator;
   std::unique_ptr<LabelDict> dict;
+  // Worker-lifetime scratch: the estimator memo and split buffers stay
+  // warm across every request this thread answers.
+  EstimateScratch scratch;
 
   for (;;) {
     ServeRequest request;
@@ -215,14 +247,15 @@ void Server::WorkerLoop() {
 
     ServeResponse response =
         Process(request, estimator.get(), dict.get(),
-                snapshot != nullptr ? snapshot->version : 0);
+                snapshot != nullptr ? snapshot->version : 0, &scratch);
     Emit(response);
   }
 }
 
 ServeResponse Server::Process(const ServeRequest& request,
                               DegradingEstimator* estimator, LabelDict* dict,
-                              int64_t snapshot_version) const {
+                              int64_t snapshot_version,
+                              EstimateScratch* scratch) {
   const auto start = std::chrono::steady_clock::now();
   ServeResponse response;
   response.id = request.id;
@@ -247,15 +280,44 @@ ServeResponse Server::Process(const ServeRequest& request,
       estimate_options.max_work_steps = request.max_work_steps > 0
                                             ? request.max_work_steps
                                             : options_.default_max_work_steps;
-      Result<DegradingEstimator::DegradedEstimate> estimate =
-          estimator->EstimateDegraded(*query, estimate_options);
-      if (!estimate.ok()) {
-        error = estimate.status();
-      } else {
-        response.ok = true;
-        response.estimate = estimate->estimate;
-        response.rung = std::string(DegradingEstimator::RungName(estimate->rung));
-        response.degraded = estimate->degraded;
+      estimate_options.scratch = scratch;
+      const bool governed = estimate_options.governed();
+      if (cache_ != nullptr) {
+        // Any request may read the cache: entries are exact full-effort
+        // primary answers, so a governed request served from cache gets a
+        // strictly better result than its budget could buy.
+        if (std::optional<double> hit =
+                cache_->Get(snapshot_version, query->CanonicalHash(),
+                            query->CanonicalCode())) {
+          response.ok = true;
+          response.estimate = *hit;
+          response.rung = std::string(
+              DegradingEstimator::RungName(DegradingEstimator::Rung::kPrimary));
+          response.degraded = false;
+          response.cached = true;
+        }
+      }
+      if (!response.cached) {
+        Result<DegradingEstimator::DegradedEstimate> estimate =
+            estimator->EstimateDegraded(*query, estimate_options);
+        if (!estimate.ok()) {
+          error = estimate.status();
+        } else {
+          response.ok = true;
+          response.estimate = estimate->estimate;
+          response.rung =
+              std::string(DegradingEstimator::RungName(estimate->rung));
+          response.degraded = estimate->degraded;
+          // Insert policy: only exact answers. A governed run — even one
+          // that finished on the primary rung — may have been lucky with
+          // its budget; replaying it later is fine, but the cheap and
+          // airtight rule is to cache ungoverned primary results only.
+          if (cache_ != nullptr && !governed && !estimate->degraded &&
+              estimate->rung == DegradingEstimator::Rung::kPrimary) {
+            cache_->Put(snapshot_version, query->CanonicalHash(),
+                        query->CanonicalCode(), estimate->estimate);
+          }
+        }
       }
     }
   }

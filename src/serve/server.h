@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -13,6 +14,7 @@
 #include <vector>
 
 #include "core/degrading_estimator.h"
+#include "serve/estimate_cache.h"
 #include "serve/snapshot.h"
 #include "util/result.h"
 #include "util/thread_annotations.h"
@@ -42,6 +44,9 @@ struct ServeResponse {
   /// "markov-path" (empty on error).
   std::string rung;
   bool degraded = false;
+  /// True when the estimate was served from the snapshot-scoped cache
+  /// (always an exact ungoverned primary-rung answer).
+  bool cached = false;
   std::string error_code;     // StatusCodeToString(code) when !ok
   std::string error_message;  // human detail when !ok
   double wall_micros = 0.0;
@@ -74,6 +79,14 @@ struct ServerOptions {
   /// Artificial per-request processing delay — a load-shaping aid for
   /// tests and benches that need to force queue pressure deterministically.
   double worker_delay_millis = 0.0;
+  /// Snapshot-scoped LRU cache of exact ungoverned primary estimates.
+  /// Governed (deadline/step-budget) answers are never inserted; any
+  /// request may still be answered from it, since a cached entry is always
+  /// the exact full-effort answer. Swapping the snapshot implicitly drops
+  /// every cached entry (version-fenced per shard).
+  bool enable_estimate_cache = true;
+  size_t estimate_cache_capacity = 1024;
+  int estimate_cache_shards = 8;
 };
 
 /// A worker pool over a bounded admission queue, answering twig/XPath
@@ -116,6 +129,8 @@ class Server {
     uint64_t ok = 0;
     uint64_t errors = 0;
     uint64_t degraded = 0;
+    uint64_t cache_hits = 0;
+    uint64_t cache_misses = 0;
   };
   Stats GetStats() const;
 
@@ -123,12 +138,14 @@ class Server {
   void WorkerLoop();
   ServeResponse Process(const ServeRequest& request,
                         DegradingEstimator* estimator, LabelDict* dict,
-                        int64_t snapshot_version) const;
+                        int64_t snapshot_version, EstimateScratch* scratch);
   void Emit(const ServeResponse& response);
 
   SnapshotHolder* const snapshots_;
   const ServerOptions options_;
   const ResponseSink sink_;
+  /// Shared by all workers; internally sharded. Null when disabled.
+  std::unique_ptr<EstimateCache> cache_;
 
   mutable std::mutex mu_;
   std::condition_variable work_available_;

@@ -5,7 +5,6 @@
 #include <optional>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "twig/twig.h"
@@ -13,8 +12,23 @@
 
 namespace treelattice {
 
+/// Dense id a canonical pattern code is interned to on Insert. Stable for
+/// the lifetime of the summary (Erase retires an id, never reassigns it).
+using PatternId = uint32_t;
+
+constexpr PatternId kInvalidPatternId = static_cast<PatternId>(-1);
+
 /// The lattice summary: occurrence counts of all basic twigs ("patterns")
 /// of size <= max_level, keyed by canonical twig code (Section 4).
+///
+/// Storage is split for the estimation hot path (RDF-3X style: intern the
+/// pattern key once, probe integers forever after): codes are interned into
+/// dense PatternIds whose entries live in an append-only array, and lookups
+/// go through an open-addressing table of (code hash, id) slots probed
+/// linearly — no node-based map, no per-probe allocation, and callers that
+/// already know the 64-bit code hash (a Twig with a warm cache) never
+/// re-hash the string. The string table is kept for persistence and
+/// level-ordered iteration only; the v1/v2 on-disk formats are unchanged.
 ///
 /// `complete_through_level` records up to which level the summary is
 /// guaranteed to contain *every* occurring pattern: a fresh K-lattice is
@@ -38,11 +52,26 @@ class LatticeSummary {
   /// must have size in [1, max_level] and count > 0.
   Status Insert(const Twig& twig, uint64_t count);
 
-  /// Looks up an exact pattern; nullopt when absent.
+  /// Looks up an exact pattern; nullopt when absent. Allocation-free: uses
+  /// the twig's cached canonical code and hash.
   std::optional<uint64_t> Lookup(const Twig& twig) const {
-    return LookupCode(twig.CanonicalCode());
+    return LookupHashed(twig.CanonicalHash(), twig.CanonicalCode());
   }
-  std::optional<uint64_t> LookupCode(const std::string& code) const;
+
+  /// Looks up by canonical code, hashing it first.
+  std::optional<uint64_t> LookupCode(std::string_view code) const;
+
+  /// Looks up by canonical code whose 64-bit HashBytes value the caller
+  /// already has — the hot-path entry point (one probe chain, no hashing,
+  /// no allocation). `hash` must equal HashBytes(code).
+  std::optional<uint64_t> LookupHashed(uint64_t hash,
+                                       std::string_view code) const;
+
+  /// Interned id for a pattern code, or kInvalidPatternId when absent.
+  PatternId FindId(uint64_t hash, std::string_view code) const;
+
+  /// Count for a live interned id (id must come from FindId).
+  uint64_t CountOf(PatternId id) const { return entries_[id].count; }
 
   bool Contains(const Twig& twig) const { return Lookup(twig).has_value(); }
 
@@ -89,11 +118,43 @@ class LatticeSummary {
   static constexpr int kMaxLevelCap = 4096;
 
  private:
+  /// Interned pattern: the code string is authoritative for persistence;
+  /// the hash is precomputed so rehashing the table never touches strings.
+  struct Entry {
+    std::string code;
+    uint64_t hash = 0;
+    uint64_t count = 0;
+    int32_t level = 0;
+    bool erased = false;
+  };
+
+  /// Open-addressing slot: full 64-bit hash for cheap mismatch rejection,
+  /// plus the entry id (or one of the sentinels below).
+  struct Slot {
+    uint64_t hash = 0;
+    PatternId id = kSlotEmpty;
+  };
+
+  static constexpr PatternId kSlotEmpty = static_cast<PatternId>(-1);
+  static constexpr PatternId kSlotTombstone = static_cast<PatternId>(-2);
+
   static int LevelOfCode(const std::string& code);
+
+  /// Index of the slot holding (hash, code), or of the first insertable
+  /// slot (empty or tombstone) when absent. Table must be non-empty.
+  size_t ProbeSlot(uint64_t hash, std::string_view code) const;
+
+  /// Grows/rebuilds the slot table to `new_slot_count` (a power of two),
+  /// dropping tombstones.
+  void Rehash(size_t new_slot_count);
 
   int max_level_;
   int complete_through_level_;
-  std::unordered_map<std::string, uint64_t> counts_;
+  std::vector<Entry> entries_;          // append-only; ids index this
+  std::vector<Slot> slots_;             // open-addressing index over entries_
+  size_t slot_mask_ = 0;                // slots_.size() - 1 (power of two)
+  size_t used_slots_ = 0;               // live + tombstoned slots
+  size_t num_live_ = 0;                 // entries not erased
   std::vector<std::vector<std::string>> level_codes_;  // [level] -> codes
   size_t memory_bytes_ = 0;
 };

@@ -21,6 +21,14 @@ struct RecursiveSplit {
 /// not removable or removing both does not leave a valid twig.
 Result<RecursiveSplit> SplitByLeafPair(const Twig& t, int u, int v);
 
+/// SplitByLeafPair writing into `out` (whose twigs are Clear()ed and
+/// refilled, reusing their buffers) with `map_scratch` holding the
+/// node-index map of the v-removal. The estimation hot path calls this per
+/// vote per recursion level; with warm buffers it allocates nothing. On
+/// error `out` is left in an unspecified (but destructible) state.
+Status SplitByLeafPairInto(const Twig& t, int u, int v, RecursiveSplit* out,
+                           std::vector<int>* map_scratch);
+
 /// All unordered pairs (u, v), u < v, of removable nodes for which
 /// SplitByLeafPair succeeds. Non-empty for every twig with >= 3 nodes.
 std::vector<std::pair<int, int>> ValidLeafPairs(const Twig& t);

@@ -3,36 +3,140 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <memory>
 
 #include "util/hash.h"
 #include "util/string_util.h"
 
 namespace treelattice {
 
+Twig::Twig(const Twig& other)
+    : labels_(other.labels_),
+      parents_(other.parents_),
+      children_(other.children_.begin(),
+                other.children_.begin() +
+                    static_cast<std::ptrdiff_t>(other.labels_.size())) {
+  // Clone a warm cache rather than recomputing it on first use: copies of
+  // already-canonicalized twigs (workload storage, snapshot plumbing) keep
+  // their O(1) code access.
+  const CodeCache* cache = other.cache_.load(std::memory_order_acquire);
+  if (cache != nullptr) {
+    cache_.store(std::make_unique<CodeCache>(*cache).release(),
+                 std::memory_order_relaxed);
+  }
+}
+
+Twig& Twig::operator=(const Twig& other) {
+  if (this == &other) return *this;
+  labels_ = other.labels_;
+  parents_ = other.parents_;
+  children_.assign(other.children_.begin(),
+                   other.children_.begin() +
+                       static_cast<std::ptrdiff_t>(other.labels_.size()));
+  InvalidateCache();
+  const CodeCache* cache = other.cache_.load(std::memory_order_acquire);
+  if (cache != nullptr) {
+    cache_.store(std::make_unique<CodeCache>(*cache).release(),
+                 std::memory_order_relaxed);
+  }
+  return *this;
+}
+
+Twig::Twig(Twig&& other) noexcept
+    : labels_(std::move(other.labels_)),
+      parents_(std::move(other.parents_)),
+      children_(std::move(other.children_)),
+      cache_(other.cache_.exchange(nullptr, std::memory_order_acq_rel)) {}
+
+Twig& Twig::operator=(Twig&& other) noexcept {
+  if (this == &other) return *this;
+  labels_ = std::move(other.labels_);
+  parents_ = std::move(other.parents_);
+  children_ = std::move(other.children_);
+  InvalidateCache();
+  cache_.store(other.cache_.exchange(nullptr, std::memory_order_acq_rel),
+               std::memory_order_relaxed);
+  return *this;
+}
+
+Twig::~Twig() { delete cache_.load(std::memory_order_acquire); }
+
+const Twig::CodeCache& Twig::EnsureCache() const {
+  CodeCache* cache = cache_.load(std::memory_order_acquire);
+  if (cache != nullptr) return *cache;
+  auto fresh = std::make_unique<CodeCache>();
+  fresh->code = ComputeCanonicalCode();
+  fresh->hash = HashBytes(fresh->code);
+  CodeCache* expected = nullptr;
+  if (cache_.compare_exchange_strong(expected, fresh.get(),
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+    return *fresh.release();
+  }
+  // Another thread published first; both computed identical codes, so
+  // dropping ours (unique_ptr cleanup) is safe.
+  return *expected;
+}
+
+void Twig::InvalidateCache() {
+  // Mutators require exclusive access, so plain (relaxed) access suffices.
+  CodeCache* cache = cache_.load(std::memory_order_relaxed);
+  if (cache == nullptr) return;
+  cache_.store(nullptr, std::memory_order_relaxed);
+  delete cache;
+}
+
 int Twig::AddNode(LabelId label, int parent) {
   assert((parent == -1) == labels_.empty());
   int id = size();
   labels_.push_back(label);
   parents_.push_back(parent);
-  children_.emplace_back();
+  if (static_cast<size_t>(id) < children_.size()) {
+    children_[static_cast<size_t>(id)].clear();  // recycle a retired slot
+  } else {
+    children_.emplace_back();
+  }
   if (parent >= 0) children_[static_cast<size_t>(parent)].push_back(id);
+  InvalidateCache();
   return id;
+}
+
+void Twig::Clear() {
+  // children_ entries are retired in place (stale contents, kept capacity);
+  // AddNode clears each slot as it is reused.
+  labels_.clear();
+  parents_.clear();
+  InvalidateCache();
 }
 
 std::vector<int> Twig::RemovableNodes() const {
   std::vector<int> out;
-  if (size() <= 1) return out;  // a single node cannot be removed
-  for (int i = 0; i < size(); ++i) {
-    if (IsLeaf(i)) {
-      out.push_back(i);
-    } else if (i == root() && children(i).size() == 1) {
-      out.push_back(i);
-    }
-  }
+  RemovableNodesInto(&out);
   return out;
 }
 
+void Twig::RemovableNodesInto(std::vector<int>* out) const {
+  out->clear();
+  if (size() <= 1) return;  // a single node cannot be removed
+  for (int i = 0; i < size(); ++i) {
+    if (IsLeaf(i)) {
+      out->push_back(i);
+    } else if (i == root() && children(i).size() == 1) {
+      out->push_back(i);
+    }
+  }
+}
+
 Result<Twig> Twig::RemoveNode(int i, std::vector<int>* old_to_new) const {
+  Twig out;
+  Status status = RemoveNodeInto(i, &out, old_to_new);
+  if (!status.ok()) return status;
+  return out;
+}
+
+Status Twig::RemoveNodeInto(int i, Twig* out,
+                            std::vector<int>* old_to_new) const {
+  assert(out != this);
   if (i < 0 || i >= size()) {
     return Status::InvalidArgument("RemoveNode: index out of range");
   }
@@ -49,20 +153,29 @@ Result<Twig> Twig::RemoveNode(int i, std::vector<int>* old_to_new) const {
     return Status::InvalidArgument("RemoveNode: interior node not removable");
   }
 
-  std::vector<int> keep;
-  keep.reserve(static_cast<size_t>(size()) - 1);
-  for (int n : PreorderNodes()) {
-    if (n != i) keep.push_back(n);
-  }
-  std::vector<int> map(static_cast<size_t>(size()), -1);
-  Twig out;
-  for (int n : keep) {
+  // The split loop calls this for every vote at every recursion level;
+  // thread_local scratch keeps it allocation-free once warm. (Mutating a
+  // twig concurrently with reads is already forbidden, so thread_local is
+  // the right scope.)
+  thread_local std::vector<int> map_storage;
+  std::vector<int>& map = old_to_new != nullptr ? *old_to_new : map_storage;
+  map.assign(static_cast<size_t>(size()), -1);
+
+  out->Clear();
+  thread_local std::vector<int> stack;
+  stack.clear();
+  stack.push_back(root());
+  while (!stack.empty()) {
+    int n = stack.back();
+    stack.pop_back();
+    const std::vector<int>& kids = children(n);
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) stack.push_back(*it);
+    if (n == i) continue;
     int p = parent(n);
     int new_parent = (p == -1 || p == i) ? -1 : map[static_cast<size_t>(p)];
-    map[static_cast<size_t>(n)] = out.AddNode(label(n), new_parent);
+    map[static_cast<size_t>(n)] = out->AddNode(label(n), new_parent);
   }
-  if (old_to_new) *old_to_new = std::move(map);
-  return out;
+  return Status::OK();
 }
 
 std::vector<int> Twig::PreorderNodes() const {
@@ -161,12 +274,14 @@ std::string Twig::SubtreeCode(int i) const {
   return codes[static_cast<size_t>(i)];
 }
 
-std::string Twig::CanonicalCode() const {
+const std::string& Twig::CanonicalCode() const { return EnsureCache().code; }
+
+uint64_t Twig::CanonicalHash() const { return EnsureCache().hash; }
+
+std::string Twig::ComputeCanonicalCode() const {
   if (empty()) return std::string();
   return SubtreeCode(root());
 }
-
-uint64_t Twig::CanonicalHash() const { return HashBytes(CanonicalCode()); }
 
 namespace {
 

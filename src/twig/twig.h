@@ -1,6 +1,7 @@
 #ifndef TREELATTICE_TWIG_TWIG_H_
 #define TREELATTICE_TWIG_TWIG_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -20,13 +21,31 @@ namespace treelattice {
 /// iff their canonical codes are equal, and the canonical code sorts each
 /// node's children by their recursive codes. This matches Definition 1 of
 /// the paper, which places no ordering constraint on sibling matches.
+///
+/// The canonical code and its 64-bit hash are computed once and cached:
+/// the first CanonicalCode()/CanonicalHash()/operator== after a mutation
+/// pays the canonicalization, every later call is a pointer read. The
+/// cache fill is lock-free (compare-and-swap), so a twig shared read-only
+/// between threads — a query hammered by several estimator threads, say —
+/// is safe without external locking. Mutating a twig (AddNode/Clear)
+/// concurrently with any other access was never allowed and still is not.
 class Twig {
  public:
   Twig() = default;
+  Twig(const Twig& other);
+  Twig& operator=(const Twig& other);
+  Twig(Twig&& other) noexcept;
+  Twig& operator=(Twig&& other) noexcept;
+  ~Twig();
 
   /// Adds a node labeled `label` under `parent` (-1 for the root, allowed
   /// only for the first node). Returns the new node index.
   int AddNode(LabelId label, int parent);
+
+  /// Resets to the empty twig while keeping the node buffers (and their
+  /// per-node child vectors) allocated, so pooled twigs refilled in the
+  /// estimation hot path stop churning the allocator.
+  void Clear();
 
   int size() const { return static_cast<int>(labels_.size()); }
   bool empty() const { return labels_.empty(); }
@@ -44,11 +63,20 @@ class Twig {
   /// (Section 3.2: a degree-1 root "can also be considered a leaf").
   std::vector<int> RemovableNodes() const;
 
+  /// RemovableNodes writing into `out` (cleared first) — the estimator
+  /// hot path reuses one vector per recursion depth.
+  void RemovableNodesInto(std::vector<int>* out) const;
+
   /// Returns a copy with node `i` removed (i must be a removable node). If
   /// the root is removed its single child becomes the root. Remaining nodes
   /// are renumbered in preorder; if `old_to_new` is non-null it receives the
   /// index mapping (removed node maps to -1).
   Result<Twig> RemoveNode(int i, std::vector<int>* old_to_new = nullptr) const;
+
+  /// RemoveNode writing into `out` (Clear()ed first, reusing its buffers).
+  /// `out` must not alias this twig.
+  Status RemoveNodeInto(int i, Twig* out,
+                        std::vector<int>* old_to_new = nullptr) const;
 
   /// Nodes in preorder (root first, children in stored order).
   std::vector<int> PreorderNodes() const;
@@ -66,11 +94,17 @@ class Twig {
 
   /// Canonical byte string identifying this twig up to sibling reordering.
   /// Stable across processes; usable as a hash-table key and for on-disk
-  /// summaries.
-  std::string CanonicalCode() const;
+  /// summaries. Computed once and cached; the returned reference stays
+  /// valid until the twig is mutated or destroyed.
+  const std::string& CanonicalCode() const;
 
-  /// 64-bit hash of the canonical code.
+  /// 64-bit hash of the canonical code (cached alongside the code).
   uint64_t CanonicalHash() const;
+
+  /// Rebuilds the canonical code from scratch, bypassing the cache. Used
+  /// by cache-consistency tests and by benchmarks that measure the
+  /// pre-caching cost; everything else should call CanonicalCode().
+  std::string ComputeCanonicalCode() const;
 
   /// Returns an equivalent twig whose node numbering is the canonical
   /// preorder (children sorted by canonical code). Deterministic for equal
@@ -91,17 +125,42 @@ class Twig {
   /// Renders with raw label ids (debugging aid when no dict is at hand).
   std::string ToDebugString() const;
 
+  /// Structural equality up to sibling reordering. Compares sizes and root
+  /// labels first, then the cached canonical codes — no allocation once
+  /// both twigs have their caches warm (and at most one canonicalization
+  /// each, ever, rather than two string builds per comparison).
   friend bool operator==(const Twig& a, const Twig& b) {
-    return a.CanonicalCode() == b.CanonicalCode();
+    if (&a == &b) return true;
+    if (a.size() != b.size()) return false;
+    if (a.empty()) return true;
+    if (a.labels_[0] != b.labels_[0]) return false;
+    const CodeCache& ca = a.EnsureCache();
+    const CodeCache& cb = b.EnsureCache();
+    return ca.hash == cb.hash && ca.code == cb.code;
   }
 
  private:
+  /// The lazily computed canonical form. Immutable once published.
+  struct CodeCache {
+    std::string code;
+    uint64_t hash = 0;
+  };
+
+  /// Returns the cache, computing and publishing it (lock-free) if absent.
+  const CodeCache& EnsureCache() const;
+
+  /// Drops the cache; called by mutators, which require exclusive access.
+  void InvalidateCache();
+
   /// Recursive canonical code of the subtree rooted at `i`.
   std::string SubtreeCode(int i) const;
 
   std::vector<LabelId> labels_;
   std::vector<int> parents_;
+  /// Invariant: children_.size() >= labels_.size(); slots beyond size()
+  /// are retired by Clear() and recycled (with their capacity) by AddNode.
   std::vector<std::vector<int>> children_;
+  mutable std::atomic<CodeCache*> cache_{nullptr};
 };
 
 /// Hash functor so Twig can key unordered containers.

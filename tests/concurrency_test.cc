@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -18,9 +19,11 @@
 #include "io/fault_env.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/estimate_cache.h"
 #include "serve/snapshot.h"
 #include "summary/lattice_summary.h"
 #include "twig/twig.h"
+#include "util/hash.h"
 #include "xml/label_dict.h"
 
 namespace treelattice {
@@ -244,6 +247,63 @@ TEST(ConcurrencyTest, SharedEstimatorHammer) {
       ASSERT_DOUBLE_EQ(*c, *voting_want);
     }
   });
+}
+
+
+TEST(ConcurrencyTest, EstimateCacheHammer) {
+  // 8 threads Put/Get the serve-layer estimate cache across two racing
+  // snapshot versions while a ninth thread fires full invalidations. The
+  // per-shard version fence must hold under every interleaving: a Get at
+  // version V either misses or returns exactly the value some thread Put
+  // at version V for that code — a value from the other version is a
+  // served-stale-estimate bug (and any locking slip is a TSan failure).
+  serve::EstimateCache::Options options;
+  options.capacity = 64;  // small: forces eviction churn alongside the race
+  options.shards = 4;
+  serve::EstimateCache cache(options);
+
+  constexpr int kCodes = 16;
+  std::vector<std::string> codes;
+  std::vector<uint64_t> hashes;
+  for (int i = 0; i < kCodes; ++i) {
+    codes.push_back("0(" + std::to_string(i + 1) + ")");
+    hashes.push_back(HashBytes(codes.back()));
+  }
+  auto value_for = [](int64_t version, int code) {
+    return static_cast<double>(version) * 1000.0 + static_cast<double>(code);
+  };
+
+  std::atomic<bool> stop{false};
+  std::thread invalidator([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      cache.Invalidate();
+      std::this_thread::yield();
+    }
+  });
+
+  RunThreads(kThreads, [&](int t) {
+    for (int i = 0; i < 3000; ++i) {
+      const int64_t version = 1 + ((t + i) % 2);
+      const int code = (t * 7 + i) % kCodes;
+      if (i % 3 == 0) {
+        cache.Put(version, hashes[static_cast<size_t>(code)],
+                  codes[static_cast<size_t>(code)], value_for(version, code));
+      }
+      std::optional<double> got =
+          cache.Get(version, hashes[static_cast<size_t>(code)],
+                    codes[static_cast<size_t>(code)]);
+      if (got.has_value()) {
+        ASSERT_DOUBLE_EQ(*got, value_for(version, code))
+            << "version " << version << " served a value from another "
+            << "snapshot generation";
+      }
+    }
+  });
+  stop.store(true, std::memory_order_release);
+  invalidator.join();
+
+  serve::EstimateCache::Stats stats = cache.GetStats();
+  EXPECT_GT(stats.hits + stats.misses, 0u);
 }
 
 TEST(ConcurrencyTest, SnapshotHotSwapHammer) {

@@ -1,8 +1,10 @@
 #include <cmath>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "core/estimate_scratch.h"
 #include "core/exact_estimator.h"
 #include "core/fixed_size_estimator.h"
 #include "core/markov_path_estimator.h"
@@ -324,6 +326,65 @@ TEST(VotingTest, MedianWithSinglePairEqualsPlain) {
 
 // Property: on random documents, every estimator answers in-lattice
 // queries exactly, and out-of-lattice estimates are finite & non-negative.
+TEST(EstimateScratchTest, ExplicitSharedAndImplicitScratchAgreeBitwise) {
+  // The reusable scratch is a pure working-memory optimization: the same
+  // query must produce the exact same bits whether the caller passes a
+  // fresh scratch, reuses one scratch across many different queries
+  // (memo and buffers warm), or passes none (internal thread-local) —
+  // for both the voting recursive estimator and the fixed-size one.
+  auto doc = ParseXmlString(
+      "<r><x><y><w/></y><z/></x><x><y><w/><w/></y><z/><z/></x>"
+      "<x><y/><z/></x><x><y><w/></y></x></r>");
+  ASSERT_TRUE(doc.ok());
+  LabelDict* dict = &doc->mutable_dict();
+  LatticeSummary summary = MustBuild(*doc, 3);
+
+  RecursiveDecompositionEstimator::Options voting_options;
+  voting_options.voting = true;
+  RecursiveDecompositionEstimator voting(&summary, voting_options);
+  FixedSizeDecompositionEstimator::Options fixed_options;
+  fixed_options.k = 3;
+  FixedSizeDecompositionEstimator fixed(&summary, fixed_options);
+
+  std::vector<Twig> queries;
+  for (const char* q :
+       {"x(y(w),z)", "x(y,z,z)", "r(x(y),x(z))", "x(y(w,w),z)",
+        "r(x,x,x)", "x(y(w),z,z)"}) {
+    queries.push_back(MustParse(q, dict));
+  }
+
+  EstimateScratch shared;
+  EstimateOptions with_shared;
+  with_shared.scratch = &shared;
+  for (const Twig& query : queries) {
+    Result<double> bare = voting.Estimate(query);
+    EstimateScratch fresh;
+    EstimateOptions with_fresh;
+    with_fresh.scratch = &fresh;
+    Result<double> from_fresh = voting.Estimate(query, with_fresh);
+    Result<double> from_shared = voting.Estimate(query, with_shared);
+    ASSERT_TRUE(bare.ok() && from_fresh.ok() && from_shared.ok());
+    // Bitwise: the scratch may never change an estimate value.
+    EXPECT_EQ(*bare, *from_fresh);
+    EXPECT_EQ(*bare, *from_shared);
+
+    Result<double> fixed_bare = fixed.Estimate(query);
+    Result<double> fixed_shared = fixed.Estimate(query, with_shared);
+    ASSERT_TRUE(fixed_bare.ok() && fixed_shared.ok());
+    EXPECT_EQ(*fixed_bare, *fixed_shared);
+  }
+
+  // Re-running the whole workload against the warm shared scratch must
+  // still reproduce every value (the per-query memo reset is what keeps
+  // results independent of scratch history).
+  for (const Twig& query : queries) {
+    Result<double> bare = voting.Estimate(query);
+    Result<double> warm = voting.Estimate(query, with_shared);
+    ASSERT_TRUE(bare.ok() && warm.ok());
+    EXPECT_EQ(*bare, *warm);
+  }
+}
+
 class EstimatorProperty : public testing::TestWithParam<int> {};
 
 TEST_P(EstimatorProperty, ExactInLatticeFiniteBeyond) {

@@ -16,11 +16,13 @@
 
 #include "io/env.h"
 #include "io/fault_env.h"
+#include "serve/estimate_cache.h"
 #include "serve/server.h"
 #include "serve/snapshot.h"
 #include "summary/lattice_summary.h"
 #include "summary/summary_format.h"
 #include "twig/twig.h"
+#include "util/hash.h"
 #include "util/json.h"
 #include "xml/label_dict.h"
 
@@ -431,6 +433,176 @@ TEST_F(ServerTest, WorkersPickUpHotSwappedSnapshot) {
   EXPECT_EQ(by_id[1].snapshot_version, 1);
   EXPECT_DOUBLE_EQ(by_id[2].estimate, 10.0);
   EXPECT_EQ(by_id[2].snapshot_version, 2);
+}
+
+TEST(EstimateCacheTest, VersionFenceDropsStaleEntries) {
+  EstimateCache cache(EstimateCache::Options{});
+  const std::string code = "0(1)";
+  const uint64_t hash = HashBytes(code);
+
+  cache.Put(/*snapshot_version=*/1, hash, code, 5.0);
+  ASSERT_TRUE(cache.Get(1, hash, code).has_value());
+  EXPECT_DOUBLE_EQ(*cache.Get(1, hash, code), 5.0);
+
+  // A reader on the next snapshot must never see the version-1 value:
+  // the first touch at version 2 clears the shard.
+  EXPECT_FALSE(cache.Get(2, hash, code).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+  cache.Put(2, hash, code, 10.0);
+  EXPECT_DOUBLE_EQ(*cache.Get(2, hash, code), 10.0);
+  EXPECT_GT(cache.GetStats().invalidations, 0u);
+}
+
+TEST(EstimateCacheTest, LruEvictsOldestWithinCapacity) {
+  EstimateCache::Options options;
+  options.capacity = 4;
+  options.shards = 1;  // one shard so the LRU order is fully observable
+  EstimateCache cache(options);
+
+  std::vector<std::string> codes = {"0(1)", "0(2)", "0(3)", "0(4)", "0(5)"};
+  for (size_t i = 0; i < 4; ++i) {
+    cache.Put(1, HashBytes(codes[i]), codes[i], static_cast<double>(i));
+  }
+  // Touch the oldest so the second-oldest becomes the eviction victim.
+  ASSERT_TRUE(cache.Get(1, HashBytes(codes[0]), codes[0]).has_value());
+  cache.Put(1, HashBytes(codes[4]), codes[4], 4.0);
+
+  EXPECT_TRUE(cache.Get(1, HashBytes(codes[0]), codes[0]).has_value());
+  EXPECT_FALSE(cache.Get(1, HashBytes(codes[1]), codes[1]).has_value());
+  EXPECT_TRUE(cache.Get(1, HashBytes(codes[4]), codes[4]).has_value());
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.GetStats().evictions, 1u);
+}
+
+TEST(EstimateCacheTest, InvalidateEmptiesEveryShard) {
+  EstimateCache cache(EstimateCache::Options{});
+  for (int i = 0; i < 32; ++i) {
+    const std::string code = "0(" + std::to_string(i + 1) + ")";
+    cache.Put(1, HashBytes(code), code, static_cast<double>(i));
+  }
+  EXPECT_GT(cache.size(), 0u);
+  cache.Invalidate();
+  EXPECT_EQ(cache.size(), 0u);
+  const std::string probe = "0(1)";
+  EXPECT_FALSE(cache.Get(1, HashBytes(probe), probe).has_value());
+}
+
+TEST_F(ServerTest, RepeatedQueryServedFromCacheExactly) {
+  ServerOptions options;
+  options.workers = 1;  // deterministic request order
+  Server server(&snapshots_, options, collector_.Sink());
+  for (uint64_t id = 1; id <= 3; ++id) {
+    ServeRequest request;
+    request.id = id;
+    request.query = "a(b)";
+    EXPECT_TRUE(server.Submit(std::move(request)));
+  }
+  server.Shutdown();
+
+  std::map<uint64_t, ServeResponse> by_id = collector_.ById();
+  ASSERT_EQ(by_id.size(), 3u);
+  EXPECT_FALSE(by_id[1].cached);  // cold
+  EXPECT_TRUE(by_id[2].cached);
+  EXPECT_TRUE(by_id[3].cached);
+  for (const auto& [id, response] : by_id) {
+    ASSERT_TRUE(response.ok) << response.error_message;
+    // A cached answer is the exact estimate, never an approximation.
+    EXPECT_DOUBLE_EQ(response.estimate, 5.0);
+    EXPECT_EQ(response.rung, "primary");
+    EXPECT_FALSE(response.degraded);
+  }
+  Server::Stats stats = server.GetStats();
+  EXPECT_EQ(stats.cache_hits, 2u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+}
+
+TEST_F(ServerTest, ReloadDropsEstimateCacheSoStaleCountsNeverServe) {
+  // Warm the cache at snapshot v1, double every count and hot-swap to v2,
+  // then repeat the query: the answer must come from the new snapshot's
+  // counts — a 5.0 after the swap would be the cache serving stale data.
+  ServerOptions options;
+  options.workers = 1;
+  Server server(&snapshots_, options, collector_.Sink());
+  auto submit = [&](uint64_t id) {
+    ServeRequest request;
+    request.id = id;
+    request.query = "a(b)";
+    EXPECT_TRUE(server.Submit(std::move(request)));
+  };
+  submit(1);
+  submit(2);
+  while (collector_.ById().size() < 2u) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  WriteTestSummary(Env::Default(), path_, /*scale=*/2);
+  ReloadOptions reload;
+  reload.backoff_millis = 0.0;
+  ASSERT_TRUE(ReloadSummary(Env::Default(), path_, reload, &snapshots_).ok());
+
+  submit(3);
+  submit(4);
+  server.Shutdown();
+
+  std::map<uint64_t, ServeResponse> by_id = collector_.ById();
+  ASSERT_EQ(by_id.size(), 4u);
+  EXPECT_DOUBLE_EQ(by_id[1].estimate, 5.0);
+  EXPECT_FALSE(by_id[1].cached);
+  EXPECT_DOUBLE_EQ(by_id[2].estimate, 5.0);
+  EXPECT_TRUE(by_id[2].cached);
+  // Post-swap: fresh counts, recomputed then re-cached under version 2.
+  EXPECT_DOUBLE_EQ(by_id[3].estimate, 10.0);
+  EXPECT_FALSE(by_id[3].cached);
+  EXPECT_EQ(by_id[3].snapshot_version, 2);
+  EXPECT_DOUBLE_EQ(by_id[4].estimate, 10.0);
+  EXPECT_TRUE(by_id[4].cached);
+}
+
+TEST_F(ServerTest, GovernedResultsAreNeverCached) {
+  // Deadline-governed answers may be cut short by the governor, so they
+  // must never be inserted — a repeat of the same governed query computes
+  // again instead of hitting the cache.
+  ServerOptions options;
+  options.workers = 1;
+  options.default_deadline_millis = 10000.0;  // generous, but governed
+  Server server(&snapshots_, options, collector_.Sink());
+  for (uint64_t id = 1; id <= 2; ++id) {
+    ServeRequest request;
+    request.id = id;
+    request.query = "a(b)";
+    EXPECT_TRUE(server.Submit(std::move(request)));
+  }
+  server.Shutdown();
+
+  std::map<uint64_t, ServeResponse> by_id = collector_.ById();
+  ASSERT_EQ(by_id.size(), 2u);
+  for (const auto& [id, response] : by_id) {
+    ASSERT_TRUE(response.ok) << response.error_message;
+    EXPECT_DOUBLE_EQ(response.estimate, 5.0);
+    EXPECT_FALSE(response.cached);
+  }
+  EXPECT_EQ(server.GetStats().cache_hits, 0u);
+}
+
+TEST_F(ServerTest, DisabledCacheNeverMarksResponsesCached) {
+  ServerOptions options;
+  options.workers = 1;
+  options.enable_estimate_cache = false;
+  Server server(&snapshots_, options, collector_.Sink());
+  for (uint64_t id = 1; id <= 2; ++id) {
+    ServeRequest request;
+    request.id = id;
+    request.query = "a(b)";
+    EXPECT_TRUE(server.Submit(std::move(request)));
+  }
+  server.Shutdown();
+  std::map<uint64_t, ServeResponse> by_id = collector_.ById();
+  ASSERT_EQ(by_id.size(), 2u);
+  EXPECT_FALSE(by_id[1].cached);
+  EXPECT_FALSE(by_id[2].cached);
+  Server::Stats stats = server.GetStats();
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.cache_misses, 0u);
 }
 
 }  // namespace

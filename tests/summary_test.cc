@@ -4,6 +4,9 @@
 #include <gtest/gtest.h>
 
 #include "summary/lattice_summary.h"
+#include "util/hash.h"
+
+#include <vector>
 
 namespace treelattice {
 namespace {
@@ -146,6 +149,69 @@ TEST(LatticeSummaryTest, LoadRejectsGarbage) {
 TEST(LatticeSummaryTest, MinimumMaxLevelIsTwo) {
   LatticeSummary summary(0);
   EXPECT_EQ(summary.max_level(), 2);
+}
+
+TEST(LatticeSummaryTest, FlatTableSurvivesGrowthAndChurn) {
+  // Many inserts force repeated slot-table rehashes; every pattern must
+  // stay findable by twig, by code, and by precomputed hash afterwards,
+  // and erase/reinsert churn (tombstones) must not lose probe chains.
+  LatticeSummary summary(4);
+  std::vector<std::string> codes;
+  for (int i = 0; i < 500; ++i) {
+    Twig t;
+    int root = t.AddNode(i, -1);
+    t.AddNode(i + 1000, root);
+    t.AddNode(i + 2000, root);
+    ASSERT_TRUE(summary.Insert(t, static_cast<uint64_t>(i) + 1).ok());
+    codes.push_back(t.CanonicalCode());
+  }
+  ASSERT_EQ(summary.NumPatterns(), 500u);
+  for (int i = 0; i < 500; ++i) {
+    const std::string& code = codes[static_cast<size_t>(i)];
+    const uint64_t want = static_cast<uint64_t>(i) + 1;
+    ASSERT_EQ(summary.LookupCode(code), std::optional<uint64_t>(want));
+    ASSERT_EQ(summary.LookupHashed(HashBytes(code), code),
+              std::optional<uint64_t>(want));
+    PatternId id = summary.FindId(HashBytes(code), code);
+    ASSERT_NE(id, kInvalidPatternId);
+    ASSERT_EQ(summary.CountOf(id), want);
+  }
+
+  // Erase every other pattern, then verify survivors and reinsert one.
+  for (int i = 0; i < 500; i += 2) {
+    ASSERT_TRUE(summary.Erase(codes[static_cast<size_t>(i)]).ok());
+  }
+  EXPECT_EQ(summary.NumPatterns(), 250u);
+  for (int i = 0; i < 500; ++i) {
+    const std::string& code = codes[static_cast<size_t>(i)];
+    if (i % 2 == 0) {
+      EXPECT_FALSE(summary.LookupCode(code).has_value());
+      EXPECT_EQ(summary.FindId(HashBytes(code), code), kInvalidPatternId);
+    } else {
+      EXPECT_TRUE(summary.LookupCode(code).has_value());
+    }
+  }
+  Twig again;
+  int root = again.AddNode(0, -1);
+  again.AddNode(1000, root);
+  again.AddNode(2000, root);
+  ASSERT_TRUE(summary.Insert(again, 777).ok());
+  EXPECT_EQ(summary.Lookup(again), std::optional<uint64_t>(777));
+}
+
+TEST(LatticeSummaryTest, LookupHashedRequiresMatchingCode) {
+  // A colliding hash with a different code must miss (the stored code is
+  // always verified), never return another pattern's count.
+  LatticeSummary summary(2);
+  Twig t;
+  int root = t.AddNode(0, -1);
+  t.AddNode(1, root);
+  ASSERT_TRUE(summary.Insert(t, 9).ok());
+  const std::string code = t.CanonicalCode();
+  const std::string other = "0(2)";
+  EXPECT_FALSE(summary.LookupHashed(HashBytes(code), other).has_value());
+  EXPECT_EQ(summary.LookupHashed(HashBytes(code), code),
+            std::optional<uint64_t>(9));
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "twig/twig.h"
+#include "util/hash.h"
 #include "util/rng.h"
 
 namespace treelattice {
@@ -72,6 +73,67 @@ TEST(TwigTest, CanonicalCodeInvariantUnderSiblingOrder) {
   EXPECT_EQ(t1.CanonicalCode(), t2.CanonicalCode());
   EXPECT_EQ(t1, t2);
   EXPECT_EQ(t1.CanonicalHash(), t2.CanonicalHash());
+}
+
+TEST(TwigTest, EqualityIsOrderIndependentAndAllocationFree) {
+  // Regression for the old operator== that stringified both sides per
+  // comparison: structural equality must hold regardless of the order
+  // nodes were added (sibling insertion order is not structure), across
+  // copies, and for twigs whose canonical caches are in different states
+  // (one warm, one cold).
+  LabelDict dict;
+  Twig ab_first = MustParse("a(b,c)", &dict);
+  Twig ac_first = MustParse("a(c,b)", &dict);
+  EXPECT_TRUE(ab_first == ac_first);
+  EXPECT_FALSE(ab_first != ac_first);
+
+  // Warm one side's cache only; equality must not depend on which side
+  // (or whether either) has canonicalized before.
+  Twig cold = MustParse("a(b,c)", &dict);
+  Twig warm = MustParse("a(c,b)", &dict);
+  (void)warm.CanonicalCode();
+  EXPECT_TRUE(cold == warm);
+  EXPECT_TRUE(warm == cold);
+
+  EXPECT_FALSE(MustParse("a(b,c)", &dict) == MustParse("a(b,d)", &dict));
+  EXPECT_FALSE(MustParse("a(b,c)", &dict) == MustParse("a(b)", &dict));
+  EXPECT_FALSE(MustParse("a(b,c)", &dict) == MustParse("b(b,c)", &dict));
+  EXPECT_TRUE(Twig() == Twig());
+  EXPECT_FALSE(Twig() == MustParse("a", &dict));
+}
+
+TEST(TwigTest, CachedCanonicalCodeTracksMutation) {
+  // CanonicalCode() is computed once and cached; every mutation path must
+  // invalidate it so the cache never serves the pre-mutation code.
+  LabelDict dict;
+  Twig t = MustParse("a(b,c)", &dict);
+  const std::string before = t.CanonicalCode();
+  EXPECT_EQ(before, t.ComputeCanonicalCode());
+  EXPECT_EQ(t.CanonicalHash(), Twig(t).CanonicalHash());
+
+  t.AddNode(dict.Intern("d"), t.root());
+  EXPECT_EQ(t.CanonicalCode(), t.ComputeCanonicalCode());
+  EXPECT_NE(t.CanonicalCode(), before);
+
+  Twig removed;
+  ASSERT_TRUE(t.RemoveNodeInto(t.size() - 1, &removed).ok());
+  EXPECT_EQ(removed.CanonicalCode(), removed.ComputeCanonicalCode());
+  EXPECT_EQ(removed.CanonicalCode(), before);
+
+  // Copy/move transfer or rebuild the cache but never share a stale one.
+  Twig copy = t;
+  EXPECT_EQ(copy.CanonicalCode(), t.CanonicalCode());
+  copy.AddNode(dict.Intern("e"), copy.root());
+  EXPECT_NE(copy.CanonicalCode(), t.CanonicalCode());
+  Twig moved = std::move(copy);
+  EXPECT_EQ(moved.CanonicalCode(), moved.ComputeCanonicalCode());
+
+  t.Clear();
+  EXPECT_EQ(t.size(), 0);
+  int root = t.AddNode(dict.Intern("z"), -1);
+  (void)root;
+  EXPECT_EQ(t.CanonicalCode(), t.ComputeCanonicalCode());
+  EXPECT_EQ(t.CanonicalHash(), HashBytes(t.CanonicalCode()));
 }
 
 TEST(TwigTest, CanonicalCodeDistinguishesStructure) {

@@ -1,0 +1,76 @@
+#!/bin/sh
+# Guards the estimation hot path (DESIGN.md "Estimation hot path"):
+# bench_ext_hotpath runs the interned production path and an in-bench
+# replica of the legacy string-keyed path over the same size-8 voting
+# workload (asserting bit-identical estimates), and its `speedup` result is
+# the machine-independent ratio this script checks:
+#
+#   - speedup must stay >= MIN_SPEEDUP (default 2.0, the tentpole target);
+#   - speedup must stay within TOLERANCE_PCT (default 25%) of the committed
+#     baseline bench/baselines/hotpath.json. Below the band fails (a hot-
+#     path regression); above it passes with a notice to re-baseline.
+#
+#   tools/check_perf.sh [build_dir]
+#
+# The run record is written to BENCH_hotpath.json at the repo root.
+# Environment: TOLERANCE_PCT, MIN_SPEEDUP, BENCH_FLAGS (extra bench flags,
+# default a reduced workload so the `perf` ctest label stays fast).
+set -eu
+
+BUILD_DIR="${1:-build}"
+SCRIPT_DIR=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
+REPO_ROOT=$(dirname "$SCRIPT_DIR")
+BIN="$BUILD_DIR/bench/bench_ext_hotpath"
+BASELINE="$REPO_ROOT/bench/baselines/hotpath.json"
+OUT_JSON="$REPO_ROOT/BENCH_hotpath.json"
+TOLERANCE_PCT="${TOLERANCE_PCT:-25}"
+MIN_SPEEDUP="${MIN_SPEEDUP:-2.0}"
+BENCH_FLAGS="${BENCH_FLAGS:---scale=400 --queries=16 --reps=3}"
+
+if [ ! -x "$BIN" ]; then
+  echo "error: $BIN not found (build first: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
+  exit 2
+fi
+if [ ! -f "$BASELINE" ]; then
+  echo "error: $BASELINE not found" >&2
+  exit 2
+fi
+
+PYTHON=$(command -v python3 || command -v python) || {
+  echo "error: python3 required to parse bench JSON" >&2
+  exit 2
+}
+
+echo "=== bench_ext_hotpath $BENCH_FLAGS -> $OUT_JSON ==="
+# shellcheck disable=SC2086 # BENCH_FLAGS is intentionally word-split
+"$BIN" --json="$OUT_JSON" $BENCH_FLAGS
+
+"$PYTHON" - "$OUT_JSON" "$BASELINE" "$TOLERANCE_PCT" "$MIN_SPEEDUP" <<'EOF'
+import json, sys
+
+out_path, baseline_path, tolerance_pct, min_speedup = sys.argv[1:5]
+tolerance = float(tolerance_pct) / 100.0
+floor = float(min_speedup)
+
+measured = json.load(open(out_path))["results"]["speedup"]
+baseline = json.load(open(baseline_path))["results"]["speedup"]
+
+low = baseline * (1.0 - tolerance)
+high = baseline * (1.0 + tolerance)
+print(f"speedup: measured {measured:.2f}x, baseline {baseline:.2f}x, "
+      f"band [{low:.2f}x, {high:.2f}x], floor {floor:.2f}x")
+
+if measured < floor:
+    print(f"FAIL: speedup {measured:.2f}x below the {floor:.2f}x floor",
+          file=sys.stderr)
+    sys.exit(1)
+if measured < low:
+    print(f"FAIL: speedup {measured:.2f}x regressed below the baseline band "
+          f"(update bench/baselines/hotpath.json only with a rationale)",
+          file=sys.stderr)
+    sys.exit(1)
+if measured > high:
+    print(f"NOTE: speedup {measured:.2f}x above the baseline band — "
+          f"re-baseline bench/baselines/hotpath.json to tighten the guard")
+print("OK: hot-path speedup within the guard band")
+EOF

@@ -36,5 +36,15 @@ for bin in "$BENCH_DIR"/bench_*; do
   fi
 done
 
+echo "=== hot-path guard (tools/check_perf.sh)"
+SCRIPT_DIR=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
+if "$SCRIPT_DIR/check_perf.sh" "$BUILD_DIR" > "$OUT_DIR/check_perf.log" 2>&1; then
+  :
+else
+  rc=$?
+  echo "    FAILED (exit $rc); log: $OUT_DIR/check_perf.log" >&2
+  failures=$((failures + 1))
+fi
+
 echo "results in $OUT_DIR ($failures failure(s))"
 [ "$failures" -eq 0 ]

@@ -18,6 +18,18 @@ Checks, each suppressible per line with `// tl-lint: allow(<rule>)`:
                    through std::make_unique/std::make_shared/containers.
                    (Placement new and intentional leaks carry the
                    suppression comment with a justification.)
+  string-key-map   No std::string-keyed hash containers
+                   (unordered_map/unordered_set) in src/core or src/serve:
+                   the estimation hot path probes by precomputed 64-bit
+                   code hash (LatticeSummary slots, CodeMemo,
+                   EstimateCache), and a string-keyed map re-hashes and
+                   allocates per probe.
+  canonical-in-loop
+                   No Twig::CanonicalCode()/CanonicalHash() calls inside a
+                   loop in src/core or src/serve — hoist the canonical form
+                   out of the loop (it is cached on the Twig, but the call
+                   inside a hot loop usually means a per-iteration twig is
+                   being re-canonicalized).
 
 Exit status: 0 clean, 1 findings, 2 usage/environment error.
 
@@ -39,6 +51,12 @@ INCLUDE_RE = re.compile(r'^\s*#include\s+"([^"]+)"')
 # `new` introducing an expression: after =, (, {, ",", return, or start of
 # statement. Excludes identifiers like "renew" via \b.
 NAKED_NEW_RE = re.compile(r"(?:^|[=({,;]|\breturn)\s*\bnew\b")
+STRING_KEY_MAP_RE = re.compile(
+    r"\bunordered_(?:map|set)\s*<\s*(?:std\s*::\s*)?string\b")
+LOOP_HEADER_RE = re.compile(r"\b(?:for|while)\s*\(|\bdo\s*\{")
+CANONICAL_CALL_RE = re.compile(
+    r"(?:\.|->)\s*(?:CanonicalCode|CanonicalHash)\s*\(")
+HOT_PATH_DIRS = [os.path.join("src", "core"), os.path.join("src", "serve")]
 
 
 def strip_comments_and_strings(line, in_block_comment):
@@ -170,6 +188,67 @@ def check_naked_new(root, findings):
                      "suppress with a justification"))
 
 
+def check_string_key_maps(root, findings):
+    for path in iter_source_files(root, HOT_PATH_DIRS):
+        in_block = False
+        for lineno, raw in enumerate(load_lines(path), 1):
+            line, in_block = strip_comments_and_strings(raw, in_block)
+            if STRING_KEY_MAP_RE.search(line) and not allowed(
+                    raw, "string-key-map"):
+                findings.append(
+                    (path, lineno, "string-key-map",
+                     "std::string-keyed hash container on the estimation "
+                     "hot path: key by precomputed 64-bit code hash "
+                     "(see CodeMemo / LatticeSummary slots)"))
+
+
+def check_canonical_in_loop(root, findings):
+    """Flags CanonicalCode()/CanonicalHash() calls lexically inside a loop.
+
+    Line-based heuristic: a `for`/`while`/`do` header opens a loop region
+    that ends at its matching close brace (or, for a braceless body, at the
+    next statement-ending `;` at the same depth). Nesting is tracked by
+    brace depth on comment/string-stripped text.
+    """
+    for path in iter_source_files(root, HOT_PATH_DIRS):
+        in_block = False
+        depth = 0
+        parens = 0
+        loop_depths = []   # brace depths whose region is a loop body
+        pending_loop = False  # header seen, body brace (or `;`) not yet
+        for lineno, raw in enumerate(load_lines(path), 1):
+            line, in_block = strip_comments_and_strings(raw, in_block)
+            if LOOP_HEADER_RE.search(line):
+                # Calls on the header line itself count as in-loop; the
+                # region bookkeeping below handles following lines.
+                pending_loop = True
+            in_loop = bool(loop_depths) or pending_loop
+            if (in_loop and CANONICAL_CALL_RE.search(line)
+                    and not allowed(raw, "canonical-in-loop")):
+                findings.append(
+                    (path, lineno, "canonical-in-loop",
+                     "CanonicalCode()/CanonicalHash() inside a loop: hoist "
+                     "the canonical form out of the loop"))
+            for c in line:
+                if c == "(":
+                    parens += 1
+                elif c == ")":
+                    parens = max(0, parens - 1)
+                elif c == "{":
+                    depth += 1
+                    if pending_loop:
+                        loop_depths.append(depth)
+                        pending_loop = False
+                elif c == "}":
+                    if loop_depths and loop_depths[-1] == depth:
+                        loop_depths.pop()
+                    depth = max(0, depth - 1)
+                elif c == ";" and pending_loop and parens == 0:
+                    # Braceless single-statement loop body ends here; the
+                    # header's own `;`s are inside its parentheses.
+                    pending_loop = False
+
+
 def check_include_cycles(root, findings):
     src = os.path.join(root, "src")
     modules = sorted(
@@ -233,6 +312,8 @@ def main(argv):
     check_metric_constants(root, findings)
     check_metric_literals(root, findings)
     check_naked_new(root, findings)
+    check_string_key_maps(root, findings)
+    check_canonical_in_loop(root, findings)
     check_include_cycles(root, findings)
 
     for path, lineno, rule, message in sorted(findings):

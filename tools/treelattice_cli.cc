@@ -78,6 +78,7 @@ int Usage() {
                "[--estimator=voting|recursive|voting-median]\n"
                "      [--reload-attempts=3] [--reload-backoff-ms=10] "
                "[--worker-delay-ms=0]\n"
+               "      [--cache=1] [--cache-capacity=1024]\n"
                "\n"
                "serve reads one request per line from stdin — a bare query, "
                "or a JSON\nenvelope {\"query\":...,\"deadline_ms\":...,"
@@ -432,6 +433,9 @@ int RunServe(int argc, char** argv, const Flags& flags) {
   options.default_max_work_steps =
       static_cast<uint64_t>(flags.GetInt("max-steps", 0));
   options.worker_delay_millis = flags.GetDouble("worker-delay-ms", 0.0);
+  options.enable_estimate_cache = flags.GetInt("cache", 1) != 0;
+  options.estimate_cache_capacity =
+      static_cast<size_t>(flags.GetInt("cache-capacity", 1024));
 
   std::string kind = flags.GetString("estimator", "voting");
   using PrimaryOptions = RecursiveDecompositionEstimator::Options;
@@ -518,6 +522,8 @@ int RunServe(int argc, char** argv, const Flags& flags) {
       w.Key("ok").Uint(stats.ok);
       w.Key("errors").Uint(stats.errors);
       w.Key("degraded").Uint(stats.degraded);
+      w.Key("cache_hits").Uint(stats.cache_hits);
+      w.Key("cache_misses").Uint(stats.cache_misses);
       w.Key("snapshot_version").Int(snapshots.version());
       w.EndObject();
       w.EndObject();
