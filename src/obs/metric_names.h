@@ -84,6 +84,24 @@ inline constexpr char kServeReloads[] = "serve.reloads";
 inline constexpr char kServeReloadFailures[] = "serve.reload_failures";
 inline constexpr char kServeSnapshotVersion[] = "serve.snapshot_version";
 
+// -- serve network transport (serve/transport.cc) ---------------------------
+inline constexpr char kNetAccepted[] = "serve.net.accepted";
+inline constexpr char kNetRejected[] = "serve.net.rejected";
+inline constexpr char kNetActive[] = "serve.net.active";
+inline constexpr char kNetFrames[] = "serve.net.frames";
+inline constexpr char kNetFramesOversized[] = "serve.net.frames_oversized";
+inline constexpr char kNetBytesIn[] = "serve.net.bytes_in";
+inline constexpr char kNetBytesOut[] = "serve.net.bytes_out";
+inline constexpr char kNetIdleTimeouts[] = "serve.net.idle_timeouts";
+inline constexpr char kNetRequestTimeouts[] = "serve.net.request_timeouts";
+inline constexpr char kNetBackpressureStalls[] =
+    "serve.net.backpressure_stalls";
+inline constexpr char kNetResets[] = "serve.net.resets";
+inline constexpr char kNetResponsesOrphaned[] =
+    "serve.net.responses_orphaned";
+inline constexpr char kNetInjectedFaults[] = "serve.net.injected_faults";
+inline constexpr char kNetDrainMicros[] = "serve.net.drain_micros";
+
 // -- estimate cache (serve/estimate_cache.cc) -------------------------------
 inline constexpr char kCacheHits[] = "cache.hits";
 inline constexpr char kCacheMisses[] = "cache.misses";

@@ -1,0 +1,75 @@
+#include "serve/conn.h"
+
+namespace treelattice {
+namespace serve {
+
+NdjsonFramer::NdjsonFramer(size_t max_frame_bytes)
+    : max_frame_bytes_(max_frame_bytes > 0 ? max_frame_bytes : 1) {}
+
+void NdjsonFramer::Feed(std::string_view data, std::vector<Event>* out) {
+  consumed_ += data.size();
+  while (!data.empty()) {
+    const size_t newline = data.find('\n');
+    if (discarding_) {
+      // Skipping the tail of an oversized frame: everything through its
+      // terminating newline is dropped.
+      if (newline == std::string_view::npos) {
+        dropped_ += data.size();
+        return;
+      }
+      dropped_ += newline + 1;
+      data.remove_prefix(newline + 1);
+      discarding_ = false;
+      continue;
+    }
+    if (newline == std::string_view::npos) {
+      // No complete frame yet; buffer, unless that would blow the limit.
+      if (buffer_.size() + data.size() > max_frame_bytes_) {
+        dropped_ += buffer_.size() + data.size();
+        buffer_.clear();
+        buffer_.shrink_to_fit();
+        discarding_ = true;
+        Event event;
+        event.kind = EventKind::kOversized;
+        out->push_back(std::move(event));
+        return;
+      }
+      buffer_.append(data);
+      return;
+    }
+    // A newline lands in this chunk. The completed frame is buffer_ plus
+    // the chunk's prefix — check the limit before materializing it.
+    if (buffer_.size() + newline > max_frame_bytes_) {
+      dropped_ += buffer_.size() + newline + 1;
+      buffer_.clear();
+      buffer_.shrink_to_fit();
+      data.remove_prefix(newline + 1);
+      Event event;
+      event.kind = EventKind::kOversized;
+      out->push_back(std::move(event));
+      continue;
+    }
+    Event event;
+    event.kind = EventKind::kLine;
+    if (buffer_.empty()) {
+      event.line.assign(data.substr(0, newline));
+    } else {
+      event.line = std::move(buffer_);
+      event.line.append(data.substr(0, newline));
+      buffer_.clear();
+    }
+    data.remove_prefix(newline + 1);
+    if (!event.line.empty() && event.line.back() == '\r') {
+      event.line.pop_back();
+      ++dropped_;  // the stripped '\r' (keeps byte conservation exact)
+    }
+    if (event.line.empty()) {
+      ++dropped_;  // blank line: its newline produced no event
+    } else {
+      out->push_back(std::move(event));
+    }
+  }
+}
+
+}  // namespace serve
+}  // namespace treelattice

@@ -1,0 +1,127 @@
+#ifndef TREELATTICE_SERVE_CONN_H_
+#define TREELATTICE_SERVE_CONN_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/deadline.h"
+
+namespace treelattice {
+namespace serve {
+
+/// Incremental NDJSON frame extractor for the TCP transport: bytes go in
+/// in arbitrary chunks (short reads split frames anywhere, including the
+/// middle of a UTF-8 sequence — the framer is byte-oriented and never
+/// inspects encoding), complete newline-terminated lines come out. A frame
+/// that exceeds `max_frame_bytes` without a newline fails *that frame*
+/// only: one kOversized event is emitted when the limit trips, the
+/// overlong line's bytes are discarded through its terminating newline,
+/// and the next frame parses normally. Embedded NUL and '\r' bytes are
+/// data ('\r' immediately before the newline is stripped, telnet-style);
+/// empty lines produce no event.
+///
+/// Byte conservation (fuzz-checked, tests/fuzz/fuzz_framing.cc):
+///   consumed() == Σ (emitted line bytes + 1 newline each)
+///               + dropped() + pending().
+/// dropped() counts oversize discards plus framing overhead that produces
+/// no event: stripped '\r's and blank lines.
+class NdjsonFramer {
+ public:
+  explicit NdjsonFramer(size_t max_frame_bytes);
+
+  enum class EventKind {
+    kLine,       // one complete frame; `line` excludes the newline
+    kOversized,  // frame grew past max_frame_bytes; its bytes are dropped
+  };
+  struct Event {
+    EventKind kind = EventKind::kLine;
+    std::string line;
+  };
+
+  /// Appends `data` and appends any completed events to `out`.
+  void Feed(std::string_view data, std::vector<Event>* out);
+
+  /// Bytes of the current incomplete frame buffered (0 while discarding).
+  size_t pending() const { return discarding_ ? 0 : buffer_.size(); }
+  /// True when bytes are buffered or an oversized frame is being skipped —
+  /// i.e. the peer owes us a newline (the slowloris timer keys off this).
+  bool mid_frame() const { return discarding_ || !buffer_.empty(); }
+  /// Total bytes ever fed / dropped by oversize discards.
+  uint64_t consumed() const { return consumed_; }
+  uint64_t dropped() const { return dropped_; }
+
+ private:
+  const size_t max_frame_bytes_;
+  std::string buffer_;
+  bool discarding_ = false;
+  uint64_t consumed_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+/// Per-connection state owned by the transport's event loop. Connections
+/// move through a small state machine (DESIGN.md §11):
+///
+///   kOpen ──peer EOF──▶ kHalfClosed ──buffers+in-flight drained──▶ close
+///     │                     │
+///     └──RST/write error────┴──▶ close now (in-flight work cancelled)
+///
+/// kOpen: reading frames, writing responses. kHalfClosed: the peer
+/// finished sending (orderly shutdown); everything already received is
+/// still answered and flushed — a pipelined client that half-closes after
+/// its last request loses nothing. An abortive close (ECONNRESET/EPIPE)
+/// instead cancels in-flight work through `cancel`: nobody is listening,
+/// so finishing the estimate would only burn a worker.
+struct Conn {
+  Conn(uint64_t id_in, int fd_in, size_t max_frame_bytes)
+      : id(id_in),
+        fd(fd_in),
+        framer(max_frame_bytes),
+        cancel(std::make_shared<CancelToken>()) {}
+
+  enum class State { kOpen, kHalfClosed };
+
+  const uint64_t id;  // monotonic; never reused, unlike the fd
+  const int fd;
+  State state = State::kOpen;
+  NdjsonFramer framer;
+
+  /// Pending output. `out_offset` marks how much of `out` is already
+  /// written; compacted when fully flushed.
+  std::string out;
+  size_t out_offset = 0;
+  size_t pending_out() const { return out.size() - out_offset; }
+
+  /// Readiness interest as last told to the poller.
+  bool want_read = true;
+  bool want_write = false;
+  /// Reading stopped because pending_out() crossed the high-water mark;
+  /// reads resume below the low-water mark (write backpressure).
+  bool paused = false;
+
+  /// Requests submitted to the Server whose responses have not yet come
+  /// back. Shared with every in-flight request of this connection; an
+  /// abortive close cancels them all at once.
+  uint64_t in_flight = 0;
+  std::shared_ptr<CancelToken> cancel;
+
+  /// Per-connection fallback id assignment for bare-query lines (JSON
+  /// envelopes may carry their own id), mirroring the stdin protocol.
+  uint64_t next_client_id = 0;
+
+  std::chrono::steady_clock::time_point last_activity;
+  /// When the current partial frame started growing; meaningful only
+  /// while framer.mid_frame() (slowloris timer).
+  std::chrono::steady_clock::time_point frame_started;
+
+  bool idle() const { return in_flight == 0 && pending_out() == 0; }
+};
+
+}  // namespace serve
+}  // namespace treelattice
+
+#endif  // TREELATTICE_SERVE_CONN_H_

@@ -46,6 +46,59 @@ struct ServeMetrics {
   }
 };
 
+/// TCP transport telemetry (serve/transport.cc):
+///   serve.net.accepted            connections accepted and served
+///   serve.net.rejected            connections turned away at the cap
+///   serve.net.active              (gauge) connections open right now
+///   serve.net.frames              complete request lines framed
+///   serve.net.frames_oversized    frames failed for exceeding the limit
+///   serve.net.bytes_in/bytes_out  socket traffic
+///   serve.net.idle_timeouts       idle connections closed
+///   serve.net.request_timeouts    slowloris (mid-frame) closes
+///   serve.net.backpressure_stalls reads paused at the write high-water
+///   serve.net.resets              abortive closes (RST/EPIPE/injected)
+///   serve.net.responses_orphaned  responses whose connection died first
+///   serve.net.injected_faults     synthetic socket faults taken
+///   serve.net.drain_micros        (gauge) last graceful-drain duration
+struct NetMetrics {
+  obs::Counter* accepted;
+  obs::Counter* rejected;
+  obs::Gauge* active;
+  obs::Counter* frames;
+  obs::Counter* frames_oversized;
+  obs::Counter* bytes_in;
+  obs::Counter* bytes_out;
+  obs::Counter* idle_timeouts;
+  obs::Counter* request_timeouts;
+  obs::Counter* backpressure_stalls;
+  obs::Counter* resets;
+  obs::Counter* responses_orphaned;
+  obs::Counter* injected_faults;
+  obs::Gauge* drain_micros;
+
+  static NetMetrics& Get() {
+    static NetMetrics m = [] {
+      obs::MetricsRegistry* registry = obs::MetricsRegistry::Default();
+      namespace names = obs::metric_names;
+      return NetMetrics{registry->counter(names::kNetAccepted),
+                        registry->counter(names::kNetRejected),
+                        registry->gauge(names::kNetActive),
+                        registry->counter(names::kNetFrames),
+                        registry->counter(names::kNetFramesOversized),
+                        registry->counter(names::kNetBytesIn),
+                        registry->counter(names::kNetBytesOut),
+                        registry->counter(names::kNetIdleTimeouts),
+                        registry->counter(names::kNetRequestTimeouts),
+                        registry->counter(names::kNetBackpressureStalls),
+                        registry->counter(names::kNetResets),
+                        registry->counter(names::kNetResponsesOrphaned),
+                        registry->counter(names::kNetInjectedFaults),
+                        registry->gauge(names::kNetDrainMicros)};
+    }();
+    return m;
+  }
+};
+
 }  // namespace serve
 }  // namespace treelattice
 

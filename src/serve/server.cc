@@ -281,7 +281,12 @@ ServeResponse Server::Process(const ServeRequest& request,
                                             ? request.max_work_steps
                                             : options_.default_max_work_steps;
       estimate_options.scratch = scratch;
+      // Budget-governed means the *value* may depend on the budget (a
+      // deadline or step cap can truncate work). A cancel token alone
+      // does not: a run that completes despite being cancellable produced
+      // the exact answer, so it stays cacheable.
       const bool governed = estimate_options.governed();
+      estimate_options.cancel = request.cancel.get();
       if (cache_ != nullptr) {
         // Any request may read the cache: entries are exact full-effort
         // primary answers, so a governed request served from cache gets a

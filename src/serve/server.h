@@ -16,6 +16,7 @@
 #include "core/degrading_estimator.h"
 #include "serve/estimate_cache.h"
 #include "serve/snapshot.h"
+#include "util/deadline.h"
 #include "util/result.h"
 #include "util/thread_annotations.h"
 
@@ -32,6 +33,11 @@ struct ServeRequest {
   double deadline_millis = 0.0;
   /// Per-request work-step cap; 0 uses the server default.
   uint64_t max_work_steps = 0;
+  /// Cooperative cancellation, shared with the submitter (the TCP
+  /// transport cancels a connection's in-flight requests when the peer
+  /// resets). Null = not cancellable. Shared ownership keeps the token
+  /// alive even after the connection that spawned it is gone.
+  std::shared_ptr<CancelToken> cancel;
 };
 
 /// One response, delivered to the sink exactly once per submitted request.

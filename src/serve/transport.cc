@@ -1,0 +1,605 @@
+#include "serve/transport.h"
+
+#include <cerrno>
+#include <chrono>
+#include <unistd.h>
+#include <utility>
+
+#include "serve/serve_metrics.h"
+#include "util/json.h"
+
+namespace treelattice {
+namespace serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MillisSince(Clock::time_point since, Clock::time_point now) {
+  return std::chrono::duration<double, std::milli>(now - since).count();
+}
+
+bool IsResetErrno(int error) {
+  return error == ECONNRESET || error == EPIPE || error == ETIMEDOUT;
+}
+
+}  // namespace
+
+Transport::Transport(SnapshotHolder* snapshots, ServerOptions server_options,
+                     Options options, ControlHandler control)
+    : snapshots_(snapshots),
+      options_(std::move(options)),
+      control_(std::move(control)),
+      poller_(options_.force_poll),
+      io_(options_.faults) {
+  // The server's sink runs on worker threads: it only copies the response
+  // into the completion queue and nudges the loop — sockets stay owned by
+  // the loop thread.
+  server_ = std::make_unique<Server>(
+      snapshots, std::move(server_options),
+      [this](const ServeResponse& response) {
+        bool was_empty;
+        {
+          std::lock_guard<std::mutex> lock(completion_mu_);
+          was_empty = completions_.empty();
+          completions_.push_back(Completion{response.id, response});
+        }
+        if (was_empty) wake_.Wake();
+      });
+}
+
+Transport::~Transport() {
+  // Run() already tore everything down in the normal lifecycle; this
+  // covers construction-then-destruction without Run (e.g. Listen failed).
+  for (auto& [fd, conn] : conns_) {
+    conn->cancel->Cancel();
+    close(fd);
+  }
+  conns_.clear();
+  if (listen_fd_ >= 0) close(listen_fd_);
+  server_->Shutdown();
+}
+
+Result<uint16_t> Transport::Listen() {
+  if (listen_fd_ >= 0) return port_;
+  Result<int> fd = ListenTcp(options_.host, options_.port, options_.backlog);
+  if (!fd.ok()) return fd.status();
+  Result<uint16_t> port = BoundPort(*fd);
+  if (!port.ok()) {
+    close(*fd);
+    return port.status();
+  }
+  listen_fd_ = *fd;
+  port_ = *port;
+  return port_;
+}
+
+void Transport::RequestShutdown() {
+  stop_requested_.store(true, std::memory_order_release);
+  wake_.Wake();
+}
+
+Transport::Stats Transport::GetStats() const {
+  Stats stats;
+  stats.accepted = accepted_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.active = active_.load(std::memory_order_relaxed);
+  stats.frames = frames_.load(std::memory_order_relaxed);
+  stats.frames_oversized = frames_oversized_.load(std::memory_order_relaxed);
+  stats.requests_admitted = requests_admitted_.load(std::memory_order_relaxed);
+  stats.responses_delivered =
+      responses_delivered_.load(std::memory_order_relaxed);
+  stats.responses_orphaned =
+      responses_orphaned_.load(std::memory_order_relaxed);
+  stats.bytes_in = bytes_in_.load(std::memory_order_relaxed);
+  stats.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+  stats.idle_timeouts = idle_timeouts_.load(std::memory_order_relaxed);
+  stats.request_timeouts = request_timeouts_.load(std::memory_order_relaxed);
+  stats.backpressure_stalls =
+      backpressure_stalls_.load(std::memory_order_relaxed);
+  stats.resets = resets_.load(std::memory_order_relaxed);
+  stats.injected_faults = io_.injected_faults();
+  stats.drain_micros = drain_micros_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+int Transport::WaitTimeoutMillis() const {
+  // The sweep granularity bounds how late a timeout can fire; a quarter of
+  // the tightest configured timeout keeps that error small without waking
+  // a quiet server aggressively.
+  double tightest = 500.0;
+  if (options_.idle_timeout_millis > 0.0) {
+    tightest = std::min(tightest, options_.idle_timeout_millis / 4.0);
+  }
+  if (options_.request_timeout_millis > 0.0) {
+    tightest = std::min(tightest, options_.request_timeout_millis / 4.0);
+  }
+  if (draining_) tightest = std::min(tightest, 20.0);
+  return tightest < 1.0 ? 1 : static_cast<int>(tightest);
+}
+
+Status Transport::Run(const volatile std::sig_atomic_t* stop_flag) {
+  if (listen_fd_ < 0) {
+    Result<uint16_t> port = Listen();
+    if (!port.ok()) return port.status();
+  }
+  if (!wake_.ok()) return Status::Internal("transport wake pipe failed");
+  TL_RETURN_IF_ERROR(poller_.Add(listen_fd_, true, false));
+  TL_RETURN_IF_ERROR(poller_.Add(wake_.read_fd(), true, false));
+
+  last_sweep_ = Clock::now();
+  std::vector<EventPoller::Event> events;
+  Status loop_status = Status::OK();
+  for (;;) {
+    if (!draining_ && (stop_requested_.load(std::memory_order_acquire) ||
+                       (stop_flag != nullptr && *stop_flag != 0))) {
+      BeginDrain();
+    }
+    if (draining_) {
+      if (conns_.empty()) break;
+      const double elapsed = MillisSince(drain_started_, Clock::now());
+      const double soft = options_.drain_deadline_millis;
+      if (!drain_cancelled_ && elapsed >= soft) {
+        // Soft deadline: whatever has not finished is cancelled; workers
+        // trip their governors and the error responses flush normally.
+        for (auto& [fd, conn] : conns_) conn->cancel->Cancel();
+        drain_cancelled_ = true;
+      }
+      if (elapsed >= 2.0 * soft) {
+        // Hard deadline: stop waiting for unflushable peers.
+        break;
+      }
+    }
+
+    Status s = poller_.Wait(WaitTimeoutMillis(), &events);
+    if (!s.ok()) {
+      loop_status = s;
+      break;
+    }
+    for (const EventPoller::Event& event : events) {
+      if (event.fd == wake_.read_fd()) {
+        wake_.Drain();
+        continue;
+      }
+      if (event.fd == listen_fd_) {
+        if (!draining_) AcceptNew();
+        continue;
+      }
+      auto it = conns_.find(event.fd);
+      if (it == conns_.end()) continue;  // closed earlier in this batch
+      Conn* conn = it->second.get();
+      if (event.error) {
+        // EPOLLERR/EPOLLHUP: the peer reset (or the socket died). A clean
+        // half-close arrives as readable-EOF instead, never here.
+        resets_.fetch_add(1, std::memory_order_relaxed);
+        NetMetrics::Get().resets->Increment();
+        CloseConn(conn, /*abortive=*/true);
+        continue;
+      }
+      if (event.writable) {
+        FlushConn(conn);
+        it = conns_.find(event.fd);
+        if (it == conns_.end()) continue;
+        conn = it->second.get();
+      }
+      if (event.readable) ReadConn(conn);
+    }
+    DrainCompletions();
+
+    const Clock::time_point now = Clock::now();
+    if (MillisSince(last_sweep_, now) >= WaitTimeoutMillis()) {
+      SweepTimeouts();
+      last_sweep_ = now;
+    }
+  }
+
+  // Loop exited: account the drain, release every socket, and only then
+  // stop the workers — Server::Shutdown answers everything still queued,
+  // so the final completion sweep can account each one as orphaned.
+  const Clock::time_point drain_end = Clock::now();
+  for (auto& [fd, conn] : conns_) {
+    conn->cancel->Cancel();
+    poller_.Remove(fd);
+    close(fd);
+    active_.fetch_sub(1, std::memory_order_relaxed);
+    NetMetrics::Get().active->Add(-1);
+  }
+  conns_.clear();
+  conn_fd_by_id_.clear();
+  if (listen_fd_ >= 0) {
+    poller_.Remove(listen_fd_);
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  server_->Shutdown();
+  DrainCompletions();
+  poller_.Remove(wake_.read_fd());
+
+  if (draining_) {
+    const double micros =
+        MillisSince(drain_started_, drain_end) * 1000.0;
+    drain_micros_.store(micros, std::memory_order_relaxed);
+    NetMetrics::Get().drain_micros->Set(static_cast<int64_t>(micros));
+  }
+  NetMetrics::Get().injected_faults->Increment(io_.injected_faults() -
+                                               metered_faults_);
+  metered_faults_ = io_.injected_faults();
+  return loop_status;
+}
+
+void Transport::BeginDrain() {
+  draining_ = true;
+  drain_started_ = Clock::now();
+  drain_cancelled_ = false;
+  if (listen_fd_ >= 0) {
+    poller_.Remove(listen_fd_);
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Stop reading everywhere; close connections with nothing left to say.
+  // (Bytes already buffered but not yet newline-terminated are abandoned —
+  // the peer never finished asking.)
+  std::vector<int> idle_fds;
+  for (auto& [fd, conn] : conns_) {
+    UpdateInterest(conn.get());
+    if (conn->idle()) idle_fds.push_back(fd);
+  }
+  for (int fd : idle_fds) {
+    auto it = conns_.find(fd);
+    if (it != conns_.end()) CloseConn(it->second.get(), /*abortive=*/false);
+  }
+}
+
+void Transport::AcceptNew() {
+  NetMetrics& metrics = NetMetrics::Get();
+  for (;;) {
+    NetIoResult accepted = io_.Accept(listen_fd_);
+    if (accepted.kind == NetIoResult::Kind::kWouldBlock) return;
+    if (accepted.kind != NetIoResult::Kind::kOk) return;  // listener hiccup
+    const int fd = accepted.fd;
+    if (static_cast<int>(conns_.size()) >= options_.max_connections) {
+      // Turn-away: the one write this connection gets. Best effort — a
+      // flooder that cannot even take one line is simply closed.
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      metrics.rejected->Increment();
+      ServeResponse response;
+      response.ok = false;
+      response.error_code =
+          std::string(StatusCodeToString(StatusCode::kResourceExhausted));
+      response.error_message = "connection limit reached; retry later";
+      std::string line = response.ToJsonLine();
+      line.push_back('\n');
+      NetIoResult wrote = io_.Write(fd, line.data(), line.size());
+      if (wrote.ok()) {
+        bytes_out_.fetch_add(wrote.bytes, std::memory_order_relaxed);
+        metrics.bytes_out->Increment(wrote.bytes);
+      }
+      close(fd);
+      continue;
+    }
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    active_.fetch_add(1, std::memory_order_relaxed);
+    metrics.accepted->Increment();
+    metrics.active->Add(1);
+    const uint64_t id = ++next_conn_id_;
+    auto conn = std::make_unique<Conn>(id, fd, options_.max_frame_bytes);
+    conn->last_activity = Clock::now();
+    if (!poller_.Add(fd, true, false).ok()) {
+      active_.fetch_sub(1, std::memory_order_relaxed);
+      metrics.active->Add(-1);
+      close(fd);
+      continue;
+    }
+    conn->want_read = true;
+    conn->want_write = false;
+    Conn* raw = conn.get();
+    conn_fd_by_id_[id] = fd;
+    conns_[fd] = std::move(conn);
+    // The client may have pipelined its whole burst before we accepted.
+    ReadConn(raw);
+  }
+}
+
+void Transport::ReadConn(Conn* conn) {
+  NetMetrics& metrics = NetMetrics::Get();
+  char buf[4096];
+  std::vector<NdjsonFramer::Event> events;
+  // Bounded rounds per readiness event so one firehose connection cannot
+  // starve the rest of the loop (level-triggered: the rest arrives next
+  // iteration).
+  for (int round = 0; round < 16; ++round) {
+    if (conn->state != Conn::State::kOpen || conn->paused || draining_) break;
+    NetIoResult got = io_.Read(conn->fd, buf, sizeof(buf));
+    if (got.kind == NetIoResult::Kind::kWouldBlock) break;
+    if (got.kind == NetIoResult::Kind::kEof) {
+      // Orderly half-close: the peer finished sending. Everything already
+      // framed still gets answered and flushed before we close.
+      conn->state = Conn::State::kHalfClosed;
+      if (conn->idle()) {
+        CloseConn(conn, /*abortive=*/false);
+        return;
+      }
+      break;
+    }
+    if (got.kind == NetIoResult::Kind::kError) {
+      if (IsResetErrno(got.error)) {
+        resets_.fetch_add(1, std::memory_order_relaxed);
+        metrics.resets->Increment();
+      }
+      CloseConn(conn, /*abortive=*/true);
+      return;
+    }
+    bytes_in_.fetch_add(got.bytes, std::memory_order_relaxed);
+    metrics.bytes_in->Increment(got.bytes);
+    conn->last_activity = Clock::now();
+    const bool was_mid_frame = conn->framer.mid_frame();
+    events.clear();
+    conn->framer.Feed(std::string_view(buf, got.bytes), &events);
+    for (NdjsonFramer::Event& event : events) {
+      HandleFrame(conn, std::move(event));
+    }
+    if (conn->framer.mid_frame() && (!was_mid_frame || !events.empty())) {
+      // A fresh partial frame started (or progress was made): restart the
+      // slowloris clock.
+      conn->frame_started = conn->last_activity;
+    }
+  }
+  UpdateInterest(conn);
+}
+
+void Transport::HandleFrame(Conn* conn, NdjsonFramer::Event event) {
+  NetMetrics& metrics = NetMetrics::Get();
+  if (event.kind == NdjsonFramer::EventKind::kOversized) {
+    // Fail the request, keep the connection: the framer is already
+    // discarding through the frame's terminating newline.
+    frames_oversized_.fetch_add(1, std::memory_order_relaxed);
+    metrics.frames_oversized->Increment();
+    EnqueueErrorLine(conn, ++conn->next_client_id, "",
+                     StatusCode::kInvalidArgument,
+                     "request line exceeds max frame size of " +
+                         std::to_string(options_.max_frame_bytes) + " bytes");
+    return;
+  }
+  frames_.fetch_add(1, std::memory_order_relaxed);
+  metrics.frames->Increment();
+  const std::string& line = event.line;
+  if (line.front() == '#') {
+    HandleControlLine(conn, line);
+    return;
+  }
+  Result<ServeRequest> request = ParseRequestLine(line);
+  uint64_t client_id = ++conn->next_client_id;
+  if (!request.ok()) {
+    EnqueueErrorLine(conn, client_id, line, request.status().code(),
+                     request.status().message());
+    return;
+  }
+  if (request->id != 0) client_id = request->id;
+  const uint64_t internal_id = ++next_internal_id_;
+  routes_[internal_id] = Route{conn->id, client_id};
+  request->id = internal_id;
+  request->cancel = conn->cancel;
+  ++conn->in_flight;
+  requests_admitted_.fetch_add(1, std::memory_order_relaxed);
+  // A full admission queue sheds synchronously: the sink fires before
+  // Submit returns and the completion path below answers it like any
+  // other response — exactly one response per admitted frame, always.
+  server_->Submit(std::move(*request));
+}
+
+void Transport::HandleControlLine(Conn* conn, const std::string& line) {
+  if (line == "#stats") {
+    EnqueueLine(conn, StatsJsonLine());
+    return;
+  }
+  if (control_ != nullptr) {
+    std::string response = control_(line);
+    if (!response.empty()) {
+      EnqueueLine(conn, response);
+      return;
+    }
+  }
+  EnqueueErrorLine(conn, ++conn->next_client_id, line,
+                   StatusCode::kInvalidArgument, "unknown control line");
+}
+
+void Transport::EnqueueLine(Conn* conn, std::string_view line) {
+  conn->out.append(line);
+  conn->out.push_back('\n');
+  if (!conn->paused &&
+      conn->pending_out() > options_.write_high_water) {
+    // Backpressure: stop reading until the peer drains its responses.
+    // Its further pipelined requests wait in kernel buffers, not here.
+    conn->paused = true;
+    backpressure_stalls_.fetch_add(1, std::memory_order_relaxed);
+    NetMetrics::Get().backpressure_stalls->Increment();
+  }
+  UpdateInterest(conn);
+}
+
+void Transport::EnqueueErrorLine(Conn* conn, uint64_t id,
+                                 std::string_view query, StatusCode code,
+                                 std::string_view message) {
+  ServeResponse response;
+  response.id = id;
+  response.query = std::string(query);
+  response.ok = false;
+  response.error_code = std::string(StatusCodeToString(code));
+  response.error_message = std::string(message);
+  EnqueueLine(conn, response.ToJsonLine());
+}
+
+void Transport::FlushConn(Conn* conn) {
+  NetMetrics& metrics = NetMetrics::Get();
+  while (conn->pending_out() > 0) {
+    NetIoResult wrote = io_.Write(conn->fd, conn->out.data() + conn->out_offset,
+                                  conn->pending_out());
+    if (wrote.kind == NetIoResult::Kind::kWouldBlock) break;
+    if (!wrote.ok()) {
+      // EPIPE/ECONNRESET on write: nobody is listening any more; finishing
+      // the in-flight estimates would only burn workers.
+      if (IsResetErrno(wrote.error)) {
+        resets_.fetch_add(1, std::memory_order_relaxed);
+        metrics.resets->Increment();
+      }
+      CloseConn(conn, /*abortive=*/true);
+      return;
+    }
+    conn->out_offset += wrote.bytes;
+    bytes_out_.fetch_add(wrote.bytes, std::memory_order_relaxed);
+    metrics.bytes_out->Increment(wrote.bytes);
+    conn->last_activity = Clock::now();
+  }
+  if (conn->pending_out() == 0) {
+    conn->out.clear();
+    conn->out_offset = 0;
+  }
+  if (conn->paused && conn->pending_out() < options_.write_low_water) {
+    conn->paused = false;
+  }
+  if (conn->idle() &&
+      (conn->state == Conn::State::kHalfClosed || draining_)) {
+    CloseConn(conn, /*abortive=*/false);
+    return;
+  }
+  UpdateInterest(conn);
+}
+
+void Transport::UpdateInterest(Conn* conn) {
+  const bool want_read =
+      conn->state == Conn::State::kOpen && !conn->paused && !draining_;
+  const bool want_write = conn->pending_out() > 0;
+  if (want_read == conn->want_read && want_write == conn->want_write) return;
+  conn->want_read = want_read;
+  conn->want_write = want_write;
+  poller_.Modify(conn->fd, want_read, want_write);
+}
+
+void Transport::CloseConn(Conn* conn, bool abortive) {
+  if (abortive) {
+    // Cancel in-flight work: the governor trips on its next charge and the
+    // response (kCancelled) comes back to be accounted as orphaned.
+    conn->cancel->Cancel();
+  }
+  poller_.Remove(conn->fd);
+  close(conn->fd);
+  active_.fetch_sub(1, std::memory_order_relaxed);
+  NetMetrics::Get().active->Add(-1);
+  conn_fd_by_id_.erase(conn->id);
+  conns_.erase(conn->fd);  // destroys *conn — must be last
+}
+
+void Transport::DrainCompletions() {
+  std::vector<Completion> batch;
+  {
+    std::lock_guard<std::mutex> lock(completion_mu_);
+    batch.swap(completions_);
+  }
+  NetMetrics& metrics = NetMetrics::Get();
+  for (Completion& completion : batch) {
+    auto route_it = routes_.find(completion.internal_id);
+    if (route_it == routes_.end()) continue;  // should not happen
+    const Route route = route_it->second;
+    routes_.erase(route_it);
+    auto fd_it = conn_fd_by_id_.find(route.conn_id);
+    if (fd_it == conn_fd_by_id_.end()) {
+      // The connection died before its answer was ready. Not silent: the
+      // work was cancelled at close and the drop is counted here.
+      responses_orphaned_.fetch_add(1, std::memory_order_relaxed);
+      metrics.responses_orphaned->Increment();
+      continue;
+    }
+    Conn* conn = conns_.at(fd_it->second).get();
+    --conn->in_flight;
+    completion.response.id = route.client_id;
+    responses_delivered_.fetch_add(1, std::memory_order_relaxed);
+    EnqueueLine(conn, completion.response.ToJsonLine());
+    // Opportunistic flush: saves one poller round-trip per response and
+    // lets half-closed/draining connections finish immediately.
+    FlushConn(conn);
+  }
+}
+
+void Transport::SweepTimeouts() {
+  const Clock::time_point now = Clock::now();
+  NetMetrics& metrics = NetMetrics::Get();
+  std::vector<int> victims_idle;
+  std::vector<int> victims_slow;
+  for (auto& [fd, conn] : conns_) {
+    if (options_.request_timeout_millis > 0.0 && conn->framer.mid_frame() &&
+        MillisSince(conn->frame_started, now) >
+            options_.request_timeout_millis) {
+      victims_slow.push_back(fd);
+      continue;
+    }
+    if (options_.idle_timeout_millis > 0.0 && conn->in_flight == 0 &&
+        MillisSince(conn->last_activity, now) >
+            options_.idle_timeout_millis) {
+      // Covers both the silent connection and the one whose responses
+      // cannot be delivered (peer stopped reading): neither made progress.
+      victims_idle.push_back(fd);
+    }
+  }
+  for (int fd : victims_slow) {
+    auto it = conns_.find(fd);
+    if (it == conns_.end()) continue;
+    Conn* conn = it->second.get();
+    request_timeouts_.fetch_add(1, std::memory_order_relaxed);
+    metrics.request_timeouts->Increment();
+    // Best-effort parting error, then the slowloris is gone.
+    EnqueueErrorLine(conn, ++conn->next_client_id, "",
+                     StatusCode::kDeadlineExceeded,
+                     "request frame not completed in time");
+    std::string_view out(conn->out.data() + conn->out_offset,
+                         conn->pending_out());
+    NetIoResult wrote = io_.Write(conn->fd, out.data(), out.size());
+    if (wrote.ok()) {
+      bytes_out_.fetch_add(wrote.bytes, std::memory_order_relaxed);
+      metrics.bytes_out->Increment(wrote.bytes);
+    }
+    CloseConn(conn, /*abortive=*/true);
+  }
+  for (int fd : victims_idle) {
+    auto it = conns_.find(fd);
+    if (it == conns_.end()) continue;
+    idle_timeouts_.fetch_add(1, std::memory_order_relaxed);
+    metrics.idle_timeouts->Increment();
+    CloseConn(it->second.get(), /*abortive=*/false);
+  }
+}
+
+std::string Transport::StatsJsonLine() const {
+  const Server::Stats stats = server_->GetStats();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("stats").BeginObject();
+  w.Key("submitted").Uint(stats.submitted);
+  w.Key("shed").Uint(stats.shed);
+  w.Key("ok").Uint(stats.ok);
+  w.Key("errors").Uint(stats.errors);
+  w.Key("degraded").Uint(stats.degraded);
+  w.Key("cache_hits").Uint(stats.cache_hits);
+  w.Key("cache_misses").Uint(stats.cache_misses);
+  w.Key("snapshot_version").Int(snapshots_->version());
+  w.Key("net").BeginObject();
+  w.Key("accepted").Uint(accepted_.load(std::memory_order_relaxed));
+  w.Key("rejected").Uint(rejected_.load(std::memory_order_relaxed));
+  w.Key("active").Uint(active_.load(std::memory_order_relaxed));
+  w.Key("frames").Uint(frames_.load(std::memory_order_relaxed));
+  w.Key("frames_oversized")
+      .Uint(frames_oversized_.load(std::memory_order_relaxed));
+  w.Key("responses_delivered")
+      .Uint(responses_delivered_.load(std::memory_order_relaxed));
+  w.Key("responses_orphaned")
+      .Uint(responses_orphaned_.load(std::memory_order_relaxed));
+  w.Key("backpressure_stalls")
+      .Uint(backpressure_stalls_.load(std::memory_order_relaxed));
+  w.Key("resets").Uint(resets_.load(std::memory_order_relaxed));
+  w.EndObject();
+  w.EndObject();
+  w.EndObject();
+  return w.TakeString();
+}
+
+}  // namespace serve
+}  // namespace treelattice

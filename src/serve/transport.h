@@ -1,0 +1,205 @@
+#ifndef TREELATTICE_SERVE_TRANSPORT_H_
+#define TREELATTICE_SERVE_TRANSPORT_H_
+
+#include <atomic>
+#include <csignal>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/conn.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
+#include "util/event_poller.h"
+#include "util/net.h"
+#include "util/thread_annotations.h"
+
+namespace treelattice {
+namespace serve {
+
+/// The TCP front end of `treelattice serve`: a single-threaded,
+/// non-blocking event loop (epoll, poll fallback — util/event_poller.h)
+/// that accepts many concurrent connections, frames pipelined NDJSON
+/// requests (the same envelope protocol as stdin mode), feeds the Server's
+/// bounded admission queue, and routes each response back to the
+/// connection that asked — workers never touch a socket, the loop never
+/// blocks on one.
+///
+/// Robustness governance, per connection (DESIGN.md §11):
+///   * max-connections cap — over the cap, a connection is accepted only
+///     long enough to receive a ResourceExhausted turn-away line.
+///   * write backpressure — a connection whose response backlog exceeds
+///     `write_high_water` stops being read (its pipelined requests stay in
+///     its kernel socket buffer) and resumes below `write_low_water`, so a
+///     client that never reads cannot grow server memory without bound.
+///   * idle + mid-frame timeouts — a connection with no traffic, or one
+///     dribbling a frame byte-by-byte (slowloris), is closed.
+///   * max frame size — an overlong line fails that request with a JSON
+///     error; the connection and process live on.
+///   * half-close vs. abort — peer EOF still gets every buffered request
+///     answered and flushed; RST/EPIPE cancels in-flight work through the
+///     connection's CancelToken and closes immediately.
+///
+/// Graceful drain: RequestShutdown() (or the `stop_flag` handed to Run,
+/// flipped from a signal handler) closes the acceptor, stops reading,
+/// answers and flushes everything in flight, then closes. Requests still
+/// unfinished at `drain_deadline_millis` are cancelled; connections that
+/// cannot flush by twice the deadline are force-closed. Run returns only
+/// when every admitted request has been delivered or accounted orphaned.
+///
+/// Fault injection: `Options::faults` seeds the NetIo shim (short
+/// reads/writes, EAGAIN storms, injected ECONNRESET) the same way
+/// FaultInjectingEnv seeds file I/O — the soak tests run the whole
+/// transport under these storms and assert exactly-once delivery.
+class Transport {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;  // 0 = ephemeral (tests, benches)
+    int backlog = 128;
+    /// Connections served concurrently; above this, accept + turn away.
+    int max_connections = 1024;
+    /// Longest accepted request line, newline excluded.
+    size_t max_frame_bytes = 1 << 20;
+    /// Close a connection with no in-flight work and no traffic for this
+    /// long. <= 0 disables.
+    double idle_timeout_millis = 300000.0;
+    /// Close a connection that holds a frame open (bytes buffered, no
+    /// newline) for this long — the slowloris defense. <= 0 disables.
+    double request_timeout_millis = 30000.0;
+    /// Stop reading a connection whose pending output exceeds high water;
+    /// resume below low water.
+    size_t write_high_water = 1 << 20;
+    size_t write_low_water = 1 << 18;
+    /// Soft drain budget on shutdown; see class comment.
+    double drain_deadline_millis = 5000.0;
+    /// Force the poll(2) backend even where epoll is available.
+    bool force_poll = false;
+    /// Deterministic socket-fault seeding (0 = off).
+    NetFaultConfig faults;
+  };
+
+  /// Handles control lines ('#'-prefixed) the transport does not answer
+  /// itself ("#stats" is built in). Returns the complete JSON response
+  /// line (without newline); an empty return produces a generic error
+  /// response. Runs on the loop thread — keep it quick.
+  using ControlHandler = std::function<std::string(std::string_view line)>;
+
+  /// Constructs the transport and its internal Server (worker pool +
+  /// admission queue) over `snapshots`, which must outlive the transport.
+  Transport(SnapshotHolder* snapshots, ServerOptions server_options,
+            Options options, ControlHandler control = nullptr);
+  ~Transport();
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  /// Binds and listens. Returns the bound port (resolves port 0).
+  Result<uint16_t> Listen();
+  uint16_t port() const { return port_; }
+
+  /// Runs the event loop on the calling thread until a shutdown request
+  /// drains it (see class comment). `stop_flag`, when given, is polled
+  /// every iteration — the CLI points it at its sig_atomic_t signal flag
+  /// (signals interrupt the poller wait, so reaction is immediate).
+  Status Run(const volatile std::sig_atomic_t* stop_flag = nullptr);
+
+  /// Thread-safe; nudges Run to begin the graceful drain.
+  void RequestShutdown();
+
+  Server::Stats GetServerStats() const { return server_->GetStats(); }
+
+  struct Stats {
+    uint64_t accepted = 0;
+    uint64_t rejected = 0;        // turned away at the connection cap
+    uint64_t active = 0;          // open right now
+    uint64_t frames = 0;          // complete request lines parsed
+    uint64_t frames_oversized = 0;
+    uint64_t requests_admitted = 0;  // submitted to the Server
+    uint64_t responses_delivered = 0;
+    uint64_t responses_orphaned = 0;  // connection died first
+    uint64_t bytes_in = 0;
+    uint64_t bytes_out = 0;
+    uint64_t idle_timeouts = 0;
+    uint64_t request_timeouts = 0;  // slowloris closes
+    uint64_t backpressure_stalls = 0;
+    uint64_t resets = 0;  // abortive closes (RST/EPIPE/injected)
+    uint64_t injected_faults = 0;
+    double drain_micros = 0.0;  // shutdown-to-loop-exit, once Run returns
+  };
+  Stats GetStats() const;
+
+ private:
+  struct Route {
+    uint64_t conn_id = 0;
+    uint64_t client_id = 0;
+  };
+  struct Completion {
+    uint64_t internal_id = 0;
+    ServeResponse response;
+  };
+
+  // Event-loop internals; all run on the loop thread.
+  void AcceptNew();
+  void ReadConn(Conn* conn);
+  void FlushConn(Conn* conn);
+  void HandleFrame(Conn* conn, NdjsonFramer::Event event);
+  void HandleControlLine(Conn* conn, const std::string& line);
+  void EnqueueLine(Conn* conn, std::string_view line);
+  void EnqueueErrorLine(Conn* conn, uint64_t id, std::string_view query,
+                        StatusCode code, std::string_view message);
+  void UpdateInterest(Conn* conn);
+  void CloseConn(Conn* conn, bool abortive);
+  void DrainCompletions();
+  void SweepTimeouts();
+  void BeginDrain();
+  int WaitTimeoutMillis() const;
+  std::string StatsJsonLine() const;
+
+  SnapshotHolder* const snapshots_;
+  const Options options_;
+  const ControlHandler control_;
+  std::unique_ptr<Server> server_;
+
+  EventPoller poller_;
+  NetIo io_;
+  WakePipe wake_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+
+  uint64_t next_conn_id_ = 0;
+  uint64_t next_internal_id_ = 0;
+  std::unordered_map<int, std::unique_ptr<Conn>> conns_;       // by fd
+  std::unordered_map<uint64_t, int> conn_fd_by_id_;
+  std::unordered_map<uint64_t, Route> routes_;  // internal id -> conn
+  std::chrono::steady_clock::time_point last_sweep_;
+
+  // Drain state (loop thread).
+  bool draining_ = false;
+  bool drain_cancelled_ = false;
+  std::chrono::steady_clock::time_point drain_started_;
+
+  std::atomic<bool> stop_requested_{false};
+  /// Injected-fault count already flushed to the metrics registry.
+  uint64_t metered_faults_ = 0;
+
+  std::mutex completion_mu_;
+  std::vector<Completion> completions_ TL_GUARDED_BY(completion_mu_);
+
+  // Counters; loop thread writes, any thread reads via GetStats.
+  std::atomic<uint64_t> accepted_{0}, rejected_{0}, active_{0}, frames_{0},
+      frames_oversized_{0}, requests_admitted_{0}, responses_delivered_{0},
+      responses_orphaned_{0}, bytes_in_{0}, bytes_out_{0}, idle_timeouts_{0},
+      request_timeouts_{0}, backpressure_stalls_{0}, resets_{0};
+  std::atomic<double> drain_micros_{0.0};
+};
+
+}  // namespace serve
+}  // namespace treelattice
+
+#endif  // TREELATTICE_SERVE_TRANSPORT_H_

@@ -1,0 +1,153 @@
+#include "util/event_poller.h"
+
+#include <cerrno>
+#include <cstring>
+#include <poll.h>
+#include <unistd.h>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#define TL_HAVE_EPOLL 1
+#endif
+
+namespace treelattice {
+
+namespace {
+
+constexpr uint8_t kRead = 1;
+constexpr uint8_t kWrite = 2;
+
+uint8_t Mask(bool want_read, bool want_write) {
+  return static_cast<uint8_t>((want_read ? kRead : 0) |
+                              (want_write ? kWrite : 0));
+}
+
+Status Errno(const char* what) {
+  return Status::IOError(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+EventPoller::EventPoller(bool force_poll) {
+#if TL_HAVE_EPOLL
+  if (!force_poll) {
+    epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+    // On failure fall through to the poll backend rather than erroring:
+    // the fallback exists exactly for "epoll unavailable".
+  }
+#else
+  (void)force_poll;
+#endif
+}
+
+EventPoller::~EventPoller() {
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+}
+
+bool EventPoller::ok() const { return epoll_fd_ >= 0 || poll_ok_; }
+
+Status EventPoller::Add(int fd, bool want_read, bool want_write) {
+  if (fd < 0) return Status::InvalidArgument("EventPoller::Add: bad fd");
+  const uint8_t mask = Mask(want_read, want_write);
+  interest_[fd] = mask;
+#if TL_HAVE_EPOLL
+  if (epoll_fd_ >= 0) {
+    epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      interest_.erase(fd);
+      return Errno("epoll_ctl(ADD)");
+    }
+  }
+#endif
+  return Status::OK();
+}
+
+Status EventPoller::Modify(int fd, bool want_read, bool want_write) {
+  auto it = interest_.find(fd);
+  if (it == interest_.end()) {
+    return Status::NotFound("EventPoller::Modify: fd not registered");
+  }
+  const uint8_t mask = Mask(want_read, want_write);
+  if (it->second == mask) return Status::OK();
+  it->second = mask;
+#if TL_HAVE_EPOLL
+  if (epoll_fd_ >= 0) {
+    epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+      return Errno("epoll_ctl(MOD)");
+    }
+  }
+#endif
+  return Status::OK();
+}
+
+Status EventPoller::Remove(int fd) {
+  if (interest_.erase(fd) == 0) return Status::OK();
+#if TL_HAVE_EPOLL
+  if (epoll_fd_ >= 0) {
+    // The fd may already be closed (kernel auto-deregisters); EBADF/ENOENT
+    // are not failures of the caller's bookkeeping.
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr) != 0 &&
+        errno != EBADF && errno != ENOENT) {
+      return Errno("epoll_ctl(DEL)");
+    }
+  }
+#endif
+  return Status::OK();
+}
+
+Status EventPoller::Wait(int timeout_millis, std::vector<Event>* events) {
+  events->clear();
+#if TL_HAVE_EPOLL
+  if (epoll_fd_ >= 0) {
+    epoll_event ready[256];
+    int n = epoll_wait(epoll_fd_, ready, 256, timeout_millis);
+    if (n < 0) {
+      if (errno == EINTR) return Status::OK();
+      return Errno("epoll_wait");
+    }
+    for (int i = 0; i < n; ++i) {
+      Event event;
+      event.fd = ready[i].data.fd;
+      event.readable = (ready[i].events & EPOLLIN) != 0;
+      event.writable = (ready[i].events & EPOLLOUT) != 0;
+      event.error = (ready[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+      events->push_back(event);
+    }
+    return Status::OK();
+  }
+#endif
+  std::vector<pollfd> fds;
+  fds.reserve(interest_.size());
+  for (const auto& [fd, mask] : interest_) {
+    pollfd p;
+    p.fd = fd;
+    p.events = static_cast<short>(((mask & kRead) ? POLLIN : 0) |
+                                  ((mask & kWrite) ? POLLOUT : 0));
+    p.revents = 0;
+    fds.push_back(p);
+  }
+  int n = poll(fds.data(), fds.size(), timeout_millis);
+  if (n < 0) {
+    if (errno == EINTR) return Status::OK();
+    return Errno("poll");
+  }
+  for (const pollfd& p : fds) {
+    if (p.revents == 0) continue;
+    Event event;
+    event.fd = p.fd;
+    event.readable = (p.revents & POLLIN) != 0;
+    event.writable = (p.revents & POLLOUT) != 0;
+    event.error = (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+    events->push_back(event);
+  }
+  return Status::OK();
+}
+
+}  // namespace treelattice

@@ -1,0 +1,63 @@
+#ifndef TREELATTICE_UTIL_EVENT_POLLER_H_
+#define TREELATTICE_UTIL_EVENT_POLLER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/result.h"
+
+namespace treelattice {
+
+/// Readiness multiplexer for the serving event loop: epoll on Linux, a
+/// poll(2) fallback everywhere else (and on Linux when `force_poll` asks
+/// for it, so the fallback path stays tested). Level-triggered in both
+/// backends — a fd stays ready until the caller drains it, which keeps the
+/// transport's read/write resumption logic trivial.
+///
+/// Not thread-safe: one poller belongs to one loop thread. Use a WakePipe
+/// fd registered with the poller to nudge it from other threads.
+class EventPoller {
+ public:
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    /// Error or hangup on the fd (EPOLLERR/EPOLLHUP, POLLERR/POLLHUP).
+    /// The peer sending RST lands here; a clean half-close (shutdown of
+    /// the peer's write side) shows up as readable-with-EOF instead.
+    bool error = false;
+  };
+
+  explicit EventPoller(bool force_poll = false);
+  ~EventPoller();
+  EventPoller(const EventPoller&) = delete;
+  EventPoller& operator=(const EventPoller&) = delete;
+
+  bool ok() const;
+  /// True when the epoll backend is active (always false off-Linux).
+  bool using_epoll() const { return epoll_fd_ >= 0; }
+
+  Status Add(int fd, bool want_read, bool want_write);
+  Status Modify(int fd, bool want_read, bool want_write);
+  Status Remove(int fd);
+  size_t watched() const { return interest_.size(); }
+
+  /// Blocks up to `timeout_millis` (< 0 = forever, 0 = poll) and appends
+  /// ready fds to `events` (cleared first). A signal interrupting the wait
+  /// returns OK with zero events so the caller re-checks its stop flag.
+  Status Wait(int timeout_millis, std::vector<Event>* events);
+
+ private:
+  // fd -> interest mask (bit 0 read, bit 1 write); the poll backend builds
+  // its pollfd array from this map, the epoll backend mirrors it into the
+  // kernel.
+  std::unordered_map<int, uint8_t> interest_;
+  int epoll_fd_ = -1;
+  bool poll_ok_ = true;
+  std::vector<Event> scratch_;
+};
+
+}  // namespace treelattice
+
+#endif  // TREELATTICE_UTIL_EVENT_POLLER_H_

@@ -1,0 +1,275 @@
+#include "util/net.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace treelattice {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Result<HostPort> ParseHostPort(std::string_view text) {
+  HostPort out;
+  std::string_view port_part = text;
+  const size_t colon = text.rfind(':');
+  if (colon != std::string_view::npos) {
+    out.host = std::string(text.substr(0, colon));
+    port_part = text.substr(colon + 1);
+  }
+  if (out.host.empty()) out.host = "0.0.0.0";
+  if (port_part.empty()) {
+    return Status::InvalidArgument("listen address '" + std::string(text) +
+                                   "' has no port (want host:port)");
+  }
+  uint32_t port = 0;
+  for (char c : port_part) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("bad port in listen address '" +
+                                     std::string(text) + "'");
+    }
+    port = port * 10 + static_cast<uint32_t>(c - '0');
+    if (port > 65535) {
+      return Status::InvalidArgument("port out of range in '" +
+                                     std::string(text) + "'");
+    }
+  }
+  out.port = static_cast<uint16_t>(port);
+  return out;
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  int fdflags = fcntl(fd, F_GETFD, 0);
+  if (fdflags >= 0) fcntl(fd, F_SETFD, fdflags | FD_CLOEXEC);
+  return Status::OK();
+}
+
+Result<int> ListenTcp(const std::string& host, uint16_t port, int backlog) {
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (host == "localhost") {
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  } else if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("cannot parse listen host '" + host +
+                                   "' (IPv4 dotted quad or 'localhost')");
+  }
+
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (Status s = SetNonBlocking(fd); !s.ok()) {
+    close(fd);
+    return s;
+  }
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status s = Errno("bind " + host + ":" + std::to_string(port));
+    close(fd);
+    return s;
+  }
+  if (listen(fd, backlog) < 0) {
+    Status s = Errno("listen");
+    close(fd);
+    return s;
+  }
+  return fd;
+}
+
+Result<uint16_t> BoundPort(int fd) {
+  sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    return Errno("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+NetIo::Fault NetIo::NextFault(bool data_op) {
+  if (!faults_.enabled()) return Fault::kNone;
+  const double roll = rng_.NextDouble();
+  double edge = faults_.eagain;
+  if (roll < edge) {
+    injected_faults_.fetch_add(1, std::memory_order_relaxed);
+    return Fault::kEagain;
+  }
+  if (data_op) {
+    edge += faults_.reset;
+    if (roll < edge) {
+      injected_faults_.fetch_add(1, std::memory_order_relaxed);
+      return Fault::kReset;
+    }
+    edge += faults_.short_io;
+    if (roll < edge) {
+      injected_faults_.fetch_add(1, std::memory_order_relaxed);
+      return Fault::kShort;
+    }
+  }
+  return Fault::kNone;
+}
+
+NetIoResult NetIo::Read(int fd, char* buf, size_t len) {
+  NetIoResult result;
+  size_t cap = len;
+  switch (NextFault(/*data_op=*/true)) {
+    case Fault::kEagain:
+      result.kind = NetIoResult::Kind::kWouldBlock;
+      return result;
+    case Fault::kReset:
+      result.kind = NetIoResult::Kind::kError;
+      result.error = ECONNRESET;
+      return result;
+    case Fault::kShort:
+      cap = 1 + rng_.Uniform(8);
+      if (cap > len) cap = len;
+      break;
+    case Fault::kNone:
+      break;
+  }
+  for (;;) {
+    ssize_t n = recv(fd, buf, cap, MSG_DONTWAIT);
+    if (n > 0) {
+      result.kind = NetIoResult::Kind::kOk;
+      result.bytes = static_cast<size_t>(n);
+      return result;
+    }
+    if (n == 0) {
+      result.kind = NetIoResult::Kind::kEof;
+      return result;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      result.kind = NetIoResult::Kind::kWouldBlock;
+    } else {
+      result.kind = NetIoResult::Kind::kError;
+      result.error = errno;
+    }
+    return result;
+  }
+}
+
+NetIoResult NetIo::Write(int fd, const char* buf, size_t len) {
+  NetIoResult result;
+  size_t cap = len;
+  switch (NextFault(/*data_op=*/true)) {
+    case Fault::kEagain:
+      result.kind = NetIoResult::Kind::kWouldBlock;
+      return result;
+    case Fault::kReset:
+      result.kind = NetIoResult::Kind::kError;
+      result.error = ECONNRESET;
+      return result;
+    case Fault::kShort:
+      cap = 1 + rng_.Uniform(8);
+      if (cap > len) cap = len;
+      break;
+    case Fault::kNone:
+      break;
+  }
+  for (;;) {
+    // MSG_NOSIGNAL: a peer that already closed must yield EPIPE, not kill
+    // the process with SIGPIPE.
+    ssize_t n = send(fd, buf, cap, MSG_DONTWAIT | MSG_NOSIGNAL);
+    if (n >= 0) {
+      result.kind = NetIoResult::Kind::kOk;
+      result.bytes = static_cast<size_t>(n);
+      return result;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      result.kind = NetIoResult::Kind::kWouldBlock;
+    } else {
+      result.kind = NetIoResult::Kind::kError;
+      result.error = errno;
+    }
+    return result;
+  }
+}
+
+NetIoResult NetIo::Accept(int listen_fd) {
+  NetIoResult result;
+  if (NextFault(/*data_op=*/false) == Fault::kEagain) {
+    result.kind = NetIoResult::Kind::kWouldBlock;
+    return result;
+  }
+  for (;;) {
+    int fd = accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      if (Status s = SetNonBlocking(fd); !s.ok()) {
+        close(fd);
+        result.kind = NetIoResult::Kind::kError;
+        result.error = EINVAL;
+        return result;
+      }
+      int one = 1;
+      setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      result.kind = NetIoResult::Kind::kOk;
+      result.fd = fd;
+      return result;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      result.kind = NetIoResult::Kind::kWouldBlock;
+      return result;
+    }
+    // ECONNABORTED/EMFILE and friends: this connection is gone (or must
+    // wait); the listener itself is still fine.
+    if (errno == ECONNABORTED || errno == EPROTO || errno == EMFILE ||
+        errno == ENFILE || errno == ENOBUFS || errno == ENOMEM) {
+      result.kind = NetIoResult::Kind::kWouldBlock;
+      return result;
+    }
+    result.kind = NetIoResult::Kind::kError;
+    result.error = errno;
+    return result;
+  }
+}
+
+WakePipe::WakePipe() {
+  int fds[2];
+  if (pipe(fds) != 0) return;
+  if (!SetNonBlocking(fds[0]).ok() || !SetNonBlocking(fds[1]).ok()) {
+    close(fds[0]);
+    close(fds[1]);
+    return;
+  }
+  read_fd_ = fds[0];
+  write_fd_ = fds[1];
+}
+
+WakePipe::~WakePipe() {
+  if (read_fd_ >= 0) close(read_fd_);
+  if (write_fd_ >= 0) close(write_fd_);
+}
+
+void WakePipe::Wake() {
+  if (write_fd_ < 0) return;
+  const char byte = 'w';
+  // EAGAIN means the pipe is full — a wakeup is already pending, which is
+  // all Wake promises.
+  (void)!write(write_fd_, &byte, 1);
+}
+
+void WakePipe::Drain() {
+  if (read_fd_ < 0) return;
+  char buf[256];
+  while (read(read_fd_, buf, sizeof(buf)) > 0) {
+  }
+}
+
+}  // namespace treelattice

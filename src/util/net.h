@@ -1,0 +1,136 @@
+#ifndef TREELATTICE_UTIL_NET_H_
+#define TREELATTICE_UTIL_NET_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace treelattice {
+
+/// POSIX TCP helpers for the serving transport (serve/transport.*): listener
+/// setup, address parsing, and a non-blocking read/write/accept shim with
+/// deterministic fault injection — the network rendering of io/fault_env.h.
+/// Every socket these helpers touch is O_NONBLOCK and every data call uses
+/// MSG_DONTWAIT, so an event loop built on them can never block in a
+/// syscall (tools/tl_lint.py `blocking-syscall` enforces that the loop code
+/// goes through this layer).
+
+/// "host:port" split; accepts "127.0.0.1:8080", ":8080" (any local
+/// address → 0.0.0.0), and a bare "8080". Port 0 asks the kernel for an
+/// ephemeral port (tests, benches).
+struct HostPort {
+  std::string host;
+  uint16_t port = 0;
+};
+Result<HostPort> ParseHostPort(std::string_view text);
+
+/// Marks `fd` O_NONBLOCK (and FD_CLOEXEC).
+Status SetNonBlocking(int fd);
+
+/// Creates a non-blocking listening TCP socket bound to host:port with
+/// SO_REUSEADDR. Returns the listener fd.
+Result<int> ListenTcp(const std::string& host, uint16_t port, int backlog);
+
+/// Port a bound socket actually listens on (resolves port 0).
+Result<uint16_t> BoundPort(int fd);
+
+/// Outcome of one non-blocking socket operation.
+struct NetIoResult {
+  enum class Kind {
+    kOk,          // `bytes` transferred (Read/Write) or `fd` accepted
+    kWouldBlock,  // EAGAIN/EWOULDBLOCK: retry after the next readiness event
+    kEof,         // orderly shutdown from the peer (Read only)
+    kError,       // connection-fatal failure; `error` holds errno
+  };
+  Kind kind = Kind::kError;
+  size_t bytes = 0;
+  int fd = -1;
+  int error = 0;
+
+  bool ok() const { return kind == Kind::kOk; }
+};
+
+/// Deterministic fault seeding for the socket layer, mirroring
+/// FaultInjectingEnv for file I/O: a seeded RNG decides, per operation,
+/// whether to shorten it, pretend the socket is not ready (EAGAIN storm),
+/// or fail it with ECONNRESET. Short reads/writes and EAGAIN are lossless
+/// (the caller retries and no byte is dropped); injected resets are
+/// connection-fatal on purpose — they exercise the cancel-and-close path.
+struct NetFaultConfig {
+  /// 0 disables all injection.
+  uint64_t seed = 0;
+  /// Probability a Read/Write is capped to 1..8 bytes.
+  double short_io = 0.0;
+  /// Probability a Read/Write/Accept reports EAGAIN although the kernel
+  /// was (possibly) ready.
+  double eagain = 0.0;
+  /// Probability a Read/Write fails with an injected ECONNRESET.
+  double reset = 0.0;
+
+  bool enabled() const {
+    return seed != 0 && (short_io > 0.0 || eagain > 0.0 || reset > 0.0);
+  }
+};
+
+/// Non-blocking socket I/O with optional injected faults. One instance per
+/// event loop; not thread-safe (the loop thread owns it). `injected_faults`
+/// counts every synthetic short/EAGAIN/reset decision taken.
+class NetIo {
+ public:
+  explicit NetIo(const NetFaultConfig& faults = NetFaultConfig())
+      : faults_(faults), rng_(faults.seed) {}
+
+  NetIoResult Read(int fd, char* buf, size_t len);
+  NetIoResult Write(int fd, const char* buf, size_t len);
+  /// Accepts one connection from a listening socket; the returned fd is
+  /// already non-blocking. Transient per-connection accept failures
+  /// (ECONNABORTED and friends) surface as kWouldBlock so the loop simply
+  /// moves on.
+  NetIoResult Accept(int listen_fd);
+
+  uint64_t injected_faults() const {
+    return injected_faults_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Kind of synthetic fault to apply to the next operation, if any.
+  enum class Fault { kNone, kShort, kEagain, kReset };
+  Fault NextFault(bool data_op);
+
+  NetFaultConfig faults_;
+  Rng rng_;
+  /// Relaxed atomic only so stats snapshots from other threads are clean;
+  /// all writes stay on the loop thread.
+  std::atomic<uint64_t> injected_faults_{0};
+};
+
+/// A self-pipe for waking a poller from other threads (worker completions,
+/// shutdown requests). Both ends are non-blocking; Wake() coalesces — a
+/// full pipe already guarantees a pending wakeup.
+class WakePipe {
+ public:
+  WakePipe();
+  ~WakePipe();
+  WakePipe(const WakePipe&) = delete;
+  WakePipe& operator=(const WakePipe&) = delete;
+
+  bool ok() const { return read_fd_ >= 0; }
+  int read_fd() const { return read_fd_; }
+  /// Thread-safe and async-signal-safe (one write syscall).
+  void Wake();
+  /// Drains pending wakeups; call when read_fd() polls readable.
+  void Drain();
+
+ private:
+  int read_fd_ = -1;
+  int write_fd_ = -1;
+};
+
+}  // namespace treelattice
+
+#endif  // TREELATTICE_UTIL_NET_H_

@@ -5,11 +5,20 @@
 // itself: `tools/run_sanitized_tests.sh thread` runs this binary under
 // ThreadSanitizer, which turns any data race into a failure.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -21,6 +30,7 @@
 #include "obs/trace.h"
 #include "serve/estimate_cache.h"
 #include "serve/snapshot.h"
+#include "serve/transport.h"
 #include "summary/lattice_summary.h"
 #include "twig/twig.h"
 #include "util/hash.h"
@@ -361,6 +371,144 @@ TEST(ConcurrencyTest, SnapshotHotSwapHammer) {
   stop.store(true, std::memory_order_release);
   swapper.join();
   EXPECT_GE(holder.version(), 1);
+}
+
+// --- TCP transport churn -------------------------------------------------
+
+namespace transport_hammer {
+
+int ConnectTo(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool SendAll(int fd, std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Reads until `want` newline-terminated lines arrived or EOF/timeout;
+/// returns how many lines it saw.
+int ReadLines(int fd, int want, int timeout_millis) {
+  int lines = 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_millis);
+  while (lines < want) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) break;
+    pollfd pfd{fd, POLLIN, 0};
+    const int wait = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+            .count());
+    if (::poll(&pfd, 1, std::max(wait, 1)) <= 0) break;
+    char buf[4096];
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    for (ssize_t i = 0; i < n; ++i) {
+      if (buf[i] == '\n') ++lines;
+    }
+  }
+  return lines;
+}
+
+}  // namespace transport_hammer
+
+TEST(ConcurrencyTest, TransportConnectionChurnHammer) {
+  // 8 client threads churn real TCP connections against the transport —
+  // connect, pipeline a few queries, read the answers, disconnect (every
+  // third connection abandons its responses instead of reading; every
+  // fifth slams the door mid-flight) — while one thread hot-swaps the
+  // snapshot through the '#reload' control path. The transport's event
+  // loop, the worker pool, and the completion queue all interleave; TSan
+  // (tools/run_sanitized_tests.sh thread) turns any race into a failure.
+  using transport_hammer::ConnectTo;
+  using transport_hammer::ReadLines;
+  using transport_hammer::SendAll;
+
+  LabelDict dict;
+  auto make_snapshot = [&] {
+    LatticeSummary summary(2);
+    for (const auto& [text, count] :
+         std::vector<std::pair<std::string, uint64_t>>{
+             {"a", 10}, {"b", 8}, {"a(b)", 5}}) {
+      Result<Twig> twig = Twig::Parse(text, &dict);
+      EXPECT_TRUE(twig.ok());
+      EXPECT_TRUE(summary.Insert(*twig, count).ok());
+    }
+    summary.set_complete_through_level(2);
+    return std::make_shared<serve::SummarySnapshot>(std::move(summary),
+                                                    LabelDict(dict));
+  };
+
+  serve::SnapshotHolder holder;
+  holder.Swap(make_snapshot());
+
+  serve::ServerOptions server_options;
+  server_options.workers = 4;
+  auto control = [&](std::string_view line) -> std::string {
+    if (line != "#reload") return std::string();
+    holder.Swap(make_snapshot());
+    return "{\"reload\":{\"ok\":true}}";
+  };
+  serve::Transport transport(&holder, server_options, {}, control);
+  Result<uint16_t> port = transport.Listen();
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+  std::thread loop([&] { EXPECT_TRUE(transport.Run().ok()); });
+
+  std::atomic<int> answered{0};
+  RunThreads(kThreads, [&](int t) {
+    for (int round = 0; round < 25; ++round) {
+      int fd = ConnectTo(*port);
+      ASSERT_GE(fd, 0);
+      std::string burst;
+      for (int q = 0; q < 5; ++q) {
+        burst += "{\"query\": \"a(b)\", \"id\": " + std::to_string(q + 1) +
+                 "}\n";
+      }
+      // One thread injects a #reload mid-flight each round.
+      if (t == 0) burst += "#reload\n";
+      if (!SendAll(fd, burst)) {
+        ::close(fd);
+        continue;
+      }
+      const int want = 5 + (t == 0 ? 1 : 0);
+      if (round % 5 == 4) {
+        // Slam the door: RST with requests possibly still in flight.
+        linger lg{1, 0};
+        setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+      } else if (round % 3 != 2) {
+        // Most connections politely read everything they asked for.
+        answered.fetch_add(ReadLines(fd, want, 10000),
+                           std::memory_order_relaxed);
+      }
+      ::close(fd);
+    }
+  });
+
+  transport.RequestShutdown();
+  loop.join();
+
+  serve::Transport::Stats stats = transport.GetStats();
+  EXPECT_GT(answered.load(), 0);
+  // Exactly-once accounting holds under churn: every admitted request was
+  // either delivered to its connection's buffer or counted orphaned.
+  EXPECT_EQ(stats.requests_admitted,
+            stats.responses_delivered + stats.responses_orphaned);
+  EXPECT_EQ(stats.active, 0u);
 }
 
 }  // namespace

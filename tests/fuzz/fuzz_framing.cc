@@ -1,0 +1,76 @@
+// Fuzz harness for the TCP transport's NDJSON framer (serve/conn.h). The
+// input's first byte picks the frame-size limit and the chunking pattern,
+// so mutations explore partial lines, frames split at every offset
+// (including mid-UTF-8 — the framer is byte-oriented), embedded NULs,
+// CRLF endings, blank lines, and oversized frames in one target. The
+// invariants checked on every input:
+//
+//   * byte conservation: consumed == Σ(line + newline) + dropped + pending
+//   * chunking independence: feeding byte-by-byte yields exactly the same
+//     event sequence as one big feed
+//   * no emitted line contains a newline or exceeds the frame limit
+//   * pending never exceeds the frame limit
+
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fuzz_target.h"
+#include "serve/conn.h"
+
+namespace {
+
+using treelattice::serve::NdjsonFramer;
+
+std::vector<NdjsonFramer::Event> RunFramer(std::string_view input,
+                                           size_t max_frame, size_t chunk) {
+  NdjsonFramer framer(max_frame);
+  std::vector<NdjsonFramer::Event> events;
+  size_t offset = 0;
+  while (offset < input.size()) {
+    const size_t step = std::min(chunk, input.size() - offset);
+    framer.Feed(input.substr(offset, step), &events);
+    offset += step;
+  }
+  // Conservation: every byte fed is an emitted line byte (plus its
+  // newline), a dropped byte, or still pending.
+  uint64_t line_bytes = 0;
+  for (const NdjsonFramer::Event& event : events) {
+    if (event.kind == NdjsonFramer::EventKind::kLine) {
+      if (event.line.find('\n') != std::string::npos) __builtin_trap();
+      if (event.line.size() > max_frame) __builtin_trap();
+      line_bytes += event.line.size() + 1;
+    }
+  }
+  if (framer.pending() > max_frame) __builtin_trap();
+  if (framer.consumed() != input.size()) __builtin_trap();
+  if (framer.consumed() != line_bytes + framer.dropped() + framer.pending()) {
+    __builtin_trap();
+  }
+  return events;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size == 0) return 0;
+  // First byte steers the configuration; the rest is wire bytes.
+  const uint8_t knob = data[0];
+  std::string_view input(reinterpret_cast<const char*>(data + 1), size - 1);
+  const size_t max_frame = 1 + (knob & 0x3F);          // 1..64 bytes
+  const size_t chunk = 1 + ((knob >> 6) * 7);          // 1, 8, 15, 22
+
+  std::vector<NdjsonFramer::Event> chunked =
+      RunFramer(input, max_frame, chunk);
+  std::vector<NdjsonFramer::Event> whole =
+      RunFramer(input, max_frame, input.empty() ? 1 : input.size());
+
+  // Chunking must not change what comes out.
+  if (chunked.size() != whole.size()) __builtin_trap();
+  for (size_t i = 0; i < chunked.size(); ++i) {
+    if (chunked[i].kind != whole[i].kind) __builtin_trap();
+    if (chunked[i].line != whole[i].line) __builtin_trap();
+  }
+  return 0;
+}

@@ -4,8 +4,10 @@
 # corrupted and reloaded, a deliberately tiny queue is overflowed, and a
 # SIGTERM lands mid-stream. The server must never die, every stdout line
 # must be well-formed JSON, failed reloads must keep the old snapshot
-# serving, and both EOF and SIGTERM must drain cleanly. Invoked by ctest
-# with the binary path as $1.
+# serving, and both EOF and SIGTERM must drain cleanly. Phase 4 repeats
+# the soak over TCP (--listen) with injected socket faults, RST-slamming
+# chaos connections, and a mid-soak SIGTERM — exactly-once delivery must
+# hold end to end. Invoked by ctest with the binary path as $1.
 set -e
 
 CLI="$1"
@@ -166,5 +168,140 @@ grep -q "serve: drained" "$WORKDIR/term.err"
 assert_all_json "$WORKDIR/term.out"
 TERM_RESPONSES=$(grep -c '^{"id":' "$WORKDIR/term.out")
 test "$TERM_RESPONSES" -eq 10
+
+# --- phase 4: TCP soak — faults, resets, and a mid-soak SIGTERM ----------
+# 200 pipelined queries over a real socket while injected short reads/
+# writes and EAGAIN storms batter every syscall and chaos connections slam
+# RSTs, an oversized frame, and garbage at the server; then SIGTERM lands
+# with a second wave still in flight. The main client must get exactly one
+# response per query (zero drops, zero dupes), and the server's own drain
+# accounting must conserve: admitted == delivered + orphaned.
+
+if command -v python3 > /dev/null 2>&1; then
+  # --queue=256: the whole 200-query burst lands at once over TCP; the
+  # admission-shed path has its own coverage (phase 2, transport_test).
+  "$CLI" serve "$WORKDIR/doc.summary" --listen=127.0.0.1:0 --workers=4 \
+      --queue=256 --drain-ms=3000 --max-frame-bytes=4096 \
+      --net-fault-seed=42 --net-fault-short=0.2 --net-fault-eagain=0.1 \
+      > /dev/null 2> "$WORKDIR/tcp.err" &
+  SERVE_PID=$!
+
+  python3 - "$WORKDIR/tcp.err" "$SERVE_PID" <<'PYEOF'
+import json, os, re, signal, socket, struct, sys, time
+
+err_path, pid = sys.argv[1], int(sys.argv[2])
+
+# Wait for the listening line and extract the ephemeral port.
+port = None
+deadline = time.time() + 10
+while time.time() < deadline and port is None:
+    try:
+        with open(err_path) as f:
+            m = re.search(r"listening on [\d.]+:(\d+)", f.read())
+            if m:
+                port = int(m.group(1))
+    except FileNotFoundError:
+        pass
+    time.sleep(0.05)
+assert port is not None, "server never printed its port"
+
+def connect():
+    return socket.create_connection(("127.0.0.1", port), timeout=10)
+
+def rst(sock):
+    """Abortive close: SO_LINGER(0) turns close() into an RST."""
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                    struct.pack("ii", 1, 0))
+    sock.close()
+
+main = connect()
+main.sendall(b"".join(
+    b'{"query": "item(name,price)", "id": %d}\n' % i
+    for i in range(1, 201)))
+
+seen = set()
+buf = b""
+deadline = time.time() + 60
+chaos_done = False
+while len(seen) < 200:
+    assert time.time() < deadline, f"timed out with {len(seen)}/200 responses"
+    chunk = main.recv(65536)
+    assert chunk, f"EOF with only {len(seen)}/200 responses"
+    buf += chunk
+    while b"\n" in buf:
+        line, buf = buf.split(b"\n", 1)
+        record = json.loads(line)
+        assert record["ok"], record
+        rid = record["id"]
+        assert rid not in seen, f"duplicate response id {rid}"
+        seen.add(rid)
+    if len(seen) >= 50 and not chaos_done:
+        chaos_done = True
+        # Chaos mid-soak: resets with requests in flight, an oversized
+        # frame, and garbage — none of it may disturb the main stream.
+        for _ in range(3):
+            c = connect()
+            c.sendall(b'{"query": "item(name)"}\n' * 5)
+            rst(c)
+        c = connect()
+        c.sendall(b"x" * 10000 + b"\n")
+        assert b'"error"' in c.recv(4096)  # oversized -> error, not close
+        c.close()
+        c = connect()
+        c.sendall(b"{{{{not json\n")
+        c.close()
+assert seen == set(range(1, 201)), "response ids mismatch"
+
+# Second wave, then SIGTERM while it is in flight: the drain must answer
+# everything admitted and close cleanly (EOF, no RST, no hang).
+main.sendall(b"".join(
+    b'{"query": "item(name)", "id": %d}\n' % i
+    for i in range(1000, 1050)))
+time.sleep(0.1)
+os.kill(pid, signal.SIGTERM)
+drained = 0
+while True:
+    try:
+        chunk = main.recv(65536)
+    except ConnectionResetError:
+        sys.exit("connection reset during drain")
+    if not chunk:
+        break
+    buf += chunk
+    while b"\n" in buf:
+        line, buf = buf.split(b"\n", 1)
+        record = json.loads(line)
+        assert 1000 <= record["id"] < 1050, record
+        drained += 1
+main.close()
+print(f"tcp soak: 200 answered, {drained} of the in-flight wave drained")
+PYEOF
+
+  RC=0
+  wait "$SERVE_PID" || RC=$?
+  test "$RC" -eq 0
+  grep -q "serve: drained" "$WORKDIR/tcp.err"
+
+  # The server's own accounting must conserve requests exactly-once, and
+  # the chaos connections must have registered as resets.
+  python3 - "$WORKDIR/tcp.err" <<'PYEOF'
+import re, sys
+
+with open(sys.argv[1]) as f:
+    text = f.read()
+m = re.search(
+    r"serve: drained \(accepted=(\d+) rejected=(\d+) admitted=(\d+) "
+    r"delivered=(\d+) orphaned=(\d+) resets=(\d+)", text)
+assert m, f"no drain tally in stderr:\n{text}"
+accepted, rejected, admitted, delivered, orphaned, resets = map(
+    int, m.groups())
+assert admitted == delivered + orphaned, m.group(0)
+assert delivered >= 200, m.group(0)
+assert resets >= 3, m.group(0)
+print("tcp drain tally conserves:", m.group(0))
+PYEOF
+else
+  echo "python3 not found; skipping TCP soak leg" >&2
+fi
 
 echo "serve smoke test passed"

@@ -36,6 +36,22 @@ for bin in "$BENCH_DIR"/bench_*; do
   fi
 done
 
+# The TCP transport sweep gets its own record: bench_ext_serve --net-only
+# drives the epoll front end over loopback at 1/100/1k/10k concurrent
+# connections (fd-limit-gated legs skip themselves with a notice).
+if [ -x "$BENCH_DIR/bench_ext_serve" ]; then
+  out_json="$OUT_DIR/BENCH_serve_net.json"
+  echo "=== bench_ext_serve --net-only -> $out_json"
+  if "$BENCH_DIR/bench_ext_serve" --net-only --json="$out_json" "$@" \
+      > "$OUT_DIR/bench_ext_serve_net.log" 2>&1; then
+    :
+  else
+    rc=$?
+    echo "    FAILED (exit $rc); log: $OUT_DIR/bench_ext_serve_net.log" >&2
+    failures=$((failures + 1))
+  fi
+fi
+
 echo "=== hot-path guard (tools/check_perf.sh)"
 SCRIPT_DIR=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
 if "$SCRIPT_DIR/check_perf.sh" "$BUILD_DIR" > "$OUT_DIR/check_perf.log" 2>&1; then

@@ -30,6 +30,13 @@ Checks, each suppressible per line with `// tl-lint: allow(<rule>)`:
                    out of the loop (it is cached on the Twig, but the call
                    inside a hot loop usually means a per-iteration twig is
                    being re-canonicalized).
+  blocking-syscall No potentially blocking calls in the TCP event loop
+                   (src/serve/transport.* and src/serve/conn.*): raw
+                   read/write/accept/recv/send (socket I/O must go through
+                   util/net.h's NetIo, whose every call is
+                   MSG_DONTWAIT/O_NONBLOCK), select, and every flavor of
+                   sleep. One blocking call anywhere in the loop stalls
+                   every connection it serves.
 
 Exit status: 0 clean, 1 findings, 2 usage/environment error.
 
@@ -57,6 +64,19 @@ LOOP_HEADER_RE = re.compile(r"\b(?:for|while)\s*\(|\bdo\s*\{")
 CANONICAL_CALL_RE = re.compile(
     r"(?:\.|->)\s*(?:CanonicalCode|CanonicalHash)\s*\(")
 HOT_PATH_DIRS = [os.path.join("src", "core"), os.path.join("src", "serve")]
+
+# Event-loop files that must never block (see blocking-syscall above).
+EVENT_LOOP_FILES = [
+    os.path.join("src", "serve", "transport.h"),
+    os.path.join("src", "serve", "transport.cc"),
+    os.path.join("src", "serve", "conn.h"),
+    os.path.join("src", "serve", "conn.cc"),
+]
+BLOCKING_CALL_RE = re.compile(
+    r"\b(read|write|pread|pwrite|accept|accept4|recv|recvfrom|recvmsg|"
+    r"send|sendto|sendmsg|select|pselect|sleep|usleep|nanosleep|"
+    r"fgets|fread|fwrite|getchar)\s*\(")
+SLEEP_FOR_RE = re.compile(r"\bsleep_(?:for|until)\s*\(")
 
 
 def strip_comments_and_strings(line, in_block_comment):
@@ -249,6 +269,33 @@ def check_canonical_in_loop(root, findings):
                     pending_loop = False
 
 
+def check_blocking_syscalls(root, findings):
+    for rel in EVENT_LOOP_FILES:
+        path = os.path.join(root, rel)
+        if not os.path.exists(path):
+            continue
+        in_block = False
+        for lineno, raw in enumerate(load_lines(path), 1):
+            line, in_block = strip_comments_and_strings(raw, in_block)
+            m = BLOCKING_CALL_RE.search(line)
+            call = m.group(1) if m else None
+            # recv/send with MSG_DONTWAIT and accept4 with SOCK_NONBLOCK
+            # cannot block; anything else on the list can.
+            if call and call.startswith(("recv", "send")) \
+                    and "MSG_DONTWAIT" in line:
+                call = None
+            if call == "accept4" and "SOCK_NONBLOCK" in line:
+                call = None
+            if call is None and SLEEP_FOR_RE.search(line):
+                call = "sleep_for"
+            if call and not allowed(raw, "blocking-syscall"):
+                findings.append(
+                    (path, lineno, "blocking-syscall",
+                     f"`{call}` can block the event loop: socket I/O goes "
+                     "through util/net.h NetIo (MSG_DONTWAIT), waiting "
+                     "through util/event_poller.h"))
+
+
 def check_include_cycles(root, findings):
     src = os.path.join(root, "src")
     modules = sorted(
@@ -314,6 +361,7 @@ def main(argv):
     check_naked_new(root, findings)
     check_string_key_maps(root, findings)
     check_canonical_in_loop(root, findings)
+    check_blocking_syscalls(root, findings)
     check_include_cycles(root, findings)
 
     for path, lineno, rule, message in sorted(findings):

@@ -50,6 +50,8 @@
 #include "obs/trace.h"
 #include "serve/server.h"
 #include "serve/snapshot.h"
+#include "serve/transport.h"
+#include "util/net.h"
 #include "summary/lattice_summary.h"
 #include "summary/summary_format.h"
 #include "util/json.h"
@@ -79,6 +81,14 @@ int Usage() {
                "      [--reload-attempts=3] [--reload-backoff-ms=10] "
                "[--worker-delay-ms=0]\n"
                "      [--cache=1] [--cache-capacity=1024]\n"
+               "      [--listen=<host:port>] [--max-conns=1024] "
+               "[--max-frame-bytes=1048576]\n"
+               "      [--idle-timeout-ms=300000] [--request-timeout-ms=30000] "
+               "[--drain-ms=5000]\n"
+               "      [--write-high-water=1048576] [--poll] "
+               "[--net-fault-seed=<s>]\n"
+               "      [--net-fault-short=<p>] [--net-fault-eagain=<p>] "
+               "[--net-fault-reset=<p>]\n"
                "\n"
                "serve reads one request per line from stdin — a bare query, "
                "or a JSON\nenvelope {\"query\":...,\"deadline_ms\":...,"
@@ -87,6 +97,15 @@ int Usage() {
                "the summary from disk (keeping the old snapshot on failure),\n"
                "'#stats' prints a stats record. SIGTERM/SIGINT or EOF drain "
                "gracefully.\n"
+               "\n"
+               "serve --listen answers the same protocol over TCP instead of "
+               "stdin:\nmany concurrent connections, pipelined NDJSON, "
+               "backpressure, idle and\nslowloris timeouts, a connection cap "
+               "with ResourceExhausted turn-away,\nand graceful drain on "
+               "SIGTERM (unfinished work is cancelled after\n--drain-ms, "
+               "stuck peers closed at twice that). --listen=:0 picks an\n"
+               "ephemeral port, printed as 'serve: listening on "
+               "<host>:<port>'.\n"
                "\n"
                "telemetry flags (any subcommand):\n"
                "  --metrics=<file|->           dump the metrics registry "
@@ -420,6 +439,100 @@ void InstallServeSignalHandlers() {
   sigaction(SIGINT, &action, nullptr);
 }
 
+/// The TCP leg of `serve --listen`: the Transport owns the event loop and
+/// its Server; this function supplies the control handler (#reload hot-swap
+/// with a JSON ack) and turns the signal flag into a graceful drain.
+int RunServeTcp(const std::string& summary_path, const std::string& listen,
+                serve::ServerOptions options, serve::ReloadOptions reload,
+                serve::SnapshotHolder* snapshots, const Flags& flags) {
+  Result<HostPort> host_port = ParseHostPort(listen);
+  if (!host_port.ok()) {
+    std::fprintf(stderr, "serve: bad --listen '%s': %s\n", listen.c_str(),
+                 host_port.status().ToString().c_str());
+    return 2;
+  }
+
+  serve::Transport::Options net;
+  net.host = host_port->host;
+  net.port = host_port->port;
+  net.max_connections = static_cast<int>(flags.GetInt("max-conns", 1024));
+  net.max_frame_bytes =
+      static_cast<size_t>(flags.GetInt("max-frame-bytes", 1 << 20));
+  net.idle_timeout_millis = flags.GetDouble("idle-timeout-ms", 300000.0);
+  net.request_timeout_millis = flags.GetDouble("request-timeout-ms", 30000.0);
+  net.drain_deadline_millis = flags.GetDouble("drain-ms", 5000.0);
+  net.write_high_water =
+      static_cast<size_t>(flags.GetInt("write-high-water", 1 << 20));
+  net.write_low_water = net.write_high_water / 4;
+  net.force_poll = flags.GetInt("poll", 0) != 0;
+  net.faults.seed = static_cast<uint64_t>(flags.GetInt("net-fault-seed", 0));
+  net.faults.short_io = flags.GetDouble("net-fault-short", 0.0);
+  net.faults.eagain = flags.GetDouble("net-fault-eagain", 0.0);
+  net.faults.reset = flags.GetDouble("net-fault-reset", 0.0);
+
+  // '#reload' over the wire answers with a JSON ack so remote operators
+  // see the outcome; the stderr log mirrors stdin mode. Runs on the loop
+  // thread — reloads are rare and the strict loader fails fast.
+  auto control = [&](std::string_view line) -> std::string {
+    if (line != "#reload") return std::string();
+    Status s =
+        serve::ReloadSummary(Env::Default(), summary_path, reload, snapshots);
+    if (s.ok()) {
+      std::fprintf(stderr, "serve: reloaded %s (snapshot v%lld)\n",
+                   summary_path.c_str(),
+                   static_cast<long long>(snapshots->version()));
+    } else {
+      std::fprintf(stderr, "serve: reload failed, keeping snapshot v%lld: %s\n",
+                   static_cast<long long>(snapshots->version()),
+                   s.ToString().c_str());
+    }
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("reload").BeginObject();
+    w.Key("ok").Bool(s.ok());
+    if (!s.ok()) w.Key("error").String(s.ToString());
+    w.Key("snapshot_version").Int(snapshots->version());
+    w.EndObject();
+    w.EndObject();
+    return w.TakeString();
+  };
+
+  const int workers = options.workers;
+  const size_t queue_capacity = options.queue_capacity;
+  serve::Transport transport(snapshots, std::move(options), net, control);
+  Result<uint16_t> port = transport.Listen();
+  if (!port.ok()) {
+    std::fprintf(stderr, "serve: cannot listen on %s: %s\n", listen.c_str(),
+                 port.status().ToString().c_str());
+    return 1;
+  }
+
+  InstallServeSignalHandlers();
+  std::fprintf(stderr, "serve: listening on %s:%u\n", net.host.c_str(),
+               static_cast<unsigned>(*port));
+  std::fprintf(stderr, "serve: ready (%d workers, queue %zu)\n", workers,
+               queue_capacity);
+
+  Status run = transport.Run(&g_serve_shutdown);
+  serve::Transport::Stats stats = transport.GetStats();
+  std::fprintf(stderr,
+               "serve: drained (accepted=%llu rejected=%llu admitted=%llu "
+               "delivered=%llu orphaned=%llu resets=%llu drain_ms=%.1f)\n",
+               static_cast<unsigned long long>(stats.accepted),
+               static_cast<unsigned long long>(stats.rejected),
+               static_cast<unsigned long long>(stats.requests_admitted),
+               static_cast<unsigned long long>(stats.responses_delivered),
+               static_cast<unsigned long long>(stats.responses_orphaned),
+               static_cast<unsigned long long>(stats.resets),
+               stats.drain_micros / 1000.0);
+  if (!run.ok()) {
+    std::fprintf(stderr, "serve: transport error: %s\n",
+                 run.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
 int RunServe(int argc, char** argv, const Flags& flags) {
   std::vector<std::string> args = Positionals(argc, argv);
   if (args.size() != 1) return Usage();
@@ -472,6 +585,11 @@ int RunServe(int argc, char** argv, const Flags& flags) {
       snap != nullptr && snap->salvaged) {
     std::fprintf(stderr, "serve: warning: serving salvaged summary (%s)\n",
                  snap->source.c_str());
+  }
+
+  if (std::string listen = flags.GetString("listen", ""); !listen.empty()) {
+    return RunServeTcp(summary_path, listen, std::move(options), reload,
+                       &snapshots, flags);
   }
 
   // One fprintf call per line: stdio's per-call lock keeps worker output
