@@ -48,6 +48,7 @@
 #include "harness/flags.h"
 #include "mining/lattice_builder.h"
 #include "serve/server.h"
+#include "serve/slow_log.h"
 #include "serve/snapshot.h"
 #include "serve/transport.h"
 #include "summary/lattice_summary.h"
@@ -298,6 +299,15 @@ NetLegResult RunNetLeg(serve::SnapshotHolder* snapshots,
   net.backlog = std::min(conns + 8, 4096);
   net.idle_timeout_millis = 0.0;
   net.request_timeout_millis = 0.0;
+  // The whole introspection plane rides along (admin listener, per-request
+  // stage tracing, slow-query ring) so the sweep measures serving as
+  // deployed — tools/check_metrics_overhead.sh diffs this same leg with
+  // TREELATTICE_OBS=off to enforce the overhead budget.
+  serve::SlowQueryLog slow_log(
+      {/*threshold_millis=*/250.0, /*capacity=*/128});
+  net.admin_enabled = true;
+  net.admin_port = 0;
+  net.slow_log = &slow_log;
   serve::Transport transport(snapshots, std::move(server_options), net);
   Result<uint16_t> port = transport.Listen();
   NetLegResult result;

@@ -55,6 +55,7 @@ EstimateOptions DegradingEstimator::FallbackBudget(
   fallback.cancel = original.cancel;
   fallback.max_work_steps = original.max_work_steps;
   fallback.scratch = original.scratch;
+  fallback.work_steps = original.work_steps;  // rungs accumulate into one tally
   if (original.deadline_millis > 0.0) {
     double grace =
         original.deadline_millis * options_.fallback_deadline_fraction;

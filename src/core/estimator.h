@@ -34,6 +34,12 @@ struct EstimateOptions {
   /// with WithDeadlineMillis; 0 when unknown. The degradation ladder uses
   /// it to size the grace budget of fallback rungs.
   double deadline_millis = 0.0;
+  /// When non-null, governed runs add their governor's charged step count
+  /// here on return (success or budget trip) — the per-request work-steps
+  /// tally surfaced by request tracing. Accumulative across ladder rungs;
+  /// ungoverned runs (no governor, nothing counting) add nothing. Does not
+  /// make the options governed().
+  uint64_t* work_steps = nullptr;
 
   /// An options object whose deadline is `millis` from now.
   static EstimateOptions WithDeadlineMillis(double millis) {

@@ -48,7 +48,10 @@ Result<double> FixedSizeDecompositionEstimator::Estimate(
     return EstimateWithGovernor(query, nullptr, options.scratch);
   }
   CostGovernor governor = options.MakeGovernor();
-  return EstimateWithGovernor(query, &governor, options.scratch);
+  Result<double> result =
+      EstimateWithGovernor(query, &governor, options.scratch);
+  if (options.work_steps != nullptr) *options.work_steps += governor.steps();
+  return result;
 }
 
 Result<double> FixedSizeDecompositionEstimator::EstimateWithGovernor(

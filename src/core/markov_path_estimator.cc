@@ -31,7 +31,9 @@ Result<double> MarkovPathEstimator::Estimate(const Twig& query,
                                              const EstimateOptions& options) {
   if (!options.governed()) return EstimateWithGovernor(query, nullptr);
   CostGovernor governor = options.MakeGovernor();
-  return EstimateWithGovernor(query, &governor);
+  Result<double> result = EstimateWithGovernor(query, &governor);
+  if (options.work_steps != nullptr) *options.work_steps += governor.steps();
+  return result;
 }
 
 Result<double> MarkovPathEstimator::EstimateWithGovernor(

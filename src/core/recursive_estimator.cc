@@ -39,7 +39,10 @@ Result<double> RecursiveDecompositionEstimator::Estimate(
     return EstimateWithGovernor(query, nullptr, options.scratch);
   }
   CostGovernor governor = options.MakeGovernor();
-  return EstimateWithGovernor(query, &governor, options.scratch);
+  Result<double> result =
+      EstimateWithGovernor(query, &governor, options.scratch);
+  if (options.work_steps != nullptr) *options.work_steps += governor.steps();
+  return result;
 }
 
 Result<double> RecursiveDecompositionEstimator::EstimateWithGovernor(

@@ -84,6 +84,28 @@ inline constexpr char kServeReloads[] = "serve.reloads";
 inline constexpr char kServeReloadFailures[] = "serve.reload_failures";
 inline constexpr char kServeSnapshotVersion[] = "serve.snapshot_version";
 
+// -- serve request-stage timeline (serve/request_trace.cc) ------------------
+// One histogram per adjacent pair of RequestTrace stamps; a request whose
+// path skips a stage (error before estimate, orphaned before flush) simply
+// records nothing there. DESIGN.md §12 documents the taxonomy.
+inline constexpr char kServeStageAdmitMicros[] = "serve.stage.admit_micros";
+inline constexpr char kServeStageQueueWaitMicros[] =
+    "serve.stage.queue_wait_micros";
+inline constexpr char kServeStageEstimateMicros[] =
+    "serve.stage.estimate_micros";
+inline constexpr char kServeStageSerializeMicros[] =
+    "serve.stage.serialize_micros";
+inline constexpr char kServeStageFlushMicros[] = "serve.stage.flush_micros";
+inline constexpr char kServeStageTotalMicros[] = "serve.stage.total_micros";
+inline constexpr char kServeQueueDepth[] = "serve.queue_depth";
+inline constexpr char kServeSlowQueries[] = "serve.slow_queries";
+
+// -- admin endpoint (serve/admin.cc, serve/transport.cc) --------------------
+inline constexpr char kAdminRequests[] = "admin.requests";
+inline constexpr char kAdminResponsesError[] = "admin.responses_error";
+inline constexpr char kAdminActive[] = "admin.active";
+inline constexpr char kAdminBytesOut[] = "admin.bytes_out";
+
 // -- serve network transport (serve/transport.cc) ---------------------------
 inline constexpr char kNetAccepted[] = "serve.net.accepted";
 inline constexpr char kNetRejected[] = "serve.net.rejected";
@@ -101,12 +123,15 @@ inline constexpr char kNetResponsesOrphaned[] =
     "serve.net.responses_orphaned";
 inline constexpr char kNetInjectedFaults[] = "serve.net.injected_faults";
 inline constexpr char kNetDrainMicros[] = "serve.net.drain_micros";
+inline constexpr char kNetLoopLagMicros[] = "serve.net.loop_lag_micros";
+inline constexpr char kNetDispatchBatch[] = "serve.net.dispatch_batch";
 
 // -- estimate cache (serve/estimate_cache.cc) -------------------------------
 inline constexpr char kCacheHits[] = "cache.hits";
 inline constexpr char kCacheMisses[] = "cache.misses";
 inline constexpr char kCacheEvictions[] = "cache.evictions";
 inline constexpr char kCacheInvalidations[] = "cache.invalidations";
+inline constexpr char kCacheProbeMicros[] = "cache.probe_micros";
 
 }  // namespace metric_names
 }  // namespace obs

@@ -1,8 +1,11 @@
 #include "obs/trace.h"
 
 #include <chrono>
+#include <condition_variable>
+#include <cstdio>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "util/json.h"
@@ -17,12 +20,17 @@ namespace {
 
 using SteadyClock = std::chrono::steady_clock;
 
-/// Per-thread event buffer. Registered (as shared_ptr) in the global
-/// collector so events survive thread exit; the buffer's own mutex only
-/// contends with trace dumps, never with other recording threads.
+constexpr size_t kDefaultRingCapacity = 65536;
+
+/// Per-thread event buffer, a drop-oldest ring. Registered (as shared_ptr)
+/// in the global collector so events survive thread exit; the buffer's own
+/// mutex only contends with trace dumps, never with other recording
+/// threads.
 struct ThreadBuffer {
   std::mutex mu;
   std::vector<TraceEvent> events TL_GUARDED_BY(mu);
+  /// Index of the oldest event once the ring has wrapped.
+  size_t start TL_GUARDED_BY(mu) = 0;
   uint32_t tid = 0;  // written once at registration, read-only afterwards
 };
 
@@ -35,6 +43,15 @@ struct Collector {
   // collector lock with unrelated threads registering buffers.
   std::atomic<int64_t> epoch_nanos{
       SteadyClock::now().time_since_epoch().count()};
+  std::atomic<size_t> ring_capacity{kDefaultRingCapacity};
+  std::atomic<uint64_t> dropped{0};
+
+  // Periodic flusher (StartPeriodicFlush / StopPeriodicFlush).
+  std::mutex flush_mu;
+  std::condition_variable flush_cv;
+  std::thread flush_thread TL_GUARDED_BY(flush_mu);
+  bool flush_stop TL_GUARDED_BY(flush_mu) = false;
+  std::string flush_path TL_GUARDED_BY(flush_mu);
 };
 
 Collector& GlobalCollector() {
@@ -55,6 +72,26 @@ ThreadBuffer& LocalBuffer() {
   return *buffer;
 }
 
+/// Atomic-enough file replace without io/Env (module DAG: obs sits below
+/// io): write a sibling temp file, then rename over the target. A crash
+/// mid-write leaves the previous complete trace in place.
+bool WriteWholeFile(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool write_ok = written == content.size() && std::fclose(f) == 0;
+  if (!write_ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 void Tracer::Start() {
@@ -64,8 +101,10 @@ void Tracer::Start() {
     for (auto& buffer : collector.buffers) {
       std::lock_guard<std::mutex> buffer_lock(buffer->mu);
       buffer->events.clear();
+      buffer->start = 0;
     }
   }
+  collector.dropped.store(0, std::memory_order_relaxed);
   collector.epoch_nanos.store(
       SteadyClock::now().time_since_epoch().count(),
       std::memory_order_relaxed);
@@ -73,6 +112,16 @@ void Tracer::Start() {
 }
 
 void Tracer::Stop() { enabled_.store(false, std::memory_order_relaxed); }
+
+void Tracer::SetRingCapacity(size_t events_per_thread) {
+  GlobalCollector().ring_capacity.store(
+      events_per_thread > 0 ? events_per_thread : 1,
+      std::memory_order_relaxed);
+}
+
+uint64_t Tracer::DroppedEvents() {
+  return GlobalCollector().dropped.load(std::memory_order_relaxed);
+}
 
 uint64_t Tracer::NowMicros() {
   Collector& collector = GlobalCollector();
@@ -89,11 +138,22 @@ uint64_t Tracer::NowMicros() {
 
 void Tracer::Record(const TraceEvent& event) {
   if (!enabled()) return;
+  Collector& collector = GlobalCollector();
+  const size_t capacity =
+      collector.ring_capacity.load(std::memory_order_relaxed);
   ThreadBuffer& buffer = LocalBuffer();
   std::lock_guard<std::mutex> lock(buffer.mu);
   TraceEvent copy = event;
   copy.tid = buffer.tid;
-  buffer.events.push_back(copy);
+  if (buffer.events.size() < capacity) {
+    buffer.events.push_back(copy);
+    return;
+  }
+  // Ring full (or capacity was lowered): overwrite the oldest event.
+  if (buffer.start >= buffer.events.size()) buffer.start = 0;
+  buffer.events[buffer.start] = copy;
+  buffer.start = (buffer.start + 1) % buffer.events.size();
+  collector.dropped.fetch_add(1, std::memory_order_relaxed);
 }
 
 size_t Tracer::CollectedEvents() {
@@ -114,8 +174,13 @@ std::string Tracer::ChromeTraceJson() {
     std::lock_guard<std::mutex> lock(collector.mu);
     for (auto& buffer : collector.buffers) {
       std::lock_guard<std::mutex> buffer_lock(buffer->mu);
-      events.insert(events.end(), buffer->events.begin(),
-                    buffer->events.end());
+      // Oldest first: [start, end) then the wrapped prefix [0, start).
+      for (size_t i = buffer->start; i < buffer->events.size(); ++i) {
+        events.push_back(buffer->events[i]);
+      }
+      for (size_t i = 0; i < buffer->start; ++i) {
+        events.push_back(buffer->events[i]);
+      }
     }
   }
 
@@ -142,6 +207,61 @@ std::string Tracer::ChromeTraceJson() {
   w.Key("displayTimeUnit").String("ms");
   w.EndObject();
   return w.TakeString();
+}
+
+Status Tracer::StartPeriodicFlush(const std::string& path,
+                                  double interval_millis) {
+  if (path.empty()) {
+    return Status::InvalidArgument("trace flush path must not be empty");
+  }
+  if (interval_millis <= 0.0) {
+    return Status::InvalidArgument("trace flush interval must be positive");
+  }
+  StopPeriodicFlush();  // at most one flusher
+  // Fail fast on an unwritable target instead of from the background
+  // thread, where nobody sees the error.
+  if (!WriteWholeFile(path, ChromeTraceJson())) {
+    return Status::Internal("cannot write trace file " + path);
+  }
+  Collector& collector = GlobalCollector();
+  std::lock_guard<std::mutex> lock(collector.flush_mu);
+  collector.flush_stop = false;
+  collector.flush_path = path;
+  collector.flush_thread = std::thread([path, interval_millis, &collector] {
+    const auto interval =
+        std::chrono::duration<double, std::milli>(interval_millis);
+    std::unique_lock<std::mutex> wait_lock(collector.flush_mu);
+    for (;;) {
+      if (collector.flush_cv.wait_for(
+              wait_lock, interval,
+              [&collector]() TL_REQUIRES(collector.flush_mu) {
+                return collector.flush_stop;
+              })) {
+        return;  // StopPeriodicFlush writes the final snapshot
+      }
+      wait_lock.unlock();
+      WriteWholeFile(path, ChromeTraceJson());
+      wait_lock.lock();
+    }
+  });
+  return Status::OK();
+}
+
+void Tracer::StopPeriodicFlush() {
+  Collector& collector = GlobalCollector();
+  std::thread flusher;
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(collector.flush_mu);
+    if (!collector.flush_thread.joinable()) return;
+    collector.flush_stop = true;
+    flusher = std::move(collector.flush_thread);
+    path = collector.flush_path;
+  }
+  collector.flush_cv.notify_all();
+  flusher.join();
+  // Final write: the file holds everything recorded up to the stop.
+  WriteWholeFile(path, ChromeTraceJson());
 }
 
 }  // namespace obs

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <string>
 
+#include "util/status.h"
+
 namespace treelattice {
 namespace obs {
 
@@ -24,6 +26,13 @@ struct TraceEvent {
 /// (created on first span, registered globally), so recording takes no
 /// global lock; ChromeTraceJson() gathers every thread's events. Tracing
 /// is off by default — a disabled TraceSpan is one relaxed atomic load.
+///
+/// Buffers are bounded rings (SetRingCapacity; default 64Ki events per
+/// thread): once full, the oldest events are overwritten and counted in
+/// DroppedEvents(), so a long-running server keeps the recent past instead
+/// of growing without limit. StartPeriodicFlush() additionally rewrites the
+/// trace file on an interval, so `--trace` output survives a crash or
+/// SIGKILL mid-soak instead of existing only at clean exit.
 class Tracer {
  public:
   static bool enabled() {
@@ -51,6 +60,26 @@ class Tracer {
   /// Appends one complete event to the calling thread's buffer. No-op
   /// when tracing is disabled.
   static void Record(const TraceEvent& event);
+
+  /// Caps every thread's buffer at `events_per_thread` events (minimum 1);
+  /// beyond that, a thread's oldest events are overwritten. Applies to
+  /// events recorded after the call. Default: 65536.
+  static void SetRingCapacity(size_t events_per_thread);
+
+  /// Events overwritten by full rings since the last Start().
+  static uint64_t DroppedEvents();
+
+  /// Starts a background thread that rewrites `path` (atomically: temp
+  /// file + rename) with ChromeTraceJson() every `interval_millis`.
+  /// Replaces any flusher already running. The flusher deliberately uses
+  /// plain stdio, not io/Env — obs must stay below io in the module DAG.
+  static Status StartPeriodicFlush(const std::string& path,
+                                   double interval_millis);
+
+  /// Stops the periodic flusher (no-op when none is running) after one
+  /// final write, so the file always holds the complete trace on clean
+  /// shutdown.
+  static void StopPeriodicFlush();
 
  private:
   friend class TraceSpan;

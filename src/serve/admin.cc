@@ -1,0 +1,142 @@
+#include "serve/admin.h"
+
+#include <string_view>
+
+#include "serve/serve_metrics.h"
+#include "serve/slow_log.h"
+
+namespace treelattice {
+namespace serve {
+
+namespace {
+
+std::string_view ReasonPhrase(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Internal Server Error";
+  }
+}
+
+/// The request target without its query string or fragment.
+std::string_view PathOnly(std::string_view target) {
+  const size_t cut = target.find_first_of("?#");
+  return cut == std::string_view::npos ? target : target.substr(0, cut);
+}
+
+AdminResponse NotFound(std::string_view path) {
+  AdminResponse response;
+  response.status = 404;
+  response.content_type = "text/plain; charset=utf-8";
+  response.body = "no such endpoint: ";
+  response.body.append(path);
+  response.body.push_back('\n');
+  return response;
+}
+
+}  // namespace
+
+Result<std::optional<AdminRequest>> ParseAdminRequestHead(
+    std::string* in, size_t max_head_bytes) {
+  // A head ends at the first blank line; tolerate bare-LF clients.
+  size_t head_end = in->find("\r\n\r\n");
+  size_t consumed = head_end + 4;
+  if (head_end == std::string::npos) {
+    head_end = in->find("\n\n");
+    consumed = head_end + 2;
+  }
+  if (head_end == std::string::npos) {
+    if (in->size() > max_head_bytes) {
+      return Status::InvalidArgument("admin request head exceeds " +
+                                     std::to_string(max_head_bytes) +
+                                     " bytes");
+    }
+    return std::optional<AdminRequest>();  // incomplete — read more
+  }
+  std::string_view head(in->data(), head_end);
+  const size_t line_end = head.find_first_of("\r\n");
+  std::string_view request_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  const size_t method_end = request_line.find(' ');
+  if (method_end == std::string_view::npos || method_end == 0) {
+    return Status::InvalidArgument("malformed admin request line");
+  }
+  const size_t target_end = request_line.find(' ', method_end + 1);
+  if (target_end == std::string_view::npos || target_end == method_end + 1) {
+    return Status::InvalidArgument("malformed admin request line");
+  }
+  AdminRequest request;
+  request.method = std::string(request_line.substr(0, method_end));
+  request.target = std::string(
+      request_line.substr(method_end + 1, target_end - method_end - 1));
+  in->erase(0, consumed);
+  return std::optional<AdminRequest>(std::move(request));
+}
+
+std::string RenderHttpResponse(const AdminResponse& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " ";
+  out.append(ReasonPhrase(response.status));
+  out.append("\r\nContent-Type: ");
+  out.append(response.content_type);
+  out.append("\r\nContent-Length: ");
+  out.append(std::to_string(response.body.size()));
+  out.append("\r\nConnection: close\r\n\r\n");
+  if (!response.omit_body) out.append(response.body);
+  return out;
+}
+
+AdminResponse HandleAdminRequest(const AdminRequest& request,
+                                 const AdminHooks& hooks) {
+  AdminMetrics& metrics = AdminMetrics::Get();
+  metrics.requests->Increment();
+  AdminResponse response;
+  if (request.method != "GET" && request.method != "HEAD") {
+    response.status = 405;
+    response.content_type = "text/plain; charset=utf-8";
+    response.body = "only GET and HEAD are supported\n";
+    metrics.responses_error->Increment();
+    return response;
+  }
+  const std::string_view path = PathOnly(request.target);
+  if (path == "/metrics") {
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = hooks.metrics_text ? hooks.metrics_text() : std::string();
+  } else if (path == "/healthz") {
+    const introspect::HealthReport report =
+        introspect::EvaluateHealth(hooks.status ? hooks.status()
+                                                : StatusSnapshot());
+    response.status = report.ready ? 200 : 503;
+    response.body = introspect::HealthzJson(report);
+  } else if (path == "/statusz") {
+    response.body = introspect::StatuszJson(hooks.status ? hooks.status()
+                                                         : StatusSnapshot());
+  } else if (path == "/slowz") {
+    response.body = introspect::SlowzJson(hooks.slow_log);
+  } else if (path == "/") {
+    response.content_type = "text/plain; charset=utf-8";
+    response.body =
+        "treelattice admin endpoints:\n"
+        "  /metrics   Prometheus text of the live metrics registry\n"
+        "  /healthz   readiness (200 ok / 503 with a reason)\n"
+        "  /statusz   full serving status as JSON\n"
+        "  /slowz     slow-query log, newest first\n";
+  } else {
+    response = NotFound(path);
+    metrics.responses_error->Increment();
+  }
+  if (request.method == "HEAD") response.omit_body = true;
+  metrics.bytes_out->Increment(response.omit_body ? 0 : response.body.size());
+  return response;
+}
+
+}  // namespace serve
+}  // namespace treelattice

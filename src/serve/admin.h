@@ -1,0 +1,80 @@
+#ifndef TREELATTICE_SERVE_ADMIN_H_
+#define TREELATTICE_SERVE_ADMIN_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "serve/introspect.h"
+#include "util/result.h"
+
+namespace treelattice {
+namespace serve {
+
+class SlowQueryLog;
+
+/// The admin plane of `treelattice serve` (DESIGN.md §12): a deliberately
+/// tiny HTTP/1.1 subset — enough for curl and a Prometheus scraper, and
+/// nothing more — served from the transport's own event loop on a second
+/// acceptor. One request per connection (every response is
+/// `Connection: close`), GET/HEAD only, request bodies ignored.
+///
+/// Endpoints:
+///   /metrics   Prometheus text from the live metrics registry
+///   /healthz   readiness: 200 {"ok":true,...} or 503 with the reason
+///   /statusz   the full StatusSnapshot as JSON (plus build info)
+///   /slowz     the slow-query ring, newest first
+///   /          plain-text index of the above
+///
+/// This module is pure protocol: parsing, dispatch, and rendering on
+/// std::string buffers. The transport owns sockets and the event loop.
+
+/// One parsed request head. Only the request line matters to us; headers
+/// are consumed and ignored.
+struct AdminRequest {
+  std::string method;  // "GET", "HEAD", ...
+  std::string target;  // origin-form, e.g. "/metrics?name=x"
+};
+
+/// Incrementally parses one request head from the front of `*in`,
+/// consuming it (through the blank line) on success. Returns nullopt when
+/// the head is still incomplete — feed more bytes and call again. Fails on
+/// a malformed request line or a head larger than `max_head_bytes`.
+Result<std::optional<AdminRequest>> ParseAdminRequestHead(
+    std::string* in, size_t max_head_bytes);
+
+/// What an endpoint produced, before HTTP framing.
+struct AdminResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  /// HEAD: frame the headers (with the real Content-Length) but no body.
+  bool omit_body = false;
+};
+
+/// Frames `response` as a complete HTTP/1.1 message with Content-Length
+/// and `Connection: close`.
+std::string RenderHttpResponse(const AdminResponse& response);
+
+/// What the admin plane is allowed to see. All callbacks run on the
+/// transport's loop thread — keep them quick.
+struct AdminHooks {
+  /// The one coherent status snapshot (/healthz and /statusz).
+  std::function<StatusSnapshot()> status;
+  /// Prometheus rendering of the live registry (/metrics).
+  std::function<std::string()> metrics_text;
+  /// May be null: /slowz then reports enabled=false.
+  const SlowQueryLog* slow_log = nullptr;
+};
+
+/// Dispatches one request to its endpoint. Never throws, never fails:
+/// unknown targets get 404, non-GET/HEAD methods 405. Also bumps the
+/// admin.* metrics.
+AdminResponse HandleAdminRequest(const AdminRequest& request,
+                                 const AdminHooks& hooks);
+
+}  // namespace serve
+}  // namespace treelattice
+
+#endif  // TREELATTICE_SERVE_ADMIN_H_

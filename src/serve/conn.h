@@ -4,11 +4,13 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "serve/request_trace.h"
 #include "util/deadline.h"
 
 namespace treelattice {
@@ -96,6 +98,22 @@ struct Conn {
   size_t out_offset = 0;
   size_t pending_out() const { return out.size() - out_offset; }
 
+  /// Lifetime byte positions on the output stream — `out` is compacted,
+  /// so flush markers (below) anchor to these instead of offsets into it.
+  uint64_t total_enqueued = 0;
+  uint64_t total_flushed = 0;
+
+  /// A response line awaiting its socket flush: once `total_flushed`
+  /// reaches `bytes_end`, the response's last byte hit the kernel and the
+  /// trace can stamp "flushed" and finalize. FIFO by construction (bytes
+  /// flush in enqueue order).
+  struct PendingFinalize {
+    uint64_t bytes_end = 0;  // total_enqueued right after the line
+    RequestTrace trace;
+    RequestOutcome outcome;
+  };
+  std::deque<PendingFinalize> pending_finalize;
+
   /// Readiness interest as last told to the poller.
   bool want_read = true;
   bool want_write = false;
@@ -119,6 +137,24 @@ struct Conn {
   std::chrono::steady_clock::time_point frame_started;
 
   bool idle() const { return in_flight == 0 && pending_out() == 0; }
+};
+
+/// Per-connection state of the admin plane (serve/admin.h): strictly
+/// request → response → close, so the state is just the two buffers. The
+/// transport's loop owns these alongside the serving Conns; they share
+/// the idle-timeout sweep but none of the framing or routing machinery.
+struct AdminConn {
+  explicit AdminConn(int fd_in) : fd(fd_in) {}
+
+  const int fd;
+  std::string in;   // bytes read so far, until the head parses
+  std::string out;  // rendered response being flushed
+  size_t out_offset = 0;
+  size_t pending_out() const { return out.size() - out_offset; }
+  /// Response fully rendered; close once `out` drains.
+  bool responding = false;
+
+  std::chrono::steady_clock::time_point last_activity;
 };
 
 }  // namespace serve

@@ -1,5 +1,7 @@
 #include "serve/estimate_cache.h"
 
+#include <chrono>
+
 #include "util/hash.h"
 
 namespace treelattice {
@@ -12,6 +14,24 @@ size_t RoundUpPow2(size_t n) {
   while (p < n) p <<= 1;
   return p;
 }
+
+/// Records cache.probe_micros on every exit path of Get.
+class ProbeTimer {
+ public:
+  ProbeTimer(bool timed, std::chrono::steady_clock::time_point start)
+      : timed_(timed), start_(start) {}
+  ~ProbeTimer() {
+    if (!timed_) return;
+    const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - start_);
+    CacheMetrics::Get().probe_micros->Record(
+        static_cast<uint64_t>(micros.count()));
+  }
+
+ private:
+  const bool timed_;
+  const std::chrono::steady_clock::time_point start_;
+};
 
 }  // namespace
 
@@ -54,6 +74,12 @@ void EstimateCache::SyncShardVersion(Shard& shard, int64_t snapshot_version) {
 std::optional<double> EstimateCache::Get(int64_t snapshot_version,
                                          uint64_t code_hash,
                                          std::string_view code) {
+  // Probe latency is worth a clock pair only while telemetry is on.
+  const bool timed = obs::Enabled();
+  const std::chrono::steady_clock::time_point probe_start =
+      timed ? std::chrono::steady_clock::now()
+            : std::chrono::steady_clock::time_point();
+  ProbeTimer probe_timer(timed, probe_start);
   const uint64_t key = KeyFor(code_hash);
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);

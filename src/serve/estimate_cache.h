@@ -24,11 +24,14 @@ namespace serve {
 ///   cache.misses         lookups that fell through to the estimator
 ///   cache.evictions      LRU entries displaced by capacity pressure
 ///   cache.invalidations  shard clears caused by a snapshot swap
+///   cache.probe_micros   (histogram) Get latency, hit or miss — shard
+///                        lock wait shows up here under contention
 struct CacheMetrics {
   obs::Counter* hits;
   obs::Counter* misses;
   obs::Counter* evictions;
   obs::Counter* invalidations;
+  obs::Histogram* probe_micros;
 
   static CacheMetrics& Get() {
     static CacheMetrics m = [] {
@@ -37,7 +40,8 @@ struct CacheMetrics {
       return CacheMetrics{registry->counter(names::kCacheHits),
                           registry->counter(names::kCacheMisses),
                           registry->counter(names::kCacheEvictions),
-                          registry->counter(names::kCacheInvalidations)};
+                          registry->counter(names::kCacheInvalidations),
+                          registry->histogram(names::kCacheProbeMicros)};
     }();
     return m;
   }

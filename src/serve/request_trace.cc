@@ -1,0 +1,105 @@
+#include "serve/request_trace.h"
+
+#include <chrono>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "serve/serve_metrics.h"
+#include "serve/slow_log.h"
+
+namespace treelattice {
+namespace serve {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+/// Positive delta between two stamps, or 0 when either stage is absent.
+uint64_t StageDelta(uint64_t from, uint64_t to) {
+  return (from != 0 && to != 0 && to > from) ? to - from : 0;
+}
+
+}  // namespace
+
+uint64_t RequestTrace::NowMicros() {
+  // Process-lifetime epoch: first call pins it, every stamp is relative.
+  // +1 keeps stamps strictly positive — 0 is the "stage absent" sentinel,
+  // and the very first stamp of the process lands exactly on the epoch.
+  static const SteadyClock::time_point epoch = SteadyClock::now();
+  return static_cast<uint64_t>(
+             std::chrono::duration_cast<std::chrono::microseconds>(
+                 SteadyClock::now() - epoch)
+                 .count()) +
+         1;
+}
+
+RequestTrace RequestTrace::Begin(uint64_t req_id) {
+  RequestTrace trace;
+  trace.req_id = req_id;
+  trace.active = obs::Enabled();
+  if (trace.active) trace.framed_micros = NowMicros();
+  return trace;
+}
+
+void FinalizeRequestTrace(const RequestTrace& trace,
+                          const RequestOutcome& outcome,
+                          SlowQueryLog* slow_log) {
+  if (!trace.active) return;
+
+  const uint64_t admit =
+      StageDelta(trace.framed_micros, trace.admitted_micros);
+  const uint64_t queue_wait =
+      StageDelta(trace.admitted_micros, trace.dequeued_micros);
+  const uint64_t estimate =
+      StageDelta(trace.dequeued_micros, trace.estimated_micros);
+  const uint64_t serialize =
+      StageDelta(trace.estimated_micros, trace.serialized_micros);
+  const uint64_t flush =
+      StageDelta(trace.serialized_micros, trace.flushed_micros);
+  // The last stage this request reached; errors and orphans stop early.
+  uint64_t last = trace.framed_micros;
+  for (uint64_t stamp :
+       {trace.admitted_micros, trace.dequeued_micros, trace.estimated_micros,
+        trace.serialized_micros, trace.flushed_micros}) {
+    if (stamp > last) last = stamp;
+  }
+  const uint64_t total = StageDelta(trace.framed_micros, last);
+
+  StageMetrics& metrics = StageMetrics::Get();
+  if (trace.admitted_micros != 0) metrics.admit_micros->Record(admit);
+  if (trace.dequeued_micros != 0) metrics.queue_wait_micros->Record(queue_wait);
+  if (trace.estimated_micros != 0) metrics.estimate_micros->Record(estimate);
+  if (trace.serialized_micros != 0) {
+    metrics.serialize_micros->Record(serialize);
+  }
+  if (trace.flushed_micros != 0) metrics.flush_micros->Record(flush);
+  metrics.total_micros->Record(total);
+
+  if (slow_log == nullptr) return;
+  const double total_millis = static_cast<double>(total) / 1000.0;
+  if (!slow_log->ShouldRecord(total_millis)) return;
+  SlowQueryLog::Entry entry;
+  entry.req_id = trace.req_id;
+  entry.query = outcome.query;
+  entry.rung = outcome.rung;
+  entry.error_code = outcome.error_code;
+  entry.ok = outcome.ok;
+  entry.cached = outcome.cached;
+  entry.degraded = outcome.degraded;
+  entry.snapshot_version = outcome.snapshot_version;
+  entry.twig_size = trace.twig_size;
+  entry.twig_depth = trace.twig_depth;
+  entry.twig_fanout = trace.twig_fanout;
+  entry.work_steps = trace.work_steps;
+  entry.framed_micros = trace.framed_micros;
+  entry.admit_micros = admit;
+  entry.queue_wait_micros = queue_wait;
+  entry.estimate_micros = estimate;
+  entry.serialize_micros = serialize;
+  entry.flush_micros = flush;
+  entry.total_millis = total_millis;
+  slow_log->Record(std::move(entry));
+}
+
+}  // namespace serve
+}  // namespace treelattice

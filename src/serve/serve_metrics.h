@@ -17,6 +17,7 @@ namespace serve {
 ///   serve.reloads           successful summary hot-swaps
 ///   serve.reload_failures   reloads that kept the previous snapshot
 ///   serve.snapshot_version  (gauge) version of the serving snapshot
+///   serve.queue_depth       (gauge) admission-queue depth right now
 struct ServeMetrics {
   obs::Counter* requests;
   obs::Counter* responses_ok;
@@ -27,6 +28,7 @@ struct ServeMetrics {
   obs::Counter* reloads;
   obs::Counter* reload_failures;
   obs::Gauge* snapshot_version;
+  obs::Gauge* queue_depth;
 
   static ServeMetrics& Get() {
     static ServeMetrics m = [] {
@@ -40,7 +42,68 @@ struct ServeMetrics {
                           registry->histogram(names::kServeLatencyMicros),
                           registry->counter(names::kServeReloads),
                           registry->counter(names::kServeReloadFailures),
-                          registry->gauge(names::kServeSnapshotVersion)};
+                          registry->gauge(names::kServeSnapshotVersion),
+                          registry->gauge(names::kServeQueueDepth)};
+    }();
+    return m;
+  }
+};
+
+/// Per-request stage-timeline telemetry (serve/request_trace.cc): one
+/// histogram per adjacent pair of RequestTrace stamps, plus the sampled
+/// slow-query tally. See DESIGN.md §12 for the stage taxonomy.
+///   serve.stage.admit_micros      framed -> admitted (parse + submit)
+///   serve.stage.queue_wait_micros admitted -> dequeued (queue time)
+///   serve.stage.estimate_micros   dequeued -> estimated (worker time)
+///   serve.stage.serialize_micros  estimated -> serialized (JSON render)
+///   serve.stage.flush_micros      serialized -> flushed (socket write)
+///   serve.stage.total_micros      framed -> last stamp
+///   serve.slow_queries            requests recorded in the slow-query log
+struct StageMetrics {
+  obs::Histogram* admit_micros;
+  obs::Histogram* queue_wait_micros;
+  obs::Histogram* estimate_micros;
+  obs::Histogram* serialize_micros;
+  obs::Histogram* flush_micros;
+  obs::Histogram* total_micros;
+  obs::Counter* slow_queries;
+
+  static StageMetrics& Get() {
+    static StageMetrics m = [] {
+      obs::MetricsRegistry* registry = obs::MetricsRegistry::Default();
+      namespace names = obs::metric_names;
+      return StageMetrics{
+          registry->histogram(names::kServeStageAdmitMicros),
+          registry->histogram(names::kServeStageQueueWaitMicros),
+          registry->histogram(names::kServeStageEstimateMicros),
+          registry->histogram(names::kServeStageSerializeMicros),
+          registry->histogram(names::kServeStageFlushMicros),
+          registry->histogram(names::kServeStageTotalMicros),
+          registry->counter(names::kServeSlowQueries)};
+    }();
+    return m;
+  }
+};
+
+/// Admin-endpoint telemetry (serve/admin.cc, serve/transport.cc):
+///   admin.requests         HTTP requests answered (any status)
+///   admin.responses_error  4xx/5xx responses (404, 405, oversized head)
+///   admin.active           (gauge) admin connections open right now
+///   admin.bytes_out        admin response bytes written
+struct AdminMetrics {
+  obs::Counter* requests;
+  obs::Counter* responses_error;
+  obs::Gauge* active;
+  obs::Counter* bytes_out;
+
+  static AdminMetrics& Get() {
+    static AdminMetrics m = [] {
+      obs::MetricsRegistry* registry = obs::MetricsRegistry::Default();
+      namespace names = obs::metric_names;
+      return AdminMetrics{registry->counter(names::kAdminRequests),
+                          registry->counter(names::kAdminResponsesError),
+                          registry->gauge(names::kAdminActive),
+                          registry->counter(names::kAdminBytesOut)};
     }();
     return m;
   }
@@ -60,6 +123,10 @@ struct ServeMetrics {
 ///   serve.net.responses_orphaned  responses whose connection died first
 ///   serve.net.injected_faults     synthetic socket faults taken
 ///   serve.net.drain_micros        (gauge) last graceful-drain duration
+///   serve.net.loop_lag_micros     (histogram) event-loop iteration time —
+///                                 how long one poll batch kept the loop
+///                                 away from its next Wait
+///   serve.net.dispatch_batch      (histogram) readiness events per batch
 struct NetMetrics {
   obs::Counter* accepted;
   obs::Counter* rejected;
@@ -75,6 +142,8 @@ struct NetMetrics {
   obs::Counter* responses_orphaned;
   obs::Counter* injected_faults;
   obs::Gauge* drain_micros;
+  obs::Histogram* loop_lag_micros;
+  obs::Histogram* dispatch_batch;
 
   static NetMetrics& Get() {
     static NetMetrics m = [] {
@@ -93,7 +162,9 @@ struct NetMetrics {
                         registry->counter(names::kNetResets),
                         registry->counter(names::kNetResponsesOrphaned),
                         registry->counter(names::kNetInjectedFaults),
-                        registry->gauge(names::kNetDrainMicros)};
+                        registry->gauge(names::kNetDrainMicros),
+                        registry->histogram(names::kNetLoopLagMicros),
+                        registry->histogram(names::kNetDispatchBatch)};
     }();
     return m;
   }

@@ -1,5 +1,6 @@
 #include "serve/server.h"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
@@ -56,7 +57,10 @@ uint64_t EstimatorConfigFingerprint(const DegradingEstimator::Options& o) {
 std::string ServeResponse::ToJsonLine() const {
   JsonWriter w;
   w.BeginObject();
+  // "id" stays first: line-oriented consumers (smoke tests, shell greps)
+  // key on the '{"id":' prefix.
   w.Key("id").Uint(id);
+  w.Key("req").Uint(req);
   w.Key("query").String(query);
   w.Key("ok").Bool(ok);
   if (ok) {
@@ -150,10 +154,12 @@ bool Server::Submit(ServeRequest request) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!stopping_ && queue_.size() < options_.queue_capacity) {
+      request.trace.StampAdmitted();
       queue_.push_back(std::move(request));
       submitted_.fetch_add(1, std::memory_order_relaxed);
       metrics.requests->Increment();
       metrics.queue_depth_peak->SetMax(static_cast<int64_t>(queue_.size()));
+      metrics.queue_depth->Set(static_cast<int64_t>(queue_.size()));
       work_available_.notify_one();
       return true;
     }
@@ -164,6 +170,8 @@ bool Server::Submit(ServeRequest request) {
   metrics.shed->Increment();
   ServeResponse response;
   response.id = request.id;
+  response.req = request.trace.req_id;
+  response.trace = request.trace;
   response.query = request.query;
   response.ok = false;
   response.error_code =
@@ -193,6 +201,10 @@ Server::Stats Server::GetStats() const {
   stats.ok = ok_.load(std::memory_order_relaxed);
   stats.errors = errors_.load(std::memory_order_relaxed);
   stats.degraded = degraded_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats.queue_depth = queue_.size();
+  }
   if (cache_ != nullptr) {
     EstimateCache::Stats cache_stats = cache_->GetStats();
     stats.cache_hits = cache_stats.hits;
@@ -225,6 +237,8 @@ void Server::WorkerLoop() {
       if (queue_.empty()) return;  // stopping_ && drained
       request = std::move(queue_.front());
       queue_.pop_front();
+      request.trace.StampDequeued();
+      ServeMetrics::Get().queue_depth->Set(static_cast<int64_t>(queue_.size()));
     }
 
     std::shared_ptr<const SummarySnapshot> current = snapshots_->Get();
@@ -259,6 +273,8 @@ ServeResponse Server::Process(const ServeRequest& request,
   const auto start = std::chrono::steady_clock::now();
   ServeResponse response;
   response.id = request.id;
+  response.req = request.trace.req_id;
+  response.trace = request.trace;
   response.query = request.query;
   response.snapshot_version = snapshot_version;
 
@@ -270,6 +286,18 @@ ServeResponse Server::Process(const ServeRequest& request,
     if (!query.ok()) {
       error = query.status();
     } else {
+      if (response.trace.active) {
+        // Twig shape features: the slow-query log keys on them.
+        response.trace.twig_size = static_cast<uint32_t>(query->size());
+        uint32_t depth = 0, fanout = 0;
+        for (int i = 0; i < query->size(); ++i) {
+          depth = std::max(depth, static_cast<uint32_t>(query->Depth(i)));
+          fanout =
+              std::max(fanout, static_cast<uint32_t>(query->children(i).size()));
+        }
+        response.trace.twig_depth = depth;
+        response.trace.twig_fanout = fanout;
+      }
       const double deadline_millis = request.deadline_millis > 0.0
                                          ? request.deadline_millis
                                          : options_.default_deadline_millis;
@@ -281,6 +309,9 @@ ServeResponse Server::Process(const ServeRequest& request,
                                             ? request.max_work_steps
                                             : options_.default_max_work_steps;
       estimate_options.scratch = scratch;
+      if (response.trace.active) {
+        estimate_options.work_steps = &response.trace.work_steps;
+      }
       // Budget-governed means the *value* may depend on the budget (a
       // deadline or step cap can truncate work). A cancel token alone
       // does not: a run that completes despite being cancellable produced
@@ -334,6 +365,7 @@ ServeResponse Server::Process(const ServeRequest& request,
       std::chrono::duration<double, std::micro>(
           std::chrono::steady_clock::now() - start)
           .count();
+  response.trace.StampEstimated();
   return response;
 }
 

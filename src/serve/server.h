@@ -15,6 +15,7 @@
 
 #include "core/degrading_estimator.h"
 #include "serve/estimate_cache.h"
+#include "serve/request_trace.h"
 #include "serve/snapshot.h"
 #include "util/deadline.h"
 #include "util/result.h"
@@ -38,11 +39,18 @@ struct ServeRequest {
   /// resets). Null = not cancellable. Shared ownership keeps the token
   /// alive even after the connection that spawned it is gone.
   std::shared_ptr<CancelToken> cancel;
+  /// Stage timeline, stamped as the request moves through the pipeline
+  /// (serve/request_trace.h). Begin() it at framing; the server stamps
+  /// admitted/dequeued/estimated and hands it back on the response.
+  RequestTrace trace;
 };
 
 /// One response, delivered to the sink exactly once per submitted request.
 struct ServeResponse {
   uint64_t id = 0;
+  /// Process-unique request id (RequestTrace::req_id), echoed as "req" in
+  /// the wire JSON — the correlation key across logs, traces, and /slowz.
+  uint64_t req = 0;
   std::string query;
   bool ok = false;
   double estimate = 0.0;
@@ -58,6 +66,9 @@ struct ServeResponse {
   double wall_micros = 0.0;
   /// Version of the snapshot that served the request (0 if none).
   int64_t snapshot_version = 0;
+  /// The request's stage timeline, carried back for the final stamps
+  /// (serialized, flushed) and terminal accounting by the sink's owner.
+  RequestTrace trace;
 
   /// The newline-free JSON wire rendering of this response.
   std::string ToJsonLine() const;
@@ -137,8 +148,11 @@ class Server {
     uint64_t degraded = 0;
     uint64_t cache_hits = 0;
     uint64_t cache_misses = 0;
+    uint64_t queue_depth = 0;  // admission queue occupancy right now
   };
   Stats GetStats() const;
+
+  const ServerOptions& options() const { return options_; }
 
  private:
   void WorkerLoop();

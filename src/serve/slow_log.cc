@@ -1,0 +1,47 @@
+#include "serve/slow_log.h"
+
+#include <utility>
+
+#include "serve/serve_metrics.h"
+
+namespace treelattice {
+namespace serve {
+
+SlowQueryLog::SlowQueryLog(Options options) : options_(options) {
+  // Reserve up front so Record never reallocates under the lock.
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.reserve(options_.capacity > 0 ? options_.capacity : 1);
+}
+
+void SlowQueryLog::Record(Entry entry) {
+  total_.fetch_add(1, std::memory_order_relaxed);
+  StageMetrics::Get().slow_queries->Increment();
+  const size_t capacity = options_.capacity > 0 ? options_.capacity : 1;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity) {
+    ring_.push_back(std::move(entry));
+    return;
+  }
+  if (next_ >= ring_.size()) next_ = 0;
+  ring_[next_] = std::move(entry);
+  next_ = (next_ + 1) % ring_.size();
+}
+
+std::vector<SlowQueryLog::Entry> SlowQueryLog::Snapshot() const {
+  std::vector<Entry> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(ring_.size());
+  // Newest first: walk backwards from the insertion cursor. While the ring
+  // is still filling, next_ is 0 and the newest entry is at the back.
+  const size_t n = ring_.size();
+  const size_t newest = ring_.size() < options_.capacity || n == 0
+                            ? n
+                            : next_;  // one past the newest entry
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(newest + n - 1 - i) % n]);
+  }
+  return out;
+}
+
+}  // namespace serve
+}  // namespace treelattice

@@ -5,7 +5,10 @@
 #include <unistd.h>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "serve/admin.h"
 #include "serve/serve_metrics.h"
+#include "serve/slow_log.h"
 #include "util/json.h"
 
 namespace treelattice {
@@ -23,6 +26,28 @@ bool IsResetErrno(int error) {
   return error == ECONNRESET || error == EPIPE || error == ETIMEDOUT;
 }
 
+/// Longest an admin connection may sit idle (request not arrived, or
+/// response unread). Admin exchanges are one round trip; anything parked
+/// this long is a stuck scraper.
+constexpr double kAdminIdleMillis = 10000.0;
+
+/// Largest admin request head we will buffer before answering 400.
+constexpr size_t kAdminMaxHeadBytes = 16384;
+
+/// The response-side slice of a ServeResponse that the trace finalizer
+/// keeps (serve/request_trace.h).
+RequestOutcome OutcomeOf(const ServeResponse& response) {
+  RequestOutcome outcome;
+  outcome.query = response.query;
+  outcome.rung = response.rung;
+  outcome.error_code = response.error_code;
+  outcome.ok = response.ok;
+  outcome.cached = response.cached;
+  outcome.degraded = response.degraded;
+  outcome.snapshot_version = response.snapshot_version;
+  return outcome;
+}
+
 }  // namespace
 
 Transport::Transport(SnapshotHolder* snapshots, ServerOptions server_options,
@@ -32,6 +57,7 @@ Transport::Transport(SnapshotHolder* snapshots, ServerOptions server_options,
       control_(std::move(control)),
       poller_(options_.force_poll),
       io_(options_.faults) {
+  started_ = Clock::now();
   // The server's sink runs on worker threads: it only copies the response
   // into the completion queue and nudges the loop — sockets stay owned by
   // the loop thread.
@@ -56,7 +82,10 @@ Transport::~Transport() {
     close(fd);
   }
   conns_.clear();
+  for (auto& [fd, conn] : admin_conns_) close(fd);
+  admin_conns_.clear();
   if (listen_fd_ >= 0) close(listen_fd_);
+  if (admin_listen_fd_ >= 0) close(admin_listen_fd_);
   server_->Shutdown();
 }
 
@@ -71,6 +100,18 @@ Result<uint16_t> Transport::Listen() {
   }
   listen_fd_ = *fd;
   port_ = *port;
+  if (options_.admin_enabled && admin_listen_fd_ < 0) {
+    Result<int> admin_fd =
+        ListenTcp(options_.admin_host, options_.admin_port, 16);
+    if (!admin_fd.ok()) return admin_fd.status();
+    Result<uint16_t> admin_port = BoundPort(*admin_fd);
+    if (!admin_port.ok()) {
+      close(*admin_fd);
+      return admin_port.status();
+    }
+    admin_listen_fd_ = *admin_fd;
+    admin_port_ = *admin_port;
+  }
   return port_;
 }
 
@@ -126,7 +167,11 @@ Status Transport::Run(const volatile std::sig_atomic_t* stop_flag) {
   if (!wake_.ok()) return Status::Internal("transport wake pipe failed");
   TL_RETURN_IF_ERROR(poller_.Add(listen_fd_, true, false));
   TL_RETURN_IF_ERROR(poller_.Add(wake_.read_fd(), true, false));
+  if (admin_listen_fd_ >= 0) {
+    TL_RETURN_IF_ERROR(poller_.Add(admin_listen_fd_, true, false));
+  }
 
+  started_ = Clock::now();
   last_sweep_ = Clock::now();
   std::vector<EventPoller::Event> events;
   Status loop_status = Status::OK();
@@ -156,6 +201,17 @@ Status Transport::Run(const volatile std::sig_atomic_t* stop_flag) {
       loop_status = s;
       break;
     }
+    // Re-check the stop request before dispatching: a shutdown that landed
+    // while we were in Wait must be visible to every event in this batch —
+    // otherwise an admin probe racing the wake could still read "ready",
+    // and a serving accept could slip in after the operator said stop.
+    if (!draining_ && (stop_requested_.load(std::memory_order_acquire) ||
+                       (stop_flag != nullptr && *stop_flag != 0))) {
+      BeginDrain();
+    }
+    // Loop health: how many fds fired, and how long this batch keeps the
+    // loop away from its next Wait (recorded at the bottom).
+    const Clock::time_point dispatch_started = Clock::now();
     for (const EventPoller::Event& event : events) {
       if (event.fd == wake_.read_fd()) {
         wake_.Drain();
@@ -163,6 +219,27 @@ Status Transport::Run(const volatile std::sig_atomic_t* stop_flag) {
       }
       if (event.fd == listen_fd_) {
         if (!draining_) AcceptNew();
+        continue;
+      }
+      if (event.fd == admin_listen_fd_) {
+        // The admin plane accepts during drain: /healthz reports it.
+        AcceptAdmin();
+        continue;
+      }
+      if (auto admin_it = admin_conns_.find(event.fd);
+          admin_it != admin_conns_.end()) {
+        AdminConn* admin_conn = admin_it->second.get();
+        if (event.error) {
+          CloseAdminConn(admin_conn);
+          continue;
+        }
+        if (event.writable) {
+          FlushAdmin(admin_conn);
+          admin_it = admin_conns_.find(event.fd);
+          if (admin_it == admin_conns_.end()) continue;
+          admin_conn = admin_it->second.get();
+        }
+        if (event.readable) ReadAdmin(admin_conn);
         continue;
       }
       auto it = conns_.find(event.fd);
@@ -187,6 +264,12 @@ Status Transport::Run(const volatile std::sig_atomic_t* stop_flag) {
     DrainCompletions();
 
     const Clock::time_point now = Clock::now();
+    if (!events.empty()) {
+      NetMetrics& metrics = NetMetrics::Get();
+      metrics.dispatch_batch->Record(events.size());
+      metrics.loop_lag_micros->Record(static_cast<uint64_t>(
+          MillisSince(dispatch_started, now) * 1000.0));
+    }
     if (MillisSince(last_sweep_, now) >= WaitTimeoutMillis()) {
       SweepTimeouts();
       last_sweep_ = now;
@@ -199,6 +282,7 @@ Status Transport::Run(const volatile std::sig_atomic_t* stop_flag) {
   const Clock::time_point drain_end = Clock::now();
   for (auto& [fd, conn] : conns_) {
     conn->cancel->Cancel();
+    FinalizeUnflushed(conn.get());
     poller_.Remove(fd);
     close(fd);
     active_.fetch_sub(1, std::memory_order_relaxed);
@@ -206,10 +290,21 @@ Status Transport::Run(const volatile std::sig_atomic_t* stop_flag) {
   }
   conns_.clear();
   conn_fd_by_id_.clear();
+  for (auto& [fd, conn] : admin_conns_) {
+    poller_.Remove(fd);
+    close(fd);
+    AdminMetrics::Get().active->Add(-1);
+  }
+  admin_conns_.clear();
   if (listen_fd_ >= 0) {
     poller_.Remove(listen_fd_);
     close(listen_fd_);
     listen_fd_ = -1;
+  }
+  if (admin_listen_fd_ >= 0) {
+    poller_.Remove(admin_listen_fd_);
+    close(admin_listen_fd_);
+    admin_listen_fd_ = -1;
   }
   server_->Shutdown();
   DrainCompletions();
@@ -354,7 +449,7 @@ void Transport::HandleFrame(Conn* conn, NdjsonFramer::Event event) {
     // discarding through the frame's terminating newline.
     frames_oversized_.fetch_add(1, std::memory_order_relaxed);
     metrics.frames_oversized->Increment();
-    EnqueueErrorLine(conn, ++conn->next_client_id, "",
+    EnqueueErrorLine(conn, ++conn->next_client_id, /*req=*/0, "",
                      StatusCode::kInvalidArgument,
                      "request line exceeds max frame size of " +
                          std::to_string(options_.max_frame_bytes) + " bytes");
@@ -367,17 +462,22 @@ void Transport::HandleFrame(Conn* conn, NdjsonFramer::Event event) {
     HandleControlLine(conn, line);
     return;
   }
+  // The internal id doubles as the process-unique request id ("req" in
+  // the response): Begin the trace before parsing so parse time lands in
+  // the admit stage.
+  const uint64_t internal_id = ++next_internal_id_;
+  RequestTrace trace = RequestTrace::Begin(internal_id);
   Result<ServeRequest> request = ParseRequestLine(line);
   uint64_t client_id = ++conn->next_client_id;
   if (!request.ok()) {
-    EnqueueErrorLine(conn, client_id, line, request.status().code(),
-                     request.status().message());
+    EnqueueErrorLine(conn, client_id, internal_id, line,
+                     request.status().code(), request.status().message());
     return;
   }
   if (request->id != 0) client_id = request->id;
-  const uint64_t internal_id = ++next_internal_id_;
   routes_[internal_id] = Route{conn->id, client_id};
   request->id = internal_id;
+  request->trace = trace;
   request->cancel = conn->cancel;
   ++conn->in_flight;
   requests_admitted_.fetch_add(1, std::memory_order_relaxed);
@@ -399,13 +499,14 @@ void Transport::HandleControlLine(Conn* conn, const std::string& line) {
       return;
     }
   }
-  EnqueueErrorLine(conn, ++conn->next_client_id, line,
+  EnqueueErrorLine(conn, ++conn->next_client_id, /*req=*/0, line,
                    StatusCode::kInvalidArgument, "unknown control line");
 }
 
 void Transport::EnqueueLine(Conn* conn, std::string_view line) {
   conn->out.append(line);
   conn->out.push_back('\n');
+  conn->total_enqueued += line.size() + 1;
   if (!conn->paused &&
       conn->pending_out() > options_.write_high_water) {
     // Backpressure: stop reading until the peer drains its responses.
@@ -417,11 +518,14 @@ void Transport::EnqueueLine(Conn* conn, std::string_view line) {
   UpdateInterest(conn);
 }
 
-void Transport::EnqueueErrorLine(Conn* conn, uint64_t id,
+void Transport::EnqueueErrorLine(Conn* conn, uint64_t id, uint64_t req,
                                  std::string_view query, StatusCode code,
                                  std::string_view message) {
   ServeResponse response;
   response.id = id;
+  // Transport-level errors never reach the Server, but they still carry a
+  // process-unique request id — every response line is correlatable.
+  response.req = req != 0 ? req : ++next_internal_id_;
   response.query = std::string(query);
   response.ok = false;
   response.error_code = std::string(StatusCodeToString(code));
@@ -446,10 +550,12 @@ void Transport::FlushConn(Conn* conn) {
       return;
     }
     conn->out_offset += wrote.bytes;
+    conn->total_flushed += wrote.bytes;
     bytes_out_.fetch_add(wrote.bytes, std::memory_order_relaxed);
     metrics.bytes_out->Increment(wrote.bytes);
     conn->last_activity = Clock::now();
   }
+  FinalizeFlushed(conn);
   if (conn->pending_out() == 0) {
     conn->out.clear();
     conn->out_offset = 0;
@@ -481,6 +587,9 @@ void Transport::CloseConn(Conn* conn, bool abortive) {
     // response (kCancelled) comes back to be accounted as orphaned.
     conn->cancel->Cancel();
   }
+  // Lines still buffered never reach the wire; their traces end at
+  // "serialized" and are accounted now.
+  FinalizeUnflushed(conn);
   poller_.Remove(conn->fd);
   close(conn->fd);
   active_.fetch_sub(1, std::memory_order_relaxed);
@@ -504,20 +613,52 @@ void Transport::DrainCompletions() {
     auto fd_it = conn_fd_by_id_.find(route.conn_id);
     if (fd_it == conn_fd_by_id_.end()) {
       // The connection died before its answer was ready. Not silent: the
-      // work was cancelled at close and the drop is counted here.
+      // work was cancelled at close and the drop is counted here — and the
+      // trace finalizes with its last real stamp (never serialized).
       responses_orphaned_.fetch_add(1, std::memory_order_relaxed);
       metrics.responses_orphaned->Increment();
+      FinalizeRequestTrace(completion.response.trace,
+                           OutcomeOf(completion.response), options_.slow_log);
       continue;
     }
     Conn* conn = conns_.at(fd_it->second).get();
     --conn->in_flight;
     completion.response.id = route.client_id;
     responses_delivered_.fetch_add(1, std::memory_order_relaxed);
-    EnqueueLine(conn, completion.response.ToJsonLine());
+    RequestTrace trace = completion.response.trace;
+    const std::string line = completion.response.ToJsonLine();
+    trace.StampSerialized();
+    EnqueueLine(conn, line);
+    if (trace.active) {
+      // The flush stamp waits for the kernel to take the line's last byte;
+      // the marker anchors to the output stream's lifetime byte position.
+      Conn::PendingFinalize marker;
+      marker.bytes_end = conn->total_enqueued;
+      marker.trace = trace;
+      marker.outcome = OutcomeOf(completion.response);
+      conn->pending_finalize.push_back(std::move(marker));
+    }
     // Opportunistic flush: saves one poller round-trip per response and
     // lets half-closed/draining connections finish immediately.
     FlushConn(conn);
   }
+}
+
+void Transport::FinalizeFlushed(Conn* conn) {
+  while (!conn->pending_finalize.empty() &&
+         conn->pending_finalize.front().bytes_end <= conn->total_flushed) {
+    Conn::PendingFinalize marker = std::move(conn->pending_finalize.front());
+    conn->pending_finalize.pop_front();
+    marker.trace.StampFlushed();
+    FinalizeRequestTrace(marker.trace, marker.outcome, options_.slow_log);
+  }
+}
+
+void Transport::FinalizeUnflushed(Conn* conn) {
+  for (Conn::PendingFinalize& marker : conn->pending_finalize) {
+    FinalizeRequestTrace(marker.trace, marker.outcome, options_.slow_log);
+  }
+  conn->pending_finalize.clear();
 }
 
 void Transport::SweepTimeouts() {
@@ -547,7 +688,7 @@ void Transport::SweepTimeouts() {
     request_timeouts_.fetch_add(1, std::memory_order_relaxed);
     metrics.request_timeouts->Increment();
     // Best-effort parting error, then the slowloris is gone.
-    EnqueueErrorLine(conn, ++conn->next_client_id, "",
+    EnqueueErrorLine(conn, ++conn->next_client_id, /*req=*/0, "",
                      StatusCode::kDeadlineExceeded,
                      "request frame not completed in time");
     std::string_view out(conn->out.data() + conn->out_offset,
@@ -566,39 +707,133 @@ void Transport::SweepTimeouts() {
     metrics.idle_timeouts->Increment();
     CloseConn(it->second.get(), /*abortive=*/false);
   }
+  // Admin connections are one short exchange; sweep stragglers.
+  std::vector<int> admin_victims;
+  for (auto& [fd, conn] : admin_conns_) {
+    if (MillisSince(conn->last_activity, now) > kAdminIdleMillis) {
+      admin_victims.push_back(fd);
+    }
+  }
+  for (int fd : admin_victims) {
+    auto it = admin_conns_.find(fd);
+    if (it != admin_conns_.end()) CloseAdminConn(it->second.get());
+  }
+}
+
+StatusSnapshot Transport::BuildStatus() const {
+  StatusSnapshot status;
+  status.server = server_->GetStats();
+  status.queue_capacity = server_->options().queue_capacity;
+  status.workers = server_->options().workers;
+  status.snapshot_version = snapshots_->version();
+  if (std::shared_ptr<const SummarySnapshot> snap = snapshots_->Get()) {
+    status.snapshot_salvaged = snap->salvaged;
+  }
+  status.draining = draining_;
+  status.uptime_seconds = MillisSince(started_, Clock::now()) / 1000.0;
+  status.has_net = true;
+  status.net = GetStats();
+  if (options_.slow_log != nullptr) {
+    status.slow_queries = options_.slow_log->total_recorded();
+    status.slow_threshold_millis = options_.slow_log->options().threshold_millis;
+  }
+  return status;
 }
 
 std::string Transport::StatsJsonLine() const {
-  const Server::Stats stats = server_->GetStats();
-  JsonWriter w;
-  w.BeginObject();
-  w.Key("stats").BeginObject();
-  w.Key("submitted").Uint(stats.submitted);
-  w.Key("shed").Uint(stats.shed);
-  w.Key("ok").Uint(stats.ok);
-  w.Key("errors").Uint(stats.errors);
-  w.Key("degraded").Uint(stats.degraded);
-  w.Key("cache_hits").Uint(stats.cache_hits);
-  w.Key("cache_misses").Uint(stats.cache_misses);
-  w.Key("snapshot_version").Int(snapshots_->version());
-  w.Key("net").BeginObject();
-  w.Key("accepted").Uint(accepted_.load(std::memory_order_relaxed));
-  w.Key("rejected").Uint(rejected_.load(std::memory_order_relaxed));
-  w.Key("active").Uint(active_.load(std::memory_order_relaxed));
-  w.Key("frames").Uint(frames_.load(std::memory_order_relaxed));
-  w.Key("frames_oversized")
-      .Uint(frames_oversized_.load(std::memory_order_relaxed));
-  w.Key("responses_delivered")
-      .Uint(responses_delivered_.load(std::memory_order_relaxed));
-  w.Key("responses_orphaned")
-      .Uint(responses_orphaned_.load(std::memory_order_relaxed));
-  w.Key("backpressure_stalls")
-      .Uint(backpressure_stalls_.load(std::memory_order_relaxed));
-  w.Key("resets").Uint(resets_.load(std::memory_order_relaxed));
-  w.EndObject();
-  w.EndObject();
-  w.EndObject();
-  return w.TakeString();
+  // One snapshot path for every surface: '#stats' here, /statusz and
+  // /healthz in the admin plane — the JSON can never drift apart.
+  return introspect::StatsJsonLine(BuildStatus());
+}
+
+void Transport::AcceptAdmin() {
+  AdminMetrics& metrics = AdminMetrics::Get();
+  for (;;) {
+    NetIoResult accepted = io_.Accept(admin_listen_fd_);
+    if (accepted.kind != NetIoResult::Kind::kOk) return;
+    const int fd = accepted.fd;
+    if (static_cast<int>(admin_conns_.size()) >=
+        options_.max_admin_connections) {
+      close(fd);  // no protocol courtesy: the admin plane is best-effort
+      continue;
+    }
+    auto conn = std::make_unique<AdminConn>(fd);
+    conn->last_activity = Clock::now();
+    if (!poller_.Add(fd, true, false).ok()) {
+      close(fd);
+      continue;
+    }
+    metrics.active->Add(1);
+    AdminConn* raw = conn.get();
+    admin_conns_[fd] = std::move(conn);
+    // The scraper may have sent its whole request already.
+    ReadAdmin(raw);
+  }
+}
+
+void Transport::ReadAdmin(AdminConn* conn) {
+  char buf[4096];
+  while (!conn->responding) {
+    NetIoResult got = io_.Read(conn->fd, buf, sizeof(buf));
+    if (got.kind == NetIoResult::Kind::kWouldBlock) return;
+    if (got.kind != NetIoResult::Kind::kOk) {
+      // EOF or error before a full request head: nothing to answer.
+      CloseAdminConn(conn);
+      return;
+    }
+    conn->in.append(buf, got.bytes);
+    conn->last_activity = Clock::now();
+    Result<std::optional<AdminRequest>> head =
+        ParseAdminRequestHead(&conn->in, kAdminMaxHeadBytes);
+    if (!head.ok()) {
+      AdminResponse bad;
+      bad.status = 400;
+      bad.content_type = "text/plain; charset=utf-8";
+      bad.body = head.status().message() + "\n";
+      AdminMetrics::Get().responses_error->Increment();
+      conn->out = RenderHttpResponse(bad);
+      conn->responding = true;
+      break;
+    }
+    if (!head->has_value()) continue;  // head incomplete — keep reading
+    AdminHooks hooks;
+    hooks.status = [this] { return BuildStatus(); };
+    hooks.metrics_text = [] {
+      return obs::MetricsRegistry::Default()->ToPrometheusText();
+    };
+    hooks.slow_log = options_.slow_log;
+    conn->out = RenderHttpResponse(HandleAdminRequest(**head, hooks));
+    conn->responding = true;
+    break;
+  }
+  FlushAdmin(conn);
+}
+
+void Transport::FlushAdmin(AdminConn* conn) {
+  while (conn->pending_out() > 0) {
+    NetIoResult wrote = io_.Write(conn->fd, conn->out.data() + conn->out_offset,
+                                  conn->pending_out());
+    if (wrote.kind == NetIoResult::Kind::kWouldBlock) {
+      poller_.Modify(conn->fd, false, true);
+      return;
+    }
+    if (!wrote.ok()) {
+      CloseAdminConn(conn);
+      return;
+    }
+    conn->out_offset += wrote.bytes;
+    conn->last_activity = Clock::now();
+  }
+  // Response fully on the wire (or nothing to say yet): one exchange per
+  // connection, so a finished response closes it.
+  if (conn->responding) CloseAdminConn(conn);
+}
+
+void Transport::CloseAdminConn(AdminConn* conn) {
+  poller_.Remove(conn->fd);
+  close(conn->fd);
+  AdminMetrics::Get().active->Add(-1);
+  admin_conns_.erase(conn->fd);  // destroys *conn — must be last
 }
 
 }  // namespace serve

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "serve/conn.h"
+#include "serve/introspect.h"
 #include "serve/server.h"
 #include "serve/snapshot.h"
 #include "util/event_poller.h"
@@ -82,6 +83,19 @@ class Transport {
     bool force_poll = false;
     /// Deterministic socket-fault seeding (0 = off).
     NetFaultConfig faults;
+
+    /// Admin plane (DESIGN.md §12): when enabled, a second acceptor on
+    /// the same event loop answers GET /metrics, /healthz, /statusz and
+    /// /slowz over a minimal HTTP/1.1 subset (serve/admin.h). The admin
+    /// listener stays open during drain so /healthz can report it.
+    bool admin_enabled = false;
+    std::string admin_host = "127.0.0.1";
+    uint16_t admin_port = 0;  // 0 = ephemeral
+    /// Admin connections beyond this are refused at accept.
+    int max_admin_connections = 32;
+    /// Slow-query ring fed by request finalization and served by /slowz.
+    /// Not owned; may be null (no slow-query logging). Must outlive Run.
+    SlowQueryLog* slow_log = nullptr;
   };
 
   /// Handles control lines ('#'-prefixed) the transport does not answer
@@ -99,9 +113,12 @@ class Transport {
   Transport(const Transport&) = delete;
   Transport& operator=(const Transport&) = delete;
 
-  /// Binds and listens. Returns the bound port (resolves port 0).
+  /// Binds and listens (the admin listener too, when enabled). Returns
+  /// the bound serving port (resolves port 0).
   Result<uint16_t> Listen();
   uint16_t port() const { return port_; }
+  /// Bound admin port; 0 when the admin plane is disabled.
+  uint16_t admin_port() const { return admin_port_; }
 
   /// Runs the event loop on the calling thread until a shutdown request
   /// drains it (see class comment). `stop_flag`, when given, is polled
@@ -114,24 +131,9 @@ class Transport {
 
   Server::Stats GetServerStats() const { return server_->GetStats(); }
 
-  struct Stats {
-    uint64_t accepted = 0;
-    uint64_t rejected = 0;        // turned away at the connection cap
-    uint64_t active = 0;          // open right now
-    uint64_t frames = 0;          // complete request lines parsed
-    uint64_t frames_oversized = 0;
-    uint64_t requests_admitted = 0;  // submitted to the Server
-    uint64_t responses_delivered = 0;
-    uint64_t responses_orphaned = 0;  // connection died first
-    uint64_t bytes_in = 0;
-    uint64_t bytes_out = 0;
-    uint64_t idle_timeouts = 0;
-    uint64_t request_timeouts = 0;  // slowloris closes
-    uint64_t backpressure_stalls = 0;
-    uint64_t resets = 0;  // abortive closes (RST/EPIPE/injected)
-    uint64_t injected_faults = 0;
-    double drain_micros = 0.0;  // shutdown-to-loop-exit, once Run returns
-  };
+  /// Field docs live on TransportStats (serve/introspect.h) — the struct
+  /// is standalone so status rendering needs no transport dependency.
+  using Stats = TransportStats;
   Stats GetStats() const;
 
  private:
@@ -151,8 +153,11 @@ class Transport {
   void HandleFrame(Conn* conn, NdjsonFramer::Event event);
   void HandleControlLine(Conn* conn, const std::string& line);
   void EnqueueLine(Conn* conn, std::string_view line);
-  void EnqueueErrorLine(Conn* conn, uint64_t id, std::string_view query,
-                        StatusCode code, std::string_view message);
+  /// `req` is the process-unique request id echoed in the error line; 0
+  /// lets the transport assign a fresh one.
+  void EnqueueErrorLine(Conn* conn, uint64_t id, uint64_t req,
+                        std::string_view query, StatusCode code,
+                        std::string_view message);
   void UpdateInterest(Conn* conn);
   void CloseConn(Conn* conn, bool abortive);
   void DrainCompletions();
@@ -160,6 +165,21 @@ class Transport {
   void BeginDrain();
   int WaitTimeoutMillis() const;
   std::string StatsJsonLine() const;
+  /// Finalizes every response line whose bytes reached the kernel
+  /// (flush markers up to conn->total_flushed).
+  void FinalizeFlushed(Conn* conn);
+  /// Finalizes everything still pending on `conn` without a flush stamp —
+  /// the connection is going away before those bytes hit the wire.
+  void FinalizeUnflushed(Conn* conn);
+  /// The one coherent status view every introspection surface renders
+  /// ('#stats', /statusz, /healthz). Loop thread only.
+  StatusSnapshot BuildStatus() const;
+
+  // Admin plane (all on the loop thread; serve/admin.h has the protocol).
+  void AcceptAdmin();
+  void ReadAdmin(AdminConn* conn);
+  void FlushAdmin(AdminConn* conn);
+  void CloseAdminConn(AdminConn* conn);
 
   SnapshotHolder* const snapshots_;
   const Options options_;
@@ -171,6 +191,11 @@ class Transport {
   WakePipe wake_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
+  int admin_listen_fd_ = -1;
+  uint16_t admin_port_ = 0;
+  std::unordered_map<int, std::unique_ptr<AdminConn>> admin_conns_;  // by fd
+  /// When Run started — /statusz uptime.
+  std::chrono::steady_clock::time_point started_;
 
   uint64_t next_conn_id_ = 0;
   uint64_t next_internal_id_ = 0;

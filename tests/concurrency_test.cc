@@ -29,6 +29,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/estimate_cache.h"
+#include "serve/slow_log.h"
 #include "serve/snapshot.h"
 #include "serve/transport.h"
 #include "summary/lattice_summary.h"
@@ -425,6 +426,24 @@ int ReadLines(int fd, int want, int timeout_millis) {
   return lines;
 }
 
+/// Everything the peer sends until EOF or timeout (admin responses end
+/// with the server closing the connection).
+std::string ReadToEof(int fd, int timeout_millis) {
+  std::string out;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_millis);
+  for (;;) {
+    if (std::chrono::steady_clock::now() >= deadline) break;
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, 50) <= 0) continue;
+    char buf[4096];
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  return out;
+}
+
 }  // namespace transport_hammer
 
 TEST(ConcurrencyTest, TransportConnectionChurnHammer) {
@@ -509,6 +528,88 @@ TEST(ConcurrencyTest, TransportConnectionChurnHammer) {
   EXPECT_EQ(stats.requests_admitted,
             stats.responses_delivered + stats.responses_orphaned);
   EXPECT_EQ(stats.active, 0u);
+}
+
+TEST(ConcurrencyTest, AdminScrapesRaceTheRegistryHammer) {
+  // Two scraper threads GET /metrics and /statusz over real HTTP while 8
+  // writer threads mutate the very registry those endpoints render. Every
+  // scrape must come back 200 with a complete body; TSan turns any tear
+  // in the registry walk into a failure.
+  using transport_hammer::ConnectTo;
+  using transport_hammer::ReadToEof;
+  using transport_hammer::SendAll;
+
+  obs::SetEnabledForTest(true);
+  LabelDict dict;
+  LatticeSummary summary(2);
+  for (const auto& [text, count] :
+       std::vector<std::pair<std::string, uint64_t>>{
+           {"a", 10}, {"b", 8}, {"a(b)", 5}}) {
+    Result<Twig> twig = Twig::Parse(text, &dict);
+    ASSERT_TRUE(twig.ok());
+    ASSERT_TRUE(summary.Insert(*twig, count).ok());
+  }
+  summary.set_complete_through_level(2);
+  serve::SnapshotHolder holder;
+  holder.Swap(std::make_shared<serve::SummarySnapshot>(std::move(summary),
+                                                       std::move(dict)));
+
+  serve::SlowQueryLog slow_log({/*threshold_millis=*/1.0, /*capacity=*/32});
+  serve::Transport::Options net;
+  net.admin_enabled = true;
+  net.slow_log = &slow_log;
+  serve::Transport transport(&holder, serve::ServerOptions(), net, nullptr);
+  Result<uint16_t> port = transport.Listen();
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+  std::thread loop([&] { EXPECT_TRUE(transport.Run().ok()); });
+  const uint16_t admin = transport.admin_port();
+  ASSERT_NE(admin, 0);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> scrapes{0};
+  std::vector<std::thread> scrapers;
+  for (int s = 0; s < 2; ++s) {
+    scrapers.emplace_back([&, s] {
+      const std::string request =
+          std::string("GET ") + (s == 0 ? "/metrics" : "/statusz") +
+          " HTTP/1.1\r\nHost: test\r\n\r\n";
+      while (!stop.load(std::memory_order_acquire)) {
+        int fd = ConnectTo(admin);
+        if (fd < 0) continue;
+        if (SendAll(fd, request)) {
+          std::string raw = ReadToEof(fd, 5000);
+          if (raw.rfind("HTTP/1.1 200", 0) == 0 &&
+              raw.find("\r\n\r\n") != std::string::npos) {
+            scrapes.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        ::close(fd);
+      }
+    });
+  }
+
+  RunThreads(kThreads, [&](int t) {
+    obs::MetricsRegistry* registry = obs::MetricsRegistry::Default();
+    obs::Counter* counter = registry->counter("test.admin_hammer");
+    obs::Histogram* hist = registry->histogram("test.admin_hammer_hist");
+    obs::Counter* own =
+        registry->counter("test.admin_hammer_" + std::to_string(t));
+    for (int i = 0; i < kOpsPerThread; ++i) {
+      counter->Increment();
+      own->Increment();
+      hist->Record(static_cast<uint64_t>(i));
+    }
+  });
+  stop.store(true, std::memory_order_release);
+  for (std::thread& s : scrapers) s.join();
+  transport.RequestShutdown();
+  loop.join();
+
+  EXPECT_GT(scrapes.load(), 0);
+  EXPECT_EQ(obs::MetricsRegistry::Default()->counter("test.admin_hammer")
+                ->value(),
+            static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  obs::MetricsRegistry::Default()->ResetAll();
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 
 #include "core/estimator_metrics.h"
 #include "core/recursive_estimator.h"
+#include "io/env.h"
 #include "mining/lattice_builder.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
@@ -239,6 +240,49 @@ TEST_F(ObsTest, TracerDisabledRecordsNothing) {
   { TraceSpan span("kept.span", "test"); }
   Tracer::Stop();
   EXPECT_EQ(Tracer::CollectedEvents(), 1u);
+}
+
+TEST_F(ObsTest, TracerRingDropsOldestBeyondCapacity) {
+  Tracer::SetRingCapacity(8);
+  Tracer::Start();
+  for (int i = 0; i < 100; ++i) {
+    TraceSpan span("ring.span", "test");
+  }
+  Tracer::Stop();
+  // Bounded: the newest 8 events survive, the rest are counted dropped —
+  // a long-running server keeps the recent past, not unbounded history.
+  EXPECT_EQ(Tracer::CollectedEvents(), 8u);
+  EXPECT_EQ(Tracer::DroppedEvents(), 92u);
+  Result<JsonValue> parsed = ParseJson(Tracer::ChromeTraceJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("traceEvents")->array.size(), 8u);
+  Tracer::SetRingCapacity(65536);  // restore the default for later tests
+  Tracer::Start();
+  Tracer::Stop();
+  EXPECT_EQ(Tracer::DroppedEvents(), 0u);  // Start() resets the tally
+}
+
+TEST_F(ObsTest, PeriodicFlushLeavesParseableTraceFile) {
+  const std::string path = testing::TempDir() + "/tl_obs_periodic_trace.json";
+  Tracer::Start();
+  ASSERT_TRUE(Tracer::StartPeriodicFlush(path, 5.0).ok());
+  {
+    TraceSpan span("flush.span", "test");
+  }
+  // StopPeriodicFlush writes once more before returning, so the file holds
+  // the complete trace even if no interval elapsed.
+  Tracer::StopPeriodicFlush();
+  Tracer::Stop();
+
+  std::string bytes;
+  ASSERT_TRUE(ReadFileToString(Env::Default(), path, &bytes).ok());
+  Result<JsonValue> parsed = ParseJson(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_FALSE(events->array.empty());
+  EXPECT_EQ(events->array[0].Find("name")->string_value, "flush.span");
+  ASSERT_TRUE(Env::Default()->DeleteFile(path).ok());
 }
 
 TEST_F(ObsTest, MiningAndEstimationInstrumentationFires) {

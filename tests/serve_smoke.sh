@@ -183,6 +183,7 @@ if command -v python3 > /dev/null 2>&1; then
   "$CLI" serve "$WORKDIR/doc.summary" --listen=127.0.0.1:0 --workers=4 \
       --queue=256 --drain-ms=3000 --max-frame-bytes=4096 \
       --net-fault-seed=42 --net-fault-short=0.2 --net-fault-eagain=0.1 \
+      --admin=127.0.0.1:0 --slow-threshold-ms=1 --slow-log-size=64 \
       > /dev/null 2> "$WORKDIR/tcp.err" &
   SERVE_PID=$!
 
@@ -191,19 +192,38 @@ import json, os, re, signal, socket, struct, sys, time
 
 err_path, pid = sys.argv[1], int(sys.argv[2])
 
-# Wait for the listening line and extract the ephemeral port.
-port = None
+# Wait for the listening lines and extract both ephemeral ports.
+port = admin_port = None
 deadline = time.time() + 10
-while time.time() < deadline and port is None:
+while time.time() < deadline and (port is None or admin_port is None):
     try:
         with open(err_path) as f:
-            m = re.search(r"listening on [\d.]+:(\d+)", f.read())
-            if m:
-                port = int(m.group(1))
+            text = f.read()
+        m = re.search(r"listening on [\d.]+:(\d+)", text)
+        if m:
+            port = int(m.group(1))
+        m = re.search(r"admin on [\d.]+:(\d+)", text)
+        if m:
+            admin_port = int(m.group(1))
     except FileNotFoundError:
         pass
     time.sleep(0.05)
 assert port is not None, "server never printed its port"
+assert admin_port is not None, "server never printed its admin port"
+
+def admin_get(target):
+    """One-shot HTTP GET against the admin plane; returns (status, body)."""
+    s = socket.create_connection(("127.0.0.1", admin_port), timeout=10)
+    s.sendall(b"GET %s HTTP/1.1\r\nHost: smoke\r\n\r\n" % target.encode())
+    raw = b""
+    while True:
+        chunk = s.recv(65536)
+        if not chunk:
+            break
+        raw += chunk
+    s.close()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    return int(head.split(b" ", 2)[1]), body
 
 def connect():
     return socket.create_connection(("127.0.0.1", port), timeout=10)
@@ -251,6 +271,26 @@ while len(seen) < 200:
         c.sendall(b"{{{{not json\n")
         c.close()
 assert seen == set(range(1, 201)), "response ids mismatch"
+
+# Admin plane mid-soak: all four endpoints must answer while the serving
+# port is still live, and the slow-query ring (threshold 1 ms) must have
+# caught real traffic with its stage timeline and shape features.
+status, body = admin_get("/healthz")
+assert status == 200 and json.loads(body)["ok"], (status, body)
+status, body = admin_get("/metrics")
+assert status == 200 and b"treelattice_" in body, (status, body[:200])
+status, body = admin_get("/statusz")
+statusz = json.loads(body)
+assert status == 200 and statusz["snapshot_version"] >= 1, statusz
+status, body = admin_get("/slowz")
+slowz = json.loads(body)
+assert status == 200, (status, body[:200])
+assert slowz["slowz"]["entries"], "no slow queries at a 1 ms threshold"
+entry = slowz["slowz"]["entries"][0]
+assert entry["req"] > 0 and entry["shape"]["size"] >= 1, entry
+assert "stages_micros" in entry, entry
+print(f"admin plane: 4 endpoints ok, {len(slowz['slowz']['entries'])} "
+      "slow queries captured")
 
 # Second wave, then SIGTERM while it is in flight: the drain must answer
 # everything admitted and close cleanly (EOF, no RST, no hang).

@@ -16,8 +16,11 @@
 
 #include "io/env.h"
 #include "io/fault_env.h"
+#include "obs/metrics.h"
 #include "serve/estimate_cache.h"
+#include "serve/request_trace.h"
 #include "serve/server.h"
+#include "serve/slow_log.h"
 #include "serve/snapshot.h"
 #include "summary/lattice_summary.h"
 #include "summary/summary_format.h"
@@ -582,6 +585,94 @@ TEST_F(ServerTest, GovernedResultsAreNeverCached) {
     EXPECT_FALSE(response.cached);
   }
   EXPECT_EQ(server.GetStats().cache_hits, 0u);
+}
+
+TEST(ResponseJsonTest, TransportRequestIdRidesEveryLineAfterClientId) {
+  ServeResponse response;
+  response.id = 3;
+  response.req = 99;
+  response.query = "a(b)";
+  response.ok = true;
+  response.estimate = 5.0;
+  response.rung = "primary";
+  std::string line = response.ToJsonLine();
+  // "id" must stay the first key (scripts grep for ^{"id":); the
+  // transport-assigned request id rides second.
+  EXPECT_EQ(line.rfind("{\"id\":3,\"req\":99,", 0), 0u) << line;
+  Result<JsonValue> parsed = ParseJson(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_DOUBLE_EQ(parsed->Find("req")->number_value, 99.0);
+}
+
+TEST(SlowQueryLogTest, ThresholdGatesAndRingKeepsNewest) {
+  SlowQueryLog log({/*threshold_millis=*/10.0, /*capacity=*/2});
+  EXPECT_FALSE(log.ShouldRecord(9.99));
+  EXPECT_TRUE(log.ShouldRecord(10.0));
+  SlowQueryLog disabled({/*threshold_millis=*/0.0, /*capacity=*/2});
+  EXPECT_FALSE(disabled.ShouldRecord(1e9));  // <= 0 disables entirely
+
+  for (uint64_t i = 1; i <= 3; ++i) {
+    SlowQueryLog::Entry entry;
+    entry.req_id = i;
+    entry.total_millis = 10.0 + static_cast<double>(i);
+    log.Record(std::move(entry));
+  }
+  EXPECT_EQ(log.total_recorded(), 3u);  // monotonic, not capped
+  std::vector<SlowQueryLog::Entry> snapshot = log.Snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);  // ring displaced the oldest
+  EXPECT_EQ(snapshot[0].req_id, 3u);  // newest first
+  EXPECT_EQ(snapshot[1].req_id, 2u);
+}
+
+TEST(RequestTraceTest, FinalizeComputesStageDeltasAndFeedsSlowLog) {
+  obs::SetEnabledForTest(true);
+  RequestTrace trace;
+  trace.active = true;
+  trace.req_id = 42;
+  trace.framed_micros = 100;
+  trace.admitted_micros = 150;
+  trace.dequeued_micros = 400;
+  trace.estimated_micros = 2400;
+  trace.serialized_micros = 2500;
+  trace.flushed_micros = 3100;
+  trace.twig_size = 3;
+  trace.twig_depth = 2;
+  trace.twig_fanout = 1;
+  trace.work_steps = 7;
+  RequestOutcome outcome;
+  outcome.query = "a(b(c))";
+  outcome.rung = "primary";
+  outcome.ok = true;
+  outcome.snapshot_version = 1;
+
+  SlowQueryLog log({/*threshold_millis=*/1.0, /*capacity=*/4});
+  FinalizeRequestTrace(trace, outcome, &log);
+  ASSERT_EQ(log.total_recorded(), 1u);
+  std::vector<SlowQueryLog::Entry> snapshot = log.Snapshot();
+  const SlowQueryLog::Entry& entry = snapshot[0];
+  EXPECT_EQ(entry.req_id, 42u);
+  EXPECT_EQ(entry.query, "a(b(c))");
+  EXPECT_TRUE(entry.ok);
+  EXPECT_EQ(entry.admit_micros, 50u);
+  EXPECT_EQ(entry.queue_wait_micros, 250u);
+  EXPECT_EQ(entry.estimate_micros, 2000u);
+  EXPECT_EQ(entry.serialize_micros, 100u);
+  EXPECT_EQ(entry.flush_micros, 600u);
+  EXPECT_DOUBLE_EQ(entry.total_millis, 3.0);
+  EXPECT_EQ(entry.twig_size, 3u);
+  EXPECT_EQ(entry.twig_depth, 2u);
+  EXPECT_EQ(entry.twig_fanout, 1u);
+  EXPECT_EQ(entry.work_steps, 7u);
+
+  // The same request against a higher threshold stays out of the ring.
+  SlowQueryLog strict({/*threshold_millis=*/5.0, /*capacity=*/4});
+  FinalizeRequestTrace(trace, outcome, &strict);
+  EXPECT_EQ(strict.total_recorded(), 0u);
+
+  // An inactive trace (TREELATTICE_OBS=off at Begin) records nothing.
+  trace.active = false;
+  FinalizeRequestTrace(trace, outcome, &log);
+  EXPECT_EQ(log.total_recorded(), 1u);
 }
 
 TEST_F(ServerTest, DisabledCacheNeverMarksResponsesCached) {

@@ -12,16 +12,20 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
 #include "serve/conn.h"
+#include "serve/slow_log.h"
 #include "serve/transport.h"
 #include "summary/lattice_summary.h"
 #include "twig/twig.h"
@@ -151,6 +155,25 @@ class Client {
       if (n <= 0) return std::nullopt;  // EOF or error
       buffer_.append(chunk, static_cast<size_t>(n));
     }
+  }
+
+  /// Everything received until EOF or timeout — the shape of an admin
+  /// response, which always ends with the server closing.
+  std::string ReadAll(int timeout_millis = 10000) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_millis);
+    for (;;) {
+      if (std::chrono::steady_clock::now() >= deadline) break;
+      pollfd pfd{fd_, POLLIN, 0};
+      if (::poll(&pfd, 1, 50) <= 0) continue;
+      char chunk[4096];
+      ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) break;
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+    std::string all = std::move(buffer_);
+    buffer_.clear();
+    return all;
   }
 
   /// True when the peer closed (recv returns 0) within the timeout.
@@ -487,6 +510,214 @@ TEST(TransportTest, ControlHandlerAnswersAndUnknownControlErrors) {
   ASSERT_NE(value.Find("error"), nullptr);
   EXPECT_EQ(value.Find("error")->Find("code")->string_value,
             "InvalidArgument");
+}
+
+// --- Admin plane ---------------------------------------------------------
+
+struct HttpResponse {
+  int status = 0;
+  std::string headers;  // status line + header block
+  std::string body;
+};
+
+/// One admin exchange: connect, send `request` verbatim, read to EOF
+/// (the admin plane always answers Connection: close), split the result.
+HttpResponse AdminFetch(uint16_t admin_port, const std::string& request) {
+  Client client(admin_port);
+  client.Send(request);
+  std::string raw = client.ReadAll();
+  HttpResponse response;
+  size_t space = raw.find(' ');
+  if (space != std::string::npos) {
+    response.status = std::atoi(raw.c_str() + space + 1);
+  }
+  size_t split = raw.find("\r\n\r\n");
+  if (split != std::string::npos) {
+    response.headers = raw.substr(0, split);
+    response.body = raw.substr(split + 4);
+  }
+  return response;
+}
+
+HttpResponse AdminGet(uint16_t admin_port, const std::string& target) {
+  return AdminFetch(admin_port,
+                    "GET " + target + " HTTP/1.1\r\nHost: test\r\n\r\n");
+}
+
+TEST(TransportTest, AdminPlaneServesEveryEndpoint) {
+  SlowQueryLog slow_log({/*threshold_millis=*/250.0, /*capacity=*/16});
+  Transport::Options options;
+  options.admin_enabled = true;
+  options.slow_log = &slow_log;
+  TestTransport server(options);
+  const uint16_t admin = server.transport().admin_port();
+  ASSERT_NE(admin, 0);
+
+  Client client(server.port());
+  client.Send(RequestLine(1));
+  ASSERT_TRUE(client.NextLine().has_value());
+
+  HttpResponse health = AdminGet(admin, "/healthz");
+  EXPECT_EQ(health.status, 200);
+  JsonValue health_json = MustParse(health.body);
+  EXPECT_TRUE(health_json.Find("ok")->bool_value) << health.body;
+
+  HttpResponse statusz = AdminGet(admin, "/statusz");
+  EXPECT_EQ(statusz.status, 200);
+  JsonValue statusz_json = MustParse(statusz.body);
+  EXPECT_GE(statusz_json.Find("snapshot_version")->number_value, 1.0);
+  EXPECT_GE(statusz_json.Find("uptime_seconds")->number_value, 0.0);
+  ASSERT_NE(statusz_json.Find("stats"), nullptr);
+  EXPECT_NE(statusz_json.Find("stats")->Find("net"), nullptr);
+  EXPECT_NE(statusz_json.Find("build"), nullptr);
+
+  // '#stats' over the serving port renders the same snapshot: the version
+  // the two surfaces report must agree (one BuildStatus path for both).
+  client.Send("#stats\n");
+  std::optional<std::string> stats_line = client.NextLine();
+  ASSERT_TRUE(stats_line.has_value());
+  JsonValue stats_json = MustParse(*stats_line);
+  ASSERT_NE(stats_json.Find("stats"), nullptr);
+  EXPECT_DOUBLE_EQ(
+      stats_json.Find("stats")->Find("snapshot_version")->number_value,
+      statusz_json.Find("snapshot_version")->number_value);
+
+  HttpResponse metrics = AdminGet(admin, "/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.headers.find("text/plain"), std::string::npos);
+  EXPECT_NE(metrics.body.find("treelattice_"), std::string::npos);
+
+  HttpResponse slowz = AdminGet(admin, "/slowz");
+  EXPECT_EQ(slowz.status, 200);
+  EXPECT_NE(MustParse(slowz.body).Find("slowz"), nullptr);
+
+  // Query strings are ignored, unknown paths 404, non-GET methods 405,
+  // HEAD gets headers only.
+  EXPECT_EQ(AdminGet(admin, "/healthz?verbose=1").status, 200);
+  EXPECT_EQ(AdminGet(admin, "/nope").status, 404);
+  EXPECT_EQ(
+      AdminFetch(admin, "POST /metrics HTTP/1.1\r\nHost: test\r\n\r\n").status,
+      405);
+  HttpResponse head =
+      AdminFetch(admin, "HEAD /healthz HTTP/1.1\r\nHost: test\r\n\r\n");
+  EXPECT_EQ(head.status, 200);
+  EXPECT_TRUE(head.body.empty()) << head.body;
+}
+
+TEST(TransportTest, HealthzReportsNotReadyDuringDrain) {
+  Transport::Options options;
+  options.admin_enabled = true;
+  ServerOptions server_options;
+  server_options.workers = 1;
+  server_options.worker_delay_millis = 50.0;  // ~1s of backlog below
+  TestTransport server(options, server_options);
+  const uint16_t admin = server.transport().admin_port();
+
+  EXPECT_EQ(AdminGet(admin, "/healthz").status, 200);
+
+  Client client(server.port());
+  std::string burst;
+  for (uint64_t id = 1; id <= 20; ++id) burst += RequestLine(id);
+  client.Send(burst);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server.transport().GetStats().requests_admitted < 5 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // The admin listener stays open through the drain precisely so health
+  // probes see the flip before the process goes away.
+  server.transport().RequestShutdown();
+  HttpResponse health = AdminGet(admin, "/healthz");
+  EXPECT_EQ(health.status, 503);
+  JsonValue health_json = MustParse(health.body);
+  EXPECT_FALSE(health_json.Find("ok")->bool_value);
+  EXPECT_EQ(health_json.Find("reason")->string_value, "draining");
+
+  while (client.NextLine(15000).has_value()) {
+  }
+  server.Stop();
+}
+
+TEST(TransportTest, SlowQueryLandsInSlowzWithShapeAndStages) {
+  obs::SetEnabledForTest(true);
+  SlowQueryLog slow_log({/*threshold_millis=*/1.0, /*capacity=*/16});
+  Transport::Options options;
+  options.admin_enabled = true;
+  options.slow_log = &slow_log;
+  ServerOptions server_options;
+  server_options.worker_delay_millis = 10.0;  // guarantees over-threshold
+  TestTransport server(options, server_options);
+  const uint16_t admin = server.transport().admin_port();
+
+  Client client(server.port());
+  client.Send(RequestLine(1));
+  std::optional<std::string> line = client.NextLine();
+  ASSERT_TRUE(line.has_value());
+  const auto req =
+      static_cast<uint64_t>(MustParse(*line).Find("req")->number_value);
+
+  // Finalization runs on the loop thread just after the response bytes
+  // reach the kernel; poll /slowz until the entry shows up.
+  JsonValue entry;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  for (;;) {
+    HttpResponse slowz = AdminGet(admin, "/slowz");
+    ASSERT_EQ(slowz.status, 200);
+    JsonValue slowz_json = MustParse(slowz.body);
+    const JsonValue* entries = slowz_json.Find("slowz")->Find("entries");
+    ASSERT_NE(entries, nullptr);
+    if (!entries->array.empty()) {
+      entry = entries->array[0];
+      break;
+    }
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "slow query never appeared in /slowz";
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  EXPECT_EQ(static_cast<uint64_t>(entry.Find("req")->number_value), req);
+  EXPECT_EQ(entry.Find("query")->string_value, "a(b)");
+  EXPECT_TRUE(entry.Find("ok")->bool_value);
+  // Shape features of a(b): two nodes, one edge deep, one child.
+  const JsonValue* shape = entry.Find("shape");
+  ASSERT_NE(shape, nullptr);
+  EXPECT_EQ(shape->Find("size")->number_value, 2.0);
+  EXPECT_EQ(shape->Find("depth")->number_value, 1.0);
+  EXPECT_EQ(shape->Find("fanout")->number_value, 1.0);
+  const JsonValue* stages = entry.Find("stages_micros");
+  ASSERT_NE(stages, nullptr);
+  // The worker delay lands in the estimate stage and dominates the total.
+  EXPECT_GE(stages->Find("estimate")->number_value, 10000.0);
+  EXPECT_GE(entry.Find("total_ms")->number_value, 10.0);
+}
+
+TEST(TransportTest, RequestIdsAreUniqueAndEchoedAcrossConnections) {
+  obs::SetEnabledForTest(true);
+  TestTransport server;
+  std::set<uint64_t> reqs;
+  for (int c = 0; c < 4; ++c) {
+    Client client(server.port());
+    std::string burst;
+    // Client-chosen ids collide across connections; the transport's own
+    // request ids must not. Malformed lines get traced ids too.
+    for (uint64_t id = 1; id <= 5; ++id) burst += RequestLine(id);
+    burst += "{\"query\": 42}\n";
+    client.Send(burst);
+    for (int i = 0; i < 6; ++i) {
+      std::optional<std::string> line = client.NextLine();
+      ASSERT_TRUE(line.has_value()) << "response " << i;
+      JsonValue value = MustParse(*line);
+      const JsonValue* req = value.Find("req");
+      ASSERT_NE(req, nullptr) << *line;
+      const auto r = static_cast<uint64_t>(req->number_value);
+      EXPECT_GT(r, 0u) << *line;
+      EXPECT_TRUE(reqs.insert(r).second) << "duplicate req id " << r;
+    }
+  }
+  EXPECT_EQ(reqs.size(), 24u);
 }
 
 // --- NdjsonFramer unit tests ---------------------------------------------

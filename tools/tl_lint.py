@@ -11,6 +11,11 @@ Checks, each suppressible per line with `// tl-lint: allow(<rule>)`:
   metric-name      Constants in metric_names.h follow the naming scheme
                    lowercase dot-separated "<subsystem>.<metric>" and are
                    unique.
+  metric-declared  Every serving-plane metric name string ("serve.*" or
+                   "admin.*") appearing anywhere in src/ must be one of the
+                   constants declared in src/obs/metric_names.h — a typo'd
+                   or ad-hoc name would silently register a parallel metric
+                   the dashboards never scrape.
   include-cycle    The src/<module> directories form a DAG under
                    #include "module/...": no include cycles between
                    modules (reported once per cycle, not per line).
@@ -54,6 +59,8 @@ METRIC_CALL_RE = re.compile(
 METRIC_CONST_RE = re.compile(
     r"inline\s+constexpr\s+char\s+(k\w+)\[\]\s*=\s*\"([^\"]*)\"")
 METRIC_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
+SERVE_METRIC_STRING_RE = re.compile(
+    r'"((?:serve|admin)\.[a-z0-9_]+(?:\.[a-z0-9_]+)*)"')
 INCLUDE_RE = re.compile(r'^\s*#include\s+"([^"]+)"')
 # `new` introducing an expression: after =, (, {, ",", return, or start of
 # statement. Excludes identifiers like "renew" via \b.
@@ -79,12 +86,14 @@ BLOCKING_CALL_RE = re.compile(
 SLEEP_FOR_RE = re.compile(r"\bsleep_(?:for|until)\s*\(")
 
 
-def strip_comments_and_strings(line, in_block_comment):
+def strip_comments_and_strings(line, in_block_comment, keep_strings=False):
     """Removes // and /* */ comment text and string-literal contents.
 
     Keeps the quotes of string literals (so call-site patterns like
-    `counter("` still match) but blanks what is inside them. Returns
-    (cleaned_line, still_in_block_comment).
+    `counter("` still match) but blanks what is inside them — unless
+    `keep_strings` is set, which preserves literal contents while still
+    stripping comments (for rules that inspect the strings themselves).
+    Returns (cleaned_line, still_in_block_comment).
     """
     out = []
     i = 0
@@ -121,11 +130,17 @@ def strip_comments_and_strings(line, in_block_comment):
             i += 1
         elif state == "string":
             if c == "\\":
+                if keep_strings:
+                    out.append(line[i:i + 2])
                 i += 2
                 continue
             if c == '"':
                 out.append(c)
                 state = "code"
+                i += 1
+                continue
+            if keep_strings:
+                out.append(c)
             i += 1
         else:  # block comment
             if c == "*" and nxt == "/":
@@ -194,6 +209,25 @@ def check_metric_literals(root, findings):
                     (path, lineno, "metric-literal",
                      "metric name must be a constant from "
                      "obs/metric_names.h, not a string literal"))
+
+
+def check_metric_declared(root, declared, findings):
+    """Serving-plane metric strings must come from the declared registry."""
+    for path in iter_source_files(root, ["src"]):
+        if path.endswith(os.path.join("obs", "metric_names.h")):
+            continue
+        in_block = False
+        for lineno, raw in enumerate(load_lines(path), 1):
+            line, in_block = strip_comments_and_strings(
+                raw, in_block, keep_strings=True)
+            for m in SERVE_METRIC_STRING_RE.finditer(line):
+                name = m.group(1)
+                if name not in declared and not allowed(
+                        raw, "metric-declared"):
+                    findings.append(
+                        (path, lineno, "metric-declared",
+                         f'serving-plane metric name "{name}" is not '
+                         "declared in obs/metric_names.h"))
 
 
 def check_naked_new(root, findings):
@@ -356,8 +390,9 @@ def main(argv):
         return 2
 
     findings = []
-    check_metric_constants(root, findings)
+    declared = check_metric_constants(root, findings)
     check_metric_literals(root, findings)
+    check_metric_declared(root, declared, findings)
     check_naked_new(root, findings)
     check_string_key_maps(root, findings)
     check_canonical_in_loop(root, findings)

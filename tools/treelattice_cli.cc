@@ -48,7 +48,9 @@
 #include "mining/lattice_builder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/introspect.h"
 #include "serve/server.h"
+#include "serve/slow_log.h"
 #include "serve/snapshot.h"
 #include "serve/transport.h"
 #include "util/net.h"
@@ -89,6 +91,9 @@ int Usage() {
                "[--net-fault-seed=<s>]\n"
                "      [--net-fault-short=<p>] [--net-fault-eagain=<p>] "
                "[--net-fault-reset=<p>]\n"
+               "      [--admin=<host:port>] [--slow-threshold-ms=250] "
+               "[--slow-log-size=128]\n"
+               "      [--trace-flush-ms=1000]\n"
                "\n"
                "serve reads one request per line from stdin — a bare query, "
                "or a JSON\nenvelope {\"query\":...,\"deadline_ms\":...,"
@@ -106,6 +111,15 @@ int Usage() {
                "stuck peers closed at twice that). --listen=:0 picks an\n"
                "ephemeral port, printed as 'serve: listening on "
                "<host>:<port>'.\n"
+               "\n"
+               "serve --listen --admin=<host:port> adds an HTTP introspection "
+               "plane on the\nsame event loop: GET /metrics (Prometheus), "
+               "/healthz (readiness), /statusz\n(full status JSON), /slowz "
+               "(slow-query log). Requests slower than\n--slow-threshold-ms "
+               "are kept (newest --slow-log-size) with their full\nstage "
+               "timeline and twig shape. With --trace, serve flushes the "
+               "trace file\nevery --trace-flush-ms so it survives an abnormal "
+               "exit.\n"
                "\n"
                "telemetry flags (any subcommand):\n"
                "  --metrics=<file|->           dump the metrics registry "
@@ -444,7 +458,8 @@ void InstallServeSignalHandlers() {
 /// with a JSON ack) and turns the signal flag into a graceful drain.
 int RunServeTcp(const std::string& summary_path, const std::string& listen,
                 serve::ServerOptions options, serve::ReloadOptions reload,
-                serve::SnapshotHolder* snapshots, const Flags& flags) {
+                serve::SnapshotHolder* snapshots,
+                serve::SlowQueryLog* slow_log, const Flags& flags) {
   Result<HostPort> host_port = ParseHostPort(listen);
   if (!host_port.ok()) {
     std::fprintf(stderr, "serve: bad --listen '%s': %s\n", listen.c_str(),
@@ -469,6 +484,18 @@ int RunServeTcp(const std::string& summary_path, const std::string& listen,
   net.faults.short_io = flags.GetDouble("net-fault-short", 0.0);
   net.faults.eagain = flags.GetDouble("net-fault-eagain", 0.0);
   net.faults.reset = flags.GetDouble("net-fault-reset", 0.0);
+  net.slow_log = slow_log;
+  if (std::string admin = flags.GetString("admin", ""); !admin.empty()) {
+    Result<HostPort> admin_host_port = ParseHostPort(admin);
+    if (!admin_host_port.ok()) {
+      std::fprintf(stderr, "serve: bad --admin '%s': %s\n", admin.c_str(),
+                   admin_host_port.status().ToString().c_str());
+      return 2;
+    }
+    net.admin_enabled = true;
+    net.admin_host = admin_host_port->host;
+    net.admin_port = admin_host_port->port;
+  }
 
   // '#reload' over the wire answers with a JSON ack so remote operators
   // see the outcome; the stderr log mirrors stdin mode. Runs on the loop
@@ -510,6 +537,10 @@ int RunServeTcp(const std::string& summary_path, const std::string& listen,
   InstallServeSignalHandlers();
   std::fprintf(stderr, "serve: listening on %s:%u\n", net.host.c_str(),
                static_cast<unsigned>(*port));
+  if (net.admin_enabled) {
+    std::fprintf(stderr, "serve: admin on %s:%u\n", net.admin_host.c_str(),
+                 static_cast<unsigned>(transport.admin_port()));
+  }
   std::fprintf(stderr, "serve: ready (%d workers, queue %zu)\n", workers,
                queue_capacity);
 
@@ -587,19 +618,41 @@ int RunServe(int argc, char** argv, const Flags& flags) {
                  snap->source.c_str());
   }
 
+  // The slow-query ring is shared by both modes: the transport finalizes
+  // into it on the TCP path, the stdin sink below on the pipe path.
+  serve::SlowQueryLog::Options slow_options;
+  slow_options.threshold_millis = flags.GetDouble("slow-threshold-ms", 250.0);
+  slow_options.capacity =
+      static_cast<size_t>(flags.GetInt("slow-log-size", 128));
+  serve::SlowQueryLog slow_log(slow_options);
+
   if (std::string listen = flags.GetString("listen", ""); !listen.empty()) {
     return RunServeTcp(summary_path, listen, std::move(options), reload,
-                       &snapshots, flags);
+                       &snapshots, &slow_log, flags);
   }
 
   // One fprintf call per line: stdio's per-call lock keeps worker output
   // lines whole even though #stats lines come from the main thread.
-  serve::Server server(&snapshots, options,
-                       [](const serve::ServeResponse& response) {
-                         std::fprintf(stdout, "%s\n",
-                                      response.ToJsonLine().c_str());
-                         std::fflush(stdout);
-                       });
+  // stdout's flush is the pipe-mode "wire": the trace's serialize stage
+  // covers JSON rendering, flush covers fprintf+fflush.
+  serve::Server server(
+      &snapshots, options, [&slow_log](const serve::ServeResponse& response) {
+        serve::RequestTrace trace = response.trace;
+        const std::string line = response.ToJsonLine();
+        trace.StampSerialized();
+        std::fprintf(stdout, "%s\n", line.c_str());
+        std::fflush(stdout);
+        trace.StampFlushed();
+        serve::RequestOutcome outcome;
+        outcome.query = response.query;
+        outcome.rung = response.rung;
+        outcome.error_code = response.error_code;
+        outcome.ok = response.ok;
+        outcome.cached = response.cached;
+        outcome.degraded = response.degraded;
+        outcome.snapshot_version = response.snapshot_version;
+        serve::FinalizeRequestTrace(trace, outcome, &slow_log);
+      });
 
   InstallServeSignalHandlers();
   std::fprintf(stderr, "serve: ready (%d workers, queue %zu)\n",
@@ -631,29 +684,30 @@ int RunServe(int argc, char** argv, const Flags& flags) {
       continue;
     }
     if (text == "#stats") {
-      serve::Server::Stats stats = server.GetStats();
-      JsonWriter w;
-      w.BeginObject();
-      w.Key("stats").BeginObject();
-      w.Key("submitted").Uint(stats.submitted);
-      w.Key("shed").Uint(stats.shed);
-      w.Key("ok").Uint(stats.ok);
-      w.Key("errors").Uint(stats.errors);
-      w.Key("degraded").Uint(stats.degraded);
-      w.Key("cache_hits").Uint(stats.cache_hits);
-      w.Key("cache_misses").Uint(stats.cache_misses);
-      w.Key("snapshot_version").Int(snapshots.version());
-      w.EndObject();
-      w.EndObject();
-      std::fprintf(stdout, "%s\n", w.str().c_str());
+      // The same snapshot/rendering path the TCP transport and /statusz
+      // use (serve/introspect.h) — the surfaces cannot drift apart.
+      serve::StatusSnapshot status;
+      status.server = server.GetStats();
+      status.queue_capacity = options.queue_capacity;
+      status.workers = options.workers;
+      status.snapshot_version = snapshots.version();
+      if (auto snap = snapshots.Get()) {
+        status.snapshot_salvaged = snap->salvaged;
+      }
+      status.slow_queries = slow_log.total_recorded();
+      status.slow_threshold_millis = slow_log.options().threshold_millis;
+      std::fprintf(stdout, "%s\n",
+                   serve::introspect::StatsJsonLine(status).c_str());
       std::fflush(stdout);
       continue;
     }
-    Result<serve::ServeRequest> request = serve::ParseRequestLine(text);
     ++next_id;
+    serve::RequestTrace trace = serve::RequestTrace::Begin(next_id);
+    Result<serve::ServeRequest> request = serve::ParseRequestLine(text);
     if (!request.ok()) {
       serve::ServeResponse response;
       response.id = next_id;
+      response.req = next_id;
       response.query = std::string(text);
       response.error_code =
           std::string(StatusCodeToString(request.status().code()));
@@ -663,6 +717,7 @@ int RunServe(int argc, char** argv, const Flags& flags) {
       continue;
     }
     if (request->id == 0) request->id = next_id;
+    request->trace = trace;
     server.Submit(std::move(*request));
   }
 
@@ -709,7 +764,22 @@ int Main(int argc, char** argv) {
     return 2;
   }
   const std::string trace_target = flags.GetString("trace", "");
-  if (!trace_target.empty()) obs::Tracer::Start();
+  if (!trace_target.empty()) {
+    obs::Tracer::Start();
+    // Long-running serve processes flush the trace file periodically so
+    // spans survive SIGKILL/crash; one-shot commands write once at exit.
+    if (command == "serve") {
+      const double flush_millis = flags.GetDouble("trace-flush-ms", 1000.0);
+      if (flush_millis > 0.0) {
+        if (Status s =
+                obs::Tracer::StartPeriodicFlush(trace_target, flush_millis);
+            !s.ok()) {
+          std::fprintf(stderr, "--trace: periodic flush disabled: %s\n",
+                       s.ToString().c_str());
+        }
+      }
+    }
+  }
 
   int rc;
   if (command == "build") {
@@ -729,6 +799,7 @@ int Main(int argc, char** argv) {
   }
 
   if (!trace_target.empty()) {
+    obs::Tracer::StopPeriodicFlush();
     obs::Tracer::Stop();
     if (Status s = WriteFileAtomic(Env::Default(), trace_target,
                                    obs::Tracer::ChromeTraceJson());
