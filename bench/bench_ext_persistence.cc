@@ -114,8 +114,13 @@ int Run(const Flags& flags) {
   }
   report("v2 verify (checksums only)", timer.ElapsedSeconds(), v2_bytes);
 
-  env->DeleteFile(v2_path);
-  env->DeleteFile(v1_path);
+  for (const std::string& path : {v2_path, v1_path}) {
+    Status removed = env->DeleteFile(path);
+    if (!removed.ok()) {
+      std::fprintf(stderr, "cleanup of %s failed: %s\n", path.c_str(),
+                   removed.ToString().c_str());
+    }
+  }
   return 0;
 }
 

@@ -315,7 +315,9 @@ NetLegResult RunNetLeg(serve::SnapshotHolder* snapshots,
     std::fprintf(stderr, "listen: %s\n", port.status().ToString().c_str());
     return result;
   }
-  std::thread loop([&transport] { transport.Run(); });
+  Status loop_status = Status::OK();
+  std::thread loop(
+      [&transport, &loop_status] { loop_status = transport.Run(); });
 
   const int threads =
       std::min(conns, conns >= 64 ? 8 : 1);
@@ -341,6 +343,10 @@ NetLegResult RunNetLeg(serve::SnapshotHolder* snapshots,
   result.wall_seconds = timer.ElapsedSeconds();
   transport.RequestShutdown();
   loop.join();
+  if (!loop_status.ok()) {
+    std::fprintf(stderr, "event loop: %s\n", loop_status.ToString().c_str());
+    failed.store(true);
+  }
 
   std::vector<double> merged;
   for (std::vector<double>& part : latencies) {

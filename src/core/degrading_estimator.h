@@ -5,6 +5,8 @@
 #include <string_view>
 
 #include "core/estimator.h"
+
+#include "util/analysis_annotations.h"
 #include "core/fixed_size_estimator.h"
 #include "core/markov_path_estimator.h"
 #include "core/recursive_estimator.h"
@@ -67,11 +69,11 @@ class DegradingEstimator : public SelectivityEstimator {
   DegradingEstimator(const LatticeSummary* summary, Options options);
 
   /// Ungoverned estimation: the primary rung, run to completion.
-  Result<double> Estimate(const Twig& query) override;
+  TL_HOT Result<double> Estimate(const Twig& query) override;
 
   /// Governed estimation through the ladder; returns the estimate alone.
-  Result<double> Estimate(const Twig& query,
-                          const EstimateOptions& options) override;
+  TL_HOT Result<double> Estimate(const Twig& query,
+                                 const EstimateOptions& options) override;
 
   /// Governed estimation reporting which rung answered.
   Result<DegradedEstimate> EstimateDegraded(const Twig& query,

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "twig/decompose.h"
+#include "util/analysis_annotations.h"
 
 namespace treelattice {
 
@@ -26,12 +27,15 @@ class CodeMemo {
 
   /// Pointer to the memoized value for (hash, code), or nullptr. The
   /// pointer is invalidated by the next Insert.
-  const double* Find(uint64_t hash, std::string_view code) const;
+  TL_HOT const double* Find(uint64_t hash, std::string_view code) const;
 
   /// Memoizes (hash, code) -> value. Keeps the existing value if the key
   /// is already present (emplace semantics). `hash` must equal
   /// HashBytes(code).
-  void Insert(uint64_t hash, std::string_view code, double value);
+  // Amortized growth only: a warm memo appends into retained arena/slot
+  // capacity and re-enters the allocator just while the tables are still
+  // growing toward their steady-state size.
+  TL_ALLOC_OK void Insert(uint64_t hash, std::string_view code, double value);
 
   size_t size() const { return entries_.size(); }
 
@@ -85,13 +89,15 @@ class EstimateScratch {
  public:
   /// Resets the memo for a fresh query of `query_size` nodes. Depth
   /// workspaces need no reset — each level overwrites its own prefix.
-  void BeginQuery(int query_size);
+  // Amortized: Reset keeps every buffer's capacity (see CodeMemo).
+  TL_ALLOC_OK void BeginQuery(int query_size);
 
   CodeMemo& memo() { return memo_; }
 
   /// Workspace for recursion depth `depth`, created on first use. A deque
   /// keeps references stable while deeper levels extend it mid-recursion.
-  DepthWorkspace& Depth(int depth);
+  // Amortized: workspaces are created once per depth and then reused.
+  TL_ALLOC_OK DepthWorkspace& Depth(int depth);
 
  private:
   CodeMemo memo_;

@@ -3,6 +3,7 @@
 
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
+#include "util/analysis_annotations.h"
 
 namespace treelattice {
 
@@ -35,7 +36,9 @@ struct EstimatorMetrics {
   obs::Counter* deadline_exceeded;
   obs::Counter* degraded;
 
-  static EstimatorMetrics& Get() {
+  // One-time registration: every counter is resolved once into a
+  // function-local static; steady-state calls are a guard check.
+  TL_ALLOC_OK static EstimatorMetrics& Get() {
     static EstimatorMetrics m = [] {
       obs::MetricsRegistry* registry = obs::MetricsRegistry::Default();
       namespace names = obs::metric_names;

@@ -4,6 +4,8 @@
 #include <string>
 
 #include "core/estimator.h"
+
+#include "util/analysis_annotations.h"
 #include "core/recursive_estimator.h"
 #include "summary/lattice_summary.h"
 
@@ -28,13 +30,16 @@ class FixedSizeDecompositionEstimator : public SelectivityEstimator {
   FixedSizeDecompositionEstimator(const LatticeSummary* summary,
                                   Options options);
 
-  Result<double> Estimate(const Twig& query) override;
+  // Fallback rung, not a hot-path root: building the fixed-size cover
+  // allocates its step list per query by design; the ladder only lands
+  // here after the primary rung exhausted its budget.
+  TL_ALLOC_OK Result<double> Estimate(const Twig& query) override;
 
   /// Governed estimation: charges one step per sweep window / summary
   /// lookup and threads the same budget into the recursive fallback, so a
   /// pruned summary cannot turn the sweep into unbounded recursion.
-  Result<double> Estimate(const Twig& query,
-                          const EstimateOptions& options) override;
+  TL_ALLOC_OK Result<double> Estimate(const Twig& query,
+                                 const EstimateOptions& options) override;
 
   std::string name() const override { return "fixed-size"; }
 

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "core/estimator.h"
+
+#include "util/analysis_annotations.h"
 #include "summary/lattice_summary.h"
 
 namespace treelattice {
@@ -29,14 +31,17 @@ class MarkovPathEstimator : public SelectivityEstimator {
   MarkovPathEstimator(const LatticeSummary* summary, Options options);
 
   /// Fails with InvalidArgument on non-path queries.
-  Result<double> Estimate(const Twig& query) override;
+  // Fallback rung, not a hot-path root: the sweep builds its label
+  // sequence and window twigs per query — strictly linear work, and the
+  // ladder only lands here after the governed rungs timed out.
+  TL_ALLOC_OK Result<double> Estimate(const Twig& query) override;
 
   /// Governed estimation: charges one step per sweep window. The sweep is
   /// strictly linear in the query size, so in practice this never trips a
   /// realistic budget — which is exactly why the degradation ladder uses
   /// this estimator as its final rung.
-  Result<double> Estimate(const Twig& query,
-                          const EstimateOptions& options) override;
+  TL_ALLOC_OK Result<double> Estimate(const Twig& query,
+                                 const EstimateOptions& options) override;
 
   std::string name() const override { return "markov-path"; }
 

@@ -109,6 +109,8 @@ Result<double> RecursiveDecompositionEstimator::EstimateImpl(
     ws.num_valid = 0;
     for (size_t a = 0; a < ws.removable.size(); ++a) {
       for (size_t b = a + 1; b < ws.removable.size(); ++b) {
+        // tl-analyze: allow(hot-alloc) -- amortized: the pooled split
+        // buffer grows to the query's fanout once, then is refilled
         if (ws.splits.size() <= ws.num_valid) ws.splits.emplace_back();
         Status split_status =
             SplitByLeafPairInto(twig, ws.removable[a], ws.removable[b],
@@ -148,6 +150,8 @@ Result<double> RecursiveDecompositionEstimator::EstimateImpl(
       } else {
         metrics.zero_overlap_fallbacks->Increment();
       }
+      // tl-analyze: allow(hot-alloc) -- amortized: pooled vote buffer,
+      // capacity retained across queries
       ws.votes.push_back(est);
     }
     if (ws.votes.empty()) {

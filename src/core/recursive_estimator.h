@@ -4,6 +4,8 @@
 #include <string>
 
 #include "core/estimate_scratch.h"
+
+#include "util/analysis_annotations.h"
 #include "core/estimator.h"
 #include "summary/lattice_summary.h"
 
@@ -46,13 +48,13 @@ class RecursiveDecompositionEstimator : public SelectivityEstimator {
   RecursiveDecompositionEstimator(const LatticeSummary* summary,
                                   Options options);
 
-  Result<double> Estimate(const Twig& query) override;
+  TL_HOT Result<double> Estimate(const Twig& query) override;
 
   /// Governed estimation: cooperatively checks `options`' budget once per
   /// sub-twig visit (lookup or split) and aborts the recursion with the
   /// budget error as soon as it trips. Uses options.scratch when provided.
-  Result<double> Estimate(const Twig& query,
-                          const EstimateOptions& options) override;
+  TL_HOT Result<double> Estimate(const Twig& query,
+                                 const EstimateOptions& options) override;
 
   /// Governed estimation charging an external governor — used by the
   /// fixed-size estimator's recursive fallback so that one budget covers

@@ -13,9 +13,12 @@ Status WriteFileAtomic(Env* env, const std::string& path,
   if (status.ok()) status = (*file)->Close();
   if (status.ok()) status = env->RenameFile(tmp, path);
   if (!status.ok()) {
-    // Best-effort cleanup; the original error is what the caller needs.
-    (*file)->Close();
-    env->DeleteFile(tmp);
+    IgnoreStatus((*file)->Close(),
+                 "best-effort cleanup; the original error is what the "
+                 "caller needs");
+    IgnoreStatus(env->DeleteFile(tmp),
+                 "best-effort temp removal; an orphaned .tmp never shadows "
+                 "the real file (rename is the only publish step)");
     return status;
   }
   return Status::OK();

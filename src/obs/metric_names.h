@@ -125,6 +125,7 @@ inline constexpr char kNetInjectedFaults[] = "serve.net.injected_faults";
 inline constexpr char kNetDrainMicros[] = "serve.net.drain_micros";
 inline constexpr char kNetLoopLagMicros[] = "serve.net.loop_lag_micros";
 inline constexpr char kNetDispatchBatch[] = "serve.net.dispatch_batch";
+inline constexpr char kNetPollerErrors[] = "serve.net.poller_errors";
 
 // -- estimate cache (serve/estimate_cache.cc) -------------------------------
 inline constexpr char kCacheHits[] = "cache.hits";

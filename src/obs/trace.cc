@@ -31,7 +31,9 @@ struct ThreadBuffer {
   std::vector<TraceEvent> events TL_GUARDED_BY(mu);
   /// Index of the oldest event once the ring has wrapped.
   size_t start TL_GUARDED_BY(mu) = 0;
-  uint32_t tid = 0;  // written once at registration, read-only afterwards
+  // tl-analyze: allow(guard-coverage) -- written once at registration
+  // (before the buffer is published to the collector), read-only afterwards
+  uint32_t tid = 0;
 };
 
 struct Collector {

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <string>
 
+#include "util/analysis_annotations.h"
 #include "util/status.h"
 
 namespace treelattice {
@@ -59,7 +60,9 @@ class Tracer {
 
   /// Appends one complete event to the calling thread's buffer. No-op
   /// when tracing is disabled.
-  static void Record(const TraceEvent& event);
+  // Drop-oldest ring: the buffer grows to its capacity once, then
+  // overwrites in place — no steady-state allocation.
+  TL_ALLOC_OK static void Record(const TraceEvent& event);
 
   /// Caps every thread's buffer at `events_per_thread` events (minimum 1);
   /// beyond that, a thread's oldest events are overwritten. Applies to

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "obs/metric_names.h"
+#include "util/analysis_annotations.h"
 #include "obs/metrics.h"
 #include "util/thread_annotations.h"
 
@@ -33,7 +34,9 @@ struct CacheMetrics {
   obs::Counter* invalidations;
   obs::Histogram* probe_micros;
 
-  static CacheMetrics& Get() {
+  // One-time registration into a function-local static (see
+  // EstimatorMetrics::Get).
+  TL_ALLOC_OK static CacheMetrics& Get() {
     static CacheMetrics m = [] {
       obs::MetricsRegistry* registry = obs::MetricsRegistry::Default();
       namespace names = obs::metric_names;
@@ -85,14 +88,16 @@ class EstimateCache {
 
   /// Cached estimate for `code` under `snapshot_version`, or nullopt.
   /// `code_hash` must equal HashBytes(code).
-  std::optional<double> Get(int64_t snapshot_version, uint64_t code_hash,
-                            std::string_view code);
+  TL_HOT std::optional<double> Get(int64_t snapshot_version,
+                                   uint64_t code_hash, std::string_view code);
 
   /// Caches `estimate` for `code` under `snapshot_version` (overwriting any
   /// entry for the same code), evicting the least recently used entry of
   /// the shard when full.
-  void Put(int64_t snapshot_version, uint64_t code_hash, std::string_view code,
-           double estimate);
+  // Allocates by design: an insert copies the code string into the entry
+  // (the cache must own its keys past the request's lifetime).
+  TL_ALLOC_OK void Put(int64_t snapshot_version, uint64_t code_hash,
+                       std::string_view code, double estimate);
 
   /// Explicitly drops every entry (all shards), e.g. on shutdown paths
   /// that want deterministic teardown. Snapshot swaps do NOT need this —

@@ -39,6 +39,7 @@ void WriteStatusBody(const StatusSnapshot& status, JsonWriter* w) {
     w->Key("bytes_out").Uint(net.bytes_out);
     w->Key("idle_timeouts").Uint(net.idle_timeouts);
     w->Key("request_timeouts").Uint(net.request_timeouts);
+    w->Key("poller_errors").Uint(net.poller_errors);
     w->Key("injected_faults").Uint(net.injected_faults);
     w->EndObject();
   }

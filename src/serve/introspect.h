@@ -29,6 +29,7 @@ struct TransportStats {
   uint64_t request_timeouts = 0;  // slowloris closes
   uint64_t backpressure_stalls = 0;
   uint64_t resets = 0;  // abortive closes (RST/EPIPE/injected)
+  uint64_t poller_errors = 0;  // EventPoller failures (normally zero)
   uint64_t injected_faults = 0;
   double drain_micros = 0.0;  // shutdown-to-loop-exit, once Run returns
 };

@@ -127,6 +127,10 @@ struct AdminMetrics {
 ///                                 how long one poll batch kept the loop
 ///                                 away from its next Wait
 ///   serve.net.dispatch_batch      (histogram) readiness events per batch
+///   serve.net.poller_errors       EventPoller Add/Modify/Remove failures —
+///                                 normally zero; a nonzero value means a
+///                                 connection's readiness interest went
+///                                 stale and the timeout sweep reaped it
 struct NetMetrics {
   obs::Counter* accepted;
   obs::Counter* rejected;
@@ -144,6 +148,7 @@ struct NetMetrics {
   obs::Gauge* drain_micros;
   obs::Histogram* loop_lag_micros;
   obs::Histogram* dispatch_batch;
+  obs::Counter* poller_errors;
 
   static NetMetrics& Get() {
     static NetMetrics m = [] {
@@ -164,7 +169,8 @@ struct NetMetrics {
                         registry->counter(names::kNetInjectedFaults),
                         registry->gauge(names::kNetDrainMicros),
                         registry->histogram(names::kNetLoopLagMicros),
-                        registry->histogram(names::kNetDispatchBatch)};
+                        registry->histogram(names::kNetDispatchBatch),
+                        registry->counter(names::kNetPollerErrors)};
     }();
     return m;
   }

@@ -139,6 +139,7 @@ Transport::Stats Transport::GetStats() const {
   stats.backpressure_stalls =
       backpressure_stalls_.load(std::memory_order_relaxed);
   stats.resets = resets_.load(std::memory_order_relaxed);
+  stats.poller_errors = poller_errors_.load(std::memory_order_relaxed);
   stats.injected_faults = io_.injected_faults();
   stats.drain_micros = drain_micros_.load(std::memory_order_relaxed);
   return stats;
@@ -283,7 +284,7 @@ Status Transport::Run(const volatile std::sig_atomic_t* stop_flag) {
   for (auto& [fd, conn] : conns_) {
     conn->cancel->Cancel();
     FinalizeUnflushed(conn.get());
-    poller_.Remove(fd);
+    RemoveFromPoller(fd);
     close(fd);
     active_.fetch_sub(1, std::memory_order_relaxed);
     NetMetrics::Get().active->Add(-1);
@@ -291,24 +292,26 @@ Status Transport::Run(const volatile std::sig_atomic_t* stop_flag) {
   conns_.clear();
   conn_fd_by_id_.clear();
   for (auto& [fd, conn] : admin_conns_) {
-    poller_.Remove(fd);
+    RemoveFromPoller(fd);
     close(fd);
     AdminMetrics::Get().active->Add(-1);
   }
   admin_conns_.clear();
   if (listen_fd_ >= 0) {
-    poller_.Remove(listen_fd_);
+    RemoveFromPoller(listen_fd_);
     close(listen_fd_);
     listen_fd_ = -1;
   }
   if (admin_listen_fd_ >= 0) {
-    poller_.Remove(admin_listen_fd_);
+    RemoveFromPoller(admin_listen_fd_);
     close(admin_listen_fd_);
     admin_listen_fd_ = -1;
   }
+  // tl-analyze: allow(loop-blocking) -- drain path: the event loop has
+  // exited; joining the workers here is the whole point of the drain
   server_->Shutdown();
   DrainCompletions();
-  poller_.Remove(wake_.read_fd());
+  RemoveFromPoller(wake_.read_fd());
 
   if (draining_) {
     const double micros =
@@ -327,7 +330,7 @@ void Transport::BeginDrain() {
   drain_started_ = Clock::now();
   drain_cancelled_ = false;
   if (listen_fd_ >= 0) {
-    poller_.Remove(listen_fd_);
+    RemoveFromPoller(listen_fd_);
     close(listen_fd_);
     listen_fd_ = -1;
   }
@@ -578,7 +581,29 @@ void Transport::UpdateInterest(Conn* conn) {
   if (want_read == conn->want_read && want_write == conn->want_write) return;
   conn->want_read = want_read;
   conn->want_write = want_write;
-  poller_.Modify(conn->fd, want_read, want_write);
+  Status modified = poller_.Modify(conn->fd, want_read, want_write);
+  if (!modified.ok()) {
+    // The kernel's view of this fd is now stale, so the loop may never see
+    // it ready again. Count the error (normally zero; see #stats) and let
+    // the idle/slowloris sweep reap the connection: a poller failure
+    // degrades to a timeout instead of a silent forever-hang. Closing here
+    // would invalidate the conns_ iterator of BeginDrain's caller.
+    CountPollerError();
+  }
+}
+
+void Transport::RemoveFromPoller(int fd) {
+  Status removed = poller_.Remove(fd);
+  // Interest-map bookkeeping is erased even when the kernel-side
+  // deregistration errors, and every caller closes the fd next, which
+  // completes the epoll detach either way. Still counted: an unexpected
+  // epoll_ctl failure should be visible, not silent.
+  if (!removed.ok()) CountPollerError();
+}
+
+void Transport::CountPollerError() {
+  poller_errors_.fetch_add(1, std::memory_order_relaxed);
+  NetMetrics::Get().poller_errors->Increment();
 }
 
 void Transport::CloseConn(Conn* conn, bool abortive) {
@@ -590,7 +615,7 @@ void Transport::CloseConn(Conn* conn, bool abortive) {
   // Lines still buffered never reach the wire; their traces end at
   // "serialized" and are accounted now.
   FinalizeUnflushed(conn);
-  poller_.Remove(conn->fd);
+  RemoveFromPoller(conn->fd);
   close(conn->fd);
   active_.fetch_sub(1, std::memory_order_relaxed);
   NetMetrics::Get().active->Add(-1);
@@ -814,7 +839,14 @@ void Transport::FlushAdmin(AdminConn* conn) {
     NetIoResult wrote = io_.Write(conn->fd, conn->out.data() + conn->out_offset,
                                   conn->pending_out());
     if (wrote.kind == NetIoResult::Kind::kWouldBlock) {
-      poller_.Modify(conn->fd, false, true);
+      Status modified = poller_.Modify(conn->fd, false, true);
+      if (!modified.ok()) {
+        // Write interest could not be registered: the response would never
+        // flush. Admin exchanges are one-shot, so drop the connection —
+        // the scraper retries — rather than leave it wedged.
+        CountPollerError();
+        CloseAdminConn(conn);
+      }
       return;
     }
     if (!wrote.ok()) {
@@ -830,7 +862,7 @@ void Transport::FlushAdmin(AdminConn* conn) {
 }
 
 void Transport::CloseAdminConn(AdminConn* conn) {
-  poller_.Remove(conn->fd);
+  RemoveFromPoller(conn->fd);
   close(conn->fd);
   AdminMetrics::Get().active->Add(-1);
   admin_conns_.erase(conn->fd);  // destroys *conn — must be last

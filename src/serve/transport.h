@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "serve/conn.h"
+#include "util/analysis_annotations.h"
 #include "serve/introspect.h"
 #include "serve/server.h"
 #include "serve/snapshot.h"
@@ -57,6 +58,9 @@ namespace serve {
 /// reads/writes, EAGAIN storms, injected ECONNRESET) the same way
 /// FaultInjectingEnv seeds file I/O — the soak tests run the whole
 /// transport under these storms and assert exactly-once delivery.
+// tl-analyze: allow(guard-coverage) -- single-threaded by design: the loop
+// thread owns every field; the only cross-thread state, completions_, is
+// TL_GUARDED_BY(completion_mu_), and cross-thread tallies are atomics
 class Transport {
  public:
   struct Options {
@@ -124,7 +128,7 @@ class Transport {
   /// drains it (see class comment). `stop_flag`, when given, is polled
   /// every iteration — the CLI points it at its sig_atomic_t signal flag
   /// (signals interrupt the poller wait, so reaction is immediate).
-  Status Run(const volatile std::sig_atomic_t* stop_flag = nullptr);
+  TL_EVENT_LOOP Status Run(const volatile std::sig_atomic_t* stop_flag = nullptr);
 
   /// Thread-safe; nudges Run to begin the graceful drain.
   void RequestShutdown();
@@ -159,6 +163,12 @@ class Transport {
                         std::string_view query, StatusCode code,
                         std::string_view message);
   void UpdateInterest(Conn* conn);
+  /// Teardown-path poller deregistration: counts (never propagates) a
+  /// failed Remove — the caller closes the fd right after, which finishes
+  /// the kernel-side deregistration either way.
+  void RemoveFromPoller(int fd);
+  /// Tallies one EventPoller failure (serve.net.poller_errors + #stats).
+  void CountPollerError();
   void CloseConn(Conn* conn, bool abortive);
   void DrainCompletions();
   void SweepTimeouts();
@@ -220,7 +230,8 @@ class Transport {
   std::atomic<uint64_t> accepted_{0}, rejected_{0}, active_{0}, frames_{0},
       frames_oversized_{0}, requests_admitted_{0}, responses_delivered_{0},
       responses_orphaned_{0}, bytes_in_{0}, bytes_out_{0}, idle_timeouts_{0},
-      request_timeouts_{0}, backpressure_stalls_{0}, resets_{0};
+      request_timeouts_{0}, backpressure_stalls_{0}, resets_{0},
+      poller_errors_{0};
   std::atomic<double> drain_micros_{0.0};
 };
 

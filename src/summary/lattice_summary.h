@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "twig/twig.h"
+#include "util/analysis_annotations.h"
 #include "util/result.h"
 
 namespace treelattice {
@@ -54,7 +55,7 @@ class LatticeSummary {
 
   /// Looks up an exact pattern; nullopt when absent. Allocation-free: uses
   /// the twig's cached canonical code and hash.
-  std::optional<uint64_t> Lookup(const Twig& twig) const {
+  TL_HOT std::optional<uint64_t> Lookup(const Twig& twig) const {
     return LookupHashed(twig.CanonicalHash(), twig.CanonicalCode());
   }
 
@@ -64,14 +65,14 @@ class LatticeSummary {
   /// Looks up by canonical code whose 64-bit HashBytes value the caller
   /// already has — the hot-path entry point (one probe chain, no hashing,
   /// no allocation). `hash` must equal HashBytes(code).
-  std::optional<uint64_t> LookupHashed(uint64_t hash,
-                                       std::string_view code) const;
+  TL_HOT std::optional<uint64_t> LookupHashed(
+      uint64_t hash, std::string_view code) const;
 
   /// Interned id for a pattern code, or kInvalidPatternId when absent.
-  PatternId FindId(uint64_t hash, std::string_view code) const;
+  TL_HOT PatternId FindId(uint64_t hash, std::string_view code) const;
 
   /// Count for a live interned id (id must come from FindId).
-  uint64_t CountOf(PatternId id) const { return entries_[id].count; }
+  TL_HOT uint64_t CountOf(PatternId id) const { return entries_[id].count; }
 
   bool Contains(const Twig& twig) const { return Lookup(twig).has_value(); }
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "twig/twig.h"
+#include "util/analysis_annotations.h"
 #include "util/result.h"
 
 namespace treelattice {
@@ -26,8 +27,11 @@ Result<RecursiveSplit> SplitByLeafPair(const Twig& t, int u, int v);
 /// node-index map of the v-removal. The estimation hot path calls this per
 /// vote per recursion level; with warm buffers it allocates nothing. On
 /// error `out` is left in an unspecified (but destructible) state.
-Status SplitByLeafPairInto(const Twig& t, int u, int v, RecursiveSplit* out,
-                           std::vector<int>* map_scratch);
+// Amortized: refills pooled split twigs and the caller's map scratch; with
+// warm buffers (steady state) it allocates nothing.
+TL_ALLOC_OK Status SplitByLeafPairInto(const Twig& t, int u, int v,
+                                       RecursiveSplit* out,
+                                       std::vector<int>* map_scratch);
 
 /// All unordered pairs (u, v), u < v, of removable nodes for which
 /// SplitByLeafPair succeeds. Non-empty for every twig with >= 3 nodes.

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "util/result.h"
+#include "util/analysis_annotations.h"
 #include "xml/label_dict.h"
 
 namespace treelattice {
@@ -65,7 +66,9 @@ class Twig {
 
   /// RemovableNodes writing into `out` (cleared first) — the estimator
   /// hot path reuses one vector per recursion depth.
-  void RemovableNodesInto(std::vector<int>* out) const;
+  // Amortized: refills a pooled caller buffer whose capacity survives
+  // across queries; steady state appends into reserved storage.
+  TL_ALLOC_OK void RemovableNodesInto(std::vector<int>* out) const;
 
   /// Returns a copy with node `i` removed (i must be a removable node). If
   /// the root is removed its single child becomes the root. Remaining nodes
@@ -96,15 +99,17 @@ class Twig {
   /// Stable across processes; usable as a hash-table key and for on-disk
   /// summaries. Computed once and cached; the returned reference stays
   /// valid until the twig is mutated or destroyed.
-  const std::string& CanonicalCode() const;
+  TL_HOT const std::string& CanonicalCode() const;
 
   /// 64-bit hash of the canonical code (cached alongside the code).
-  uint64_t CanonicalHash() const;
+  TL_HOT uint64_t CanonicalHash() const;
 
   /// Rebuilds the canonical code from scratch, bypassing the cache. Used
   /// by cache-consistency tests and by benchmarks that measure the
   /// pre-caching cost; everything else should call CanonicalCode().
-  std::string ComputeCanonicalCode() const;
+  // Cold spelling: rebuilding (and first-touch caching) allocates the
+  // code string once per twig mutation, never per steady-state probe.
+  TL_ALLOC_OK std::string ComputeCanonicalCode() const;
 
   /// Returns an equivalent twig whose node numbering is the canonical
   /// preorder (children sorted by canonical code). Deterministic for equal
@@ -147,7 +152,9 @@ class Twig {
   };
 
   /// Returns the cache, computing and publishing it (lock-free) if absent.
-  const CodeCache& EnsureCache() const;
+  // Builds (allocates) the code cache at most once per twig mutation;
+  // every steady-state probe takes the pointer-load fast path.
+  TL_ALLOC_OK const CodeCache& EnsureCache() const;
 
   /// Drops the cache; called by mutators, which require exclusive access.
   void InvalidateCache();

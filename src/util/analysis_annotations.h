@@ -1,0 +1,69 @@
+#ifndef TREELATTICE_UTIL_ANALYSIS_ANNOTATIONS_H_
+#define TREELATTICE_UTIL_ANALYSIS_ANNOTATIONS_H_
+
+/// Annotations consumed by the semantic analyzer (tools/tl_analyze.py) and,
+/// where the toolchain supports it, by the compiler itself. See DESIGN.md
+/// §13 "Semantic analysis".
+///
+/// Three families:
+///
+///   TL_NODISCARD      `[[nodiscard]]` on Status / Result<T>: the compiler
+///                     rejects any call whose Status-like result is silently
+///                     dropped (-Wunused-result, promoted to an error by the
+///                     -Werror gate). tl_analyze's `status-discard` check
+///                     re-verifies the same invariant semantically so a
+///                     cast-to-void that merely silences the compiler is
+///                     still surfaced unless it carries a justification.
+///
+///   TL_HOT            Marks a function as an allocation-free hot-path root
+///                     (estimator entry points, scratch/cache probes — the
+///                     PR 5 contract). tl_analyze's `hot-alloc` check walks
+///                     the call graph from every TL_HOT root and reports any
+///                     reachable allocating operation with the full call
+///                     chain. Expands to `annotate("tl_hot")` under Clang so
+///                     the attribute survives into the AST; a no-op
+///                     elsewhere (GCC has no annotate attribute).
+///
+///   TL_EVENT_LOOP     Marks a function as running on the single-threaded
+///                     TCP event loop (transport dispatch, connection
+///                     callbacks). tl_analyze's `loop-blocking` check walks
+///                     the call graph from every TL_EVENT_LOOP root and
+///                     reports reachable blocking syscalls — the semantic
+///                     upgrade of tl_lint's file-scoped `blocking-syscall`
+///                     regex, which remains as the fallback when libclang is
+///                     absent.
+///
+/// Annotations are statements of intent, not wishes: adding TL_HOT or
+/// TL_EVENT_LOOP to a function makes the analyzer enforce the contract for
+/// everything it (transitively) calls. Suppress individual findings with
+/// `// tl-analyze: allow(<check>) -- <justification>` on or above the line.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(annotate)
+#define TL_ANALYSIS_ANNOTATION(x) __attribute__((annotate(x)))
+#else
+#define TL_ANALYSIS_ANNOTATION(x)  // no annotate attribute
+#endif
+#else
+#define TL_ANALYSIS_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Result must be used: compiler-checked everywhere ([[nodiscard]] is
+/// standard C++17), analyzer-checked through `status-discard`.
+#define TL_NODISCARD [[nodiscard]]
+
+/// Allocation-free hot-path root for tl_analyze's `hot-alloc` check.
+#define TL_HOT TL_ANALYSIS_ANNOTATION("tl_hot")
+
+/// Marks a function reachable from a TL_HOT root that is allowed to
+/// allocate: amortized growth paths (a warm buffer reuses capacity and
+/// never re-enters the allocator) and cold-start publication. The analyzer
+/// stops its hot-alloc walk at these functions instead of reporting their
+/// allocations. Every use must carry a comment justifying why the
+/// allocation is amortized or off the steady-state path.
+#define TL_ALLOC_OK TL_ANALYSIS_ANNOTATION("tl_alloc_ok")
+
+/// Event-loop root for tl_analyze's `loop-blocking` check.
+#define TL_EVENT_LOOP TL_ANALYSIS_ANNOTATION("tl_event_loop")
+
+#endif  // TREELATTICE_UTIL_ANALYSIS_ANNOTATIONS_H_

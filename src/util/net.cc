@@ -208,6 +208,8 @@ NetIoResult NetIo::Accept(int listen_fd) {
     return result;
   }
   for (;;) {
+    // tl-analyze: allow(loop-blocking) -- listen_fd is O_NONBLOCK
+    // (ListenTcp sets it before handing the fd out): EAGAIN, never a block
     int fd = accept(listen_fd, nullptr, nullptr);
     if (fd >= 0) {
       if (Status s = SetNonBlocking(fd); !s.ok()) {
@@ -261,13 +263,16 @@ void WakePipe::Wake() {
   if (write_fd_ < 0) return;
   const char byte = 'w';
   // EAGAIN means the pipe is full — a wakeup is already pending, which is
-  // all Wake promises.
+  // all Wake promises. The pipe is O_NONBLOCK (constructor).
+  // tl-analyze: allow(loop-blocking) -- nonblocking pipe write
   (void)!write(write_fd_, &byte, 1);
 }
 
 void WakePipe::Drain() {
   if (read_fd_ < 0) return;
   char buf[256];
+  // tl-analyze: allow(loop-blocking) -- nonblocking pipe read: drains
+  // until EAGAIN, never blocks (O_NONBLOCK set in the constructor)
   while (read(read_fd_, buf, sizeof(buf)) > 0) {
   }
 }

@@ -14,7 +14,7 @@ namespace treelattice {
 /// A Result is either OK and holds a T, or holds a non-OK Status. Accessing
 /// the value of an errored Result is a programmer error and asserts.
 template <typename T>
-class Result {
+class TL_NODISCARD Result {
  public:
   /// Implicit construction from a value (the common return path).
   Result(T value) : status_(Status::OK()), value_(std::move(value)) {}

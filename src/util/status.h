@@ -5,6 +5,8 @@
 #include <string_view>
 #include <utility>
 
+#include "util/analysis_annotations.h"
+
 namespace treelattice {
 
 /// Error categories used across the library. Mirrors the RocksDB/Arrow
@@ -33,7 +35,7 @@ std::string_view StatusCodeToString(StatusCode code);
 /// Statuses are cheap to copy in the common OK case (no message allocation)
 /// and carry a code plus a free-form message otherwise. All fallible public
 /// APIs in this library return Status or Result<T>; exceptions are not used.
-class Status {
+class TL_NODISCARD Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -87,6 +89,17 @@ class Status {
   StatusCode code_;
   std::string message_;
 };
+
+/// Documents a deliberately discarded Status (best-effort cleanup paths,
+/// fire-and-forget notifications). The `justification` argument is the
+/// point: the reason a failure here is acceptable lives at the call site,
+/// greppable and visible to the semantic analyzer (tools/tl_analyze.py
+/// accepts IgnoreStatus calls where a bare discard or a blanket
+/// `(void)`-cast is a `status-discard` finding).
+inline void IgnoreStatus(const Status& status, const char* justification) {
+  (void)status;
+  (void)justification;
+}
 
 }  // namespace treelattice
 

@@ -1,0 +1,41 @@
+// Fixture for tl_analyze's guard-coverage check: a class owning a
+// std::mutex must annotate (or explicitly waive) every mutable field.
+#include <atomic>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace fixture {
+
+class PartiallyGuarded {
+ public:
+  int Value();
+
+ private:
+  std::mutex mu_;
+  int unguarded_ = 0;  // ANALYZE-EXPECT[guard-coverage]
+  int guarded_ TL_GUARDED_BY(mu_) = 0;
+  const int limit_ = 3;            // const: exempt
+  std::atomic<int> tally_{0};      // atomic: exempt
+  int waived_ = 0;  // tl-analyze: allow(guard-coverage) -- fixture waiver
+};
+
+// tl-analyze: allow(guard-coverage) -- fixture: class-level waiver
+class ClassLevelWaiver {
+ public:
+  int Value();
+
+ private:
+  std::mutex mu_;
+  int anything_ = 0;
+};
+
+class NoMutexNoRules {
+ public:
+  int Value();
+
+ private:
+  int plain_ = 0;  // no mutex in the class: not checked
+};
+
+}  // namespace fixture

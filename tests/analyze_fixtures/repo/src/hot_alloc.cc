@@ -1,0 +1,42 @@
+// Fixture for tl_analyze's hot-alloc check: call-graph reachability from
+// TL_HOT roots to allocating operations, TL_ALLOC_OK stoppers, line
+// suppressions, and the Status-factory error-path exemption.
+#include <string>
+#include <vector>
+
+#include "util/analysis_annotations.h"
+#include "util/status.h"
+
+namespace fixture {
+
+std::vector<int>& SharedVector();
+
+void GrowsVector() {
+  SharedVector().push_back(1);  // ANALYZE-EXPECT[hot-alloc]
+}
+
+TL_HOT void HotReachesAllocation() { GrowsVector(); }
+
+TL_HOT void HotSuppressedAllocation() {
+  std::string scratch;
+  // tl-analyze: allow(hot-alloc) -- fixture: amortized growth stand-in
+  scratch.append("x");
+  (void)scratch.size();
+}
+
+// The stopper: TL_HOT roots may call this without findings inside it.
+TL_ALLOC_OK int* ColdSetup() { return new int(7); }
+
+TL_HOT void HotStopsAtAllocOk() { delete ColdSetup(); }
+
+// Error-path exemption: building a Status message allocates by design and
+// must NOT be reported from a hot root.
+TL_HOT treelattice::Status HotErrorPath(bool fail) {
+  if (fail) {
+    return treelattice::Status::InvalidArgument(
+        "fixture error " + std::to_string(42));
+  }
+  return treelattice::Status::OK();
+}
+
+}  // namespace fixture

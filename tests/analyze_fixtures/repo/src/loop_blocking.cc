@@ -1,0 +1,30 @@
+// Fixture for tl_analyze's loop-blocking check: call-graph reachability
+// from TL_EVENT_LOOP roots to blocking calls, the MSG_DONTWAIT exemption,
+// and call-site suppressions.
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/analysis_annotations.h"
+
+namespace fixture {
+
+void DeepBlockingRead(int fd) {
+  char buf[8];
+  (void)!read(fd, buf, sizeof(buf));  // ANALYZE-EXPECT[loop-blocking]
+}
+
+TL_EVENT_LOOP void LoopReachesBlocking(int fd) { DeepBlockingRead(fd); }
+
+TL_EVENT_LOOP void LoopNonBlockingIo(int fd) {
+  char buf[8];
+  // MSG_DONTWAIT cannot block: exempt, no finding.
+  (void)!recv(fd, buf, sizeof(buf), MSG_DONTWAIT);
+}
+
+TL_EVENT_LOOP void LoopSuppressed(int fd) {
+  char buf[8];
+  // tl-analyze: allow(loop-blocking) -- fixture: fd is O_NONBLOCK here
+  (void)!read(fd, buf, sizeof(buf));
+}
+
+}  // namespace fixture

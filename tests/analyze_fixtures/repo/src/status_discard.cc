@@ -1,0 +1,23 @@
+// Fixture for tl_analyze's status-discard check. Uses the real
+// util/status.h (the fixture compile command adds the project src to the
+// include path), so the fixture exercises exactly the shipped types.
+#include "util/status.h"
+
+using treelattice::Status;
+
+namespace fixture {
+
+Status MayFail() { return Status::IOError("fixture failure"); }
+
+void Discards() {
+  MayFail();  // ANALYZE-EXPECT[status-discard]
+  (void)MayFail();  // ANALYZE-EXPECT[status-discard]
+  MayFail();  // tl-analyze: allow(status-discard) -- fixture suppression
+  treelattice::IgnoreStatus(MayFail(), "fixture: sanctioned discard");
+  Status handled = MayFail();
+  if (!handled.ok()) {
+    return;
+  }
+}
+
+}  // namespace fixture

@@ -160,6 +160,22 @@ TEST(FaultEnvTest, RenameFailurePreservesOldDestination) {
   EXPECT_FALSE(env.FileExists(path + ".tmp"));
 }
 
+TEST(FaultEnvTest, CleanupNeverMasksTheOriginalError) {
+  FaultInjectingEnv env(Env::Default());
+  std::string path = TestPath("io_fault_mask.bin");
+  env.config().fail_rename = true;
+  Status status = WriteFileAtomic(&env, path, "payload");
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  // The caller must see the rename failure, not whatever the best-effort
+  // Close/DeleteFile cleanup returned afterwards.
+  EXPECT_NE(status.message().find("injected rename failure"),
+            std::string::npos)
+      << status.ToString();
+  // ... and cleanup must still have run: the temp file is gone.
+  EXPECT_GE(env.deletes(), 1);
+  EXPECT_FALSE(env.FileExists(path + ".tmp"));
+}
+
 TEST(FaultEnvTest, ShortReadsAreLoopedOver) {
   FaultInjectingEnv env(Env::Default());
   std::string path = TestPath("io_fault_short.bin");

@@ -1,0 +1,7 @@
+// Minimal clean fixture: tl_lint must exit 0 on this tree.
+#ifndef FIXTURE_CLEAN_OBS_METRIC_NAMES_H_
+#define FIXTURE_CLEAN_OBS_METRIC_NAMES_H_
+
+inline constexpr char kOnlyMetric[] = "serve.clean.metric";
+
+#endif  // FIXTURE_CLEAN_OBS_METRIC_NAMES_H_

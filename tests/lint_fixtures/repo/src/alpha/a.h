@@ -1,0 +1,6 @@
+// Fixture half of a deliberate module include cycle (alpha <-> beta); the
+// driver expects exactly one include-cycle finding for it.
+#ifndef FIXTURE_ALPHA_A_H_
+#define FIXTURE_ALPHA_A_H_
+#include "beta/b.h"
+#endif  // FIXTURE_ALPHA_A_H_

@@ -1,0 +1,5 @@
+// Fixture half of a deliberate module include cycle (alpha <-> beta).
+#ifndef FIXTURE_BETA_B_H_
+#define FIXTURE_BETA_B_H_
+#include "alpha/a.h"
+#endif  // FIXTURE_BETA_B_H_

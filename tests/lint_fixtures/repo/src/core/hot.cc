@@ -1,0 +1,31 @@
+// Fixture for tl_lint's naked-new, string-key-map, and canonical-in-loop
+// rules (src/core is a hot-path directory).
+#include <string>
+#include <unordered_map>
+
+struct Twig {
+  unsigned long CanonicalHash() const { return 0; }
+};
+
+int* Leak() {
+  return new int(3);  // LINT-EXPECT[naked-new]
+}
+
+int* Intentional() {
+  return new int(4);  // tl-lint: allow(naked-new) -- fixture
+}
+
+std::unordered_map<std::string, int> bad_map;  // LINT-EXPECT[string-key-map]
+std::unordered_map<std::string, int> ok_map;  // tl-lint: allow(string-key-map) -- fixture
+
+unsigned long SumHashes(const Twig& twig, int n) {
+  unsigned long total = 0;
+  for (int i = 0; i < n; ++i) {
+    total += twig.CanonicalHash();  // LINT-EXPECT[canonical-in-loop]
+  }
+  for (int i = 0; i < n; ++i) {
+    total += twig.CanonicalHash();  // tl-lint: allow(canonical-in-loop) -- fixture
+  }
+  total += twig.CanonicalHash();  // outside any loop: clean
+  return total;
+}

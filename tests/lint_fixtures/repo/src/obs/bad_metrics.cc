@@ -1,0 +1,19 @@
+// Fixture for tl_lint's metric-literal and metric-declared rules.
+#include "obs/metric_names.h"
+
+struct Registry {
+  void* counter(const char* name);
+};
+
+void RegisterFixtureMetrics(Registry* registry) {
+  registry->counter("x.y");  // LINT-EXPECT[metric-literal]
+  registry->counter("x.z");  // tl-lint: allow(metric-literal) -- fixture
+  registry->counter(kGood);  // constant: clean
+
+  const char* undeclared = "serve.not.declared";  // LINT-EXPECT[metric-declared]
+  const char* waived = "serve.also.not";  // tl-lint: allow(metric-declared) -- fixture
+  const char* declared = "serve.good.metric";  // declared above: clean
+  (void)undeclared;
+  (void)waived;
+  (void)declared;
+}

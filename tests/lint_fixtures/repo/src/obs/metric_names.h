@@ -1,0 +1,12 @@
+// Fixture for tools/tl_lint.py (driven by tests/tl_lint_fixture_test.py).
+// Lines marked LINT-EXPECT[rule] must be reported; their suppressed twins
+// must not. This is not real project code.
+#ifndef FIXTURE_OBS_METRIC_NAMES_H_
+#define FIXTURE_OBS_METRIC_NAMES_H_
+
+inline constexpr char kGood[] = "serve.good.metric";
+inline constexpr char kBadCase[] = "Serve.BadName";  // LINT-EXPECT[metric-name]
+inline constexpr char kWeird[] = "serve.WEIRD";  // tl-lint: allow(metric-name) -- fixture: suppression must win
+inline constexpr char kDup[] = "serve.good.metric";  // LINT-EXPECT[metric-name]
+
+#endif  // FIXTURE_OBS_METRIC_NAMES_H_

@@ -1,0 +1,15 @@
+// Fixture for tl_lint's blocking-syscall rule (this path is on the rule's
+// event-loop file list). tl_lint matches text, never compiles, so the
+// fixture declares nothing.
+
+void FixtureLoop(int fd) {
+  char buf[16];
+  long n = read(fd, buf, sizeof(buf));  // LINT-EXPECT[blocking-syscall]
+  long k = recv(fd, buf, sizeof(buf), MSG_DONTWAIT);  // cannot block: clean
+  int c = accept4(fd, nullptr, nullptr, SOCK_NONBLOCK);  // clean
+  usleep(1);  // tl-lint: allow(blocking-syscall) -- fixture
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));  // LINT-EXPECT[blocking-syscall]
+  (void)n;
+  (void)k;
+  (void)c;
+}

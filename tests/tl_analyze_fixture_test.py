@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Fixture-driven tests for tools/tl_analyze.py (the semantic leg).
+
+Builds a compile_commands.json for tests/analyze_fixtures/repo — four
+translation units, one per check, each with at least one line marked
+`ANALYZE-EXPECT[check]` (a true positive) and at least one suppressed twin
+— runs the analyzer, and asserts the finding set matches the markers
+EXACTLY. Then exercises the baseline round trip: --update-baseline into a
+temp file must turn the same run green.
+
+SKIP contract: when libclang is unavailable (tl_analyze --probe fails)
+this test exits 77, which ctest maps to SKIPPED via SKIP_RETURN_CODE — the
+same non-vacuous-gate convention as the clang-tidy leg. CI installs
+libclang, so the skip never hides a regression there.
+
+Exit status: 0 pass, 1 fail, 77 skip (no libclang).
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(HERE)
+ANALYZE = os.path.join(REPO, "tools", "tl_analyze.py")
+FIXTURE = os.path.join(HERE, "analyze_fixtures", "repo")
+
+MARKER_RE = re.compile(r"//\s*ANALYZE-EXPECT\[([a-z-]+)\]")
+FINDING_RE = re.compile(r"^([^:]+):(\d+): \[([a-z-]+)\]")
+
+
+def expected_findings():
+    expected = set()
+    src = os.path.join(FIXTURE, "src")
+    for name in sorted(os.listdir(src)):
+        path = os.path.join(src, name)
+        rel = os.path.relpath(path, FIXTURE)
+        with open(path, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                for m in MARKER_RE.finditer(line):
+                    expected.add((rel, lineno, m.group(1)))
+    return expected
+
+
+def write_compile_commands(directory):
+    src = os.path.join(FIXTURE, "src")
+    entries = []
+    for name in sorted(os.listdir(src)):
+        if not name.endswith(".cc"):
+            continue
+        entries.append({
+            "directory": FIXTURE,
+            "file": os.path.join("src", name),
+            "command": f"c++ -std=c++20 -I{os.path.join(REPO, 'src')} "
+                       f"-c {os.path.join('src', name)}",
+        })
+    path = os.path.join(directory, "compile_commands.json")
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(entries, f, indent=1)
+    return path
+
+
+def run_analyze(args):
+    proc = subprocess.run([sys.executable, ANALYZE] + args,
+                          capture_output=True, text=True)
+    found = set()
+    for line in proc.stdout.splitlines():
+        m = FINDING_RE.match(line)
+        if m:
+            found.add((m.group(1), int(m.group(2)), m.group(3)))
+    return proc, found
+
+
+def main():
+    probe = subprocess.run([sys.executable, ANALYZE, "--probe"])
+    if probe.returncode != 0:
+        print("tl_analyze fixtures: SKIP (libclang unavailable; the "
+              "tl_lint regex fallback still runs)")
+        return 77
+
+    failures = []
+    expected = expected_findings()
+    if len(expected) < 4:
+        failures.append("fixture markers missing — did the tree move?")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cc_path = write_compile_commands(tmp)
+        base_args = ["--root", FIXTURE, "--compile-commands", cc_path]
+
+        proc, found = run_analyze(base_args)
+        if proc.returncode != 1:
+            failures.append(
+                f"fixture run exited {proc.returncode}, want 1\n"
+                f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}")
+        if found != expected:
+            missing = sorted(expected - found)
+            surplus = sorted(found - expected)
+            failures.append(f"finding mismatch: missing={missing} "
+                            f"unexpected={surplus}\nstdout:\n{proc.stdout}")
+        checks_found = {check for _, _, check in found}
+        for check in ("status-discard", "hot-alloc", "loop-blocking",
+                      "guard-coverage"):
+            if check not in checks_found:
+                failures.append(f"no true positive surfaced for {check}")
+
+        # Baseline round trip: grandfathering every finding must turn the
+        # same run green, and the findings must be echoed as baselined.
+        baseline = os.path.join(tmp, "baseline.txt")
+        proc, _ = run_analyze(base_args +
+                              ["--baseline", baseline, "--update-baseline"])
+        if proc.returncode != 0:
+            failures.append(
+                f"--update-baseline exited {proc.returncode}, want 0")
+        proc, found = run_analyze(base_args + ["--baseline", baseline])
+        if proc.returncode != 0:
+            failures.append(
+                f"baselined run exited {proc.returncode}, want 0\n"
+                f"stdout:\n{proc.stdout}")
+        if found != expected:
+            failures.append("baselined run should still print the "
+                            "grandfathered findings")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(f"tl_analyze fixtures: OK ({len(expected)} expected findings "
+          "across 4 checks, suppressions honored, baseline round trip)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -250,6 +250,9 @@ TEST(TransportTest, RoundTripAndPipelining) {
   EXPECT_EQ(stats.requests_admitted, 20u);
   EXPECT_EQ(stats.responses_delivered, 20u);
   EXPECT_EQ(stats.responses_orphaned, 0u);
+  // Every EventPoller Add/Modify/Remove Status is now checked and tallied;
+  // a clean soak (connect, pipeline, close, drain) must tally zero.
+  EXPECT_EQ(stats.poller_errors, 0u);
 }
 
 TEST(TransportTest, ManyConnectionsEachGetTheirOwnAnswers) {

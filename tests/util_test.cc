@@ -5,7 +5,9 @@
 #include <vector>
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include "util/event_poller.h"
 #include "util/hash.h"
 #include "util/json.h"
 #include "util/result.h"
@@ -287,6 +289,64 @@ TEST(JsonParseTest, FindOnNonObjectIsNull) {
   ASSERT_TRUE(parsed.ok());
   EXPECT_EQ(parsed->Find("x"), nullptr);
 }
+
+// Regression coverage for the poller's edge Status values: the transport
+// now routes every Add/Modify/Remove failure through CountPollerError
+// instead of discarding it, so the contract below is load-bearing.
+class EventPollerEdgeTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(EventPollerEdgeTest, ModifyUnknownFdIsNotFound) {
+  EventPoller poller(/*force_poll=*/GetParam());
+  ASSERT_TRUE(poller.ok());
+  Status s = poller.Modify(12345, /*want_read=*/true, /*want_write=*/false);
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST_P(EventPollerEdgeTest, RemoveUnknownFdIsTolerated) {
+  EventPoller poller(/*force_poll=*/GetParam());
+  ASSERT_TRUE(poller.ok());
+  // Closing a fd auto-deregisters it from epoll, so a second Remove from
+  // the transport's teardown bookkeeping must not count as an error.
+  EXPECT_TRUE(poller.Remove(12345).ok());
+  EXPECT_EQ(poller.watched(), 0u);
+}
+
+TEST_P(EventPollerEdgeTest, AddBadFdIsInvalidArgument) {
+  EventPoller poller(/*force_poll=*/GetParam());
+  ASSERT_TRUE(poller.ok());
+  Status s = poller.Add(-1, /*want_read=*/true, /*want_write=*/false);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(poller.watched(), 0u);
+}
+
+TEST_P(EventPollerEdgeTest, UsableAfterEdgeFailures) {
+  EventPoller poller(/*force_poll=*/GetParam());
+  ASSERT_TRUE(poller.ok());
+  IgnoreStatus(poller.Modify(12345, true, false), "test: edge-case probe");
+  IgnoreStatus(poller.Remove(12345), "test: edge-case probe");
+
+  int pipe_fds[2];
+  ASSERT_EQ(pipe(pipe_fds), 0);
+  ASSERT_TRUE(poller.Add(pipe_fds[0], /*want_read=*/true,
+                         /*want_write=*/false)
+                  .ok());
+  ASSERT_EQ(write(pipe_fds[1], "x", 1), 1);
+  std::vector<EventPoller::Event> events;
+  ASSERT_TRUE(poller.Wait(/*timeout_millis=*/1000, &events).ok());
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].fd, pipe_fds[0]);
+  EXPECT_TRUE(events[0].readable);
+
+  EXPECT_TRUE(poller.Remove(pipe_fds[0]).ok());
+  close(pipe_fds[0]);
+  close(pipe_fds[1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, EventPollerEdgeTest,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "PollFallback" : "Native";
+                         });
 
 }  // namespace
 }  // namespace treelattice

@@ -1,15 +1,22 @@
 #!/bin/sh
-# The static-analysis gate (DESIGN.md §8): clang-tidy with the curated
-# .clang-tidy profile, the project-convention linter (tools/tl_lint.py),
-# shellcheck over every shell script, and a warnings-as-errors compile.
+# The static-analysis gate (DESIGN.md §8, §13): a warnings-as-errors
+# compile, clang-tidy with the curated .clang-tidy profile, the
+# project-convention linter (tools/tl_lint.py), the libclang semantic
+# analyzer (tools/tl_analyze.py), and shellcheck over every shell script.
 #
 #   tools/run_static_analysis.sh [build_dir]
 #
 # Exits non-zero on any finding from any available tool. Tools missing from
-# the environment (clang-tidy, shellcheck) are reported as SKIPPED and do
-# not fail the gate — the custom lint and the -Werror build always run, so
-# the gate is never vacuous. CI images with the full toolchain get all four
-# legs.
+# the environment (clang-tidy, libclang, shellcheck) are reported as SKIP
+# and do not fail the gate — the custom lint and the -Werror build always
+# run, so the gate is never vacuous. CI images with the full toolchain get
+# all five legs.
+#
+# Fallback matrix for the blocking-syscall rule: when tl_analyze's
+# call-graph loop-blocking check runs, tl_lint runs with
+# --no-blocking-syscall (the regex is strictly weaker — file-scoped, no
+# reachability); when libclang is absent, tl_lint keeps its regex so the
+# rule never silently disappears.
 #
 # Environment:
 #   CLANG_TIDY   clang-tidy binary (default: clang-tidy)
@@ -25,6 +32,16 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 TIDY_JOBS="${TIDY_JOBS:-$JOBS}"
 failures=0
 
+# Per-leg results for the summary table: "name<TAB>status<TAB>detail" lines.
+SUMMARY=""
+record() {
+  SUMMARY="${SUMMARY}${1}	${2}	${3}
+"
+  if [ "$2" = "FAIL" ]; then
+    failures=$((failures + 1))
+  fi
+}
+
 # --- leg 1: warnings-as-errors compile -------------------------------------
 echo "=== static-analysis: -Werror build ==="
 WERROR_DIR="$ROOT/build-werror"
@@ -34,10 +51,11 @@ if cmake -B "$WERROR_DIR" -S "$ROOT" -DTREELATTICE_WERROR=ON \
     && cmake --build "$WERROR_DIR" -j "$JOBS" > "$WERROR_DIR/build.log" 2>&1
 then
   echo "    OK (warning-clean at -Wall -Wextra -Werror)"
+  record "werror-build" "OK" "warning-clean"
 else
   echo "    FAIL: see $WERROR_DIR/build.log" >&2
   tail -n 40 "$WERROR_DIR/build.log" >&2 || true
-  failures=$((failures + 1))
+  record "werror-build" "FAIL" "see $WERROR_DIR/build.log"
 fi
 
 # --- leg 2: clang-tidy ------------------------------------------------------
@@ -57,24 +75,59 @@ if command -v "$CLANG_TIDY" > /dev/null 2>&1; then
         "$CLANG_TIDY" -p "$BUILD_DIR" --quiet >> "$TIDY_LOG" 2>&1
   then
     echo "    OK (no findings)"
+    record "clang-tidy" "OK" "no findings"
   else
+    tidy_count="$(grep -cE 'warning:|error:' "$TIDY_LOG" 2>/dev/null || true)"
     echo "    FAIL: findings in $TIDY_LOG" >&2
     grep -E 'warning:|error:' "$TIDY_LOG" | head -n 40 >&2 || true
-    failures=$((failures + 1))
+    record "clang-tidy" "FAIL" "${tidy_count:-?} finding(s), $TIDY_LOG"
   fi
 else
-  echo "    SKIPPED ($CLANG_TIDY not found)"
+  echo "    SKIP ($CLANG_TIDY not found)"
+  record "clang-tidy" "SKIP" "$CLANG_TIDY not found"
 fi
 
-# --- leg 3: project-convention lint ----------------------------------------
-echo "=== static-analysis: tl_lint ==="
-if python3 "$ROOT/tools/tl_lint.py" "$ROOT"; then
-  :
+# --- leg 3: semantic analysis (tl_analyze) ---------------------------------
+# Probe first so leg 4 knows whether the regex fallback must stay on.
+echo "=== static-analysis: tl_analyze ==="
+have_semantic=0
+if python3 "$ROOT/tools/tl_analyze.py" --probe > /dev/null 2>&1; then
+  have_semantic=1
+  ANALYZE_LOG="$BUILD_DIR/tl_analyze.log"
+  if python3 "$ROOT/tools/tl_analyze.py" --root "$ROOT" \
+        --build-dir "$BUILD_DIR" --skip-exit-code 3 \
+        > "$ANALYZE_LOG" 2>&1
+  then
+    tail -n 1 "$ANALYZE_LOG"
+    echo "    OK (no unsuppressed findings)"
+    record "tl_analyze" "OK" "$(tail -n 1 "$ANALYZE_LOG")"
+  else
+    analyze_count="$(grep -cE '^\S+:[0-9]+: \[' "$ANALYZE_LOG" \
+                     2>/dev/null || true)"
+    echo "    FAIL: findings in $ANALYZE_LOG" >&2
+    cat "$ANALYZE_LOG" >&2 || true
+    record "tl_analyze" "FAIL" "${analyze_count:-?} finding(s), $ANALYZE_LOG"
+  fi
 else
-  failures=$((failures + 1))
+  echo "    SKIP (libclang unavailable; tl_lint keeps the blocking-syscall regex)"
+  record "tl_analyze" "SKIP" "libclang unavailable"
 fi
 
-# --- leg 4: shellcheck ------------------------------------------------------
+# --- leg 4: project-convention lint ----------------------------------------
+echo "=== static-analysis: tl_lint ==="
+if [ "$have_semantic" -eq 1 ]; then
+  # The semantic loop-blocking check subsumes the file-scoped regex.
+  set -- --no-blocking-syscall "$ROOT"
+else
+  set -- "$ROOT"
+fi
+if python3 "$ROOT/tools/tl_lint.py" "$@"; then
+  record "tl_lint" "OK" "clean"
+else
+  record "tl_lint" "FAIL" "findings above"
+fi
+
+# --- leg 5: shellcheck ------------------------------------------------------
 echo "=== static-analysis: shellcheck ==="
 if command -v "$SHELLCHECK" > /dev/null 2>&1; then
   # shellcheck's own exit code aggregates across files.
@@ -82,12 +135,19 @@ if command -v "$SHELLCHECK" > /dev/null 2>&1; then
       | xargs "$SHELLCHECK" --shell=sh
   then
     echo "    OK"
+    record "shellcheck" "OK" "clean"
   else
-    failures=$((failures + 1))
+    record "shellcheck" "FAIL" "findings above"
   fi
 else
-  echo "    SKIPPED ($SHELLCHECK not found)"
+  echo "    SKIP ($SHELLCHECK not found)"
+  record "shellcheck" "SKIP" "$SHELLCHECK not found"
 fi
 
+# --- summary ----------------------------------------------------------------
+echo "=== static-analysis summary ==="
+printf '%s' "$SUMMARY" | while IFS='	' read -r leg status detail; do
+  printf '    %-14s %-5s %s\n' "$leg" "$status" "$detail"
+done
 echo "=== static-analysis: $failures failing leg(s) ==="
 [ "$failures" -eq 0 ]

@@ -1,0 +1,885 @@
+#!/usr/bin/env python3
+"""TreeLattice semantic analyzer: libclang AST + call-graph checks.
+
+The semantic leg of the static-analysis gate (DESIGN.md §13). Where
+tools/tl_lint.py matches regexes against lines, this tool parses every
+translation unit in compile_commands.json with libclang and checks
+project invariants that regexes cannot see through a function call:
+
+  status-discard   A call whose result is Status / Result<T>, used as a
+                   discarded full-expression, loses an error the model
+                   depends on (a silently failed reload/write/send turns a
+                   model-correct estimate into a quietly wrong answer).
+                   Blanket `(void)`-casts of Status are findings too: the
+                   sanctioned spellings are handling the value, the
+                   IgnoreStatus(status, "justification") helper from
+                   util/status.h, or a suppression comment.
+
+  hot-alloc        Functions annotated TL_HOT (util/analysis_annotations.h)
+                   are allocation-free hot-path roots — the PR 5 contract.
+                   The check walks the call graph from every TL_HOT root
+                   and reports any reachable allocating operation (operator
+                   new, malloc family, allocating std:: members such as
+                   push_back/resize/append, std::string construction,
+                   std::to_string) with the full call chain. Functions
+                   annotated TL_ALLOC_OK (amortized growth, cold-start
+                   publication) stop the walk.
+
+  loop-blocking    Functions annotated TL_EVENT_LOOP run on the
+                   single-threaded TCP event loop; one blocking call
+                   anywhere below them stalls every connection. The check
+                   walks the call graph from every TL_EVENT_LOOP root to
+                   blocking syscalls (read/write/accept/recv/send/select,
+                   every sleep flavor, condition_variable::wait,
+                   thread::join) — the semantic upgrade of tl_lint's
+                   file-scoped `blocking-syscall` regex, which remains the
+                   fallback when libclang is absent. recv/send call sites
+                   spelling MSG_DONTWAIT (and accept4 with SOCK_NONBLOCK)
+                   are exempt: those cannot block.
+
+  guard-coverage   A class that owns a std::mutex must say what the mutex
+                   protects: every mutable field is TL_GUARDED_BY /
+                   TL_PT_GUARDED_BY-annotated, intrinsically thread-safe
+                   (std::atomic, the mutexes and condition variables
+                   themselves, const), or explicitly suppressed with a
+                   justification. Extends PR 3's thread-safety layer from
+                   "annotations are checked" to "annotations are required".
+
+Suppressions: `// tl-analyze: allow(<check>) -- <justification>` on the
+finding line or the line directly above. For the call-graph checks the
+comment applies where the finding anchors (the allocation / blocking call
+site) and also at a call edge, which prunes the walk through that call.
+
+Baseline: --baseline FILE (default tools/tl_analyze_baseline.txt when it
+exists) holds one normalized finding key per line ('#' comments allowed);
+matching findings are reported as baselined and do not fail the gate.
+--update-baseline rewrites the file from the current run.
+
+SKIP contract: when libclang (the clang python bindings plus the shared
+library) is unavailable the tool prints a SKIP line and exits with
+--skip-exit-code (default 0) — the same non-vacuous-gate contract as the
+clang-tidy leg. Set TL_ANALYZE_REQUIRE=1 to turn SKIP into a hard failure
+(CI does, so the semantic leg can never silently stop running there).
+
+Exit status: 0 clean (or SKIP), 1 findings, 2 usage/environment error.
+
+Usage:
+  tools/tl_analyze.py [--root DIR] [--build-dir DIR]
+                      [--compile-commands FILE] [--checks a,b,...]
+                      [--baseline FILE] [--update-baseline]
+                      [--skip-exit-code N] [--probe] [-v]
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+CHECKS = ("status-discard", "hot-alloc", "loop-blocking", "guard-coverage")
+
+ALLOW_RE = re.compile(r"//\s*tl-analyze:\s*allow\(([a-z-]+)\)")
+
+# Annotation tags planted by util/analysis_annotations.h.
+TAG_HOT = "tl_hot"
+TAG_EVENT_LOOP = "tl_event_loop"
+TAG_ALLOC_OK = "tl_alloc_ok"
+
+# Functions (by unqualified spelling) that block the calling thread.
+BLOCKING_FUNCTIONS = {
+    "read", "write", "pread", "pwrite", "accept", "accept4", "recv",
+    "recvfrom", "recvmsg", "send", "sendto", "sendmsg", "select", "pselect",
+    "sleep", "usleep", "nanosleep", "fgets", "fread", "fwrite", "getchar",
+    "fsync", "fdatasync", "flock", "connect", "sleep_for", "sleep_until",
+}
+# Blocking std:: members, matched as (class, method).
+BLOCKING_STD_MEMBERS = {
+    ("condition_variable", "wait"),
+    ("condition_variable", "wait_for"),
+    ("condition_variable", "wait_until"),
+    ("condition_variable_any", "wait"),
+    ("thread", "join"),
+    ("future", "get"),
+    ("future", "wait"),
+}
+
+# std:: member functions that may grow / allocate heap storage.
+ALLOCATING_STD_MEMBERS = {
+    "push_back", "emplace_back", "emplace", "emplace_front", "push_front",
+    "insert", "insert_or_assign", "resize", "reserve", "append", "assign",
+    "push", "operator+=", "substr", "str", "to_string", "rehash",
+}
+# Free / static allocation entry points by unqualified spelling.
+ALLOCATING_FUNCTIONS = {
+    "malloc", "calloc", "realloc", "strdup", "aligned_alloc",
+    "make_unique", "make_shared", "to_string", "operator new",
+    "operator new[]", "operator+",
+}
+# std:: classes whose construction implies allocation when fed a character
+# pointer or another instance (SSO notwithstanding: the hot path must not
+# construct strings at all).
+ALLOCATING_STD_CONSTRUCTORS = {"basic_string", "string"}
+
+# hot-alloc exemption: arguments of Status factory calls. Building an
+# error message allocates by design; the check targets the steady-state
+# success path, and the factory call itself marks the error path.
+STATUS_FACTORY_PARENT = "Status"
+
+MUTEX_TYPE_RE = re.compile(r"\bstd::(recursive_)?(timed_)?mutex\b|\bmutex\b$")
+EXEMPT_FIELD_TYPE_RE = re.compile(
+    r"\bstd::atomic\b|\bstd::condition_variable\b|\bstd::(recursive_)?"
+    r"(timed_)?mutex\b|\batomic<")
+
+MAX_CHAIN_DEPTH = 24
+
+
+def eprint(*args):
+    print(*args, file=sys.stderr)
+
+
+# --------------------------------------------------------------------------
+# libclang discovery
+
+
+def load_cindex(verbose=False):
+    """Returns the clang.cindex module with a working libclang, or None."""
+    try:
+        from clang import cindex  # noqa: deferred, may be absent
+    except ImportError:
+        if verbose:
+            eprint("tl_analyze: python clang bindings not importable")
+        return None
+    candidates = [None]  # None = the binding's built-in default
+    env_lib = os.environ.get("TL_LIBCLANG")
+    if env_lib:
+        candidates.insert(0, env_lib)
+    for pattern in ("/usr/lib/llvm-*/lib/libclang.so*",
+                    "/usr/lib/x86_64-linux-gnu/libclang-*.so*",
+                    "/usr/lib/libclang.so*"):
+        import glob
+        candidates.extend(sorted(glob.glob(pattern), reverse=True))
+    for lib in candidates:
+        try:
+            if lib is not None:
+                cindex.Config.library_file = lib
+            index = cindex.Index.create()
+            del index
+            return cindex
+        except Exception:  # noqa: probe failure, try the next candidate
+            # Config caches the first successful load; reset for the retry.
+            cindex.Config.loaded = False
+            continue
+    if verbose:
+        eprint("tl_analyze: no loadable libclang shared library")
+    return None
+
+
+# --------------------------------------------------------------------------
+# Source-line cache + suppression lookup
+
+
+class SourceCache:
+    def __init__(self):
+        self._lines = {}
+
+    def lines(self, path):
+        if path not in self._lines:
+            try:
+                with open(path, encoding="utf-8", errors="replace") as f:
+                    self._lines[path] = f.read().splitlines()
+            except OSError:
+                self._lines[path] = []
+        return self._lines[path]
+
+    def text_at(self, path, line):
+        lines = self.lines(path)
+        return lines[line - 1] if 0 < line <= len(lines) else ""
+
+    def allowed(self, path, line, check):
+        """True when `line` or the line above carries allow(<check>)."""
+        for lineno in (line, line - 1):
+            m = ALLOW_RE.search(self.text_at(path, lineno))
+            if m and m.group(1) == check:
+                return True
+        return False
+
+
+# --------------------------------------------------------------------------
+# Model: one merged view of every parsed TU
+
+
+class FunctionInfo:
+    __slots__ = ("usr", "name", "file", "line", "calls", "allocs", "news")
+
+    def __init__(self, usr, name, file, line):
+        self.usr = usr
+        self.name = name  # qualified-ish display name
+        self.file = file
+        self.line = line
+        self.calls = []   # (usr, display, file, line, cursor, in_error)
+        self.allocs = []  # unused; kept for symmetry with news
+        self.news = []    # (description, file, line, in_error)
+
+
+class Model:
+    def __init__(self):
+        self.functions = {}    # usr -> FunctionInfo (definitions only)
+        self.annotations = {}  # usr -> set of tags (from any declaration)
+        self.discards = []     # (display, type_spelling, file, line, kind)
+        self.classes = {}      # usr -> class record for guard-coverage
+        self.parsed_files = set()
+        self.failed_files = []
+
+    def annotate(self, usr, tag):
+        self.annotations.setdefault(usr, set()).add(tag)
+
+    def tags(self, usr):
+        return self.annotations.get(usr, set())
+
+
+def display_name(cursor):
+    parts = []
+    c = cursor
+    while c is not None and c.spelling:
+        kind = c.kind.name
+        if kind in ("TRANSLATION_UNIT",):
+            break
+        parts.append(c.spelling)
+        c = c.semantic_parent
+    return "::".join(reversed(parts)) or cursor.spelling
+
+
+def semantic_path(cursor):
+    """List of semantic-parent spellings, innermost first."""
+    out = []
+    c = cursor.semantic_parent if cursor is not None else None
+    while c is not None and c.spelling:
+        out.append(c.spelling)
+        c = c.semantic_parent
+    return out
+
+
+def in_std(cursor):
+    return "std" in semantic_path(cursor) or \
+        "__gnu_cxx" in semantic_path(cursor)
+
+
+def location_of(cursor):
+    loc = cursor.location
+    if loc and loc.file:
+        return os.path.realpath(loc.file.name), loc.line
+    return None, 0
+
+
+# --------------------------------------------------------------------------
+# TU walking
+
+
+def build_parse_args(command_args):
+    """compile_commands argv -> libclang args (drop driver, -c/-o, source)."""
+    args = []
+    skip_next = False
+    for arg in command_args[1:]:
+        if skip_next:
+            skip_next = False
+            continue
+        if arg in ("-c",):
+            continue
+        if arg in ("-o", "-MF", "-MT", "-MQ"):
+            skip_next = True
+            continue
+        if arg.endswith((".cc", ".cpp", ".cxx", ".c")):
+            continue
+        args.append(arg)
+    return args
+
+
+FUNCTION_KINDS = None  # set lazily once cindex is importable
+
+
+def is_function_kind(cindex, kind):
+    global FUNCTION_KINDS
+    if FUNCTION_KINDS is None:
+        FUNCTION_KINDS = {
+            cindex.CursorKind.FUNCTION_DECL,
+            cindex.CursorKind.CXX_METHOD,
+            cindex.CursorKind.CONSTRUCTOR,
+            cindex.CursorKind.DESTRUCTOR,
+            cindex.CursorKind.CONVERSION_FUNCTION,
+            cindex.CursorKind.FUNCTION_TEMPLATE,
+        }
+    return kind in FUNCTION_KINDS
+
+
+def is_status_like(type_spelling):
+    s = type_spelling
+    # const/ref qualifiers never appear on a prvalue call result we care
+    # about, but be permissive about namespace spelling.
+    return (s.endswith("Status") and "StatusCode" not in s) or \
+        re.search(r"\bResult<", s) is not None
+
+
+def record_annotations(model, cursor):
+    tags = set()
+    for child in cursor.get_children():
+        if child.kind.name == "ANNOTATE_ATTR" and child.spelling in (
+                TAG_HOT, TAG_EVENT_LOOP, TAG_ALLOC_OK):
+            tags.add(child.spelling)
+    if tags:
+        usr = cursor.get_usr()
+        for tag in tags:
+            model.annotate(usr, tag)
+
+
+def statement_children_in_statement_position(cindex, node):
+    """Yields child statements whose value, if any, is discarded."""
+    k = cindex.CursorKind
+    if node.kind == k.COMPOUND_STMT:
+        yield from node.get_children()
+    elif node.kind in (k.IF_STMT, k.WHILE_STMT, k.FOR_STMT, k.DO_STMT,
+                       k.CXX_FOR_RANGE_STMT, k.CASE_STMT, k.DEFAULT_STMT,
+                       k.LABEL_STMT):
+        # Branch/loop bodies are in statement position; conditions and
+        # headers are not. Over-approximating here would flag `if (Do())`;
+        # instead pick only children that are themselves statements.
+        stmt_kinds = (k.COMPOUND_STMT, k.IF_STMT, k.WHILE_STMT, k.FOR_STMT,
+                      k.DO_STMT, k.CXX_FOR_RANGE_STMT, k.CASE_STMT,
+                      k.DEFAULT_STMT, k.LABEL_STMT, k.CALL_EXPR,
+                      k.UNEXPOSED_EXPR, k.RETURN_STMT, k.DECL_STMT,
+                      k.NULL_STMT, k.BREAK_STMT, k.CONTINUE_STMT,
+                      k.SWITCH_STMT, k.CXX_TRY_STMT)
+        children = list(node.get_children())
+        for i, child in enumerate(children):
+            if child.kind not in stmt_kinds:
+                continue
+            if node.kind == k.IF_STMT and i == 0:
+                continue  # the condition
+            if node.kind == k.WHILE_STMT and i == 0:
+                continue
+            if node.kind == k.DO_STMT and i == len(children) - 1:
+                continue  # the condition trails a do-while
+            yield child
+
+
+def unwrap_expr(cindex, node):
+    k = cindex.CursorKind
+    while node is not None and node.kind == k.UNEXPOSED_EXPR:
+        children = list(node.get_children())
+        if len(children) != 1:
+            return node
+        node = children[0]
+    return node
+
+
+def is_status_factory(cursor):
+    """True for Status::IOError and friends (static Status factories)."""
+    if cursor is None or cursor.kind.name != "CXX_METHOD":
+        return False
+    parent = cursor.semantic_parent
+    return parent is not None and parent.spelling == STATUS_FACTORY_PARENT \
+        and cursor.is_static_method()
+
+
+def walk_function_body(cindex, model, info, body, tu_realpath):
+    """Records calls, allocations, and discarded Status full-expressions."""
+    k = cindex.CursorKind
+    stack = [(body, False)]
+    while stack:
+        node, in_error = stack.pop()
+        # Record discarded-call statements first.
+        for stmt in statement_children_in_statement_position(cindex, node):
+            expr = unwrap_expr(cindex, stmt)
+            if expr is None:
+                continue
+            if expr.kind == k.CALL_EXPR:
+                t = expr.type.spelling if expr.type else ""
+                if is_status_like(t):
+                    file, line = location_of(expr)
+                    if file:
+                        model.discards.append(
+                            (display_name_of_call(expr), t, file, line,
+                             "discarded"))
+            elif expr.kind == k.CSTYLE_CAST_EXPR:
+                inner = None
+                for child in expr.get_children():
+                    inner = unwrap_expr(cindex, child)
+                if inner is not None and inner.kind == k.CALL_EXPR and \
+                        expr.type.spelling == "void":
+                    t = inner.type.spelling if inner.type else ""
+                    if is_status_like(t):
+                        file, line = location_of(expr)
+                        if file:
+                            model.discards.append(
+                                (display_name_of_call(inner), t, file, line,
+                                 "void-cast"))
+        child_in_error = in_error
+        if node.kind == k.CALL_EXPR:
+            ref = node.referenced
+            file, line = location_of(node)
+            if ref is not None and file:
+                info.calls.append(
+                    (ref.get_usr(), display_name(ref), file, line, ref,
+                     in_error))
+                if is_status_factory(ref):
+                    child_in_error = True
+        elif node.kind == k.CXX_NEW_EXPR:
+            file, line = location_of(node)
+            if file:
+                # Placement new (`new (buf) T`: a '(' token right after
+                # `new`) constructs into existing storage — not an
+                # allocation.
+                tokens = [t.spelling for t in node.get_tokens()][:2]
+                if tokens[:1] == ["new"] and tokens[1:] == ["("]:
+                    pass
+                else:
+                    info.news.append(
+                        ("new-expression", file, line, in_error))
+        stack.extend((c, child_in_error) for c in node.get_children())
+
+
+def display_name_of_call(call_expr):
+    ref = call_expr.referenced
+    if ref is not None:
+        return display_name(ref)
+    return call_expr.spelling or "<call>"
+
+
+def collect_class(cindex, model, cursor, cache):
+    """Registers a class record when the class owns a std::mutex."""
+    k = cindex.CursorKind
+    fields = []
+    has_mutex = False
+    for child in cursor.get_children():
+        if child.kind != k.FIELD_DECL:
+            continue
+        type_spelling = child.type.spelling
+        is_mutex = MUTEX_TYPE_RE.search(type_spelling) is not None
+        has_mutex = has_mutex or is_mutex
+        file, line = location_of(child)
+        tokens = " ".join(t.spelling for t in child.get_tokens())
+        fields.append({
+            "name": child.spelling,
+            "type": type_spelling,
+            "is_mutex": is_mutex,
+            "const": child.type.is_const_qualified(),
+            "file": file,
+            "line": line,
+            "tokens": tokens,
+        })
+    if not has_mutex or not fields:
+        return
+    usr = cursor.get_usr()
+    if usr in model.classes:
+        return
+    file, line = location_of(cursor)
+    model.classes[usr] = {
+        "name": display_name(cursor),
+        "file": file,
+        "line": line,
+        "fields": fields,
+    }
+
+
+def parse_tu(cindex, model, index, entry, root, cache, verbose):
+    path = entry["file"]
+    if not os.path.isabs(path):
+        path = os.path.join(entry.get("directory", root), path)
+    path = os.path.realpath(path)
+    if path in model.parsed_files:
+        return
+    if "arguments" in entry:
+        argv = entry["arguments"]
+    else:
+        import shlex
+        argv = shlex.split(entry["command"])
+    args = build_parse_args(argv)
+    try:
+        tu = index.parse(path, args=args)
+    except cindex.TranslationUnitLoadError:
+        model.failed_files.append(path)
+        return
+    fatal = [d for d in tu.diagnostics if d.severity >= 4]
+    if fatal:
+        model.failed_files.append(path)
+        if verbose:
+            eprint(f"tl_analyze: parse failure {path}: {fatal[0].spelling}")
+        return
+    model.parsed_files.add(path)
+
+    k = cindex.CursorKind
+    stack = list(tu.cursor.get_children())
+    while stack:
+        cursor = stack.pop()
+        loc_file, _ = location_of(cursor)
+        if loc_file is None or not loc_file.startswith(root + os.sep):
+            continue  # system headers: never walk into them
+        if is_function_kind(cindex, cursor.kind):
+            record_annotations(model, cursor)
+            if cursor.is_definition():
+                usr = cursor.get_usr()
+                if usr not in model.functions:
+                    file, line = location_of(cursor)
+                    info = FunctionInfo(usr, display_name(cursor), file, line)
+                    body = None
+                    for child in cursor.get_children():
+                        if child.kind == k.COMPOUND_STMT:
+                            body = child
+                    if body is not None:
+                        walk_function_body(cindex, model, info, body, path)
+                    model.functions[usr] = info
+            stack.extend(c for c in cursor.get_children()
+                         if c.kind in (k.CLASS_DECL, k.STRUCT_DECL,
+                                       k.NAMESPACE))
+        elif cursor.kind in (k.CLASS_DECL, k.STRUCT_DECL,
+                             k.CLASS_TEMPLATE):
+            if cursor.is_definition():
+                collect_class(cindex, model, cursor, cache)
+            stack.extend(cursor.get_children())
+        else:
+            stack.extend(cursor.get_children())
+
+
+# --------------------------------------------------------------------------
+# Findings
+
+
+class Finding:
+    def __init__(self, check, file, line, message, key):
+        self.check = check
+        self.file = file
+        self.line = line
+        self.message = message
+        self.key = key  # line-number-free baseline key
+        self.baselined = False
+
+    def render(self, root):
+        rel = os.path.relpath(self.file, root)
+        tag = " (baselined)" if self.baselined else ""
+        return f"{rel}:{self.line}: [{self.check}] {self.message}{tag}"
+
+
+def check_status_discard(model, root, cache, findings):
+    seen = set()
+    for display, type_spelling, file, line, kind in model.discards:
+        if not file.startswith(root + os.sep):
+            continue
+        if (file, line, display) in seen:
+            continue
+        seen.add((file, line, display))
+        if cache.allowed(file, line, "status-discard"):
+            continue
+        rel = os.path.relpath(file, root)
+        if kind == "void-cast":
+            message = (f"`{display}` returns {type_spelling}; a blanket "
+                       "(void)-cast hides the error — handle it, or use "
+                       "IgnoreStatus(status, \"justification\")")
+        else:
+            message = (f"result of `{display}` ({type_spelling}) is "
+                       "silently discarded — handle it, or use "
+                       "IgnoreStatus(status, \"justification\")")
+        findings.append(Finding(
+            "status-discard", file, line, message,
+            f"{rel}|status-discard|{display}|{kind}"))
+
+
+def is_allocating_call(callee, display, call_line_text):
+    """Returns a description when `callee` allocates, else None."""
+    spelling = callee.spelling
+    if spelling in ("operator new", "operator new[]"):
+        return spelling
+    if spelling in ALLOCATING_FUNCTIONS and (
+            in_std(callee) or callee.semantic_parent is None or
+            callee.semantic_parent.kind.name == "TRANSLATION_UNIT" or
+            spelling in ("malloc", "calloc", "realloc", "strdup",
+                         "aligned_alloc")):
+        return display
+    if in_std(callee):
+        if spelling in ALLOCATING_STD_MEMBERS:
+            return display
+        if callee.kind.name == "CONSTRUCTOR" and \
+                callee.semantic_parent is not None and \
+                callee.semantic_parent.spelling in \
+                ALLOCATING_STD_CONSTRUCTORS:
+            # Copy / from-pointer string construction allocates; the
+            # default and move constructors do not.
+            if callee.is_default_constructor() or \
+                    callee.is_move_constructor():
+                return None
+            return display + " (string construction)"
+    return None
+
+
+def is_blocking_call(callee, display, call_line_text):
+    spelling = callee.spelling
+    parent = callee.semantic_parent
+    parent_name = parent.spelling if parent is not None else ""
+    if (parent_name, spelling) in BLOCKING_STD_MEMBERS and in_std(callee):
+        return f"{parent_name}::{spelling}"
+    if spelling not in BLOCKING_FUNCTIONS:
+        return None
+    if spelling in ("sleep_for", "sleep_until") and not in_std(callee):
+        return None
+    if spelling.startswith(("recv", "send")) and \
+            "MSG_DONTWAIT" in call_line_text:
+        return None  # cannot block
+    if spelling == "accept4" and "SOCK_NONBLOCK" in call_line_text:
+        return None
+    if in_std(callee) and spelling not in ("sleep_for", "sleep_until"):
+        return None  # e.g. std::vector::insert shares a name with insert(2)
+    return display
+
+
+def walk_reachability(model, root, cache, check, tag, classify, findings,
+                      message_fmt):
+    """Generic BFS from annotated roots to offending operations."""
+    roots = [usr for usr, tags in model.annotations.items() if tag in tags]
+    reported = set()
+    for root_usr in sorted(roots):
+        info = model.functions.get(root_usr)
+        root_name = None
+        if info is not None:
+            root_name = info.name
+        else:
+            continue  # annotated but never defined in the parsed set
+        stack = [(root_usr, (info.name,))]
+        visited = {root_usr}
+        while stack:
+            usr, chain = stack.pop()
+            fn = model.functions.get(usr)
+            if fn is None:
+                continue
+            if len(chain) > MAX_CHAIN_DEPTH:
+                continue
+            if check == "hot-alloc":
+                for desc, file, line, in_error in fn.news:
+                    if in_error:
+                        continue
+                    _report(model, root, cache, check, findings, reported,
+                            root_name, chain, desc, file, line, message_fmt)
+            for call in fn.calls:
+                callee_usr, callee_display, file, line, callee_cursor, \
+                    in_error = call
+                if in_error and check == "hot-alloc":
+                    continue  # error-path construction is exempt
+                line_text = cache.text_at(file, line)
+                desc = classify(callee_cursor, callee_display, line_text)
+                if desc is not None:
+                    _report(model, root, cache, check, findings, reported,
+                            root_name, chain, desc, file, line, message_fmt)
+                    continue
+                if callee_usr in visited:
+                    continue
+                if TAG_ALLOC_OK in model.tags(callee_usr) and \
+                        check == "hot-alloc":
+                    continue
+                if cache.allowed(file, line, check):
+                    continue  # suppressed call edge prunes the walk
+                if callee_usr in model.functions:
+                    visited.add(callee_usr)
+                    stack.append((callee_usr, chain + (callee_display,)))
+
+
+def _report(model, root, cache, check, findings, reported, root_name, chain,
+            desc, file, line, message_fmt):
+    if not file.startswith(root + os.sep):
+        return
+    key_chain = " -> ".join(chain)
+    dedupe = (root_name, desc, file, line)
+    if dedupe in reported:
+        return
+    reported.add(dedupe)
+    if cache.allowed(file, line, check):
+        return
+    rel = os.path.relpath(file, root)
+    message = message_fmt.format(desc=desc, root=root_name, chain=key_chain)
+    findings.append(Finding(
+        check, file, line, message, f"{check}|{root_name}|{desc}"))
+
+
+def check_guard_coverage(model, root, cache, findings):
+    for record in sorted(model.classes.values(), key=lambda r: r["name"]):
+        file = record["file"]
+        if file is None or not file.startswith(root + os.sep):
+            continue
+        if cache.allowed(file, record["line"], "guard-coverage"):
+            continue  # class-level suppression
+        rel = os.path.relpath(file, root)
+        for field in record["fields"]:
+            if field["is_mutex"] or field["const"]:
+                continue
+            if EXEMPT_FIELD_TYPE_RE.search(field["type"]):
+                continue
+            if "TL_GUARDED_BY" in field["tokens"] or \
+                    "TL_PT_GUARDED_BY" in field["tokens"] or \
+                    "guarded_by" in field["tokens"]:
+                continue
+            if cache.allowed(field["file"], field["line"], "guard-coverage"):
+                continue
+            findings.append(Finding(
+                "guard-coverage", field["file"], field["line"],
+                f"{record['name']} owns a std::mutex but field "
+                f"`{field['name']}` ({field['type']}) is neither "
+                "TL_GUARDED_BY-annotated nor suppressed",
+                f"{rel}|guard-coverage|{record['name']}::{field['name']}"))
+
+
+# --------------------------------------------------------------------------
+# Driver
+
+
+def load_compile_commands(path, root):
+    with open(path, encoding="utf-8") as f:
+        entries = json.load(f)
+    keep = []
+    seen = set()
+    for entry in entries:
+        file = entry["file"]
+        if not os.path.isabs(file):
+            file = os.path.join(entry.get("directory", root), file)
+        file = os.path.realpath(file)
+        rel = os.path.relpath(file, root)
+        top = rel.split(os.sep, 1)[0]
+        if top not in ("src", "tools"):
+            continue  # benches/tests follow different contracts
+        if file in seen:
+            continue
+        seen.add(file)
+        keep.append(entry)
+    return keep
+
+
+def load_baseline(path):
+    keys = set()
+    if path and os.path.exists(path):
+        with open(path, encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if line and not line.startswith("#"):
+                    keys.add(line)
+    return keys
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        prog="tl_analyze.py", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    default_root = os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    parser.add_argument("--root", default=default_root)
+    parser.add_argument("--build-dir", default=None)
+    parser.add_argument("--compile-commands", default=None)
+    parser.add_argument("--checks", default=",".join(CHECKS))
+    parser.add_argument("--baseline", default=None)
+    parser.add_argument("--update-baseline", action="store_true")
+    parser.add_argument("--skip-exit-code", type=int, default=0)
+    parser.add_argument("--probe", action="store_true",
+                        help="exit 0 if libclang is usable, 3 otherwise")
+    parser.add_argument("-v", "--verbose", action="store_true")
+    args = parser.parse_args(argv[1:])
+
+    root = os.path.realpath(args.root)
+    checks = [c.strip() for c in args.checks.split(",") if c.strip()]
+    for check in checks:
+        if check not in CHECKS:
+            eprint(f"tl_analyze: unknown check '{check}' "
+                   f"(available: {', '.join(CHECKS)})")
+            return 2
+
+    cindex = load_cindex(args.verbose)
+    if args.probe:
+        return 0 if cindex is not None else 3
+    if cindex is None:
+        if os.environ.get("TL_ANALYZE_REQUIRE") == "1":
+            eprint("tl_analyze: FAIL: libclang unavailable but "
+                   "TL_ANALYZE_REQUIRE=1")
+            return 2
+        print("tl_analyze: SKIP (libclang / python clang bindings "
+              "unavailable; tl_lint's regex rules remain the fallback)")
+        return args.skip_exit_code
+
+    cc_path = args.compile_commands
+    if cc_path is None:
+        build_dir = args.build_dir or os.path.join(root, "build")
+        cc_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(cc_path):
+        eprint(f"tl_analyze: no compile_commands.json at {cc_path} "
+               "(configure with CMAKE_EXPORT_COMPILE_COMMANDS=ON)")
+        return 2
+
+    entries = load_compile_commands(cc_path, root)
+    if not entries:
+        eprint("tl_analyze: compile_commands.json has no src/ or tools/ "
+               "entries")
+        return 2
+
+    cache = SourceCache()
+    model = Model()
+    index = cindex.Index.create()
+    for entry in entries:
+        parse_tu(cindex, model, index, entry, root, cache, args.verbose)
+
+    if model.failed_files:
+        eprint(f"tl_analyze: {len(model.failed_files)} of "
+               f"{len(entries)} TUs failed to parse")
+        if args.verbose:
+            for path in model.failed_files:
+                eprint(f"  {path}")
+        if len(model.failed_files) * 2 > len(entries):
+            eprint("tl_analyze: FAIL: most TUs unparsable — the gate "
+                   "would be vacuous")
+            return 2
+
+    findings = []
+    if "status-discard" in checks:
+        check_status_discard(model, root, cache, findings)
+    if "hot-alloc" in checks:
+        walk_reachability(
+            model, root, cache, "hot-alloc", TAG_HOT, is_allocating_call,
+            findings,
+            "allocation `{desc}` reachable from TL_HOT root {root} "
+            "via: {chain}")
+    if "loop-blocking" in checks:
+        walk_reachability(
+            model, root, cache, "loop-blocking", TAG_EVENT_LOOP,
+            is_blocking_call, findings,
+            "blocking call `{desc}` reachable from TL_EVENT_LOOP root "
+            "{root} via: {chain}")
+    if "guard-coverage" in checks:
+        check_guard_coverage(model, root, cache, findings)
+
+    baseline_path = args.baseline
+    if baseline_path is None:
+        default_baseline = os.path.join(root, "tools",
+                                        "tl_analyze_baseline.txt")
+        if os.path.exists(default_baseline):
+            baseline_path = default_baseline
+    baseline = load_baseline(baseline_path)
+    for finding in findings:
+        finding.baselined = finding.key in baseline
+
+    if args.update_baseline:
+        target = baseline_path or os.path.join(root, "tools",
+                                               "tl_analyze_baseline.txt")
+        with open(target, "w", encoding="utf-8") as f:
+            f.write("# tl_analyze baseline: one normalized finding key per "
+                    "line.\n# Regenerate with tools/tl_analyze.py "
+                    "--update-baseline.\n")
+            for key in sorted({f.key for f in findings}):
+                f.write(key + "\n")
+        print(f"tl_analyze: baseline updated ({len(findings)} finding(s) "
+              f"-> {target})")
+        return 0
+
+    findings.sort(key=lambda f: (f.file, f.line, f.check))
+    unsuppressed = [f for f in findings if not f.baselined]
+    for finding in findings:
+        print(finding.render(root))
+    print(f"tl_analyze: {len(model.parsed_files)} TUs, "
+          f"{len(unsuppressed)} finding(s), "
+          f"{len(findings) - len(unsuppressed)} baselined "
+          f"[checks: {', '.join(checks)}]")
+    return 1 if unsuppressed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

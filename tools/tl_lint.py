@@ -340,7 +340,10 @@ def check_include_cycles(root, findings):
         for path in iter_source_files(src, [module]):
             in_block = False
             for raw in load_lines(path):
-                line, in_block = strip_comments_and_strings(raw, in_block)
+                # keep_strings: the include target IS a string literal —
+                # blanking it (the old behavior) made this rule vacuous.
+                line, in_block = strip_comments_and_strings(
+                    raw, in_block, keep_strings=True)
                 m = INCLUDE_RE.match(line)
                 if not m:
                     continue
@@ -383,8 +386,18 @@ def check_include_cycles(root, findings):
 
 
 def main(argv):
-    root = argv[1] if len(argv) > 1 else os.path.dirname(
-        os.path.dirname(os.path.abspath(__file__)))
+    import argparse
+    parser = argparse.ArgumentParser(prog="tl_lint.py")
+    parser.add_argument("root", nargs="?", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    parser.add_argument(
+        "--no-blocking-syscall", action="store_true",
+        help="skip the file-scoped blocking-syscall regex rule — used when "
+        "tl_analyze's call-graph loop-blocking check (its semantic "
+        "replacement) runs in the same gate; the regex rule remains the "
+        "fallback when libclang is unavailable")
+    args = parser.parse_args(argv[1:])
+    root = args.root
     if not os.path.isdir(os.path.join(root, "src")):
         print(f"tl_lint: no src/ under {root}", file=sys.stderr)
         return 2
@@ -396,7 +409,8 @@ def main(argv):
     check_naked_new(root, findings)
     check_string_key_maps(root, findings)
     check_canonical_in_loop(root, findings)
-    check_blocking_syscalls(root, findings)
+    if not args.no_blocking_syscall:
+        check_blocking_syscalls(root, findings)
     check_include_cycles(root, findings)
 
     for path, lineno, rule, message in sorted(findings):
