@@ -1,0 +1,81 @@
+#ifndef TREELATTICE_CORE_BATCH_ESTIMATOR_H_
+#define TREELATTICE_CORE_BATCH_ESTIMATOR_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/estimate_scratch.h"
+#include "core/estimator.h"
+#include "core/recursive_estimator.h"
+#include "summary/lattice_summary.h"
+#include "util/analysis_annotations.h"
+#include "util/arena.h"
+
+namespace treelattice {
+
+/// Per-query outcome of a batch estimation. `estimate` is meaningful only
+/// when `status` is OK.
+struct EstimateResult {
+  Status status;
+  double estimate = 0.0;
+};
+
+/// Batched front end to the recursive decomposition estimator
+/// (DESIGN.md §14). A batch of twig queries is estimated in four stages:
+///
+///   1. canonicalize every query up front (one CanonicalCode/Hash each);
+///   2. dedup identical queries through an arena-backed flat table keyed
+///      by the 64-bit canonical-code hash (full-code verified), so each
+///      distinct query is estimated exactly once;
+///   3. answer summary-resident and provably-zero distinct queries with one
+///      grouped LatticeSummary::LookupBatch pass (slot-sorted, prefetched,
+///      hash-lane compared), seeding the memo with the exact counts;
+///   4. run the recursive estimator over the remaining distinct queries
+///      with one batch-scoped memo (EstimateScratch::BeginBatch), so a
+///      basic twig shared by several queries is probed and voted once.
+///
+/// Every intermediate (dedup table, probe keys, result staging) is carved
+/// from a MonotonicArena that resets in O(1) per batch. Because memo
+/// entries are exact per-code values inserted only after full computation,
+/// batch results are bit-identical to estimating each query sequentially
+/// with a fresh memo (the equality gate in bench_ext_batch asserts this).
+///
+/// Governed batches share one CostGovernor: the deadline and step budget
+/// cover the whole batch, and queries after a budget trip report the trip
+/// status. Not thread-safe: one BatchEstimator per thread.
+class BatchEstimator {
+ public:
+  /// The summary must outlive the estimator.
+  explicit BatchEstimator(const LatticeSummary* summary);
+  BatchEstimator(const LatticeSummary* summary,
+                 RecursiveDecompositionEstimator::Options options);
+
+  /// Estimates queries[i] into results[i]. `results` must have the same
+  /// length as `queries`; per-query failures land in results[i].status.
+  /// options.deadline / max_work_steps / cancel govern the whole batch;
+  /// options.scratch, when provided, supplies the shared memo (otherwise
+  /// an internal scratch is used).
+  TL_HOT Status EstimateBatch(std::span<const Twig> queries,
+                              const EstimateOptions& options,
+                              std::span<EstimateResult> results);
+
+  std::string name() const { return "batch+" + estimator_.name(); }
+
+ private:
+  /// Status staging for the distinct queries of one batch (Status owns a
+  /// string, so it cannot live in the arena). Capacity is retained across
+  /// batches.
+  // Amortized: assign() reuses capacity once it reaches the largest batch.
+  TL_ALLOC_OK Status* StageStatuses(size_t n);
+
+  const LatticeSummary* summary_;
+  RecursiveDecompositionEstimator estimator_;
+  MonotonicArena arena_;
+  EstimateScratch scratch_;
+  std::vector<Status> status_staging_;
+};
+
+}  // namespace treelattice
+
+#endif  // TREELATTICE_CORE_BATCH_ESTIMATOR_H_

@@ -71,11 +71,20 @@ void CodeMemo::Grow() {
 }
 
 void EstimateScratch::BeginQuery(int query_size) {
+  // In batch mode the memo carries over so queries share sub-twig
+  // estimates; entries are exact per-code values, so sharing cannot change
+  // any result (see the class comment).
+  if (in_batch_) return;
   // The voting recursion visits O(size^2) distinct sub-twigs in practice
   // (each level removes one node; each level contributes one memo entry per
   // distinct split piece), so a quadratic reservation avoids regrowth.
   const size_t n = query_size < 1 ? 1 : static_cast<size_t>(query_size);
   memo_.Reset(n * n);
+}
+
+void EstimateScratch::BeginBatch(size_t expected_entries) {
+  memo_.Reset(expected_entries);
+  in_batch_ = true;
 }
 
 DepthWorkspace& EstimateScratch::Depth(int depth) {

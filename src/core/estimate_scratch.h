@@ -85,12 +85,32 @@ struct DepthWorkspace {
 /// one for its lifetime); estimators fall back to an internal thread_local
 /// instance when none is supplied, so ungoverned callers stay
 /// allocation-free too. Not thread-safe: one scratch per thread.
+///
+/// Batch mode (DESIGN.md §14): BeginBatch() resets the memo once for a
+/// whole batch of queries and makes subsequent BeginQuery() calls keep it,
+/// so distinct queries share every sub-twig estimate. This is sound because
+/// memo entries are inserted only after a sub-twig's estimate is fully
+/// computed — each entry equals the deterministic pure-function value of
+/// its code for the fixed (summary, options), independent of which query
+/// put it there — so batch results stay bit-identical to sequential runs.
 class EstimateScratch {
  public:
   /// Resets the memo for a fresh query of `query_size` nodes. Depth
   /// workspaces need no reset — each level overwrites its own prefix.
+  /// In batch mode the memo is retained instead (see BeginBatch).
   // Amortized: Reset keeps every buffer's capacity (see CodeMemo).
   TL_ALLOC_OK void BeginQuery(int query_size);
+
+  /// Enters batch mode: resets the memo once, sized for
+  /// `expected_entries`, and suppresses per-query memo resets until
+  /// EndBatch(). Calls do not nest.
+  // Amortized: one Reset per batch into retained capacity.
+  TL_ALLOC_OK void BeginBatch(size_t expected_entries);
+
+  /// Leaves batch mode; the next BeginQuery resets the memo again.
+  void EndBatch() { in_batch_ = false; }
+
+  bool in_batch() const { return in_batch_; }
 
   CodeMemo& memo() { return memo_; }
 
@@ -102,6 +122,23 @@ class EstimateScratch {
  private:
   CodeMemo memo_;
   std::deque<DepthWorkspace> depths_;
+  bool in_batch_ = false;
+};
+
+/// RAII batch-mode guard: BeginBatch on construction, EndBatch on every
+/// exit path (including budget-trip early returns).
+class ScopedBatchScratch {
+ public:
+  ScopedBatchScratch(EstimateScratch* scratch, size_t expected_entries)
+      : scratch_(scratch) {
+    scratch_->BeginBatch(expected_entries);
+  }
+  ~ScopedBatchScratch() { scratch_->EndBatch(); }
+  ScopedBatchScratch(const ScopedBatchScratch&) = delete;
+  ScopedBatchScratch& operator=(const ScopedBatchScratch&) = delete;
+
+ private:
+  EstimateScratch* scratch_;
 };
 
 }  // namespace treelattice

@@ -34,7 +34,13 @@ Result<double> FixedSizeDecompositionEstimator::LookupOrEstimate(
   metrics.summary_misses->Increment();
   // A fresh top-level fallback call per pruned window: the recursive
   // estimator resets the scratch memo itself, preserving the old
-  // fresh-memo-per-fallback semantics.
+  // fresh-memo-per-fallback semantics. A batch-mode scratch must NOT be
+  // shared here: its memo holds the batch's primary-rung (possibly voting)
+  // values, and this fallback estimator is configured independently, so
+  // sharing would mix values from two different estimators under one code
+  // key. Falling back to the internal thread_local scratch reproduces the
+  // fresh-memo reset exactly (DESIGN.md §14).
+  if (scratch != nullptr && scratch->in_batch()) scratch = nullptr;
   return fallback_.EstimateWithGovernor(twig, governor, scratch);
 }
 

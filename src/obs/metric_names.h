@@ -84,6 +84,16 @@ inline constexpr char kServeReloads[] = "serve.reloads";
 inline constexpr char kServeReloadFailures[] = "serve.reload_failures";
 inline constexpr char kServeSnapshotVersion[] = "serve.snapshot_version";
 
+// -- serve batch envelopes (serve/server.cc) --------------------------------
+// One "line" is one JSON array request carrying N queries; "queries" counts
+// the queries inside batch lines only (singles keep serve.requests).
+inline constexpr char kServeBatchLines[] = "serve.batch.lines";
+inline constexpr char kServeBatchQueries[] = "serve.batch.queries";
+inline constexpr char kServeBatchDupQueries[] = "serve.batch.dup_queries";
+inline constexpr char kServeBatchCacheHits[] = "serve.batch.cache_hits";
+inline constexpr char kServeBatchSize[] = "serve.batch.size";
+inline constexpr char kServeBatchShedQueries[] = "serve.batch.shed_queries";
+
 // -- serve request-stage timeline (serve/request_trace.cc) ------------------
 // One histogram per adjacent pair of RequestTrace stamps; a request whose
 // path skips a stage (error before estimate, orphaned before flush) simply

@@ -68,6 +68,7 @@ void WriteSlowEntry(const SlowQueryLog::Entry& entry, JsonWriter* w) {
   w->Key("fanout").Uint(entry.twig_fanout);
   w->EndObject();
   w->Key("work_steps").Uint(entry.work_steps);
+  if (entry.batch_size > 0) w->Key("batch_size").Uint(entry.batch_size);
   w->Key("stages_micros").BeginObject();
   w->Key("admit").Uint(entry.admit_micros);
   w->Key("queue_wait").Uint(entry.queue_wait_micros);

@@ -91,6 +91,7 @@ void FinalizeRequestTrace(const RequestTrace& trace,
   entry.twig_depth = trace.twig_depth;
   entry.twig_fanout = trace.twig_fanout;
   entry.work_steps = trace.work_steps;
+  entry.batch_size = trace.batch_size;
   entry.framed_micros = trace.framed_micros;
   entry.admit_micros = admit;
   entry.queue_wait_micros = queue_wait;

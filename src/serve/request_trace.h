@@ -47,6 +47,10 @@ struct RequestTrace {
   /// Governor work steps (summary probes, splits, sweeps) the estimate
   /// charged, accumulated across every ladder rung.
   uint64_t work_steps = 0;
+  /// Queries carried by the request line: 0 for a single-query line, N
+  /// for a batch envelope of N queries (DESIGN.md §14). Slow-log entries
+  /// carry it so a slow batch line is distinguishable from a slow query.
+  uint32_t batch_size = 0;
 
   /// Microseconds since the process-wide trace epoch (steady clock).
   static uint64_t NowMicros();

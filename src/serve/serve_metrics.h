@@ -49,6 +49,40 @@ struct ServeMetrics {
   }
 };
 
+/// Batch-envelope telemetry (serve/server.cc, DESIGN.md §14):
+///   serve.batch.lines         JSON array request lines admitted
+///   serve.batch.queries       queries carried inside batch lines
+///   serve.batch.dup_queries   queries answered by an identical twig
+///                             earlier in the same batch (within-batch
+///                             dedup before cache/estimator dispatch)
+///   serve.batch.cache_hits    distinct batch queries answered from the
+///                             estimate cache's batch hit-filter
+///   serve.batch.size          (histogram) queries per batch line
+///   serve.batch.shed_queries  queries shed because a whole batch line
+///                             did not fit the admission queue
+struct BatchMetrics {
+  obs::Counter* lines;
+  obs::Counter* queries;
+  obs::Counter* dup_queries;
+  obs::Counter* cache_hits;
+  obs::Histogram* size;
+  obs::Counter* shed_queries;
+
+  static BatchMetrics& Get() {
+    static BatchMetrics m = [] {
+      obs::MetricsRegistry* registry = obs::MetricsRegistry::Default();
+      namespace names = obs::metric_names;
+      return BatchMetrics{registry->counter(names::kServeBatchLines),
+                          registry->counter(names::kServeBatchQueries),
+                          registry->counter(names::kServeBatchDupQueries),
+                          registry->counter(names::kServeBatchCacheHits),
+                          registry->histogram(names::kServeBatchSize),
+                          registry->counter(names::kServeBatchShedQueries)};
+    }();
+    return m;
+  }
+};
+
 /// Per-request stage-timeline telemetry (serve/request_trace.cc): one
 /// histogram per adjacent pair of RequestTrace stamps, plus the sampled
 /// slow-query tally. See DESIGN.md §12 for the stage taxonomy.

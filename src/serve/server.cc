@@ -80,6 +80,45 @@ std::string ServeResponse::ToJsonLine() const {
   return w.TakeString();
 }
 
+namespace {
+
+/// Shared envelope decoding for single lines and batch array elements.
+Result<ServeRequest> ParseRequestEnvelope(const JsonValue& parsed) {
+  if (!parsed.is_object()) {
+    return Status::InvalidArgument("request JSON must be an object");
+  }
+  ServeRequest request;
+  const JsonValue* query = parsed.Find("query");
+  if (query == nullptr || !query->is_string() || query->string_value.empty()) {
+    return Status::InvalidArgument(
+        "request JSON needs a non-empty string \"query\" member");
+  }
+  request.query = query->string_value;
+  if (const JsonValue* deadline = parsed.Find("deadline_ms")) {
+    if (!deadline->is_number() || deadline->number_value < 0.0) {
+      return Status::InvalidArgument(
+          "\"deadline_ms\" must be a non-negative number");
+    }
+    request.deadline_millis = deadline->number_value;
+  }
+  if (const JsonValue* steps = parsed.Find("max_steps")) {
+    if (!steps->is_number() || steps->number_value < 0.0) {
+      return Status::InvalidArgument(
+          "\"max_steps\" must be a non-negative number");
+    }
+    request.max_work_steps = static_cast<uint64_t>(steps->number_value);
+  }
+  if (const JsonValue* id = parsed.Find("id")) {
+    if (!id->is_number() || id->number_value < 0.0) {
+      return Status::InvalidArgument("\"id\" must be a non-negative number");
+    }
+    request.id = static_cast<uint64_t>(id->number_value);
+  }
+  return request;
+}
+
+}  // namespace
+
 Result<ServeRequest> ParseRequestLine(std::string_view line) {
   std::string_view trimmed = Trimmed(line);
   if (trimmed.empty()) {
@@ -95,43 +134,67 @@ Result<ServeRequest> ParseRequestLine(std::string_view line) {
     return Status::InvalidArgument("malformed request JSON: " +
                                    parsed.status().message());
   }
-  if (!parsed->is_object()) {
-    return Status::InvalidArgument("request JSON must be an object");
+  return ParseRequestEnvelope(*parsed);
+}
+
+bool IsBatchRequestLine(std::string_view line) {
+  std::string_view trimmed = Trimmed(line);
+  return !trimmed.empty() && trimmed.front() == '[';
+}
+
+Result<ServeBatch> ParseBatchRequestLine(std::string_view line,
+                                         size_t max_items) {
+  std::string_view trimmed = Trimmed(line);
+  Result<JsonValue> parsed = ParseJson(trimmed);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("malformed batch JSON: " +
+                                   parsed.status().message());
   }
-  const JsonValue* query = parsed->Find("query");
-  if (query == nullptr || !query->is_string() || query->string_value.empty()) {
+  if (!parsed->is_array()) {
+    return Status::InvalidArgument("batch request must be a JSON array");
+  }
+  if (parsed->array.empty()) {
+    return Status::InvalidArgument("batch request array must not be empty");
+  }
+  if (max_items > 0 && parsed->array.size() > max_items) {
     return Status::InvalidArgument(
-        "request JSON needs a non-empty string \"query\" member");
+        "batch request carries " + std::to_string(parsed->array.size()) +
+        " queries; the limit is " + std::to_string(max_items));
   }
-  request.query = query->string_value;
-  if (const JsonValue* deadline = parsed->Find("deadline_ms")) {
-    if (!deadline->is_number() || deadline->number_value < 0.0) {
-      return Status::InvalidArgument(
-          "\"deadline_ms\" must be a non-negative number");
+  ServeBatch batch;
+  batch.items.reserve(parsed->array.size());
+  for (const JsonValue& element : parsed->array) {
+    if (element.is_string()) {
+      if (element.string_value.empty()) {
+        return Status::InvalidArgument(
+            "batch element queries must be non-empty strings");
+      }
+      ServeRequest request;
+      request.query = element.string_value;
+      batch.items.push_back(std::move(request));
+      continue;
     }
-    request.deadline_millis = deadline->number_value;
+    Result<ServeRequest> request = ParseRequestEnvelope(element);
+    if (!request.ok()) return request.status();
+    batch.items.push_back(std::move(*request));
   }
-  if (const JsonValue* steps = parsed->Find("max_steps")) {
-    if (!steps->is_number() || steps->number_value < 0.0) {
-      return Status::InvalidArgument(
-          "\"max_steps\" must be a non-negative number");
-    }
-    request.max_work_steps = static_cast<uint64_t>(steps->number_value);
-  }
-  if (const JsonValue* id = parsed->Find("id")) {
-    if (!id->is_number() || id->number_value < 0.0) {
-      return Status::InvalidArgument("\"id\" must be a non-negative number");
-    }
-    request.id = static_cast<uint64_t>(id->number_value);
-  }
-  return request;
+  return batch;
+}
+
+std::string ServeBatchResponse::ToJsonLine() const {
+  JsonWriter w;
+  w.BeginArray();
+  for (const ServeResponse& item : items) w.Raw(item.ToJsonLine());
+  w.EndArray();
+  return w.TakeString();
 }
 
 Server::Server(SnapshotHolder* snapshots, ServerOptions options,
-               ResponseSink sink)
+               ResponseSink sink, BatchResponseSink batch_sink)
     : snapshots_(snapshots),
       options_(std::move(options)),
-      sink_(std::move(sink)) {
+      sink_(std::move(sink)),
+      batch_sink_(std::move(batch_sink)) {
   if (options_.enable_estimate_cache && options_.estimate_cache_capacity > 0) {
     EstimateCache::Options cache_options;
     cache_options.capacity = options_.estimate_cache_capacity;
@@ -153,13 +216,16 @@ bool Server::Submit(ServeRequest request) {
   ServeMetrics& metrics = ServeMetrics::Get();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (!stopping_ && queue_.size() < options_.queue_capacity) {
+    if (!stopping_ && queued_queries_ < options_.queue_capacity) {
       request.trace.StampAdmitted();
-      queue_.push_back(std::move(request));
+      Work work;
+      work.single = std::move(request);
+      queue_.push_back(std::move(work));
+      ++queued_queries_;
       submitted_.fetch_add(1, std::memory_order_relaxed);
       metrics.requests->Increment();
-      metrics.queue_depth_peak->SetMax(static_cast<int64_t>(queue_.size()));
-      metrics.queue_depth->Set(static_cast<int64_t>(queue_.size()));
+      metrics.queue_depth_peak->SetMax(static_cast<int64_t>(queued_queries_));
+      metrics.queue_depth->Set(static_cast<int64_t>(queued_queries_));
       work_available_.notify_one();
       return true;
     }
@@ -178,6 +244,52 @@ bool Server::Submit(ServeRequest request) {
       std::string(StatusCodeToString(StatusCode::kResourceExhausted));
   response.error_message = "admission queue full; request shed";
   Emit(response);
+  return false;
+}
+
+bool Server::SubmitBatch(ServeBatch batch) {
+  ServeMetrics& metrics = ServeMetrics::Get();
+  const size_t queries = batch.items.size();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // All-or-nothing admission: a batch needs one slot per query so a
+    // burst of batch lines cannot oversubscribe the queue N-fold.
+    if (!stopping_ && queries > 0 &&
+        queued_queries_ + queries <= options_.queue_capacity) {
+      batch.trace.StampAdmitted();
+      Work work;
+      work.batch = std::make_unique<ServeBatch>(std::move(batch));
+      queue_.push_back(std::move(work));
+      queued_queries_ += queries;
+      submitted_.fetch_add(queries, std::memory_order_relaxed);
+      metrics.requests->Increment(queries);
+      metrics.queue_depth_peak->SetMax(static_cast<int64_t>(queued_queries_));
+      metrics.queue_depth->Set(static_cast<int64_t>(queued_queries_));
+      work_available_.notify_one();
+      return true;
+    }
+  }
+  // Shed the whole batch: one ResourceExhausted response per query,
+  // delivered as one batch response — exactly-once per query, never a
+  // partially answered batch.
+  shed_.fetch_add(queries, std::memory_order_relaxed);
+  metrics.shed->Increment(queries);
+  BatchMetrics::Get().shed_queries->Increment(queries);
+  ServeBatchResponse response;
+  response.trace = batch.trace;
+  response.items.reserve(queries);
+  for (const ServeRequest& item : batch.items) {
+    ServeResponse shed;
+    shed.id = item.id;
+    shed.req = batch.trace.req_id;
+    shed.query = item.query;
+    shed.ok = false;
+    shed.error_code =
+        std::string(StatusCodeToString(StatusCode::kResourceExhausted));
+    shed.error_message = "admission queue full; batch shed";
+    response.items.push_back(std::move(shed));
+  }
+  EmitBatch(std::move(response));
   return false;
 }
 
@@ -203,7 +315,7 @@ Server::Stats Server::GetStats() const {
   stats.degraded = degraded_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    stats.queue_depth = queue_.size();
+    stats.queue_depth = queued_queries_;
   }
   if (cache_ != nullptr) {
     EstimateCache::Stats cache_stats = cache_->GetStats();
@@ -227,7 +339,7 @@ void Server::WorkerLoop() {
   EstimateScratch scratch;
 
   for (;;) {
-    ServeRequest request;
+    Work work;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_available_.wait(lock,
@@ -235,10 +347,16 @@ void Server::WorkerLoop() {
                              return stopping_ || !queue_.empty();
                            });
       if (queue_.empty()) return;  // stopping_ && drained
-      request = std::move(queue_.front());
+      work = std::move(queue_.front());
       queue_.pop_front();
-      request.trace.StampDequeued();
-      ServeMetrics::Get().queue_depth->Set(static_cast<int64_t>(queue_.size()));
+      queued_queries_ -= work.queries();
+      if (work.batch != nullptr) {
+        work.batch->trace.StampDequeued();
+      } else {
+        work.single.trace.StampDequeued();
+      }
+      ServeMetrics::Get().queue_depth->Set(
+          static_cast<int64_t>(queued_queries_));
     }
 
     std::shared_ptr<const SummarySnapshot> current = snapshots_->Get();
@@ -259,10 +377,14 @@ void Server::WorkerLoop() {
           options_.worker_delay_millis));
     }
 
-    ServeResponse response =
-        Process(request, estimator.get(), dict.get(),
-                snapshot != nullptr ? snapshot->version : 0, &scratch);
-    Emit(response);
+    const int64_t version = snapshot != nullptr ? snapshot->version : 0;
+    if (work.batch != nullptr) {
+      EmitBatch(ProcessBatch(*work.batch, estimator.get(), dict.get(),
+                             version, &scratch));
+    } else {
+      Emit(Process(work.single, estimator.get(), dict.get(), version,
+                   &scratch));
+    }
   }
 }
 
@@ -367,6 +489,219 @@ ServeResponse Server::Process(const ServeRequest& request,
           .count();
   response.trace.StampEstimated();
   return response;
+}
+
+ServeBatchResponse Server::ProcessBatch(const ServeBatch& batch,
+                                        DegradingEstimator* estimator,
+                                        LabelDict* dict,
+                                        int64_t snapshot_version,
+                                        EstimateScratch* scratch) {
+  constexpr uint32_t kNone = static_cast<uint32_t>(-1);
+  const size_t n = batch.items.size();
+  BatchMetrics& batch_metrics = BatchMetrics::Get();
+  batch_metrics.lines->Increment();
+  batch_metrics.queries->Increment(n);
+  batch_metrics.size->Record(n);
+
+  ServeBatchResponse out;
+  out.trace = batch.trace;
+  out.trace.batch_size = static_cast<uint32_t>(n);
+  out.items.resize(n);
+
+  // Per-item parse. Parse failures (and the no-snapshot case) answer
+  // immediately; everything else yields a compiled twig.
+  std::vector<Twig> twigs;
+  twigs.reserve(n);
+  std::vector<uint32_t> twig_of(n, kNone);
+  for (size_t i = 0; i < n; ++i) {
+    const ServeRequest& item = batch.items[i];
+    ServeResponse& response = out.items[i];
+    response.id = item.id;
+    response.req = batch.trace.req_id;
+    response.query = item.query;
+    response.snapshot_version = snapshot_version;
+    Status error = Status::OK();
+    if (estimator == nullptr || dict == nullptr) {
+      error = Status::NotFound("no summary snapshot loaded");
+    } else {
+      Result<Twig> query = ParseQueryText(item.query, dict);
+      if (!query.ok()) {
+        error = query.status();
+      } else {
+        twig_of[i] = static_cast<uint32_t>(twigs.size());
+        twigs.push_back(std::move(*query));
+      }
+    }
+    if (!error.ok()) {
+      response.error_code = std::string(StatusCodeToString(error.code()));
+      response.error_message = error.message();
+    }
+  }
+
+  // Within-batch dedup on the canonical (hash, code): rep_of[i] names the
+  // first item with an identical twig; only representatives reach the
+  // cache and the estimator (serve.batch.dup_queries counts the rest).
+  std::vector<uint32_t> rep_of(n, kNone);
+  std::unordered_map<uint64_t, std::vector<uint32_t>> by_hash;
+  uint64_t dup_queries = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (twig_of[i] == kNone) continue;
+    const Twig& twig = twigs[twig_of[i]];
+    const uint64_t hash = twig.CanonicalHash();  // tl-lint: allow(canonical-in-loop)
+    std::vector<uint32_t>& bucket = by_hash[hash];
+    for (uint32_t candidate : bucket) {
+      if (twigs[twig_of[candidate]].CanonicalCode() == twig.CanonicalCode()) {  // tl-lint: allow(canonical-in-loop)
+        rep_of[i] = candidate;
+        break;
+      }
+    }
+    if (rep_of[i] == kNone) {
+      rep_of[i] = static_cast<uint32_t>(i);
+      bucket.push_back(static_cast<uint32_t>(i));
+    } else {
+      ++dup_queries;
+    }
+  }
+  batch_metrics.dup_queries->Increment(dup_queries);
+
+  // Cache hit-filter: one grouped probe over the representatives, so only
+  // misses reach the estimator (a cached entry is always the exact
+  // ungoverned primary answer — see ServerOptions::enable_estimate_cache).
+  std::vector<uint32_t> reps;
+  reps.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (twig_of[i] != kNone && rep_of[i] == static_cast<uint32_t>(i)) {
+      reps.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  std::vector<bool> answered(reps.size(), false);
+  if (cache_ != nullptr && !reps.empty()) {
+    std::vector<uint64_t> hashes(reps.size());
+    std::vector<std::string_view> codes(reps.size());
+    std::vector<std::optional<double>> cached(reps.size());
+    for (size_t r = 0; r < reps.size(); ++r) {
+      const Twig& twig = twigs[twig_of[reps[r]]];
+      hashes[r] = twig.CanonicalHash();  // tl-lint: allow(canonical-in-loop)
+      codes[r] = twig.CanonicalCode();  // tl-lint: allow(canonical-in-loop)
+    }
+    cache_->GetBatch(snapshot_version, hashes.data(), codes.data(),
+                     reps.size(), cached.data());
+    uint64_t batch_cache_hits = 0;
+    for (size_t r = 0; r < reps.size(); ++r) {
+      if (!cached[r].has_value()) continue;
+      ServeResponse& response = out.items[reps[r]];
+      response.ok = true;
+      response.estimate = *cached[r];
+      response.rung = std::string(
+          DegradingEstimator::RungName(DegradingEstimator::Rung::kPrimary));
+      response.degraded = false;
+      response.cached = true;
+      answered[r] = true;
+      ++batch_cache_hits;
+    }
+    batch_metrics.cache_hits->Increment(batch_cache_hits);
+  }
+
+  // Estimate the remaining representatives with one batch-scoped memo:
+  // every sub-twig shared across the batch is probed and voted exactly
+  // once. Memo entries are exact per-code values inserted only after full
+  // computation, so sharing cannot change any result (DESIGN.md §14);
+  // fallback rungs deliberately drop back to a fresh per-call memo.
+  size_t memo_budget = 0;
+  for (size_t r = 0; r < reps.size(); ++r) {
+    if (answered[r]) continue;
+    const size_t size =
+        static_cast<size_t>(twigs[twig_of[reps[r]]].size());
+    memo_budget += size * size;
+  }
+  ScopedBatchScratch batch_guard(scratch, memo_budget);
+  for (size_t r = 0; r < reps.size(); ++r) {
+    if (answered[r]) continue;
+    const auto item_start = std::chrono::steady_clock::now();
+    const ServeRequest& item = batch.items[reps[r]];
+    ServeResponse& response = out.items[reps[r]];
+    const Twig& twig = twigs[twig_of[reps[r]]];
+    const double deadline_millis = item.deadline_millis > 0.0
+                                       ? item.deadline_millis
+                                       : options_.default_deadline_millis;
+    EstimateOptions estimate_options;
+    if (deadline_millis > 0.0) {
+      estimate_options = EstimateOptions::WithDeadlineMillis(deadline_millis);
+    }
+    estimate_options.max_work_steps = item.max_work_steps > 0
+                                          ? item.max_work_steps
+                                          : options_.default_max_work_steps;
+    estimate_options.scratch = scratch;
+    if (out.trace.active) {
+      estimate_options.work_steps = &out.trace.work_steps;
+    }
+    // Same cacheability rule as Process: a cancel token alone does not
+    // make the value budget-dependent.
+    const bool governed = estimate_options.governed();
+    estimate_options.cancel = batch.cancel.get();
+    Result<DegradingEstimator::DegradedEstimate> estimate =
+        estimator->EstimateDegraded(twig, estimate_options);
+    if (!estimate.ok()) {
+      response.error_code =
+          std::string(StatusCodeToString(estimate.status().code()));
+      response.error_message = estimate.status().message();
+    } else {
+      response.ok = true;
+      response.estimate = estimate->estimate;
+      response.rung =
+          std::string(DegradingEstimator::RungName(estimate->rung));
+      response.degraded = estimate->degraded;
+      if (cache_ != nullptr && !governed && !estimate->degraded &&
+          estimate->rung == DegradingEstimator::Rung::kPrimary) {
+        cache_->Put(snapshot_version, twig.CanonicalHash(),  // tl-lint: allow(canonical-in-loop)
+                    twig.CanonicalCode(), estimate->estimate);  // tl-lint: allow(canonical-in-loop)
+      }
+    }
+    response.wall_micros = std::chrono::duration<double, std::micro>(
+                               std::chrono::steady_clock::now() - item_start)
+                               .count();
+  }
+
+  // Scatter representative outcomes to their duplicates (the per-item id
+  // and query text stay the duplicate's own).
+  for (size_t i = 0; i < n; ++i) {
+    if (twig_of[i] == kNone || rep_of[i] == static_cast<uint32_t>(i)) continue;
+    const ServeResponse& from = out.items[rep_of[i]];
+    ServeResponse& to = out.items[i];
+    to.ok = from.ok;
+    to.estimate = from.estimate;
+    to.rung = from.rung;
+    to.degraded = from.degraded;
+    to.cached = from.cached;
+    to.error_code = from.error_code;
+    to.error_message = from.error_message;
+    to.wall_micros = from.wall_micros;
+  }
+
+  out.trace.StampEstimated();
+  return out;
+}
+
+void Server::EmitBatch(ServeBatchResponse response) {
+  ServeMetrics& metrics = ServeMetrics::Get();
+  for (const ServeResponse& item : response.items) {
+    if (item.ok) {
+      ok_.fetch_add(1, std::memory_order_relaxed);
+      metrics.responses_ok->Increment();
+      if (item.degraded) degraded_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      metrics.responses_error->Increment();
+    }
+    metrics.latency_micros->Record(
+        item.wall_micros > 0.0 ? static_cast<uint64_t>(item.wall_micros) : 0);
+  }
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  if (batch_sink_ != nullptr) {
+    batch_sink_(std::move(response));
+  } else {
+    for (const ServeResponse& item : response.items) sink_(item);
+  }
 }
 
 void Server::Emit(const ServeResponse& response) {

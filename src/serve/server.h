@@ -81,6 +81,39 @@ struct ServeResponse {
 /// absent, is left 0 for the caller to assign.
 Result<ServeRequest> ParseRequestLine(std::string_view line);
 
+/// A batch of queries admitted and answered as one unit: one JSON array
+/// request line carrying N queries, one JSON array response line carrying
+/// their N results in the same order (DESIGN.md §14).
+struct ServeBatch {
+  std::vector<ServeRequest> items;
+  /// One timeline for the whole line; batch_size records the query count.
+  RequestTrace trace;
+  /// Cancels every query of the batch (the transport ties it to the
+  /// submitting connection).
+  std::shared_ptr<CancelToken> cancel;
+};
+
+/// The response to one batch line; items are positional (items[i] answers
+/// the batch's i-th query).
+struct ServeBatchResponse {
+  std::vector<ServeResponse> items;
+  RequestTrace trace;
+
+  /// The newline-free JSON wire rendering: an array of the per-item
+  /// response objects.
+  std::string ToJsonLine() const;
+};
+
+/// True when a trimmed request line is a batch envelope (leading '[').
+bool IsBatchRequestLine(std::string_view line);
+
+/// Parses a batch request line: a JSON array whose elements are query
+/// strings or per-query envelopes (the same shapes ParseRequestLine
+/// accepts). Rejects empty arrays and, when `max_items` > 0, arrays with
+/// more than `max_items` elements.
+Result<ServeBatch> ParseBatchRequestLine(std::string_view line,
+                                         size_t max_items = 0);
+
 struct ServerOptions {
   /// Worker threads answering queries.
   int workers = 4;
@@ -119,13 +152,17 @@ struct ServerOptions {
 class Server {
  public:
   using ResponseSink = std::function<void(const ServeResponse&)>;
+  using BatchResponseSink = std::function<void(ServeBatchResponse)>;
 
   /// `snapshots` must outlive the server and should hold a snapshot
   /// before the first Submit (requests answered with no snapshot fail
   /// with kNotFound ... the server itself never crashes). `sink` is
   /// invoked exactly once per submitted request, possibly from a worker
-  /// thread; invocations are serialized by the server.
-  Server(SnapshotHolder* snapshots, ServerOptions options, ResponseSink sink);
+  /// thread; invocations are serialized by the server. `batch_sink`, when
+  /// given, receives exactly one ServeBatchResponse per SubmitBatch; when
+  /// null, a batch's items fan out through `sink` individually.
+  Server(SnapshotHolder* snapshots, ServerOptions options, ResponseSink sink,
+         BatchResponseSink batch_sink = nullptr);
   ~Server();
 
   Server(const Server&) = delete;
@@ -135,6 +172,12 @@ class Server {
   /// shutting down) the request is shed: the sink immediately receives a
   /// kResourceExhausted error response and Submit returns false.
   bool Submit(ServeRequest request);
+
+  /// Admits a whole batch as one queue entry. Capacity is accounted
+  /// per-query: a batch of N queries needs N free slots, or the whole
+  /// batch is shed with one kResourceExhausted response per query
+  /// (exactly-once per query, never a partial batch).
+  bool SubmitBatch(ServeBatch batch);
 
   /// Stops admission, waits for every queued request to be answered, and
   /// joins the workers. Idempotent.
@@ -155,15 +198,32 @@ class Server {
   const ServerOptions& options() const { return options_; }
 
  private:
+  /// One admission-queue entry: a single request, or a whole batch
+  /// (batch != nullptr). A batch occupies one entry but `queued_queries_`
+  /// slots, so queue_capacity bounds queries, not lines.
+  struct Work {
+    ServeRequest single;
+    std::unique_ptr<ServeBatch> batch;
+    size_t queries() const { return batch != nullptr ? batch->items.size() : 1; }
+  };
+
   void WorkerLoop();
   ServeResponse Process(const ServeRequest& request,
                         DegradingEstimator* estimator, LabelDict* dict,
                         int64_t snapshot_version, EstimateScratch* scratch);
+  ServeBatchResponse ProcessBatch(const ServeBatch& batch,
+                                  DegradingEstimator* estimator,
+                                  LabelDict* dict, int64_t snapshot_version,
+                                  EstimateScratch* scratch);
   void Emit(const ServeResponse& response);
+  /// Per-item terminal accounting plus exactly one batch-sink invocation
+  /// (or a per-item fan-out through sink_ when no batch sink is set).
+  void EmitBatch(ServeBatchResponse response);
 
   SnapshotHolder* const snapshots_;
   const ServerOptions options_;
   const ResponseSink sink_;
+  const BatchResponseSink batch_sink_;
   /// Shared by all workers; internally sharded. Null when disabled.
   // tl-analyze: allow(guard-coverage) -- pointer set in the constructor and
   // immutable afterwards; the cache itself locks per shard
@@ -171,7 +231,10 @@ class Server {
 
   mutable std::mutex mu_;
   std::condition_variable work_available_;
-  std::deque<ServeRequest> queue_ TL_GUARDED_BY(mu_);
+  std::deque<Work> queue_ TL_GUARDED_BY(mu_);
+  /// Queries across all queued entries (== queue_.size() when no batches
+  /// are queued); the admission-capacity unit.
+  size_t queued_queries_ TL_GUARDED_BY(mu_) = 0;
   bool stopping_ TL_GUARDED_BY(mu_) = false;
 
   std::mutex sink_mu_;  // serializes sink invocations

@@ -45,6 +45,8 @@ class SlowQueryLog {
     uint32_t twig_depth = 0;
     uint32_t twig_fanout = 0;
     uint64_t work_steps = 0;
+    /// Queries in the request line (0 = single-query line, N = batch).
+    uint32_t batch_size = 0;
     /// When the request was framed, micros since the process trace epoch.
     uint64_t framed_micros = 0;
     /// Stage deltas in micros; 0 = stage absent (see RequestTrace).

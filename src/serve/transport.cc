@@ -48,6 +48,24 @@ RequestOutcome OutcomeOf(const ServeResponse& response) {
   return outcome;
 }
 
+/// The trace-finalizer slice of a whole batch line: ok only when every
+/// item succeeded, degraded/cached when any item was, first error wins.
+RequestOutcome OutcomeOfBatch(const ServeBatchResponse& response) {
+  RequestOutcome outcome;
+  outcome.query = "[batch:" + std::to_string(response.items.size()) + "]";
+  outcome.ok = true;
+  for (const ServeResponse& item : response.items) {
+    if (!item.ok && outcome.error_code.empty()) {
+      outcome.ok = false;
+      outcome.error_code = item.error_code;
+    }
+    outcome.degraded = outcome.degraded || item.degraded;
+    outcome.cached = outcome.cached || item.cached;
+    outcome.snapshot_version = item.snapshot_version;
+  }
+  return outcome;
+}
+
 }  // namespace
 
 Transport::Transport(SnapshotHolder* snapshots, ServerOptions server_options,
@@ -68,7 +86,21 @@ Transport::Transport(SnapshotHolder* snapshots, ServerOptions server_options,
         {
           std::lock_guard<std::mutex> lock(completion_mu_);
           was_empty = completions_.empty();
-          completions_.push_back(Completion{response.id, response});
+          completions_.push_back(Completion{response.id, response, nullptr});
+        }
+        if (was_empty) wake_.Wake();
+      },
+      [this](ServeBatchResponse response) {
+        // Batch lines route by the trace's process-unique request id; the
+        // whole array is one completion unit.
+        const uint64_t internal_id = response.trace.req_id;
+        bool was_empty;
+        {
+          std::lock_guard<std::mutex> lock(completion_mu_);
+          was_empty = completions_.empty();
+          completions_.push_back(Completion{
+              internal_id, ServeResponse{},
+              std::make_unique<ServeBatchResponse>(std::move(response))});
         }
         if (was_empty) wake_.Wake();
       });
@@ -470,6 +502,29 @@ void Transport::HandleFrame(Conn* conn, NdjsonFramer::Event event) {
   // the admit stage.
   const uint64_t internal_id = ++next_internal_id_;
   RequestTrace trace = RequestTrace::Begin(internal_id);
+  if (IsBatchRequestLine(line)) {
+    // Batch envelope: one line in, one array line out. Admission is
+    // per-query (the Server sheds the whole batch atomically when the
+    // queue cannot take all of it), so is conservation: the route records
+    // the query count and DrainCompletions accounts every one.
+    Result<ServeBatch> batch =
+        ParseBatchRequestLine(line, server_->options().queue_capacity);
+    if (!batch.ok()) {
+      EnqueueErrorLine(conn, ++conn->next_client_id, internal_id, "",
+                       batch.status().code(), batch.status().message());
+      return;
+    }
+    const uint32_t queries = static_cast<uint32_t>(batch->items.size());
+    trace.batch_size = queries;
+    batch->trace = trace;
+    batch->cancel = conn->cancel;
+    routes_[internal_id] =
+        Route{conn->id, /*client_id=*/0, queries};
+    ++conn->in_flight;
+    requests_admitted_.fetch_add(queries, std::memory_order_relaxed);
+    server_->SubmitBatch(std::move(*batch));
+    return;
+  }
   Result<ServeRequest> request = ParseRequestLine(line);
   uint64_t client_id = ++conn->next_client_id;
   if (!request.ok()) {
@@ -640,18 +695,38 @@ void Transport::DrainCompletions() {
       // The connection died before its answer was ready. Not silent: the
       // work was cancelled at close and the drop is counted here — and the
       // trace finalizes with its last real stamp (never serialized).
-      responses_orphaned_.fetch_add(1, std::memory_order_relaxed);
-      metrics.responses_orphaned->Increment();
-      FinalizeRequestTrace(completion.response.trace,
-                           OutcomeOf(completion.response), options_.slow_log);
+      // Conservation is per-query: a dead batch line orphans every query
+      // it carried.
+      responses_orphaned_.fetch_add(route.queries, std::memory_order_relaxed);
+      metrics.responses_orphaned->Increment(route.queries);
+      if (completion.batch != nullptr) {
+        FinalizeRequestTrace(completion.batch->trace,
+                             OutcomeOfBatch(*completion.batch),
+                             options_.slow_log);
+      } else {
+        FinalizeRequestTrace(completion.response.trace,
+                             OutcomeOf(completion.response), options_.slow_log);
+      }
       continue;
     }
     Conn* conn = conns_.at(fd_it->second).get();
     --conn->in_flight;
-    completion.response.id = route.client_id;
-    responses_delivered_.fetch_add(1, std::memory_order_relaxed);
-    RequestTrace trace = completion.response.trace;
-    const std::string line = completion.response.ToJsonLine();
+    responses_delivered_.fetch_add(route.queries, std::memory_order_relaxed);
+    RequestTrace trace;
+    std::string line;
+    RequestOutcome outcome;
+    if (completion.batch != nullptr) {
+      // One array line answers the whole batch; per-item ids are whatever
+      // the client put in its envelopes (positional matching otherwise).
+      trace = completion.batch->trace;
+      line = completion.batch->ToJsonLine();
+      outcome = OutcomeOfBatch(*completion.batch);
+    } else {
+      completion.response.id = route.client_id;
+      trace = completion.response.trace;
+      line = completion.response.ToJsonLine();
+      outcome = OutcomeOf(completion.response);
+    }
     trace.StampSerialized();
     EnqueueLine(conn, line);
     if (trace.active) {
@@ -660,7 +735,7 @@ void Transport::DrainCompletions() {
       Conn::PendingFinalize marker;
       marker.bytes_end = conn->total_enqueued;
       marker.trace = trace;
-      marker.outcome = OutcomeOf(completion.response);
+      marker.outcome = std::move(outcome);
       conn->pending_finalize.push_back(std::move(marker));
     }
     // Opportunistic flush: saves one poller round-trip per response and

@@ -144,10 +144,17 @@ class Transport {
   struct Route {
     uint64_t conn_id = 0;
     uint64_t client_id = 0;
+    /// Queries the routed line carries (1 for a single request, N for a
+    /// batch envelope). Conservation is per-query: delivering or orphaning
+    /// the line accounts all of them (DESIGN.md §14).
+    uint32_t queries = 1;
   };
   struct Completion {
     uint64_t internal_id = 0;
     ServeResponse response;
+    /// Non-null for a batch line: the whole array response, delivered (or
+    /// orphaned) as one unit. `response` is unused then.
+    std::unique_ptr<ServeBatchResponse> batch;
   };
 
   // Event-loop internals; all run on the loop thread.

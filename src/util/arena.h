@@ -1,0 +1,113 @@
+#ifndef TREELATTICE_UTIL_ARENA_H_
+#define TREELATTICE_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "util/analysis_annotations.h"
+
+namespace treelattice {
+
+/// Monotonic bump allocator for per-batch scratch: allocations are O(1)
+/// pointer bumps into fixed-size blocks, nothing is freed individually, and
+/// Reset() rewinds the whole arena in O(1) while retaining every block — so
+/// a warm arena serves an entire batch without entering the system
+/// allocator. No destructors are run: only trivially-destructible payloads
+/// (PODs, index arrays, probe keys) may live here.
+///
+/// Not thread-safe: one arena per thread (the batch pipeline keeps one per
+/// worker next to its EstimateScratch).
+class MonotonicArena {
+ public:
+  /// Block payload size. Requests larger than this get a dedicated
+  /// oversized block; everything else bump-allocates.
+  static constexpr size_t kBlockBytes = 1 << 16;  // 64 KiB
+
+  MonotonicArena() = default;
+  MonotonicArena(const MonotonicArena&) = delete;
+  MonotonicArena& operator=(const MonotonicArena&) = delete;
+
+  /// Returns `size` bytes aligned to `align` (a power of two). Never
+  /// returns nullptr; size 0 yields a valid unique pointer.
+  // Amortized growth only: a warm arena bumps into retained blocks and
+  // re-enters the allocator just while growing toward its high-water size.
+  TL_ALLOC_OK void* Allocate(size_t size, size_t align) {
+    size_t cur = reinterpret_cast<uintptr_t>(ptr_) & (align - 1);
+    size_t pad = cur == 0 ? 0 : align - cur;
+    if (ptr_ != nullptr && pad + size <= remaining_) {
+      void* out = ptr_ + pad;
+      ptr_ += pad + size;
+      remaining_ -= pad + size;
+      return out;
+    }
+    return AllocateSlow(size, align);
+  }
+
+  /// Typed helper: uninitialized storage for `n` objects of trivially
+  /// destructible type T.
+  template <typename T>
+  TL_ALLOC_OK T* AllocateArray(size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory never runs destructors");
+    return static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Rewinds to empty in O(1), retaining all blocks for reuse. Oversized
+  /// blocks are retained too (they are rare and bounded by the largest
+  /// batch seen).
+  void Reset() {
+    next_block_ = 0;
+    if (!blocks_.empty()) {
+      ptr_ = blocks_[0].get();
+      remaining_ = block_sizes_[0];
+      next_block_ = 1;
+    } else {
+      ptr_ = nullptr;
+      remaining_ = 0;
+    }
+  }
+
+  /// Total bytes owned across all blocks (capacity, not live bytes).
+  size_t CapacityBytes() const {
+    size_t total = 0;
+    for (size_t s : block_sizes_) total += s;
+    return total;
+  }
+
+ private:
+  // Out-of-line refill: advance to the next retained block that fits, or
+  // allocate a new one. Kept separate so the hot Allocate() inlines to a
+  // couple of arithmetic ops plus a predictable branch.
+  TL_ALLOC_OK void* AllocateSlow(size_t size, size_t align) {
+    // An oversized request gets its own block so normal blocks stay full.
+    const size_t want = size + align > kBlockBytes ? size + align : kBlockBytes;
+    while (next_block_ < blocks_.size()) {
+      const size_t i = next_block_++;
+      if (block_sizes_[i] >= size + align) {
+        ptr_ = blocks_[i].get();
+        remaining_ = block_sizes_[i];
+        return Allocate(size, align);
+      }
+    }
+    blocks_.push_back(std::make_unique_for_overwrite<char[]>(want));
+    block_sizes_.push_back(want);
+    next_block_ = blocks_.size();
+    ptr_ = blocks_.back().get();
+    remaining_ = want;
+    return Allocate(size, align);
+  }
+
+  char* ptr_ = nullptr;       ///< bump cursor inside the current block
+  size_t remaining_ = 0;      ///< bytes left in the current block
+  size_t next_block_ = 0;     ///< next retained block Reset()/refill will use
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  std::vector<size_t> block_sizes_;
+};
+
+}  // namespace treelattice
+
+#endif  // TREELATTICE_UTIL_ARENA_H_

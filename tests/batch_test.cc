@@ -1,0 +1,646 @@
+// Batched estimation suite (DESIGN.md §14): the monotonic arena, the
+// grouped summary probe, BatchEstimator's bit-identity with the
+// sequential path (including under governed budgets and cancellation),
+// the batch-aware estimate cache, the batch request-line protocol, and
+// the Server's whole-batch admission/shed semantics.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/batch_estimator.h"
+#include "core/estimate_scratch.h"
+#include "core/recursive_estimator.h"
+#include "io/env.h"
+#include "serve/estimate_cache.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
+#include "summary/lattice_summary.h"
+#include "summary/summary_format.h"
+#include "twig/twig.h"
+#include "util/arena.h"
+#include "util/deadline.h"
+#include "util/hash.h"
+#include "util/json.h"
+#include "xml/label_dict.h"
+
+namespace treelattice {
+namespace {
+
+/// A summary complete through level 2 with a wide star under `a`, shared
+/// by every estimator test: small enough to reason about, branchy enough
+/// that size-3+ queries actually recurse.
+void FillTestSummary(LatticeSummary* summary, LabelDict* dict) {
+  auto insert = [&](const std::string& text, uint64_t count) {
+    Result<Twig> twig = Twig::Parse(text, dict);
+    ASSERT_TRUE(twig.ok()) << twig.status().ToString();
+    ASSERT_TRUE(summary->Insert(*twig, count).ok());
+  };
+  insert("a", 10);
+  insert("b", 8);
+  insert("c", 6);
+  insert("a(b)", 5);
+  insert("b(c)", 4);
+  insert("a(c)", 3);
+  for (int i = 0; i < 12; ++i) {
+    const std::string child = "t" + std::to_string(i);
+    insert(child, 20 + static_cast<uint64_t>(i));
+    insert("a(" + child + ")", 3 + static_cast<uint64_t>(i));
+  }
+  summary->set_complete_through_level(2);
+}
+
+std::vector<Twig> ParseAll(const std::vector<std::string>& texts,
+                           LabelDict* dict) {
+  std::vector<Twig> twigs;
+  for (const std::string& text : texts) {
+    Result<Twig> twig = Twig::Parse(text, dict);
+    EXPECT_TRUE(twig.ok()) << text << ": " << twig.status().ToString();
+    twigs.push_back(std::move(*twig));
+  }
+  return twigs;
+}
+
+TEST(MonotonicArenaTest, BumpAllocatesAlignedAndResetReuses) {
+  MonotonicArena arena;
+  EXPECT_EQ(arena.CapacityBytes(), 0u);
+
+  char* byte = arena.AllocateArray<char>(3);
+  ASSERT_NE(byte, nullptr);
+  uint64_t* words = arena.AllocateArray<uint64_t>(7);
+  ASSERT_NE(words, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(words) % alignof(uint64_t), 0u);
+  for (size_t i = 0; i < 7; ++i) words[i] = i;  // must be writable
+  double* reals = arena.AllocateArray<double>(5);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(reals) % alignof(double), 0u);
+
+  const size_t capacity = arena.CapacityBytes();
+  EXPECT_GT(capacity, 0u);
+  arena.Reset();
+  // Same allocations after Reset reuse the retained blocks: no growth.
+  arena.AllocateArray<char>(3);
+  arena.AllocateArray<uint64_t>(7);
+  arena.AllocateArray<double>(5);
+  EXPECT_EQ(arena.CapacityBytes(), capacity);
+}
+
+TEST(MonotonicArenaTest, OversizedAllocationGetsItsOwnBlock) {
+  MonotonicArena arena;
+  // Far beyond the 64 KiB block: the arena must mint a dedicated block
+  // and the array must be fully usable.
+  const size_t n = 40000;
+  uint64_t* big = arena.AllocateArray<uint64_t>(n);
+  ASSERT_NE(big, nullptr);
+  big[0] = 1;
+  big[n - 1] = 2;
+  EXPECT_EQ(big[0] + big[n - 1], 3u);
+  EXPECT_GE(arena.CapacityBytes(), n * sizeof(uint64_t));
+
+  const size_t capacity = arena.CapacityBytes();
+  arena.Reset();
+  uint64_t* again = arena.AllocateArray<uint64_t>(n);
+  ASSERT_NE(again, nullptr);
+  EXPECT_EQ(arena.CapacityBytes(), capacity);  // big block was retained
+}
+
+TEST(MonotonicArenaTest, ZeroSizedAllocationIsSafe) {
+  MonotonicArena arena;
+  // Must not fault on the empty arena's null bump pointer.
+  (void)arena.AllocateArray<int>(0);
+  (void)arena.Allocate(0, 1);
+}
+
+TEST(LookupBatchTest, AgreesWithSingleLookupsInAnyOrder) {
+  LabelDict dict;
+  LatticeSummary summary(2);
+  FillTestSummary(&summary, &dict);
+
+  std::vector<Twig> probes = ParseAll(
+      {"a(b)", "nosuch", "b(c)", "a(t3)", "c", "a(b,c)", "a(t3)", "t11"},
+      &dict);
+  std::vector<LatticeSummary::ProbeKey> keys;
+  for (const Twig& twig : probes) {
+    keys.push_back({twig.CanonicalHash(), twig.CanonicalCode()});
+  }
+  std::vector<uint32_t> order(keys.size());
+  std::vector<LatticeSummary::ProbeResult> results(keys.size());
+  summary.LookupBatch(keys.data(), keys.size(), order.data(), results.data());
+
+  for (size_t i = 0; i < probes.size(); ++i) {
+    std::optional<uint64_t> single = summary.Lookup(probes[i]);
+    EXPECT_EQ(results[i].found, single.has_value()) << i;
+    if (single.has_value()) {
+      EXPECT_EQ(results[i].count, *single) << i;
+    }
+  }
+}
+
+TEST(LookupBatchTest, EmptySummaryAndEmptyBatch) {
+  LatticeSummary summary(2);
+  LabelDict dict;
+  Result<Twig> twig = Twig::Parse("a(b)", &dict);
+  ASSERT_TRUE(twig.ok());
+  LatticeSummary::ProbeKey key{twig->CanonicalHash(), twig->CanonicalCode()};
+  uint32_t order = 0;
+  LatticeSummary::ProbeResult result;
+  summary.LookupBatch(&key, 1, &order, &result);
+  EXPECT_FALSE(result.found);
+  summary.LookupBatch(nullptr, 0, nullptr, nullptr);  // no-op, no crash
+}
+
+class BatchEstimatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    summary_ = std::make_unique<LatticeSummary>(2);
+    FillTestSummary(summary_.get(), &dict_);
+  }
+
+  /// The workload every bit-identity check runs: duplicates, summary
+  /// hits, provably-zero smalls, deep recursive shapes, and unknowns.
+  std::vector<Twig> Workload() {
+    return ParseAll({"a(b)", "a(b,c)", "a(b)", "a(t0,t1,t2)", "b(c)",
+                     "a(b(c),t4)", "a(t0,t1,t2)", "nosuch(labels)",
+                     "a(t5,t6,t7,t8)", "c"},
+                    &dict_);
+  }
+
+  void CheckBitIdentical(RecursiveDecompositionEstimator::Options options) {
+    std::vector<Twig> queries = Workload();
+    RecursiveDecompositionEstimator sequential(summary_.get(), options);
+    EstimateScratch scratch;
+    EstimateOptions sequential_options;
+    sequential_options.scratch = &scratch;
+    std::vector<double> expected;
+    for (const Twig& query : queries) {
+      Result<double> value = sequential.Estimate(query, sequential_options);
+      ASSERT_TRUE(value.ok()) << value.status().ToString();
+      expected.push_back(*value);
+    }
+
+    BatchEstimator batch(summary_.get(), options);
+    std::vector<EstimateResult> results(queries.size());
+    ASSERT_TRUE(batch.EstimateBatch(queries, EstimateOptions(), results).ok());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      ASSERT_TRUE(results[i].status.ok())
+          << i << ": " << results[i].status.ToString();
+      // Exact bits, not approximate: the shared batch memo must be
+      // indistinguishable from per-query fresh memos.
+      EXPECT_EQ(results[i].estimate, expected[i]) << "query " << i;
+    }
+  }
+
+  LabelDict dict_;
+  std::unique_ptr<LatticeSummary> summary_;
+};
+
+TEST_F(BatchEstimatorTest, BitIdenticalToSequentialNonVoting) {
+  CheckBitIdentical(RecursiveDecompositionEstimator::Options());
+}
+
+TEST_F(BatchEstimatorTest, BitIdenticalToSequentialVotingMean) {
+  using Agg = RecursiveDecompositionEstimator::VoteAggregation;
+  CheckBitIdentical(
+      RecursiveDecompositionEstimator::Options{true, 0, Agg::kMean});
+}
+
+TEST_F(BatchEstimatorTest, BitIdenticalToSequentialVotingMedian) {
+  using Agg = RecursiveDecompositionEstimator::VoteAggregation;
+  CheckBitIdentical(
+      RecursiveDecompositionEstimator::Options{true, 0, Agg::kMedian});
+}
+
+TEST_F(BatchEstimatorTest, RepeatedCallsReuseArenaWithoutDrift) {
+  // Second and third batches over the same estimator hit the Reset path
+  // of the arena and the memo; values must not drift run to run.
+  std::vector<Twig> queries = Workload();
+  BatchEstimator batch(summary_.get());
+  std::vector<EstimateResult> first(queries.size());
+  ASSERT_TRUE(batch.EstimateBatch(queries, EstimateOptions(), first).ok());
+  for (int round = 0; round < 3; ++round) {
+    std::vector<EstimateResult> again(queries.size());
+    ASSERT_TRUE(batch.EstimateBatch(queries, EstimateOptions(), again).ok());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(again[i].estimate, first[i].estimate);
+    }
+  }
+}
+
+TEST_F(BatchEstimatorTest, SpanMismatchAndEmptyBatchAndEmptyQuery) {
+  BatchEstimator batch(summary_.get());
+  std::vector<Twig> queries = ParseAll({"a(b)"}, &dict_);
+  std::vector<EstimateResult> wrong(2);
+  EXPECT_FALSE(batch.EstimateBatch(queries, EstimateOptions(), wrong).ok());
+
+  EXPECT_TRUE(batch
+                  .EstimateBatch(std::span<const Twig>(),
+                                 EstimateOptions(),
+                                 std::span<EstimateResult>())
+                  .ok());
+
+  std::vector<Twig> with_empty;
+  with_empty.push_back(queries[0]);
+  with_empty.push_back(Twig());
+  std::vector<EstimateResult> results(2);
+  ASSERT_TRUE(batch.EstimateBatch(with_empty, EstimateOptions(), results).ok());
+  EXPECT_TRUE(results[0].status.ok());
+  EXPECT_FALSE(results[1].status.ok());
+  EXPECT_EQ(results[1].status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(BatchEstimatorTest, SharedGovernorTripsAndReportsWorkSteps) {
+  // A step budget the star query cannot meet: the batch must come back
+  // with per-item failures (never a wrong value) and report steps spent.
+  std::vector<Twig> queries =
+      ParseAll({"a(t0,t1,t2,t3,t4,t5,t6,t7,t8,t9,t10,t11)"}, &dict_);
+  using Agg = RecursiveDecompositionEstimator::VoteAggregation;
+  BatchEstimator batch(
+      summary_.get(),
+      RecursiveDecompositionEstimator::Options{true, 0, Agg::kMean});
+  EstimateOptions options;
+  options.max_work_steps = 50;
+  uint64_t steps = 0;
+  options.work_steps = &steps;
+  std::vector<EstimateResult> results(queries.size());
+  ASSERT_TRUE(batch.EstimateBatch(queries, options, results).ok());
+  EXPECT_FALSE(results[0].status.ok());
+  EXPECT_GT(steps, 0u);
+}
+
+TEST_F(BatchEstimatorTest, CancelledBatchFailsEveryRecursiveItem) {
+  CancelToken cancel;
+  cancel.Cancel();
+  std::vector<Twig> queries = ParseAll({"a(b,c)", "a(t0,t1,t2)"}, &dict_);
+  BatchEstimator batch(summary_.get());
+  EstimateOptions options;
+  options.cancel = &cancel;
+  std::vector<EstimateResult> results(queries.size());
+  ASSERT_TRUE(batch.EstimateBatch(queries, options, results).ok());
+  for (const EstimateResult& result : results) {
+    EXPECT_FALSE(result.status.ok());
+  }
+}
+
+TEST_F(BatchEstimatorTest, GovernedValuesMatchSequentialWhenBudgetSuffices) {
+  // A budget generous enough to never trip: governed batches must still
+  // produce the sequential bits (trip points may differ only when a trip
+  // actually happens).
+  std::vector<Twig> queries = Workload();
+  RecursiveDecompositionEstimator sequential(summary_.get());
+  EstimateScratch scratch;
+  std::vector<double> expected;
+  for (const Twig& query : queries) {
+    EstimateOptions options;
+    options.scratch = &scratch;
+    Result<double> value = sequential.Estimate(query, options);
+    ASSERT_TRUE(value.ok());
+    expected.push_back(*value);
+  }
+  BatchEstimator batch(summary_.get());
+  EstimateOptions options;
+  options.max_work_steps = 100000000;
+  std::vector<EstimateResult> results(queries.size());
+  ASSERT_TRUE(batch.EstimateBatch(queries, options, results).ok());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE(results[i].status.ok());
+    EXPECT_EQ(results[i].estimate, expected[i]) << "query " << i;
+  }
+}
+
+TEST(EstimateCacheBatchTest, GetBatchAgreesWithSingleGets) {
+  serve::EstimateCache cache(serve::EstimateCache::Options{});
+  const std::vector<std::string> codes = {"0(1)", "0(2)", "1(2)", "2(3)"};
+  for (size_t i = 0; i < codes.size(); ++i) {
+    cache.Put(1, HashBytes(codes[i]), codes[i],
+              static_cast<double>(i) + 0.5);
+  }
+  // Probe a mix of present and absent keys through both paths.
+  std::vector<std::string> probe_codes = codes;
+  probe_codes.push_back("9(9)");
+  probe_codes.push_back("0(1)");
+  std::vector<uint64_t> hashes;
+  std::vector<std::string_view> views;
+  for (const std::string& code : probe_codes) {
+    hashes.push_back(HashBytes(code));
+    views.push_back(code);
+  }
+  std::vector<std::optional<double>> batched(probe_codes.size());
+  cache.GetBatch(1, hashes.data(), views.data(), probe_codes.size(),
+                 batched.data());
+  for (size_t i = 0; i < probe_codes.size(); ++i) {
+    std::optional<double> single = cache.Get(1, hashes[i], views[i]);
+    EXPECT_EQ(batched[i].has_value(), single.has_value()) << probe_codes[i];
+    if (single.has_value()) {
+      EXPECT_EQ(*batched[i], *single) << probe_codes[i];
+    }
+  }
+}
+
+TEST(EstimateCacheBatchTest, GetBatchHonorsTheVersionFence) {
+  serve::EstimateCache cache(serve::EstimateCache::Options{});
+  const std::string code = "0(1)";
+  const uint64_t hash = HashBytes(code);
+  cache.Put(1, hash, code, 42.0);
+  std::string_view view = code;
+  std::optional<double> result;
+  cache.GetBatch(2, &hash, &view, 1, &result);  // new snapshot: stale entry
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(BatchRequestLineTest, DetectsAndParsesStringsAndEnvelopes) {
+  EXPECT_TRUE(serve::IsBatchRequestLine(R"json(["a(b)"])json"));
+  EXPECT_TRUE(serve::IsBatchRequestLine("  [1]"));
+  EXPECT_FALSE(serve::IsBatchRequestLine(R"({"query":"a"})"));
+  EXPECT_FALSE(serve::IsBatchRequestLine("a(b)"));
+
+  Result<serve::ServeBatch> batch = serve::ParseBatchRequestLine(
+      R"json(["a(b)", {"query":"b(c)","deadline_ms":5,"max_steps":100,"id":7}])json");
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->items.size(), 2u);
+  EXPECT_EQ(batch->items[0].query, "a(b)");
+  EXPECT_EQ(batch->items[1].query, "b(c)");
+  EXPECT_DOUBLE_EQ(batch->items[1].deadline_millis, 5.0);
+  EXPECT_EQ(batch->items[1].max_work_steps, 100u);
+  EXPECT_EQ(batch->items[1].id, 7u);
+}
+
+TEST(BatchRequestLineTest, RejectsMalformedBatches) {
+  EXPECT_FALSE(serve::ParseBatchRequestLine("[]").ok());
+  EXPECT_FALSE(serve::ParseBatchRequestLine("[42]").ok());
+  EXPECT_FALSE(serve::ParseBatchRequestLine(R"([""])").ok());
+  EXPECT_FALSE(serve::ParseBatchRequestLine(R"([{"id":1}])").ok());
+  EXPECT_FALSE(serve::ParseBatchRequestLine("[\"a\",").ok());
+  // Per-line query cap: 3 queries against a limit of 2.
+  Result<serve::ServeBatch> capped =
+      serve::ParseBatchRequestLine(R"(["a","b","c"])", /*max_items=*/2);
+  EXPECT_FALSE(capped.ok());
+  EXPECT_EQ(capped.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BatchResponseJsonTest, ToJsonLineIsOneArrayOfResponseObjects) {
+  serve::ServeBatchResponse response;
+  response.items.resize(2);
+  response.items[0].id = 1;
+  response.items[0].ok = true;
+  response.items[0].estimate = 4.5;
+  response.items[1].id = 2;
+  response.items[1].error_code = "InvalidArgument";
+  response.items[1].error_message = "bad";
+  const std::string line = response.ToJsonLine();
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  Result<JsonValue> json = ParseJson(line);
+  ASSERT_TRUE(json.ok()) << json.status().ToString();
+  ASSERT_EQ(json->array.size(), 2u);
+  EXPECT_TRUE(json->array[0].Find("ok")->bool_value);
+  EXPECT_DOUBLE_EQ(json->array[0].Find("estimate")->number_value, 4.5);
+  EXPECT_FALSE(json->array[1].Find("ok")->bool_value);
+}
+
+/// Collects whole-batch responses under a lock.
+struct BatchCollector {
+  std::mutex mu;
+  std::vector<serve::ServeBatchResponse> responses;
+
+  serve::Server::BatchResponseSink Sink() {
+    return [this](serve::ServeBatchResponse response) {
+      std::lock_guard<std::mutex> lock(mu);
+      responses.push_back(std::move(response));
+    };
+  }
+};
+
+class ServerBatchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = testing::TempDir() + "/tl_batch_server.tls";
+    LabelDict dict;
+    LatticeSummary summary(2);
+    FillTestSummary(&summary, &dict);
+    ASSERT_TRUE(SaveSummaryV2(summary, &dict, Env::Default(), path_).ok());
+    serve::ReloadOptions options;
+    options.backoff_millis = 0.0;
+    ASSERT_TRUE(
+        serve::ReloadSummary(Env::Default(), path_, options, &snapshots_)
+            .ok());
+  }
+
+  void TearDown() override {
+    ASSERT_TRUE(Env::Default()->DeleteFile(path_).ok());
+  }
+
+  std::string path_;
+  serve::SnapshotHolder snapshots_;
+};
+
+TEST_F(ServerBatchTest, BatchMatchesSinglesBitwiseWithDedupAndErrors) {
+  const std::vector<std::string> queries = {"a(b)",  "a(b,c)", "a(b)",
+                                            "((((",  "b(c)",   "nosuch(x)"};
+  // Reference run: the same queries as singles through their own server.
+  std::vector<serve::ServeResponse> singles(queries.size());
+  {
+    std::mutex mu;
+    serve::Server server(&snapshots_, serve::ServerOptions(),
+                         [&](const serve::ServeResponse& response) {
+                           std::lock_guard<std::mutex> lock(mu);
+                           singles[response.id - 1] = response;
+                         });
+    for (size_t i = 0; i < queries.size(); ++i) {
+      serve::ServeRequest request;
+      request.id = i + 1;
+      request.query = queries[i];
+      ASSERT_TRUE(server.Submit(std::move(request)));
+    }
+    server.Shutdown();
+  }
+
+  BatchCollector batches;
+  serve::Server server(&snapshots_, serve::ServerOptions(), nullptr,
+                       batches.Sink());
+  serve::ServeBatch batch;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    serve::ServeRequest item;
+    item.id = i + 1;
+    item.query = queries[i];
+    batch.items.push_back(std::move(item));
+  }
+  ASSERT_TRUE(server.SubmitBatch(std::move(batch)));
+  server.Shutdown();
+
+  ASSERT_EQ(batches.responses.size(), 1u);
+  const serve::ServeBatchResponse& response = batches.responses[0];
+  ASSERT_EQ(response.items.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const serve::ServeResponse& item = response.items[i];
+    EXPECT_EQ(item.id, i + 1);
+    EXPECT_EQ(item.query, queries[i]);
+    EXPECT_EQ(item.ok, singles[i].ok) << queries[i];
+    if (item.ok) {
+      // Exact bits: the batch pipeline (dedup + shared memo + grouped
+      // probes + cache filter) must be invisible in the values.
+      EXPECT_EQ(item.estimate, singles[i].estimate) << queries[i];
+      EXPECT_EQ(item.rung, singles[i].rung);
+    } else {
+      EXPECT_EQ(item.error_code, singles[i].error_code) << queries[i];
+    }
+  }
+  // The duplicate "a(b)" items must agree with each other too.
+  EXPECT_EQ(response.items[0].estimate, response.items[2].estimate);
+
+  serve::Server::Stats stats = server.GetStats();
+  EXPECT_EQ(stats.submitted, queries.size());
+  EXPECT_EQ(stats.ok + stats.errors, queries.size());
+}
+
+TEST_F(ServerBatchTest, SecondIdenticalBatchAnswersFromTheCache) {
+  BatchCollector batches;
+  serve::Server server(&snapshots_, serve::ServerOptions(), nullptr,
+                       batches.Sink());
+  for (int round = 0; round < 2; ++round) {
+    serve::ServeBatch batch;
+    for (const char* text : {"a(b,c)", "a(t0,t1,t2)"}) {
+      serve::ServeRequest item;
+      item.query = text;
+      batch.items.push_back(std::move(item));
+    }
+    ASSERT_TRUE(server.SubmitBatch(std::move(batch)));
+  }
+  server.Shutdown();
+
+  ASSERT_EQ(batches.responses.size(), 2u);
+  const auto& first = batches.responses[0].items;
+  const auto& second = batches.responses[1].items;
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    ASSERT_TRUE(first[i].ok);
+    ASSERT_TRUE(second[i].ok);
+    EXPECT_EQ(second[i].estimate, first[i].estimate);
+    EXPECT_FALSE(first[i].cached);
+    EXPECT_TRUE(second[i].cached) << i;
+  }
+}
+
+TEST_F(ServerBatchTest, WholeBatchShedsAtomicallyWhenQueueIsFull) {
+  serve::ServerOptions options;
+  options.workers = 1;
+  options.queue_capacity = 4;
+  options.worker_delay_millis = 20.0;  // hold the worker so the queue fills
+  BatchCollector batches;
+  serve::Server server(&snapshots_, options, nullptr, batches.Sink());
+  int admitted = 0;
+  for (int b = 0; b < 8; ++b) {
+    serve::ServeBatch batch;
+    for (int i = 0; i < 3; ++i) {
+      serve::ServeRequest item;
+      item.id = static_cast<uint64_t>(i) + 1;
+      item.query = "a(b)";
+      batch.items.push_back(std::move(item));
+    }
+    if (server.SubmitBatch(std::move(batch))) ++admitted;
+  }
+  server.Shutdown();
+
+  ASSERT_EQ(batches.responses.size(), 8u);  // exactly one response per batch
+  int shed_batches = 0;
+  for (const serve::ServeBatchResponse& response : batches.responses) {
+    ASSERT_EQ(response.items.size(), 3u);
+    const bool first_shed = !response.items[0].ok &&
+                            response.items[0].error_code ==
+                                "ResourceExhausted";
+    for (const serve::ServeResponse& item : response.items) {
+      // Never a partial batch: all three shed together or none did.
+      EXPECT_EQ(!item.ok && item.error_code == "ResourceExhausted",
+                first_shed);
+    }
+    if (first_shed) ++shed_batches;
+  }
+  EXPECT_EQ(shed_batches, 8 - admitted);
+  EXPECT_GT(shed_batches, 0) << "queue never filled; shedding untested";
+  serve::Server::Stats stats = server.GetStats();
+  EXPECT_EQ(stats.submitted, static_cast<uint64_t>(admitted) * 3u);
+  EXPECT_EQ(stats.shed, static_cast<uint64_t>(8 - admitted) * 3u);
+}
+
+TEST_F(ServerBatchTest, GovernedBatchDegradesPerItemNeverWrongValues) {
+  // A per-item step budget the star query cannot meet on the primary
+  // rung: the ladder answers degraded (or errors), and cheap items in the
+  // same batch still answer exactly.
+  serve::ServerOptions options;
+  options.default_max_work_steps = 1000;
+  BatchCollector batches;
+  serve::Server server(&snapshots_, options, nullptr, batches.Sink());
+  serve::ServeBatch batch;
+  for (const char* text : {"a(b)", "a(t0,t1,t2,t3,t4,t5,t6,t7,t8,t9,t10,t11)"}) {
+    serve::ServeRequest item;
+    item.query = text;
+    batch.items.push_back(std::move(item));
+  }
+  ASSERT_TRUE(server.SubmitBatch(std::move(batch)));
+  server.Shutdown();
+
+  ASSERT_EQ(batches.responses.size(), 1u);
+  const auto& items = batches.responses[0].items;
+  ASSERT_EQ(items.size(), 2u);
+  ASSERT_TRUE(items[0].ok) << items[0].error_message;
+  EXPECT_DOUBLE_EQ(items[0].estimate, 5.0);  // exact summary count for a(b)
+  ASSERT_TRUE(items[1].ok) << items[1].error_message;
+  EXPECT_TRUE(items[1].degraded);
+  EXPECT_NE(items[1].rung, "primary");
+}
+
+TEST_F(ServerBatchTest, CancelledBatchStillAnswersEveryItemExactlyOnce) {
+  serve::ServerOptions options;
+  options.workers = 1;
+  options.worker_delay_millis = 5.0;
+  BatchCollector batches;
+  serve::Server server(&snapshots_, options, nullptr, batches.Sink());
+  serve::ServeBatch batch;
+  batch.cancel = std::make_shared<CancelToken>();
+  std::shared_ptr<CancelToken> cancel = batch.cancel;
+  for (int i = 0; i < 4; ++i) {
+    serve::ServeRequest item;
+    item.query = "a(t0,t1,t2,t3,t4,t5)";
+    batch.items.push_back(std::move(item));
+  }
+  ASSERT_TRUE(server.SubmitBatch(std::move(batch)));
+  cancel->Cancel();  // may land before, during, or after estimation
+  server.Shutdown();
+
+  ASSERT_EQ(batches.responses.size(), 1u);
+  // Exactly one terminal outcome per item, whatever the cancel race did:
+  // every item either answered or failed, none vanished.
+  EXPECT_EQ(batches.responses[0].items.size(), 4u);
+  serve::Server::Stats stats = server.GetStats();
+  EXPECT_EQ(stats.ok + stats.errors, 4u);
+}
+
+TEST_F(ServerBatchTest, NoBatchSinkFansOutThroughTheItemSink) {
+  std::mutex mu;
+  std::vector<serve::ServeResponse> items;
+  serve::Server server(&snapshots_, serve::ServerOptions(),
+                       [&](const serve::ServeResponse& response) {
+                         std::lock_guard<std::mutex> lock(mu);
+                         items.push_back(response);
+                       });
+  serve::ServeBatch batch;
+  for (uint64_t id = 1; id <= 3; ++id) {
+    serve::ServeRequest item;
+    item.id = id;
+    item.query = "a(b)";
+    batch.items.push_back(std::move(item));
+  }
+  ASSERT_TRUE(server.SubmitBatch(std::move(batch)));
+  server.Shutdown();
+  ASSERT_EQ(items.size(), 3u);
+  for (const serve::ServeResponse& item : items) {
+    EXPECT_TRUE(item.ok) << item.error_message;
+    EXPECT_DOUBLE_EQ(item.estimate, 5.0);
+  }
+}
+
+}  // namespace
+}  // namespace treelattice

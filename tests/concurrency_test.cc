@@ -29,6 +29,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/estimate_cache.h"
+#include "serve/server.h"
 #include "serve/slow_log.h"
 #include "serve/snapshot.h"
 #include "serve/transport.h"
@@ -372,6 +373,116 @@ TEST(ConcurrencyTest, SnapshotHotSwapHammer) {
   stop.store(true, std::memory_order_release);
   swapper.join();
   EXPECT_GE(holder.version(), 1);
+}
+
+TEST(ConcurrencyTest, ServerBatchHammer) {
+  // 8 threads fire batch lines at one shared Server — duplicates inside
+  // every batch, a parse error mixed in, and the occasional single
+  // request — against a deliberately small admission queue with slowed
+  // workers, so batch admission, all-or-nothing shedding, the shared
+  // estimate cache, and the per-batch arena reset all race. Conservation
+  // must hold item-by-item: every offered query gets exactly one
+  // response, every SubmitBatch yields exactly one batch response, and
+  // every ok answer carries the exact single-query bits (DESIGN.md §14).
+  LabelDict dict;
+  LatticeSummary summary(2);
+  auto insert = [&](const char* text, uint64_t count) {
+    Result<Twig> twig = Twig::Parse(text, &dict);
+    ASSERT_TRUE(twig.ok());
+    ASSERT_TRUE(summary.Insert(*twig, count).ok());
+  };
+  insert("a", 10);
+  insert("b", 8);
+  insert("c", 6);
+  insert("a(b)", 5);
+  insert("a(c)", 3);
+  insert("b(c)", 4);
+  summary.set_complete_through_level(2);
+  serve::SnapshotHolder holder;
+  holder.Swap(std::make_shared<serve::SummarySnapshot>(std::move(summary),
+                                                       LabelDict(dict)));
+
+  constexpr double kWantAB = 5.0;          // stored
+  constexpr double kWantABC = 5.0 * 3.0 / 10.0;  // decomposed a(b,c)
+  constexpr double kWantBC = 4.0;          // stored
+
+  std::atomic<uint64_t> batch_responses{0};
+  std::atomic<uint64_t> item_responses{0};
+  std::atomic<uint64_t> single_responses{0};
+  auto check_item = [&](const serve::ServeResponse& item) {
+    if (!item.ok) {
+      ASSERT_FALSE(item.error_code.empty()) << item.query;
+      return;
+    }
+    // Exact bits: dedup, the shared batch memo, and the cache filter
+    // must be invisible in the values under every interleaving.
+    if (item.query == "a(b)") {
+      ASSERT_EQ(item.estimate, kWantAB);
+    } else if (item.query == "a(b,c)") {
+      ASSERT_EQ(item.estimate, kWantABC);
+    } else if (item.query == "b(c)") {
+      ASSERT_EQ(item.estimate, kWantBC);
+    }
+  };
+
+  serve::ServerOptions options;
+  options.queue_capacity = 24;     // small: forces whole-batch shedding
+  options.worker_delay_millis = 0.2;  // keeps the queue under pressure
+  serve::Server server(
+      &holder, options,
+      [&](const serve::ServeResponse& response) {
+        single_responses.fetch_add(1, std::memory_order_relaxed);
+        check_item(response);
+      },
+      [&](serve::ServeBatchResponse response) {
+        batch_responses.fetch_add(1, std::memory_order_relaxed);
+        item_responses.fetch_add(response.items.size(),
+                                 std::memory_order_relaxed);
+        for (size_t i = 0; i < response.items.size(); ++i) {
+          // Scatter must preserve the client's per-item ids in order.
+          ASSERT_EQ(response.items[i].id, i + 1);
+          check_item(response.items[i]);
+        }
+      });
+
+  constexpr int kBatchesPerThread = 50;
+  constexpr size_t kBatchItems = 4;
+  std::atomic<uint64_t> offered_batches{0};
+  std::atomic<uint64_t> offered_singles{0};
+  RunThreads(kThreads, [&](int t) {
+    for (int i = 0; i < kBatchesPerThread; ++i) {
+      serve::ServeBatch batch;
+      const char* queries[kBatchItems] = {
+          "a(b)", "a(b,c)", "a(b)", (i % 5 == 0) ? "((((" : "b(c)"};
+      for (size_t j = 0; j < kBatchItems; ++j) {
+        serve::ServeRequest item;
+        item.id = j + 1;
+        item.query = queries[j];
+        batch.items.push_back(std::move(item));
+      }
+      offered_batches.fetch_add(1, std::memory_order_relaxed);
+      (void)server.SubmitBatch(std::move(batch));  // shed is a response too
+      if ((t + i) % 7 == 0) {
+        serve::ServeRequest single;
+        single.id = 1;
+        single.query = "a(b,c)";
+        offered_singles.fetch_add(1, std::memory_order_relaxed);
+        (void)server.Submit(std::move(single));
+      }
+    }
+  });
+  server.Shutdown();
+
+  const uint64_t offered_queries =
+      offered_batches.load() * kBatchItems + offered_singles.load();
+  EXPECT_EQ(batch_responses.load(), offered_batches.load());
+  EXPECT_EQ(item_responses.load(), offered_batches.load() * kBatchItems);
+  EXPECT_EQ(single_responses.load(), offered_singles.load());
+
+  serve::Server::Stats stats = server.GetStats();
+  EXPECT_EQ(stats.submitted + stats.shed, offered_queries);
+  EXPECT_EQ(stats.ok + stats.errors, offered_queries);
+  EXPECT_EQ(stats.queue_depth, 0u);
 }
 
 // --- TCP transport churn -------------------------------------------------

@@ -1,0 +1,64 @@
+// Fuzz harness for the serve-layer batch envelope (DESIGN.md §14). The
+// input's first byte picks the per-line query cap, the rest is the
+// request line. ParseBatchRequestLine must never crash on arbitrary
+// bytes; when it accepts, the invariants checked are:
+//
+//   * the line was detected as a batch line (IsBatchRequestLine)
+//   * 1 <= items <= max_items (when a cap is set), every query non-empty
+//   * the response round-trip: a ServeBatchResponse echoing the parsed
+//     items renders as ONE newline-free JSON array line that re-parses
+//     with exactly one element per query — fuzzer-chosen query bytes
+//     (quotes, backslashes, control bytes, UTF-8 fragments) must survive
+//     the JSON escaping round trip
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "serve/server.h"
+#include "util/json.h"
+#include "util/status.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size == 0) return 0;
+  // First byte steers the configuration; the rest is the request line.
+  const uint8_t knob = data[0];
+  const size_t max_items = knob & 0x0F;  // 0 = uncapped, else 1..15
+  const std::string_view line(reinterpret_cast<const char*>(data + 1),
+                              size - 1);
+
+  treelattice::Result<treelattice::serve::ServeBatch> batch =
+      treelattice::serve::ParseBatchRequestLine(line, max_items);
+  if (!batch.ok()) return 0;
+
+  // Anything that parsed as a batch must have been detected as one.
+  if (!treelattice::serve::IsBatchRequestLine(line)) __builtin_trap();
+  if (batch->items.empty()) __builtin_trap();
+  if (max_items > 0 && batch->items.size() > max_items) __builtin_trap();
+
+  treelattice::serve::ServeBatchResponse response;
+  response.items.reserve(batch->items.size());
+  for (const treelattice::serve::ServeRequest& item : batch->items) {
+    if (item.query.empty()) __builtin_trap();
+    treelattice::serve::ServeResponse out;
+    out.id = item.id;
+    out.query = item.query;
+    out.ok = (knob & 0x10) != 0;
+    if (out.ok) {
+      out.estimate = static_cast<double>(item.max_work_steps);
+      out.rung = "primary";
+    } else {
+      out.error_code = "InvalidArgument";
+      out.error_message = item.query;  // error text is escaped too
+    }
+    response.items.push_back(std::move(out));
+  }
+
+  const std::string wire = response.ToJsonLine();
+  if (wire.find('\n') != std::string::npos) __builtin_trap();
+  treelattice::Result<treelattice::JsonValue> parsed =
+      treelattice::ParseJson(wire);
+  if (!parsed.ok()) __builtin_trap();
+  if (parsed->array.size() != batch->items.size()) __builtin_trap();
+  return 0;
+}

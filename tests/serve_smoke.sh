@@ -5,9 +5,10 @@
 # SIGTERM lands mid-stream. The server must never die, every stdout line
 # must be well-formed JSON, failed reloads must keep the old snapshot
 # serving, and both EOF and SIGTERM must drain cleanly. Phase 4 repeats
-# the soak over TCP (--listen) with injected socket faults, RST-slamming
-# chaos connections, and a mid-soak SIGTERM — exactly-once delivery must
-# hold end to end. Invoked by ctest with the binary path as $1.
+# the soak over TCP (--listen) with a mixed single/batch stream, injected
+# socket faults, RST-slamming chaos connections, and a mid-soak SIGTERM —
+# exactly-once per-query delivery must hold end to end. Invoked by ctest
+# with the binary path as $1.
 set -e
 
 CLI="$1"
@@ -170,18 +171,25 @@ TERM_RESPONSES=$(grep -c '^{"id":' "$WORKDIR/term.out")
 test "$TERM_RESPONSES" -eq 10
 
 # --- phase 4: TCP soak — faults, resets, and a mid-soak SIGTERM ----------
-# 200 pipelined queries over a real socket while injected short reads/
-# writes and EAGAIN storms batter every syscall and chaos connections slam
-# RSTs, an oversized frame, and garbage at the server; then SIGTERM lands
-# with a second wave still in flight. The main client must get exactly one
-# response per query (zero drops, zero dupes), and the server's own drain
-# accounting must conserve: admitted == delivered + orphaned.
+# 200 pipelined queries over a real socket — 150 single lines mixed with
+# 10 batch array lines of 5 queries each (DESIGN.md §14) — while injected
+# short reads/writes and EAGAIN storms batter every syscall and chaos
+# connections slam RSTs, an oversized frame, malformed batches, and
+# garbage at the server; then SIGTERM lands with a second mixed wave
+# still in flight. The main client must get exactly one response per
+# QUERY (zero drops, zero dupes; each batch line answered by exactly one
+# array line), and the server's own drain accounting must conserve
+# per-query: admitted == delivered + orphaned.
 
 if command -v python3 > /dev/null 2>&1; then
   # --queue=256: the whole 200-query burst lands at once over TCP; the
   # admission-shed path has its own coverage (phase 2, transport_test).
+  # --worker-delay-ms=2 makes every query cross the 1 ms slow threshold
+  # deterministically; without it the /slowz assertion below hinges on
+  # queue-wait luck on a fast machine.
   "$CLI" serve "$WORKDIR/doc.summary" --listen=127.0.0.1:0 --workers=4 \
       --queue=256 --drain-ms=3000 --max-frame-bytes=4096 \
+      --worker-delay-ms=2 \
       --net-fault-seed=42 --net-fault-short=0.2 --net-fault-eagain=0.1 \
       --admin=127.0.0.1:0 --slow-threshold-ms=1 --slow-log-size=64 \
       > /dev/null 2> "$WORKDIR/tcp.err" &
@@ -235,11 +243,20 @@ def rst(sock):
     sock.close()
 
 main = connect()
-main.sendall(b"".join(
+# 150 singles (ids 1..150) + 10 batch lines of 5 (ids 151..200): one
+# mixed stream, 200 queries total.
+stream = b"".join(
     b'{"query": "item(name,price)", "id": %d}\n' % i
-    for i in range(1, 201)))
+    for i in range(1, 151))
+stream += b"".join(
+    b"[" + b",".join(
+        b'{"query": "item(name)", "id": %d}' % (151 + 5 * k + j)
+        for j in range(5)) + b"]\n"
+    for k in range(10))
+main.sendall(stream)
 
 seen = set()
+batch_lines = 0
 buf = b""
 deadline = time.time() + 60
 chaos_done = False
@@ -251,14 +268,26 @@ while len(seen) < 200:
     while b"\n" in buf:
         line, buf = buf.split(b"\n", 1)
         record = json.loads(line)
-        assert record["ok"], record
-        rid = record["id"]
-        assert rid not in seen, f"duplicate response id {rid}"
-        seen.add(rid)
+        if isinstance(record, list):
+            # One array line per batch line, positional: exactly the 5
+            # consecutive ids of one submitted batch, in order.
+            batch_lines += 1
+            ids = [item["id"] for item in record]
+            assert ids == list(range(ids[0], ids[0] + 5)), ids
+            assert ids[0] >= 151 and (ids[0] - 151) % 5 == 0, ids
+            items = record
+        else:
+            items = [record]
+        for item in items:
+            assert item["ok"], item
+            rid = item["id"]
+            assert rid not in seen, f"duplicate response id {rid}"
+            seen.add(rid)
     if len(seen) >= 50 and not chaos_done:
         chaos_done = True
         # Chaos mid-soak: resets with requests in flight, an oversized
-        # frame, and garbage — none of it may disturb the main stream.
+        # frame, malformed batch lines, and garbage — none of it may
+        # disturb the main stream.
         for _ in range(3):
             c = connect()
             c.sendall(b'{"query": "item(name)"}\n' * 5)
@@ -268,9 +297,18 @@ while len(seen) < 200:
         assert b'"error"' in c.recv(4096)  # oversized -> error, not close
         c.close()
         c = connect()
+        c.sendall(b"[]\n")                 # empty batch -> error line
+        assert b'"error"' in c.recv(4096)
+        c.close()
+        c = connect()
+        c.sendall(b'["item(name)", 42]\n')  # bad element -> error line
+        assert b'"error"' in c.recv(4096)
+        c.close()
+        c = connect()
         c.sendall(b"{{{{not json\n")
         c.close()
 assert seen == set(range(1, 201)), "response ids mismatch"
+assert batch_lines == 10, f"expected 10 batch response lines, saw {batch_lines}"
 
 # Admin plane mid-soak: all four endpoints must answer while the serving
 # port is still live, and the slow-query ring (threshold 1 ms) must have
@@ -285,18 +323,31 @@ assert status == 200 and statusz["snapshot_version"] >= 1, statusz
 status, body = admin_get("/slowz")
 slowz = json.loads(body)
 assert status == 200, (status, body[:200])
-assert slowz["slowz"]["entries"], "no slow queries at a 1 ms threshold"
-entry = slowz["slowz"]["entries"][0]
-assert entry["req"] > 0 and entry["shape"]["size"] >= 1, entry
-assert "stages_micros" in entry, entry
+entries = slowz["slowz"]["entries"]
+assert entries, "no slow queries at a 2 ms worker delay"
+for entry in entries:
+    assert entry["req"] > 0 and "stages_micros" in entry, entry
+# Both stream shapes must be represented: single entries carry the twig
+# shape, batch entries carry the query count of their line.
+singles_seen = [e for e in entries if e.get("batch_size", 1) <= 1]
+batches_seen = [e for e in entries if e.get("batch_size", 1) > 1]
+assert singles_seen and singles_seen[0]["shape"]["size"] >= 1, entries[:2]
+assert batches_seen and batches_seen[0]["batch_size"] == 5, entries[:2]
 print(f"admin plane: 4 endpoints ok, {len(slowz['slowz']['entries'])} "
       "slow queries captured")
 
-# Second wave, then SIGTERM while it is in flight: the drain must answer
-# everything admitted and close cleanly (EOF, no RST, no hang).
-main.sendall(b"".join(
+# Second wave — 30 singles + 4 batches of 5 — then SIGTERM while it is
+# in flight: the drain must answer everything admitted (whole batches
+# included) and close cleanly (EOF, no RST, no hang).
+wave = b"".join(
     b'{"query": "item(name)", "id": %d}\n' % i
-    for i in range(1000, 1050)))
+    for i in range(1000, 1030))
+wave += b"".join(
+    b"[" + b",".join(
+        b'{"query": "item(name)", "id": %d}' % (1030 + 5 * k + j)
+        for j in range(5)) + b"]\n"
+    for k in range(4))
+main.sendall(wave)
 time.sleep(0.1)
 os.kill(pid, signal.SIGTERM)
 drained = 0
@@ -311,8 +362,10 @@ while True:
     while b"\n" in buf:
         line, buf = buf.split(b"\n", 1)
         record = json.loads(line)
-        assert 1000 <= record["id"] < 1050, record
-        drained += 1
+        items = record if isinstance(record, list) else [record]
+        for item in items:
+            assert 1000 <= item["id"] < 1050, item
+            drained += 1
 main.close()
 print(f"tcp soak: 200 answered, {drained} of the in-flight wave drained")
 PYEOF

@@ -1,54 +1,70 @@
 #!/bin/sh
-# Guards the estimation hot path (DESIGN.md "Estimation hot path"):
-# bench_ext_hotpath runs the interned production path and an in-bench
-# replica of the legacy string-keyed path over the same size-8 voting
-# workload (asserting bit-identical estimates), and its `speedup` result is
-# the machine-independent ratio this script checks:
+# Guards the machine-independent perf ratios (DESIGN.md "Estimation hot
+# path", §14 "Batched estimation"). Each guarded bench measures a
+# production path against an in-bench reference on the same workload,
+# asserts bit-identical estimates first, and reports a `speedup` ratio:
 #
+#   hotpath  bench_ext_hotpath — interned/flat-hash estimation vs the
+#            legacy string-keyed replica (size-8 voting queries);
+#   batch    bench_ext_batch — batch-64 EstimateBatch vs the sequential
+#            single-query path over the same query stream.
+#
+# For every checked name:
 #   - speedup must stay >= MIN_SPEEDUP (default 2.0, the tentpole target);
 #   - speedup must stay within TOLERANCE_PCT (default 25%) of the committed
-#     baseline bench/baselines/hotpath.json. Below the band fails (a hot-
-#     path regression); above it passes with a notice to re-baseline.
+#     baseline bench/baselines/<name>.json. Below the band fails (a
+#     regression); above it passes with a notice to re-baseline.
 #
-#   tools/check_perf.sh [build_dir]
+#   tools/check_perf.sh [build_dir] [name...]     (default: all names)
 #
-# The run record is written to BENCH_hotpath.json at the repo root.
-# Environment: TOLERANCE_PCT, MIN_SPEEDUP, BENCH_FLAGS (extra bench flags,
-# default a reduced workload so the `perf` ctest label stays fast).
+# Run records are written to BENCH_<name>.json at the repo root.
+# Environment: TOLERANCE_PCT, MIN_SPEEDUP, BENCH_FLAGS (extra bench flags
+# applied to every name, overriding the per-name defaults that keep the
+# `perf` ctest label fast).
 set -eu
 
 BUILD_DIR="${1:-build}"
+[ "$#" -gt 0 ] && shift
+NAMES="${*:-hotpath batch}"
 SCRIPT_DIR=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
 REPO_ROOT=$(dirname "$SCRIPT_DIR")
-BIN="$BUILD_DIR/bench/bench_ext_hotpath"
-BASELINE="$REPO_ROOT/bench/baselines/hotpath.json"
-OUT_JSON="$REPO_ROOT/BENCH_hotpath.json"
 TOLERANCE_PCT="${TOLERANCE_PCT:-25}"
 MIN_SPEEDUP="${MIN_SPEEDUP:-2.0}"
-BENCH_FLAGS="${BENCH_FLAGS:---scale=400 --queries=16 --reps=3}"
-
-if [ ! -x "$BIN" ]; then
-  echo "error: $BIN not found (build first: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
-  exit 2
-fi
-if [ ! -f "$BASELINE" ]; then
-  echo "error: $BASELINE not found" >&2
-  exit 2
-fi
 
 PYTHON=$(command -v python3 || command -v python) || {
   echo "error: python3 required to parse bench JSON" >&2
   exit 2
 }
 
-echo "=== bench_ext_hotpath $BENCH_FLAGS -> $OUT_JSON ==="
-# shellcheck disable=SC2086 # BENCH_FLAGS is intentionally word-split
-"$BIN" --json="$OUT_JSON" $BENCH_FLAGS
+check_one() {
+  name="$1"
+  BIN="$BUILD_DIR/bench/bench_ext_$name"
+  BASELINE="$REPO_ROOT/bench/baselines/$name.json"
+  OUT_JSON="$REPO_ROOT/BENCH_$name.json"
+  case "$name" in
+    hotpath) default_flags="--scale=400 --queries=16 --reps=3" ;;
+    batch) default_flags="--scale=400 --pool=12 --stream=128 --reps=3" ;;
+    *) default_flags="" ;;
+  esac
+  flags="${BENCH_FLAGS:-$default_flags}"
 
-"$PYTHON" - "$OUT_JSON" "$BASELINE" "$TOLERANCE_PCT" "$MIN_SPEEDUP" <<'EOF'
+  if [ ! -x "$BIN" ]; then
+    echo "error: $BIN not found (build first: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
+    return 2
+  fi
+  if [ ! -f "$BASELINE" ]; then
+    echo "error: $BASELINE not found" >&2
+    return 2
+  fi
+
+  echo "=== bench_ext_$name $flags -> $OUT_JSON ==="
+  # shellcheck disable=SC2086 # flags are intentionally word-split
+  "$BIN" --json="$OUT_JSON" $flags
+
+  "$PYTHON" - "$OUT_JSON" "$BASELINE" "$TOLERANCE_PCT" "$MIN_SPEEDUP" "$name" <<'EOF'
 import json, sys
 
-out_path, baseline_path, tolerance_pct, min_speedup = sys.argv[1:5]
+out_path, baseline_path, tolerance_pct, min_speedup, name = sys.argv[1:6]
 tolerance = float(tolerance_pct) / 100.0
 floor = float(min_speedup)
 
@@ -57,20 +73,27 @@ baseline = json.load(open(baseline_path))["results"]["speedup"]
 
 low = baseline * (1.0 - tolerance)
 high = baseline * (1.0 + tolerance)
-print(f"speedup: measured {measured:.2f}x, baseline {baseline:.2f}x, "
+print(f"{name} speedup: measured {measured:.2f}x, baseline {baseline:.2f}x, "
       f"band [{low:.2f}x, {high:.2f}x], floor {floor:.2f}x")
 
 if measured < floor:
-    print(f"FAIL: speedup {measured:.2f}x below the {floor:.2f}x floor",
+    print(f"FAIL: {name} speedup {measured:.2f}x below the {floor:.2f}x floor",
           file=sys.stderr)
     sys.exit(1)
 if measured < low:
-    print(f"FAIL: speedup {measured:.2f}x regressed below the baseline band "
-          f"(update bench/baselines/hotpath.json only with a rationale)",
+    print(f"FAIL: {name} speedup {measured:.2f}x regressed below the baseline "
+          f"band (update bench/baselines/{name}.json only with a rationale)",
           file=sys.stderr)
     sys.exit(1)
 if measured > high:
-    print(f"NOTE: speedup {measured:.2f}x above the baseline band — "
-          f"re-baseline bench/baselines/hotpath.json to tighten the guard")
-print("OK: hot-path speedup within the guard band")
+    print(f"NOTE: {name} speedup {measured:.2f}x above the baseline band — "
+          f"re-baseline bench/baselines/{name}.json to tighten the guard")
+print(f"OK: {name} speedup within the guard band")
 EOF
+}
+
+status=0
+for name in $NAMES; do
+  check_one "$name" || status=$?
+done
+exit $status

@@ -52,9 +52,9 @@ if [ -x "$BENCH_DIR/bench_ext_serve" ]; then
   fi
 fi
 
-echo "=== hot-path guard (tools/check_perf.sh)"
+echo "=== perf guards: hotpath + batch (tools/check_perf.sh)"
 SCRIPT_DIR=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
-if "$SCRIPT_DIR/check_perf.sh" "$BUILD_DIR" > "$OUT_DIR/check_perf.log" 2>&1; then
+if "$SCRIPT_DIR/check_perf.sh" "$BUILD_DIR" hotpath batch > "$OUT_DIR/check_perf.log" 2>&1; then
   :
 else
   rc=$?

@@ -37,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "core/batch_estimator.h"
 #include "core/estimator_metrics.h"
 #include "core/explain.h"
 #include "core/fixed_size_estimator.h"
@@ -75,7 +76,7 @@ int Usage() {
                "  treelattice verify <summary>\n"
                "  treelattice estimate <summary> <query>... "
                "[--estimator=recursive|voting|voting-median|fixed] "
-               "[--explain] [--json]\n"
+               "[--explain] [--json] [--batch]\n"
                "  treelattice truth <doc.xml> <query>...\n"
                "  treelattice serve <summary> [--workers=4] [--queue=128]\n"
                "      [--deadline-ms=<d>] [--max-steps=<n>] "
@@ -132,7 +133,15 @@ int Usage() {
                "wall micros,\nsummary lookup and decomposition counters). "
                "--explain traces the non-voting\ndecomposition path: with a "
                "voting estimator the trace shows one\nrepresentative path "
-               "and its root may differ from the voted estimate.\n");
+               "and its root may differ from the voted estimate.\n"
+               "\n"
+               "estimate --batch answers all queries through the batched "
+               "pipeline\n(DESIGN.md §14): one canonicalization pass, "
+               "cross-query sub-twig dedup,\ngrouped summary probes, and a "
+               "shared memo — same estimates, less work.\nserve accepts the "
+               "batch form too: a JSON array request line (of query\nstrings "
+               "or request envelopes) gets one JSON array response line, "
+               "in\norder, both on stdin and over --listen.\n");
   return 2;
 }
 
@@ -339,6 +348,71 @@ int RunEstimate(int argc, char** argv, const Flags& flags) {
   } else {
     std::fprintf(stderr, "unknown estimator '%s'\n", kind.c_str());
     return 2;
+  }
+
+  if (flags.GetBool("batch", false)) {
+    if (kind == "fixed") {
+      std::fprintf(stderr,
+                   "--batch drives the recursive/voting estimators; "
+                   "--estimator=fixed has no batched form\n");
+      return 2;
+    }
+    Options batch_options;
+    if (kind == "voting") {
+      batch_options = Options{true, 0, Agg::kMean};
+    } else if (kind == "voting-median") {
+      batch_options = Options{true, 0, Agg::kMedian};
+    }
+    BatchEstimator batch_estimator(&summary, batch_options);
+    std::vector<Twig> twigs;
+    std::vector<size_t> arg_index;
+    int failures = 0;
+    for (size_t i = 1; i < args.size(); ++i) {
+      Result<Twig> query = ParseQuery(args[i], &*dict);
+      if (!query.ok()) {
+        std::fprintf(stderr, "%s: %s\n", args[i].c_str(),
+                     query.status().ToString().c_str());
+        ++failures;
+        continue;
+      }
+      twigs.push_back(std::move(*query));
+      arg_index.push_back(i);
+    }
+    std::vector<EstimateResult> results(twigs.size());
+    WallTimer timer;
+    Status batched = batch_estimator.EstimateBatch(
+        twigs, EstimateOptions(), results);
+    const double wall_micros = timer.ElapsedMicros();
+    if (!batched.ok()) {
+      std::fprintf(stderr, "%s\n", batched.ToString().c_str());
+      return 1;
+    }
+    const bool batch_json = flags.GetBool("json", false);
+    for (size_t k = 0; k < twigs.size(); ++k) {
+      const std::string& text = args[arg_index[k]];
+      if (!results[k].status.ok()) {
+        std::fprintf(stderr, "%s: %s\n", text.c_str(),
+                     results[k].status.ToString().c_str());
+        ++failures;
+        continue;
+      }
+      if (batch_json) {
+        JsonWriter w;
+        w.BeginObject();
+        w.Key("query").String(text);
+        w.Key("estimator").String(batch_estimator.name());
+        w.Key("estimate").Double(results[k].estimate);
+        w.Key("batch_size").Uint(twigs.size());
+        w.Key("batch_wall_micros").Double(wall_micros);
+        w.EndObject();
+        std::printf("%s\n", w.str().c_str());
+      } else {
+        std::printf("%-50s %14.2f   (batch of %zu, %.0f us total, %s)\n",
+                    text.c_str(), results[k].estimate, twigs.size(),
+                    wall_micros, batch_estimator.name().c_str());
+      }
+    }
+    return failures == 0 ? 0 : 1;
   }
 
   const bool explain = flags.GetBool("explain", false);
@@ -652,6 +726,29 @@ int RunServe(int argc, char** argv, const Flags& flags) {
         outcome.degraded = response.degraded;
         outcome.snapshot_version = response.snapshot_version;
         serve::FinalizeRequestTrace(trace, outcome, &slow_log);
+      },
+      [&slow_log](serve::ServeBatchResponse response) {
+        // One array line answers the whole batch, mirroring the TCP path.
+        serve::RequestTrace trace = response.trace;
+        const std::string line = response.ToJsonLine();
+        trace.StampSerialized();
+        std::fprintf(stdout, "%s\n", line.c_str());
+        std::fflush(stdout);
+        trace.StampFlushed();
+        serve::RequestOutcome outcome;
+        outcome.query =
+            "[batch:" + std::to_string(response.items.size()) + "]";
+        outcome.ok = true;
+        for (const serve::ServeResponse& item : response.items) {
+          if (!item.ok && outcome.error_code.empty()) {
+            outcome.ok = false;
+            outcome.error_code = item.error_code;
+          }
+          outcome.degraded = outcome.degraded || item.degraded;
+          outcome.cached = outcome.cached || item.cached;
+          outcome.snapshot_version = item.snapshot_version;
+        }
+        serve::FinalizeRequestTrace(trace, outcome, &slow_log);
       });
 
   InstallServeSignalHandlers();
@@ -699,6 +796,27 @@ int RunServe(int argc, char** argv, const Flags& flags) {
       std::fprintf(stdout, "%s\n",
                    serve::introspect::StatsJsonLine(status).c_str());
       std::fflush(stdout);
+      continue;
+    }
+    if (serve::IsBatchRequestLine(text)) {
+      ++next_id;
+      serve::RequestTrace batch_trace = serve::RequestTrace::Begin(next_id);
+      Result<serve::ServeBatch> batch =
+          serve::ParseBatchRequestLine(text, options.queue_capacity);
+      if (!batch.ok()) {
+        serve::ServeResponse response;
+        response.id = next_id;
+        response.req = next_id;
+        response.error_code =
+            std::string(StatusCodeToString(batch.status().code()));
+        response.error_message = batch.status().message();
+        std::fprintf(stdout, "%s\n", response.ToJsonLine().c_str());
+        std::fflush(stdout);
+        continue;
+      }
+      batch_trace.batch_size = static_cast<uint32_t>(batch->items.size());
+      batch->trace = batch_trace;
+      server.SubmitBatch(std::move(*batch));
       continue;
     }
     ++next_id;
